@@ -1,0 +1,89 @@
+// Ablation A5: container sizing (the paper's future-work discussion,
+// Sec. 5: identical containers "can lead to under-utilization of
+// resources"). Runs the SNV workload with k containers of 24/k cores per
+// 24-core node: many thin containers maximise task parallelism but starve
+// multithreaded tools; one fat container per node wastes cores on
+// single-threaded stages.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/client.h"
+
+namespace hiway {
+namespace {
+
+Result<double> RunConfig(int containers_per_node, int chunks, uint64_t seed,
+                         bool tailor = false) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", "8");
+  karamel.SetAttribute("cluster/cores", "24");
+  karamel.SetAttribute("cluster/memory_mb", "49152");
+  karamel.SetAttribute("cluster/disk_mbps", "300");
+  karamel.SetAttribute("cluster/switch_mbps", "1250");
+  karamel.SetAttribute("snv/chunks", StrFormat("%d", chunks));
+  karamel.SetAttribute("snv/chunk_mb", "256");
+  karamel.SetAttribute("seed",
+                       StrFormat("%llu", static_cast<unsigned long long>(seed)));
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
+  HiWayClient client(d.get());
+  HiWayOptions options;
+  options.container_vcores = 24 / containers_per_node;
+  options.container_memory_mb = 49152.0 / containers_per_node - 256;
+  options.am_vcores = 0;
+  options.seed = seed;
+  options.tailor_containers = tailor;
+  HIWAY_ASSIGN_OR_RETURN(WorkflowReport report,
+                         client.Run("snv-calling", "data-aware", options));
+  HIWAY_RETURN_IF_ERROR(report.status);
+  return report.Makespan() / 60.0;
+}
+
+int Main(int argc, char** argv) {
+  const int chunks = bench::QuickMode(argc, argv) ? 64 : 128;
+  bench::PrintHeader(
+      "Ablation A5: containers per node (identical-container policy, "
+      "8 x 24-core nodes, SNV workload)");
+  std::printf("%d chunks x 256 MB; data-aware scheduling.\n\n", chunks);
+  std::printf("%18s %14s %18s\n", "containers/node", "vcores each",
+              "makespan (min)");
+  bench::PrintRule(54);
+  double best = 1e18, worst = 0.0;
+  for (int per_node : {1, 2, 4, 8, 24}) {
+    auto m = RunConfig(per_node, chunks, 15000);
+    if (!m.ok()) {
+      std::fprintf(stderr, "config failed: %s\n",
+                   m.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%18d %14d %18.1f\n", per_node, 24 / per_node, *m);
+    best = std::min(best, *m);
+    worst = std::max(worst, *m);
+  }
+  // The paper's Sec. 5 future work, implemented here: per-task tailored
+  // containers starting from the fattest configuration.
+  auto tailored = RunConfig(1, chunks, 15000, /*tailor=*/true);
+  if (!tailored.ok()) {
+    std::fprintf(stderr, "tailored config failed\n");
+    return 1;
+  }
+  std::printf("%18s %14s %18.1f\n", "tailored", "per-tool", *tailored);
+  bench::PrintRule(54);
+  std::printf(
+      "Identical containers leave up to %.0f%% on the table across "
+      "sizings — the paper's Sec. 5 motivation for per-task container "
+      "tailoring. Thread-cap tailoring recovers %.0f%% over the fat "
+      "1-container baseline it starts from; closing the rest needs "
+      "bin-packing-aware sizing (future work there too).\n",
+      100.0 * (1.0 - best / worst),
+      100.0 * (1.0 - *tailored / worst));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hiway
+
+int main(int argc, char** argv) { return hiway::Main(argc, argv); }

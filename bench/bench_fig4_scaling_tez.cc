@@ -1,0 +1,181 @@
+// Reproduces Fig. 4 (Sec. 4.1, first experiment): mean runtime of the SNV
+// calling workflow on Hi-WAY (Cuneiform, data-aware scheduling) vs Apache
+// Tez, on a local 24-node cluster (2x Xeon E5-2620, 24 GB) behind a
+// single one-gigabit switch, scaling the number of one-core/1 GB
+// containers through 72 / 144 / 288 / 576.
+//
+// Paper's claims: (i) Hi-WAY performs comparably to Tez while network
+// resources are sufficient (<= ~96 containers); (ii) beyond that the
+// switch saturates and Hi-WAY scales favourably thanks to data-aware
+// placement of the data-intensive alignment tasks onto nodes holding a
+// replica of their input chunk; (iii) both runtime axes are log-scale,
+// runtimes dropping from ~160 min to tens of minutes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/tez_am.h"
+#include "src/core/client.h"
+#include "src/workloads/workloads.h"
+
+namespace hiway {
+namespace {
+
+constexpr int kNodes = 24;
+constexpr int kChunks = 1152;
+constexpr int kChunkMb = 128;
+
+Result<std::unique_ptr<Deployment>> MakeDeployment(int containers,
+                                                   uint64_t seed) {
+  Karamel karamel;
+  int cores_per_node = containers / kNodes;  // YARN offers this many slots
+  karamel.SetAttribute("cluster/workers", StrFormat("%d", kNodes));
+  karamel.SetAttribute("cluster/cores", StrFormat("%d", cores_per_node));
+  karamel.SetAttribute("cluster/memory_mb",
+                       StrFormat("%d", cores_per_node * 1024 + 1024));
+  karamel.SetAttribute("cluster/disk_mbps", "300");  // local RAID
+  karamel.SetAttribute("cluster/nic_mbps", "125");   // 1 GbE per port
+  // Oversubscribed backplane of the single commodity gigabit switch: the
+  // experiment's stated bottleneck beyond 96 concurrent containers.
+  karamel.SetAttribute("cluster/switch_mbps", "250");
+  // Scratch-heavy intermediate data is kept at replication 2 on this
+  // cluster (inputs and finals still land on multiple nodes).
+  karamel.SetAttribute("dfs/replication", "2");
+  karamel.SetAttribute("snv/chunks", StrFormat("%d", kChunks));
+  karamel.SetAttribute("snv/chunk_mb", StrFormat("%d", kChunkMb));
+  karamel.SetAttribute("seed",
+                       StrFormat("%llu", static_cast<unsigned long long>(seed)));
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  return karamel.Converge();
+}
+
+Result<double> RunHiWay(int containers, uint64_t seed) {
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d,
+                         MakeDeployment(containers, seed));
+  HiWayClient client(d.get());
+  HiWayOptions options;
+  options.container_vcores = 1;
+  options.container_memory_mb = 1024;
+  options.am_vcores = 0;  // AM co-located, negligible next to 24 cores
+  options.am_memory_mb = 1024;
+  options.seed = seed;
+  HIWAY_ASSIGN_OR_RETURN(WorkflowReport report,
+                         client.Run("snv-calling", "data-aware", options));
+  HIWAY_RETURN_IF_ERROR(report.status);
+  return report.Makespan();
+}
+
+/// The hand-coded Tez DAG equivalent of the Cuneiform workflow (the paper
+/// notes this implementation "took several weeks and a lot of code").
+std::unique_ptr<StaticWorkflowSource> BuildSnvDagForTez(
+    const StagedWorkflow& staged) {
+  std::vector<TaskSpec> tasks;
+  TaskId next = 1;
+  for (const auto& [chunk, size] : staged.inputs) {
+    std::string stem = StrFormat("/tez/snv/%lld", static_cast<long long>(next));
+    TaskSpec align;
+    align.id = next++;
+    align.signature = "bowtie2";
+    align.tool = "bowtie2";
+    align.command = "bowtie2-wrapped " + chunk;
+    align.input_files = {chunk};
+    align.outputs.push_back(OutputSpec{"out", stem + ".sam", {}, false});
+    TaskSpec sort;
+    sort.id = next++;
+    sort.signature = "samtools-sort";
+    sort.tool = "samtools-sort";
+    sort.command = "samtools-sort-wrapped";
+    sort.input_files = {stem + ".sam"};
+    sort.outputs.push_back(OutputSpec{"out", stem + ".bam", {}, false});
+    TaskSpec call;
+    call.id = next++;
+    call.signature = "varscan";
+    call.tool = "varscan";
+    call.command = "varscan-wrapped";
+    call.input_files = {stem + ".bam"};
+    call.outputs.push_back(OutputSpec{"out", stem + ".vcf", {}, false});
+    TaskSpec annotate;
+    annotate.id = next++;
+    annotate.signature = "annovar";
+    annotate.tool = "annovar";
+    annotate.command = "annovar-wrapped";
+    annotate.input_files = {stem + ".vcf"};
+    annotate.outputs.push_back(OutputSpec{"out", stem + ".csv", {}, false});
+    tasks.push_back(std::move(align));
+    tasks.push_back(std::move(sort));
+    tasks.push_back(std::move(call));
+    tasks.push_back(std::move(annotate));
+  }
+  return std::make_unique<StaticWorkflowSource>("snv-tez", std::move(tasks));
+}
+
+Result<double> RunTez(int containers, uint64_t seed) {
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d,
+                         MakeDeployment(containers, seed));
+  auto source = BuildSnvDagForTez(d->workflows.at("snv-calling"));
+  TezOptions options;
+  options.container_vcores = 1;
+  options.container_memory_mb = 1024;
+  options.seed = seed;
+  TezAm am(d->cluster.get(), d->rm.get(), d->dfs.get(), &d->tools, options);
+  HIWAY_RETURN_IF_ERROR(am.Submit(source.get()));
+  HIWAY_ASSIGN_OR_RETURN(TezReport report, am.RunToCompletion());
+  HIWAY_RETURN_IF_ERROR(report.status);
+  return report.Makespan();
+}
+
+int Main(int argc, char** argv) {
+  const int runs = bench::QuickMode(argc, argv) ? 1 : 3;
+  bench::PrintHeader(
+      "Figure 4: SNV calling, Hi-WAY (Cuneiform, data-aware) vs Tez "
+      "(24 nodes, 1 GbE switch)");
+  std::printf(
+      "%d run(s) per configuration; %d chunks x %d MB input; runtimes in "
+      "minutes (log-log in the paper).\n\n",
+      runs, kChunks, kChunkMb);
+  std::printf("%11s  %14s  %14s  %14s\n", "containers", "Hi-WAY (min)",
+              "Tez (min)", "Tez/Hi-WAY");
+  bench::PrintRule(60);
+  double ratio_small = 0.0;
+  double ratio_large = 0.0;
+  for (int containers : {72, 144, 288, 576}) {
+    std::vector<double> hiway;
+    std::vector<double> tez;
+    for (int run = 0; run < runs; ++run) {
+      uint64_t seed = 4000 + static_cast<uint64_t>(containers + run);
+      auto h = RunHiWay(containers, seed);
+      auto t = RunTez(containers, seed);
+      if (!h.ok() || !t.ok()) {
+        std::fprintf(stderr, "run failed: %s / %s\n",
+                     h.status().ToString().c_str(),
+                     t.status().ToString().c_str());
+        return 1;
+      }
+      hiway.push_back(*h / 60.0);
+      tez.push_back(*t / 60.0);
+    }
+    double ratio = bench::Mean(tez) / bench::Mean(hiway);
+    if (containers == 72) ratio_small = ratio;
+    if (containers == 576) ratio_large = ratio;
+    std::printf("%11d  %8.1f ±%4.1f  %8.1f ±%4.1f  %13.2fx\n", containers,
+                bench::Mean(hiway), bench::StdDev(hiway), bench::Mean(tez),
+                bench::StdDev(tez), ratio);
+  }
+  bench::PrintRule(60);
+  bool comparable_small = ratio_small < 1.15;
+  bool favourable_large = ratio_large > 1.3;
+  std::printf(
+      "Paper's claims: comparable at low concurrency (ratio %.2fx -> %s), "
+      "Hi-WAY scales favourably once the switch saturates "
+      "(ratio %.2fx at 576 -> %s).\n",
+      ratio_small, comparable_small ? "OK" : "MISS", ratio_large,
+      favourable_large ? "OK" : "MISS");
+  return (comparable_small && favourable_large) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hiway
+
+int main(int argc, char** argv) { return hiway::Main(argc, argv); }

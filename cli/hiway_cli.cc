@@ -1,0 +1,292 @@
+// hiway — command-line front door to the simulator-backed Hi-WAY stack.
+//
+// Mirrors the paper's light-weight client (Sec. 3.1): point it at a
+// workflow file in any supported language, describe the cluster with
+// Chef-style attributes, pick a scheduling policy, and it provisions the
+// deployment, stages declared inputs, executes the workflow, and reports
+// the outcome (optionally dumping the re-executable provenance trace).
+//
+//   hiway --workflow wf.cf --language cuneiform --policy data-aware
+//         -a cluster/workers=8 -a cluster/cores=4
+//         --input /in/reads.fq=256MB --trace-out trace.jsonl
+//
+// Languages: cuneiform | dax | galaxy | trace.
+// Galaxy placeholders resolve via repeated --galaxy-input name=/dfs/path.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+#include "src/core/client.h"
+#include "src/lang/dax_source.h"
+#include "src/lang/galaxy_source.h"
+#include "src/lang/trace_source.h"
+
+namespace hiway {
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: hiway --workflow FILE [options]\n"
+      "\n"
+      "  --workflow FILE          workflow document to execute\n"
+      "  --language LANG          cuneiform | dax | galaxy | trace\n"
+      "                           (default: guessed from the extension:\n"
+      "                            .cf/.cuneiform, .xml/.dax, .ga/.json,\n"
+      "                            .jsonl/.trace)\n"
+      "  --policy POLICY          fcfs | data-aware | round-robin | heft |\n"
+      "                           online-mct (default: data-aware)\n"
+      "  -a KEY=VALUE             Chef-style deployment attribute, e.g.\n"
+      "                           -a cluster/workers=8 (repeatable)\n"
+      "  --input PATH=SIZE        stage an input file into DFS; SIZE takes\n"
+      "                           B/KB/MB/GB suffixes (repeatable)\n"
+      "  --galaxy-input NAME=PATH resolve a Galaxy input placeholder\n"
+      "  --vcores N               container vcores (default 1)\n"
+      "  --memory MB              container memory (default 1024)\n"
+      "  --tailor-containers      per-task container sizing (Sec. 5)\n"
+      "  --seed N                 simulation seed (default 42)\n"
+      "  --trace-out FILE         write the provenance trace (JSON lines)\n"
+      "  --verbose                per-task completion log\n"
+      "  --help                   this message\n");
+}
+
+Result<int64_t> ParseSize(std::string_view text) {
+  double factor = 1.0;
+  std::string_view number = text;
+  if (EndsWith(text, "GB")) {
+    factor = 1024.0 * 1024.0 * 1024.0;
+    number = text.substr(0, text.size() - 2);
+  } else if (EndsWith(text, "MB")) {
+    factor = 1024.0 * 1024.0;
+    number = text.substr(0, text.size() - 2);
+  } else if (EndsWith(text, "KB")) {
+    factor = 1024.0;
+    number = text.substr(0, text.size() - 2);
+  } else if (EndsWith(text, "B")) {
+    number = text.substr(0, text.size() - 1);
+  }
+  HIWAY_ASSIGN_OR_RETURN(double value, ParseDouble(number));
+  return static_cast<int64_t>(value * factor);
+}
+
+std::string GuessLanguage(const std::string& path) {
+  if (EndsWith(path, ".cf") || EndsWith(path, ".cuneiform")) {
+    return "cuneiform";
+  }
+  if (EndsWith(path, ".dax") || EndsWith(path, ".xml")) return "dax";
+  if (EndsWith(path, ".ga") || EndsWith(path, ".json")) return "galaxy";
+  if (EndsWith(path, ".jsonl") || EndsWith(path, ".trace")) return "trace";
+  return "cuneiform";
+}
+
+struct CliOptions {
+  std::string workflow_path;
+  std::string language;
+  std::string policy = "data-aware";
+  ChefAttributes attributes;
+  std::vector<std::pair<std::string, int64_t>> inputs;
+  std::map<std::string, std::string> galaxy_inputs;
+  int vcores = 1;
+  double memory_mb = 1024.0;
+  bool tailor = false;
+  uint64_t seed = 42;
+  std::string trace_out;
+  bool verbose = false;
+};
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int& i, const char* flag) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(StrFormat("%s expects a value", flag));
+    }
+    return std::string(argv[++i]);
+  };
+  auto split_kv = [](const std::string& kv,
+                     const char* flag) -> Result<std::pair<std::string,
+                                                           std::string>> {
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("%s expects KEY=VALUE, got '%s'", flag, kv.c_str()));
+    }
+    return std::make_pair(kv.substr(0, eq), kv.substr(eq + 1));
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--workflow") {
+      HIWAY_ASSIGN_OR_RETURN(options.workflow_path, need_value(i, "--workflow"));
+    } else if (arg == "--language") {
+      HIWAY_ASSIGN_OR_RETURN(options.language, need_value(i, "--language"));
+    } else if (arg == "--policy") {
+      HIWAY_ASSIGN_OR_RETURN(options.policy, need_value(i, "--policy"));
+    } else if (arg == "-a") {
+      HIWAY_ASSIGN_OR_RETURN(std::string kv, need_value(i, "-a"));
+      HIWAY_ASSIGN_OR_RETURN(auto pair, split_kv(kv, "-a"));
+      options.attributes[pair.first] = pair.second;
+    } else if (arg == "--input") {
+      HIWAY_ASSIGN_OR_RETURN(std::string kv, need_value(i, "--input"));
+      HIWAY_ASSIGN_OR_RETURN(auto pair, split_kv(kv, "--input"));
+      HIWAY_ASSIGN_OR_RETURN(int64_t size, ParseSize(pair.second));
+      options.inputs.emplace_back(pair.first, size);
+    } else if (arg == "--galaxy-input") {
+      HIWAY_ASSIGN_OR_RETURN(std::string kv, need_value(i, "--galaxy-input"));
+      HIWAY_ASSIGN_OR_RETURN(auto pair, split_kv(kv, "--galaxy-input"));
+      options.galaxy_inputs[pair.first] = pair.second;
+    } else if (arg == "--vcores") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--vcores"));
+      HIWAY_ASSIGN_OR_RETURN(int64_t n, ParseInt64(v));
+      options.vcores = static_cast<int>(n);
+    } else if (arg == "--memory") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--memory"));
+      HIWAY_ASSIGN_OR_RETURN(options.memory_mb, ParseDouble(v));
+    } else if (arg == "--tailor-containers") {
+      options.tailor = true;
+    } else if (arg == "--seed") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--seed"));
+      HIWAY_ASSIGN_OR_RETURN(int64_t n, ParseInt64(v));
+      options.seed = static_cast<uint64_t>(n);
+    } else if (arg == "--trace-out") {
+      HIWAY_ASSIGN_OR_RETURN(options.trace_out, need_value(i, "--trace-out"));
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Status::FailedPrecondition("help");
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (options.workflow_path.empty()) {
+    return Status::InvalidArgument("--workflow is required");
+  }
+  if (options.language.empty()) {
+    options.language = GuessLanguage(options.workflow_path);
+  }
+  return options;
+}
+
+Result<int> Run(const CliOptions& cli) {
+  // Read the workflow document.
+  std::ifstream in(cli.workflow_path);
+  if (!in) {
+    return Status::IoError("cannot read workflow file: " + cli.workflow_path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string document = buffer.str();
+
+  // Converge the deployment.
+  Karamel karamel;
+  for (const auto& [k, v] : cli.attributes) karamel.SetAttribute(k, v);
+  karamel.SetAttribute("seed", StrFormat("%llu",
+                                         (unsigned long long)cli.seed));
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
+
+  // Stage inputs.
+  for (const auto& [path, size] : cli.inputs) {
+    HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
+  }
+
+  // Build the source.
+  StagedWorkflow staged;
+  staged.language = cli.language;
+  staged.document = std::move(document);
+  staged.galaxy_inputs = cli.galaxy_inputs;
+  HiWayClient client(d.get());
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
+                         client.MakeSource(staged));
+
+  // DAX / trace sources declare their required inputs; stage any that the
+  // user did not provide explicitly (size from the document).
+  auto stage_required =
+      [&](const std::vector<std::pair<std::string, int64_t>>& required)
+      -> Status {
+    for (const auto& [path, size] : required) {
+      if (!d->dfs->Exists(path)) {
+        HIWAY_RETURN_IF_ERROR(
+            d->dfs->IngestFile(path, std::max<int64_t>(size, 1)));
+      }
+    }
+    return Status::OK();
+  };
+  if (auto* dax = dynamic_cast<DaxSource*>(source.get())) {
+    HIWAY_RETURN_IF_ERROR(stage_required(dax->required_inputs()));
+  }
+  if (auto* trace = dynamic_cast<TraceSource*>(source.get())) {
+    HIWAY_RETURN_IF_ERROR(stage_required(trace->required_inputs()));
+  }
+
+  HiWayOptions options;
+  options.container_vcores = cli.vcores;
+  options.container_memory_mb = cli.memory_mb;
+  options.tailor_containers = cli.tailor;
+  options.seed = cli.seed;
+
+  std::printf("hiway: executing '%s' (%s) under %s scheduling on %d nodes\n",
+              cli.workflow_path.c_str(), cli.language.c_str(),
+              cli.policy.c_str(), d->cluster->num_nodes());
+  auto report = client.RunSource(source.get(), cli.policy, options);
+  HIWAY_RETURN_IF_ERROR(report.status());
+  if (cli.verbose) {
+    for (const ProvenanceEvent& ev : d->provenance_store->Events()) {
+      if (ev.type == ProvenanceEventType::kTaskEnd) {
+        std::printf("  t=%10.1fs  %-20s %-10s %s (%.1fs)\n", ev.timestamp,
+                    ev.signature.c_str(), ev.node_name.c_str(),
+                    ev.success ? "ok" : "FAILED", ev.duration);
+      }
+    }
+  }
+  if (!report->status.ok()) {
+    std::fprintf(stderr, "workflow failed: %s\n",
+                 report->status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "finished: %d task(s) in %s virtual time (%d attempt(s), %d failed)\n",
+      report->tasks_completed, HumanDuration(report->Makespan()).c_str(),
+      report->task_attempts, report->failed_attempts);
+  for (const std::string& target : source->Targets()) {
+    auto info = d->dfs->Stat(target);
+    std::printf("  output: %s (%s)\n", target.c_str(),
+                info.ok()
+                    ? HumanBytes(static_cast<double>(info->size_bytes)).c_str()
+                    : "missing");
+  }
+  if (!cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out);
+    if (!out) {
+      return Status::IoError("cannot write trace file: " + cli.trace_out);
+    }
+    out << SerializeTrace(d->provenance_store->Events());
+    std::printf("  trace:  %s (re-executable with --language trace)\n",
+                cli.trace_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hiway
+
+int main(int argc, char** argv) {
+  auto options = hiway::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    if (options.status().IsFailedPrecondition()) {  // --help
+      hiway::PrintUsage();
+      return 0;
+    }
+    std::fprintf(stderr, "hiway: %s\n\n",
+                 options.status().ToString().c_str());
+    hiway::PrintUsage();
+    return 2;
+  }
+  auto result = hiway::Run(*options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "hiway: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}

@@ -1,0 +1,100 @@
+// Variant calling at cluster scale: the paper's Sec. 4.1 genomics
+// workload, scaled down to run instantly. Demonstrates the Karamel recipe
+// for the SNV workflow, data-aware scheduling, and the locality counters
+// that explain why data-aware wins on a bandwidth-constrained cluster.
+//
+//   $ ./build/examples/variant_calling
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/core/client.h"
+
+using namespace hiway;
+
+namespace {
+
+Result<int> Run() {
+  // An 8-node commodity cluster behind a constrained switch, with 32 read
+  // chunks of 64 MB staged into HDFS (replication 3).
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", "8");
+  karamel.SetAttribute("cluster/cores", "8");
+  karamel.SetAttribute("cluster/switch_mbps", "300");
+  karamel.SetAttribute("snv/chunks", "32");
+  karamel.SetAttribute("snv/chunk_mb", "64");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
+
+  std::printf("staged inputs: %zu chunks, %s total\n",
+              d->workflows.at("snv-calling").inputs.size(),
+              HumanBytes(32.0 * 64 * 1024 * 1024).c_str());
+
+  HiWayClient client(d.get());
+  HiWayOptions options;
+  options.container_vcores = 2;
+  options.container_memory_mb = 2048;
+
+  // Run the same workflow under FCFS and (on a fresh deployment) under
+  // the default data-aware policy, and compare bytes moved.
+  struct Outcome {
+    double makespan;
+    int64_t local_bytes;
+    int64_t remote_bytes;
+  };
+  auto run_policy = [&](const std::string& policy) -> Result<Outcome> {
+    Karamel fresh;
+    for (const auto& [k, v] : karamel.attributes()) fresh.SetAttribute(k, v);
+    fresh.AddRecipe(HadoopInstallRecipe());
+    fresh.AddRecipe(HiWayInstallRecipe());
+    fresh.AddRecipe(SnvWorkflowRecipe());
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> dep,
+                           fresh.Converge());
+    HiWayClient c(dep.get());
+    HIWAY_ASSIGN_OR_RETURN(WorkflowReport report,
+                           c.Run("snv-calling", policy, options));
+    HIWAY_RETURN_IF_ERROR(report.status);
+    Outcome out;
+    out.makespan = report.Makespan();
+    out.local_bytes = dep->dfs->counters().bytes_read_local;
+    out.remote_bytes = dep->dfs->counters().bytes_read_remote;
+    return out;
+  };
+
+  HIWAY_ASSIGN_OR_RETURN(Outcome fcfs, run_policy("fcfs"));
+  HIWAY_ASSIGN_OR_RETURN(Outcome aware, run_policy("data-aware"));
+
+  std::printf("\n%-12s %14s %16s %16s\n", "policy", "makespan",
+              "local reads", "remote reads");
+  std::printf("%-12s %14s %16s %16s\n", "fcfs",
+              HumanDuration(fcfs.makespan).c_str(),
+              HumanBytes(static_cast<double>(fcfs.local_bytes)).c_str(),
+              HumanBytes(static_cast<double>(fcfs.remote_bytes)).c_str());
+  std::printf("%-12s %14s %16s %16s\n", "data-aware",
+              HumanDuration(aware.makespan).c_str(),
+              HumanBytes(static_cast<double>(aware.local_bytes)).c_str(),
+              HumanBytes(static_cast<double>(aware.remote_bytes)).c_str());
+  std::printf(
+      "\nThe data-aware scheduler placed alignment tasks next to their "
+      "HDFS replicas,\ncutting switch traffic by %.0f%% (makespan "
+      "%+.0f%%). At this miniature scale the\nswitch is not saturated — "
+      "bench_fig4_scaling_tez shows the locality win turning\ninto a "
+      "1.5x runtime win once 576 containers contend for the network.\n",
+      100.0 * (1.0 - static_cast<double>(aware.remote_bytes) /
+                         static_cast<double>(fcfs.remote_bytes)),
+      100.0 * (aware.makespan / fcfs.makespan - 1.0));
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  auto result = Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return *result;
+}

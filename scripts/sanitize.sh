@@ -1,0 +1,15 @@
+#!/bin/sh
+# Address/UB-sanitized build and test run (mirrors the CI hygiene of the
+# Arrow/RocksDB projects this codebase's style follows).
+#
+#   scripts/sanitize.sh [build-dir]
+set -e
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -G Ninja -S "$SRC_DIR" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g"
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure

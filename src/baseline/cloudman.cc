@@ -1,0 +1,243 @@
+#include "src/baseline/cloudman.h"
+
+#include "src/common/logging.h"
+
+namespace hiway {
+
+namespace {
+/// "Galaxy CloudMan only supports ... up to 20 nodes."
+constexpr int kMaxCloudManNodes = 20;
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}  // namespace
+
+// ---------------------------------------------- TransientStorageAdapter --
+
+Result<int64_t> TransientStorageAdapter::FileSize(
+    const std::string& path) const {
+  auto it = catalog_.find(path);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no such file on transient storage: " + path);
+  }
+  return it->second.size_bytes;
+}
+
+void TransientStorageAdapter::StageIn(
+    const std::string& path, NodeId node,
+    std::function<void(Status, int64_t, double)> done) {
+  auto it = catalog_.find(path);
+  if (it == catalog_.end()) {
+    Status st = Status::NotFound("no such file on transient storage: " + path);
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), st] { done(st, 0, 0.0); });
+    return;
+  }
+  int64_t bytes = it->second.size_bytes;
+  NodeId home = it->second.home;
+  double started = cluster_->engine()->Now();
+  SimEngine* engine = cluster_->engine();
+  FlowSpec spec;
+  if (home == kInvalidNode || home == node) {
+    spec.resources = cluster_->LocalDiskPath(node);
+  } else {
+    spec.resources = cluster_->RemoteTransferPath(home, node);
+  }
+  spec.demand = std::max(static_cast<double>(bytes) / kBytesPerMb, 1e-6);
+  spec.on_complete = [done = std::move(done), bytes, started, engine] {
+    done(Status::OK(), bytes, engine->Now() - started);
+  };
+  cluster_->net()->StartFlow(std::move(spec));
+}
+
+void TransientStorageAdapter::StageOut(const std::string& path,
+                                       int64_t size_bytes, NodeId node,
+                                       std::function<void(Status)> done) {
+  catalog_[path] = Entry{size_bytes, node};
+  FlowSpec spec;
+  spec.resources = cluster_->LocalDiskPath(node);
+  spec.demand = std::max(static_cast<double>(size_bytes) / kBytesPerMb, 1e-6);
+  spec.on_complete = [done = std::move(done)] { done(Status::OK()); };
+  cluster_->net()->StartFlow(std::move(spec));
+}
+
+void TransientStorageAdapter::ScratchIo(double scratch_mb, NodeId node,
+                                        std::function<void(Status)> done) {
+  FlowSpec spec;
+  spec.resources = cluster_->LocalDiskPath(node);
+  spec.demand = std::max(scratch_mb, 1e-6);
+  spec.on_complete = [done = std::move(done)] { done(Status::OK()); };
+  cluster_->net()->StartFlow(std::move(spec));
+}
+
+void TransientStorageAdapter::AddFile(const std::string& path,
+                                      int64_t size_bytes, NodeId home) {
+  catalog_[path] = Entry{size_bytes, home};
+}
+
+bool TransientStorageAdapter::Exists(const std::string& path) const {
+  return catalog_.find(path) != catalog_.end();
+}
+
+// --------------------------------------------------------- CloudManEngine --
+
+CloudManEngine::CloudManEngine(Cluster* cluster, ToolRegistry* tools,
+                               CloudManOptions options)
+    : cluster_(cluster), tools_(tools), options_(options) {
+  StorageAdapter* storage;
+  if (options_.transient_storage) {
+    transient_ = std::make_unique<TransientStorageAdapter>(cluster_);
+    storage = transient_.get();
+  } else {
+    HIWAY_CHECK(cluster_->has_ebs());
+    volume_ = std::make_unique<SharedVolumeStorageAdapter>(cluster_);
+    storage = volume_.get();
+  }
+  executor_ = std::make_unique<TaskExecutor>(cluster_, tools_, storage,
+                                             options_.seed);
+  free_slots_.assign(static_cast<size_t>(cluster_->num_nodes()),
+                     options_.slots_per_node);
+}
+
+void CloudManEngine::StageInput(const std::string& path, int64_t size_bytes) {
+  if (transient_ != nullptr) {
+    transient_->AddFile(path, size_bytes);  // pre-distributed input
+  } else {
+    volume_->AddFile(path, size_bytes);
+  }
+}
+
+bool CloudManEngine::StorageHas(const std::string& path) const {
+  return transient_ != nullptr ? transient_->Exists(path)
+                               : volume_->Exists(path);
+}
+
+Status CloudManEngine::Submit(WorkflowSource* source) {
+  if (submitted_) return Status::FailedPrecondition("already submitted");
+  if (!source->IsStatic()) {
+    return Status::InvalidArgument(
+        "CloudMan baseline executes static workflows only");
+  }
+  if (cluster_->num_nodes() > kMaxCloudManNodes) {
+    return Status::InvalidArgument(
+        "Galaxy CloudMan supports clusters of at most 20 nodes");
+  }
+  source_ = source;
+  submitted_ = true;
+  report_.started_at = cluster_->engine()->Now();
+  auto initial = source_->Init();
+  if (!initial.ok()) {
+    Finish(initial.status());
+    return initial.status();
+  }
+  TaskId next_id = 1;
+  for (TaskSpec spec : *initial) {
+    if (spec.id == kInvalidTask) spec.id = next_id;
+    next_id = std::max(next_id, spec.id + 1);
+    Job job;
+    job.spec = std::move(spec);
+    TaskId id = job.spec.id;
+    for (const std::string& path : job.spec.input_files) {
+      if (!StorageHas(path)) {
+        job.missing_inputs.insert(path);
+        waiting_on_file_[path].insert(id);
+      }
+    }
+    bool ready = job.missing_inputs.empty();
+    jobs_.emplace(id, std::move(job));
+    if (ready) ready_queue_.push_back(id);
+  }
+  DispatchLoop();
+  MaybeFinish();
+  return Status::OK();
+}
+
+void CloudManEngine::DispatchLoop() {
+  // Slurm-style FCFS: assign queued jobs to free slots in node order.
+  while (!ready_queue_.empty()) {
+    NodeId node = kInvalidNode;
+    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+      if (free_slots_[static_cast<size_t>(n)] > 0) {
+        node = n;
+        break;
+      }
+    }
+    if (node == kInvalidNode) return;
+    TaskId id = ready_queue_.front();
+    ready_queue_.pop_front();
+    Job& job = jobs_.at(id);
+    job.running = true;
+    --free_slots_[static_cast<size_t>(node)];
+    ++running_;
+    TaskSpec spec = job.spec;
+    // Jobs get the node's full core count (Galaxy runs one multithreaded
+    // tool per node in this configuration).
+    int vcores = cluster_->node(node).cores;
+    cluster_->engine()->ScheduleAfter(
+        options_.dispatch_overhead_s, [this, id, spec, node, vcores] {
+          executor_->Execute(spec, node, vcores,
+                             [this, id, node](TaskAttemptOutcome outcome) {
+                               OnJobDone(id, node, std::move(outcome));
+                             });
+        });
+  }
+}
+
+void CloudManEngine::OnJobDone(TaskId id, NodeId node,
+                               TaskAttemptOutcome outcome) {
+  Job& job = jobs_.at(id);
+  job.running = false;
+  ++free_slots_[static_cast<size_t>(node)];
+  --running_;
+  if (!outcome.result.status.ok()) {
+    Finish(outcome.result.status.WithContext("CloudMan job failed"));
+    return;
+  }
+  job.done = true;
+  ++report_.tasks_completed;
+  for (const auto& [path, size] : outcome.result.produced_files) {
+    auto waiters = waiting_on_file_.find(path);
+    if (waiters == waiting_on_file_.end()) continue;
+    std::set<TaskId> ids = std::move(waiters->second);
+    waiting_on_file_.erase(waiters);
+    for (TaskId waiting_id : ids) {
+      Job& w = jobs_.at(waiting_id);
+      w.missing_inputs.erase(path);
+      if (w.missing_inputs.empty() && !w.done && !w.running) {
+        ready_queue_.push_back(waiting_id);
+      }
+    }
+  }
+  (void)source_->OnTaskCompleted(outcome.result);
+  DispatchLoop();
+  MaybeFinish();
+}
+
+void CloudManEngine::MaybeFinish() {
+  if (finished_) return;
+  if (running_ > 0 || !ready_queue_.empty()) return;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.done) {
+      Finish(Status::FailedPrecondition(
+          "CloudMan workflow deadlocked on missing inputs"));
+      return;
+    }
+  }
+  Finish(Status::OK());
+}
+
+void CloudManEngine::Finish(Status status) {
+  if (finished_) return;
+  finished_ = true;
+  report_.status = std::move(status);
+  report_.finished_at = cluster_->engine()->Now();
+}
+
+Result<CloudManReport> CloudManEngine::RunToCompletion() {
+  if (!submitted_) return Status::FailedPrecondition("Submit() first");
+  cluster_->engine()->RunUntilPredicate([this] { return finished_; });
+  if (!finished_) {
+    return Status::RuntimeError("engine drained before workflow finished");
+  }
+  return report_;
+}
+
+}  // namespace hiway

@@ -1,0 +1,162 @@
+#include "src/baseline/tez_am.h"
+
+#include "src/common/logging.h"
+
+namespace hiway {
+
+TezAm::TezAm(Cluster* cluster, ResourceManager* rm, Dfs* dfs,
+             ToolRegistry* tools, TezOptions options)
+    : cluster_(cluster),
+      rm_(rm),
+      dfs_(dfs),
+      tools_(tools),
+      options_(options) {
+  storage_ = std::make_unique<DfsStorageAdapter>(dfs_);
+  executor_ = std::make_unique<TaskExecutor>(cluster_, tools_, storage_.get(),
+                                             options_.seed);
+}
+
+TezAm::~TezAm() {
+  if (submitted_ && !finished_) rm_->UnregisterApplication(app_);
+}
+
+Status TezAm::Submit(WorkflowSource* source) {
+  if (submitted_) return Status::FailedPrecondition("DAG already submitted");
+  if (!source->IsStatic()) {
+    // Tez DAGs are fixed at submission; iterative sources cannot run.
+    return Status::InvalidArgument(
+        "Tez executes static DAGs only; '" + source->name() +
+        "' is an iterative workflow");
+  }
+  source_ = source;
+  HIWAY_ASSIGN_OR_RETURN(
+      app_, rm_->RegisterApplication("tez:" + source->name(), this, 1, 1024.0,
+                                     options_.am_node));
+  submitted_ = true;
+  report_.started_at = cluster_->engine()->Now();
+
+  auto initial = source_->Init();
+  if (!initial.ok()) {
+    Finish(initial.status());
+    return initial.status();
+  }
+  TaskId next_id = 1;
+  for (TaskSpec spec : *initial) {
+    if (spec.id == kInvalidTask) spec.id = next_id;
+    next_id = std::max(next_id, spec.id + 1);
+    if (spec.vcores <= 0) spec.vcores = options_.container_vcores;
+    if (spec.memory_mb <= 0.0) spec.memory_mb = options_.container_memory_mb;
+    VertexTask vertex;
+    vertex.spec = std::move(spec);
+    TaskId id = vertex.spec.id;
+    for (const std::string& path : vertex.spec.input_files) {
+      if (!dfs_->Exists(path)) {
+        vertex.missing_inputs.insert(path);
+        waiting_on_file_[path].insert(id);
+      }
+    }
+    bool ready = vertex.missing_inputs.empty();
+    const TaskSpec& stored = tasks_.emplace(id, std::move(vertex))
+                                 .first->second.spec;
+    if (ready) {
+      ready_queue_.push_back(id);
+      ContainerRequest request;
+      request.vcores = stored.vcores;
+      request.memory_mb = stored.memory_mb;
+      // No locality preference: Tez's generic container reuse pool.
+      rm_->SubmitRequest(app_, request);
+    }
+  }
+  MaybeFinish();
+  return Status::OK();
+}
+
+void TezAm::OnContainerAllocated(const Container& container, int64_t) {
+  if (finished_ || ready_queue_.empty()) {
+    rm_->ReleaseContainer(container.id);
+    return;
+  }
+  TaskId id = ready_queue_.front();
+  ready_queue_.pop_front();
+  VertexTask& vertex = tasks_.at(id);
+  vertex.running = true;
+  ++running_;
+  TaskSpec spec = vertex.spec;
+  NodeId node = container.node;
+  int vcores = container.vcores;
+  ContainerId cid = container.id;
+  // Launch + wrap overhead, then execute.
+  cluster_->engine()->ScheduleAfter(
+      options_.task_launch_overhead_s + options_.wrap_overhead_s,
+      [this, id, spec, node, vcores, cid] {
+        executor_->Execute(
+            spec, node, vcores, [this, id, cid](TaskAttemptOutcome outcome) {
+              rm_->ReleaseContainer(cid);
+              --running_;
+              VertexTask& v = tasks_.at(id);
+              v.running = false;
+              if (!outcome.result.status.ok()) {
+                Finish(outcome.result.status.WithContext("vertex failed"));
+                return;
+              }
+              v.done = true;
+              ++report_.tasks_completed;
+              for (const auto& [path, size] : outcome.result.produced_files) {
+                auto waiters = waiting_on_file_.find(path);
+                if (waiters == waiting_on_file_.end()) continue;
+                std::set<TaskId> ids = std::move(waiters->second);
+                waiting_on_file_.erase(waiters);
+                for (TaskId waiting_id : ids) {
+                  VertexTask& w = tasks_.at(waiting_id);
+                  w.missing_inputs.erase(path);
+                  if (w.missing_inputs.empty() && !w.done && !w.running) {
+                    ready_queue_.push_back(waiting_id);
+                    ContainerRequest request;
+                    request.vcores = w.spec.vcores;
+                    request.memory_mb = w.spec.memory_mb;
+                    rm_->SubmitRequest(app_, request);
+                  }
+                }
+              }
+              (void)source_->OnTaskCompleted(outcome.result);
+              MaybeFinish();
+            });
+      });
+}
+
+void TezAm::OnContainerLost(const Container&) {
+  Finish(Status::RuntimeError("Tez baseline does not recover lost containers"));
+}
+
+void TezAm::MaybeFinish() {
+  if (finished_) return;
+  if (running_ > 0 || !ready_queue_.empty()) return;
+  for (const auto& [id, vertex] : tasks_) {
+    if (!vertex.done && !vertex.missing_inputs.empty()) {
+      Finish(Status::FailedPrecondition(
+          "Tez DAG deadlocked on missing input files"));
+      return;
+    }
+    if (!vertex.done) return;  // a request is still in flight
+  }
+  Finish(Status::OK());
+}
+
+void TezAm::Finish(Status status) {
+  if (finished_) return;
+  finished_ = true;
+  report_.status = std::move(status);
+  report_.finished_at = cluster_->engine()->Now();
+  if (submitted_) rm_->UnregisterApplication(app_);
+}
+
+Result<TezReport> TezAm::RunToCompletion() {
+  if (!submitted_) return Status::FailedPrecondition("Submit() a DAG first");
+  cluster_->engine()->RunUntilPredicate([this] { return finished_; });
+  if (!finished_) {
+    return Status::RuntimeError("engine drained before the DAG finished");
+  }
+  return report_;
+}
+
+}  // namespace hiway

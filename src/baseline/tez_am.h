@@ -1,0 +1,97 @@
+// Tez-like baseline (Sec. 2.2 / Fig. 4): a DAG application master for YARN
+// that executes vertex tasks without any data-aware placement. External
+// file-based tools must be *wrapped* to run in Tez, which the paper found
+// costly ("it took several weeks and a lot of code in Tez"); at runtime
+// the wrapping shows up as extra per-task overhead, modelled here as a
+// fixed wrap cost on top of container launch.
+//
+// Differences to the Hi-WAY AM that matter for Fig. 4:
+//   * container requests carry no locality preference, and task selection
+//     ignores block locations entirely (plain FIFO), so most reads cross
+//     the switch;
+//   * per-task wrap overhead for file-based tools.
+// Shared with Hi-WAY: the same YARN RM, HDFS, and black-box tool profiles.
+
+#ifndef HIWAY_BASELINE_TEZ_AM_H_
+#define HIWAY_BASELINE_TEZ_AM_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "src/core/provenance.h"
+#include "src/core/task_executor.h"
+#include "src/hdfs/dfs.h"
+#include "src/lang/workflow.h"
+#include "src/yarn/yarn.h"
+
+namespace hiway {
+
+struct TezOptions {
+  int container_vcores = 1;
+  double container_memory_mb = 1024.0;
+  NodeId am_node = kInvalidNode;
+  /// Container launch latency (same meaning as Hi-WAY's).
+  double task_launch_overhead_s = 1.0;
+  /// Extra per-task cost of the input/output wrapping glue.
+  double wrap_overhead_s = 2.0;
+  uint64_t seed = 42;
+};
+
+struct TezReport {
+  Status status;
+  double started_at = 0.0;
+  double finished_at = 0.0;
+  int tasks_completed = 0;
+  double Makespan() const { return finished_at - started_at; }
+};
+
+/// Executes a *static* workflow source as a Tez DAG.
+class TezAm : public AmCallbacks {
+ public:
+  TezAm(Cluster* cluster, ResourceManager* rm, Dfs* dfs, ToolRegistry* tools,
+        TezOptions options);
+  ~TezAm() override;
+
+  Status Submit(WorkflowSource* source);
+  Result<TezReport> RunToCompletion();
+  bool finished() const { return finished_; }
+  const TezReport& report() const { return report_; }
+
+  void OnContainerAllocated(const Container& container,
+                            int64_t cookie) override;
+  void OnContainerLost(const Container& container) override;
+
+ private:
+  struct VertexTask {
+    TaskSpec spec;
+    bool running = false;
+    bool done = false;
+    std::set<std::string> missing_inputs;
+  };
+
+  void MaybeFinish();
+  void Finish(Status status);
+
+  Cluster* cluster_;
+  ResourceManager* rm_;
+  Dfs* dfs_;
+  ToolRegistry* tools_;
+  TezOptions options_;
+  std::unique_ptr<DfsStorageAdapter> storage_;
+  std::unique_ptr<TaskExecutor> executor_;
+  WorkflowSource* source_ = nullptr;
+
+  ApplicationId app_ = -1;
+  bool submitted_ = false;
+  bool finished_ = false;
+  TezReport report_;
+  std::map<TaskId, VertexTask> tasks_;
+  std::map<std::string, std::set<TaskId>> waiting_on_file_;
+  std::deque<TaskId> ready_queue_;
+  int running_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_BASELINE_TEZ_AM_H_

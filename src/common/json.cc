@@ -1,0 +1,447 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace hiway {
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::GetString(std::string_view key, std::string def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : def;
+}
+
+double Json::GetNumber(std::string_view key, double def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : def;
+}
+
+int64_t Json::GetInt(std::string_view key, int64_t def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : def;
+}
+
+bool Json::GetBool(std::string_view key, bool def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : def;
+}
+
+void Json::Set(std::string key, Json value) {
+  if (type_ != Type::kObject) *this = MakeObject();
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::Append(Json value) { arr_.push_back(std::move(value)); }
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kNumber:
+      return a.num_ == b.num_;
+    case Json::Type::kString:
+      return a.str_ == b.str_;
+    case Json::Type::kArray:
+      return a.arr_ == b.arr_;
+    case Json::Type::kObject:
+      return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string FormatNumber(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(d));
+  }
+  // %.17g round-trips doubles; trim to shortest that re-parses equal.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::string s = StrFormat("%.*g", prec, d);
+    if (std::strtod(s.c_str(), nullptr) == d) return s;
+  }
+  return StrFormat("%.17g", d);
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      *out += '\n';
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      *out += FormatNumber(num_);
+      break;
+    case Type::kString:
+      *out += JsonEscape(str_);
+      break;
+    case Type::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) *out += indent >= 0 ? "," : ",";
+        newline(depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) *out += ",";
+        newline(depth + 1);
+        *out += JsonEscape(obj_[i].first);
+        *out += indent >= 0 ? ": " : ":";
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    SkipWs();
+    HIWAY_ASSIGN_OR_RETURN(Json v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& msg) const {
+    // Compute 1-based line/column for the diagnostic.
+    int line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError(
+        StrFormat("JSON error at line %d col %d: %s", line, col, msg.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        HIWAY_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json(nullptr));
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Error(StrFormat("unexpected character '%c'", c));
+    }
+  }
+
+  Result<Json> ParseLiteral(std::string_view lit, Json value) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Error("invalid literal");
+    }
+    pos_ += lit.size();
+    return value;
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size()) return Error("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && isdigit(text_[pos_])) ++pos_;
+    } else {
+      return Error("invalid number");
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !isdigit(text_[pos_])) {
+        return Error("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() && isdigit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !isdigit(text_[pos_])) {
+        return Error("digit expected in exponent");
+      }
+      while (pos_ < text_.size() && isdigit(text_[pos_])) ++pos_;
+    }
+    std::string buf(text_.substr(start, pos_ - start));
+    return Json(std::strtod(buf.c_str(), nullptr));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("'\"' expected");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          HIWAY_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (!Consume('\\') || !Consume('u')) {
+              return Error("unpaired surrogate");
+            }
+            HIWAY_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<Json> ParseObject(int depth) {
+    Consume('{');
+    Json obj = Json::MakeObject();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      HIWAY_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Error("':' expected");
+      SkipWs();
+      HIWAY_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj.as_object().emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("',' or '}' expected");
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    Consume('[');
+    Json arr = Json::MakeArray();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      SkipWs();
+      HIWAY_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      arr.Append(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("',' or ']' expected");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  JsonParser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace hiway

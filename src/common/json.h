@@ -1,0 +1,112 @@
+// A self-contained JSON value model, parser, and serializer.
+//
+// Used by the Galaxy workflow front-end, the provenance trace format, and
+// the trace re-execution front-end. Supports the full JSON grammar
+// (RFC 8259): objects, arrays, strings with escapes (including \uXXXX with
+// surrogate pairs), numbers, booleans, null.
+//
+// Object key order is preserved on parse and serialize so that provenance
+// traces diff cleanly.
+
+#ifndef HIWAY_COMMON_JSON_H_
+#define HIWAY_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace hiway {
+
+class Json;
+
+/// Ordered key/value list; JSON objects preserve insertion order.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+/// A JSON document node.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Json(int i) : type_(Type::kNumber), num_(i) {}  // NOLINT
+  Json(int64_t i)  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(uint64_t i)  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Json(JsonArray a)  // NOLINT
+      : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(JsonObject o)  // NOLINT
+      : type_(Type::kObject), obj_(std::move(o)) {}
+
+  static Json MakeObject() { return Json(JsonObject{}); }
+  static Json MakeArray() { return Json(JsonArray{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  int64_t as_int() const { return static_cast<int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const { return arr_; }
+  JsonArray& as_array() { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+  JsonObject& as_object() { return obj_; }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults (for tolerant readers).
+  std::string GetString(std::string_view key, std::string def = "") const;
+  double GetNumber(std::string_view key, double def = 0.0) const;
+  int64_t GetInt(std::string_view key, int64_t def = 0) const;
+  bool GetBool(std::string_view key, bool def = false) const;
+
+  /// Appends/overwrites an object field (object nodes only).
+  void Set(std::string key, Json value);
+
+  /// Appends to an array node.
+  void Append(Json value);
+
+  /// Serialises; `indent` < 0 means compact single-line output.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Result<Json> Parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escapes `s` into a JSON string literal (with surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_JSON_H_

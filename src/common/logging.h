@@ -1,0 +1,79 @@
+// Minimal leveled logging. Defaults to warnings-and-above so tests and
+// benchmarks stay quiet; verbosity is a process-wide setting.
+
+#ifndef HIWAY_COMMON_LOGGING_H_
+#define HIWAY_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hiway {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define HIWAY_LOG(level)                                          \
+  (static_cast<int>(::hiway::LogLevel::k##level) <                \
+   static_cast<int>(::hiway::GetLogLevel()))                      \
+      ? void(0)                                                   \
+      : void(::hiway::internal::LogMessage(                       \
+            ::hiway::LogLevel::k##level, __FILE__, __LINE__))
+
+#define HIWAY_LOG_DEBUG                                            \
+  ::hiway::internal::LogMessage(::hiway::LogLevel::kDebug, __FILE__, __LINE__)
+#define HIWAY_LOG_INFO                                             \
+  ::hiway::internal::LogMessage(::hiway::LogLevel::kInfo, __FILE__, __LINE__)
+#define HIWAY_LOG_WARN                                             \
+  ::hiway::internal::LogMessage(::hiway::LogLevel::kWarning, __FILE__, \
+                                __LINE__)
+#define HIWAY_LOG_ERROR                                            \
+  ::hiway::internal::LogMessage(::hiway::LogLevel::kError, __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check; prints the expression and aborts.
+/// Used for programming errors (never for recoverable conditions).
+#define HIWAY_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hiway::internal::CheckFailed(#cond, __FILE__, __LINE__);            \
+    }                                                                       \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator flows through Rng so that runs
+// are reproducible given a seed. SplitMix64 is small, fast, and has
+// well-understood statistical quality for simulation purposes.
+
+#ifndef HIWAY_COMMON_RANDOM_H_
+#define HIWAY_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hiway {
+
+/// SplitMix64-based generator. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextUint64() % n; }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal distributed value with given median and sigma of the
+  /// underlying normal. Useful for runtime noise: strictly positive and
+  /// right-skewed like real task runtimes.
+  double LogNormal(double median, double sigma) {
+    return median * std::exp(Normal(0.0, sigma));
+  }
+
+  /// Derives an independent child generator; used to give each node / task
+  /// its own stream so that adding nodes does not perturb existing streams.
+  Rng Fork() { return Rng(NextUint64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_RANDOM_H_

@@ -1,0 +1,92 @@
+// Result<T>: value-or-Status, the companion to status.h.
+//
+// A Result<T> holds either a T or a non-OK Status. Accessing the value of a
+// failed Result aborts, so callers are expected to check ok() (or use the
+// HIWAY_ASSIGN_OR_RETURN macro).
+
+#ifndef HIWAY_COMMON_RESULT_H_
+#define HIWAY_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace hiway {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (non-OK) Status makes
+  /// `return Status::NotFound(...);` work.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // A Result constructed from a Status must carry an error; an OK
+      // status without a value is a programming bug.
+      status_ = Status::RuntimeError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return value_.has_value() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// HIWAY_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>); on
+/// error returns the Status from the enclosing function, otherwise assigns
+/// the value to `lhs` (which may be a declaration).
+#define HIWAY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define HIWAY_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define HIWAY_ASSIGN_OR_RETURN_NAME(a, b) HIWAY_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define HIWAY_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  HIWAY_ASSIGN_OR_RETURN_IMPL(                                            \
+      HIWAY_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_RESULT_H_

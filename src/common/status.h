@@ -1,0 +1,138 @@
+// Status: the error-reporting vocabulary used throughout hiway.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Statuses are cheap to
+// copy in the OK case (no allocation) and carry a code plus message
+// otherwise.
+
+#ifndef HIWAY_COMMON_STATUS_H_
+#define HIWAY_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hiway {
+
+/// Machine-comparable failure categories. Kept deliberately small; the
+/// message carries the specifics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kIoError,
+  kParseError,
+  kRuntimeError,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context + ": "` prepended to the
+  /// message. No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK. shared_ptr keeps copies cheap; statuses are immutable.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define HIWAY_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::hiway::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_STATUS_H_

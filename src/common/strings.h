@@ -1,0 +1,47 @@
+// Small string helpers shared across modules. Nothing clever: split, join,
+// trim, predicates, and printf-style formatting into std::string.
+
+#ifndef HIWAY_COMMON_STRINGS_H_
+#define HIWAY_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace hiway {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count with binary units, e.g. "1.07 GB".
+std::string HumanBytes(double bytes);
+
+/// Formats a duration in seconds as "h:mm:ss" (or "m:ss" under an hour).
+std::string HumanDuration(double seconds);
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_STRINGS_H_

@@ -1,0 +1,324 @@
+#include "src/common/xml.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace hiway {
+
+std::string XmlElement::Attr(std::string_view key, std::string def) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return def;
+}
+
+bool XmlElement::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const XmlElement* XmlElement::FirstChild(std::string_view name) const {
+  for (const auto& c : children) {
+    if (c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::Children(
+    std::string_view name) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children) {
+    if (c->name == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<XmlElement>> ParseDocument() {
+    HIWAY_RETURN_IF_ERROR(SkipProlog());
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement(0));
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& msg) const {
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError(
+        StrFormat("XML error at line %d: %s", line, msg.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool LookingAt(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    size_t p = text_.find(terminator, pos_);
+    if (p == std::string_view::npos) {
+      return Error(std::string("unterminated construct, expected ") +
+                   std::string(terminator));
+    }
+    pos_ = p + terminator.size();
+    return Status::OK();
+  }
+
+  /// Skips the XML declaration, comments, PIs, and a DOCTYPE if present.
+  Status SkipProlog() {
+    while (true) {
+      SkipWs();
+      if (LookingAt("<?")) {
+        HIWAY_RETURN_IF_ERROR(SkipUntil("?>"));
+      } else if (LookingAt("<!--")) {
+        HIWAY_RETURN_IF_ERROR(SkipUntil("-->"));
+      } else if (LookingAt("<!DOCTYPE")) {
+        HIWAY_RETURN_IF_ERROR(SkipUntil(">"));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWs();
+      if (LookingAt("<!--")) {
+        if (!SkipUntil("-->").ok()) return;
+      } else if (LookingAt("<?")) {
+        if (!SkipUntil("?>").ok()) return;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (pos_ >= text_.size() || !IsNameStart(text_[pos_])) {
+      return Error("name expected");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out += '&';
+      } else if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (!ent.empty() && ent[0] == '#') {
+        long cp;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          cp = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          cp = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (cp <= 0 || cp > 0x10FFFF) return Error("invalid character ref");
+        // Encode as UTF-8.
+        uint32_t u = static_cast<uint32_t>(cp);
+        if (u < 0x80) {
+          out += static_cast<char>(u);
+        } else if (u < 0x800) {
+          out += static_cast<char>(0xC0 | (u >> 6));
+          out += static_cast<char>(0x80 | (u & 0x3F));
+        } else if (u < 0x10000) {
+          out += static_cast<char>(0xE0 | (u >> 12));
+          out += static_cast<char>(0x80 | ((u >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (u & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (u >> 18));
+          out += static_cast<char>(0x80 | ((u >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((u >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (u & 0x3F));
+        }
+      } else {
+        return Error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Error("'<' expected");
+    }
+    ++pos_;
+    auto elem = std::make_unique<XmlElement>();
+    HIWAY_ASSIGN_OR_RETURN(elem->name, ParseName());
+    // Attributes.
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size()) return Error("unterminated start tag");
+      if (LookingAt("/>")) {
+        pos_ += 2;
+        return elem;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      HIWAY_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Error("'=' expected after attribute name");
+      }
+      ++pos_;
+      SkipWs();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Error("quoted attribute value expected");
+      }
+      char quote = text_[pos_++];
+      size_t start = pos_;
+      size_t end = text_.find(quote, start);
+      if (end == std::string_view::npos) {
+        return Error("unterminated attribute value");
+      }
+      pos_ = end + 1;
+      HIWAY_ASSIGN_OR_RETURN(
+          std::string value, DecodeEntities(text_.substr(start, end - start)));
+      elem->attributes.emplace_back(std::move(attr_name), std::move(value));
+    }
+    // Content.
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Error("unterminated element <" + elem->name + ">");
+      }
+      if (LookingAt("</")) {
+        pos_ += 2;
+        HIWAY_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+        if (close_name != elem->name) {
+          return Error("mismatched closing tag </" + close_name +
+                       "> for <" + elem->name + ">");
+        }
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Error("'>' expected in closing tag");
+        }
+        ++pos_;
+        return elem;
+      }
+      if (LookingAt("<!--")) {
+        HIWAY_RETURN_IF_ERROR(SkipUntil("-->"));
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        size_t start = pos_ + 9;
+        size_t end = text_.find("]]>", start);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        elem->text.append(text_.substr(start, end - start));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        HIWAY_RETURN_IF_ERROR(SkipUntil("?>"));
+        continue;
+      }
+      if (text_[pos_] == '<') {
+        HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                               ParseElement(depth + 1));
+        elem->children.push_back(std::move(child));
+        continue;
+      }
+      // Character data up to the next markup.
+      size_t start = pos_;
+      size_t end = text_.find('<', start);
+      if (end == std::string_view::npos) end = text_.size();
+      HIWAY_ASSIGN_OR_RETURN(
+          std::string data, DecodeEntities(text_.substr(start, end - start)));
+      elem->text += data;
+      pos_ = end;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view text) {
+  XmlParser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace hiway

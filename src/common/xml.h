@@ -1,0 +1,48 @@
+// A minimal, non-validating XML parser sufficient for Pegasus DAX files.
+//
+// Supports: element trees with attributes, character data, comments,
+// processing instructions / XML declarations (skipped), CDATA sections, and
+// the five predefined entities. Namespaces are not interpreted; prefixed
+// names are kept verbatim. DTDs are not supported.
+
+#ifndef HIWAY_COMMON_XML_H_
+#define HIWAY_COMMON_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace hiway {
+
+/// One XML element. Children are owned; text content is the concatenation
+/// of all character data directly inside the element.
+struct XmlElement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;
+
+  /// Attribute lookup; returns `def` when absent.
+  std::string Attr(std::string_view key, std::string def = "") const;
+  bool HasAttr(std::string_view key) const;
+
+  /// First direct child with the given element name, or nullptr.
+  const XmlElement* FirstChild(std::string_view name) const;
+
+  /// All direct children with the given element name.
+  std::vector<const XmlElement*> Children(std::string_view name) const;
+};
+
+/// Parses a complete XML document and returns its root element.
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view text);
+
+/// Escapes text for inclusion in XML character data / attribute values.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_XML_H_

@@ -1,0 +1,63 @@
+#include "src/core/client.h"
+
+#include "src/lang/cuneiform.h"
+#include "src/lang/dax_source.h"
+#include "src/lang/galaxy_source.h"
+#include "src/lang/trace_source.h"
+
+namespace hiway {
+
+Result<std::unique_ptr<WorkflowSource>> HiWayClient::MakeSource(
+    const StagedWorkflow& staged) const {
+  if (staged.language == "cuneiform") {
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<CuneiformSource> source,
+                           CuneiformSource::Parse(staged.document));
+    return std::unique_ptr<WorkflowSource>(std::move(source));
+  }
+  if (staged.language == "dax") {
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<DaxSource> source,
+                           DaxSource::Parse(staged.document));
+    return std::unique_ptr<WorkflowSource>(std::move(source));
+  }
+  if (staged.language == "galaxy") {
+    HIWAY_ASSIGN_OR_RETURN(
+        std::unique_ptr<GalaxySource> source,
+        GalaxySource::Parse(staged.document, staged.galaxy_inputs));
+    return std::unique_ptr<WorkflowSource>(std::move(source));
+  }
+  if (staged.language == "trace") {
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<TraceSource> source,
+                           TraceSource::Parse(staged.document));
+    return std::unique_ptr<WorkflowSource>(std::move(source));
+  }
+  return Status::InvalidArgument("unknown workflow language: " +
+                                 staged.language);
+}
+
+Result<WorkflowReport> HiWayClient::Run(const std::string& workflow_name,
+                                        const std::string& policy,
+                                        const HiWayOptions& options) {
+  auto it = deployment_->workflows.find(workflow_name);
+  if (it == deployment_->workflows.end()) {
+    return Status::NotFound("no staged workflow named '" + workflow_name +
+                            "'; converge its recipe first");
+  }
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
+                         MakeSource(it->second));
+  return RunSource(source.get(), policy, options);
+}
+
+Result<WorkflowReport> HiWayClient::RunSource(WorkflowSource* source,
+                                              const std::string& policy,
+                                              const HiWayOptions& options) {
+  HIWAY_ASSIGN_OR_RETURN(
+      std::unique_ptr<WorkflowScheduler> scheduler,
+      MakeScheduler(policy, deployment_->dfs.get(), &deployment_->estimator));
+  HiWayAm am(deployment_->cluster.get(), deployment_->rm.get(),
+             deployment_->dfs.get(), &deployment_->tools,
+             deployment_->provenance.get(), &deployment_->estimator, options);
+  HIWAY_RETURN_IF_ERROR(am.Submit(source, scheduler.get()));
+  return am.RunToCompletion();
+}
+
+}  // namespace hiway

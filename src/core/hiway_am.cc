@@ -1,0 +1,421 @@
+#include "src/core/hiway_am.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+
+namespace {
+/// AM-assigned task ids start high so they never collide with ids chosen
+/// by language front-ends (which count from 1).
+constexpr TaskId kAmTaskIdBase = 1000000;
+}  // namespace
+
+HiWayAm::HiWayAm(Cluster* cluster, ResourceManager* rm, Dfs* dfs,
+                 ToolRegistry* tools, ProvenanceManager* provenance,
+                 RuntimeEstimator* estimator, HiWayOptions options)
+    : cluster_(cluster),
+      rm_(rm),
+      dfs_(dfs),
+      tools_(tools),
+      provenance_(provenance),
+      estimator_(estimator),
+      options_(options),
+      next_task_id_(kAmTaskIdBase) {
+  storage_ = std::make_unique<DfsStorageAdapter>(dfs_);
+  executor_ = std::make_unique<TaskExecutor>(cluster_, tools_, storage_.get(),
+                                             options_.seed);
+}
+
+HiWayAm::~HiWayAm() {
+  if (submitted_ && !finished_) {
+    rm_->UnregisterApplication(app_);
+  }
+}
+
+void HiWayAm::ApplyContainerDefaults(TaskSpec* spec) const {
+  if (spec->vcores <= 0) spec->vcores = options_.container_vcores;
+  if (spec->memory_mb <= 0.0) spec->memory_mb = options_.container_memory_mb;
+  if (options_.tailor_containers) {
+    // Sec. 5: containers "custom-tailored to the tasks that are to be
+    // executed" — cap the container at the tool's useful thread count so
+    // single-threaded stages stop reserving whole nodes.
+    auto profile = tools_->Find(spec->ToolName());
+    if (profile.ok()) {
+      int useful = std::max(1, (*profile)->max_threads);
+      spec->vcores = std::min(spec->vcores, useful);
+      // Scale memory with the core share, floored at 512 MB.
+      double per_core =
+          options_.container_memory_mb /
+          std::max(options_.container_vcores, 1);
+      spec->memory_mb =
+          std::max(512.0, per_core * static_cast<double>(spec->vcores));
+    }
+  }
+}
+
+Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
+  if (submitted_) {
+    return Status::FailedPrecondition("AM already has a workflow");
+  }
+  if (scheduler->IsStatic() && !source->IsStatic()) {
+    // The paper: static policies "can not be used in conjunction with
+    // workflow languages that allow iterative workflows" (Sec. 3.4).
+    return Status::InvalidArgument(
+        StrFormat("static scheduling policy '%s' is incompatible with "
+                  "iterative workflow language '%s'",
+                  scheduler->name().c_str(), source->name().c_str()));
+  }
+  source_ = source;
+  scheduler_ = scheduler;
+
+  HIWAY_ASSIGN_OR_RETURN(
+      app_, rm_->RegisterApplication("hiway:" + source->name(), this,
+                                     options_.am_vcores, options_.am_memory_mb,
+                                     options_.am_node));
+  submitted_ = true;
+  report_ = WorkflowReport();
+  report_.workflow_name = source->name();
+  report_.started_at = cluster_->engine()->Now();
+  report_.run_id =
+      provenance_->BeginWorkflow(source->name(), report_.started_at);
+
+  auto initial = source_->Init();
+  if (!initial.ok()) {
+    FinishWorkflow(initial.status().WithContext("workflow parsing failed"));
+    return initial.status();
+  }
+
+  // Assign ids and container defaults before static scheduling sees them.
+  std::vector<TaskSpec> tasks = std::move(initial).value();
+  for (TaskSpec& t : tasks) {
+    if (t.id == kInvalidTask) t.id = next_task_id_++;
+    ApplyContainerDefaults(&t);
+  }
+
+  if (scheduler_->IsStatic()) {
+    // Derive data dependencies from produced/consumed files.
+    std::map<std::string, TaskId> producer;
+    for (const TaskSpec& t : tasks) {
+      for (const OutputSpec& out : t.outputs) {
+        if (!out.is_value) producer[out.path] = t.id;
+      }
+    }
+    TaskDependencies deps;
+    for (const TaskSpec& t : tasks) {
+      auto& parents = deps[t.id];
+      for (const std::string& in : t.input_files) {
+        auto it = producer.find(in);
+        if (it != producer.end() && it->second != t.id) {
+          parents.push_back(it->second);
+        }
+      }
+    }
+    // Static placements may only target nodes that can actually host task
+    // containers (dedicated master VMs or otherwise exhausted nodes are
+    // excluded).
+    std::vector<NodeId> schedulable;
+    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+      if (rm_->IsNodeAlive(n) &&
+          rm_->free_vcores(n) >= options_.container_vcores &&
+          rm_->free_memory_mb(n) >= options_.container_memory_mb) {
+        schedulable.push_back(n);
+      }
+    }
+    Status st = scheduler_->BuildStaticSchedule(tasks, deps, schedulable);
+    if (!st.ok()) {
+      FinishWorkflow(st.WithContext("static scheduling failed"));
+      return st;
+    }
+  }
+
+  Status st = AdmitTasks(std::move(tasks));
+  if (!st.ok()) {
+    FinishWorkflow(st);
+    return st;
+  }
+  MaybeFinish();  // degenerate workflows with zero tasks
+  return Status::OK();
+}
+
+Status HiWayAm::AdmitTasks(std::vector<TaskSpec> tasks) {
+  for (TaskSpec& spec : tasks) {
+    if (spec.id == kInvalidTask) spec.id = next_task_id_++;
+    ApplyContainerDefaults(&spec);
+    if (tasks_.find(spec.id) != tasks_.end()) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate task id %lld emitted by source",
+                    static_cast<long long>(spec.id)));
+    }
+    TaskEntry entry;
+    entry.spec = std::move(spec);
+    TaskId id = entry.spec.id;
+    auto [it, inserted] = tasks_.emplace(id, std::move(entry));
+    TaskEntry* e = &it->second;
+    for (const std::string& path : e->spec.input_files) {
+      if (!dfs_->Exists(path)) {
+        e->missing_inputs.insert(path);
+        waiting_on_file_[path].insert(id);
+      }
+    }
+    if (e->missing_inputs.empty()) {
+      MarkReady(e);
+    } else {
+      e->state = TaskState::kWaiting;
+      ++waiting_;
+    }
+  }
+  return Status::OK();
+}
+
+void HiWayAm::MarkReady(TaskEntry* entry) {
+  entry->state = TaskState::kReady;
+  scheduler_->EnqueueReady(entry->spec);
+  ContainerRequest request = scheduler_->RequestFor(entry->spec);
+  request.blacklist = entry->blacklist;
+  request.cookie = entry->spec.id;
+  rm_->SubmitRequest(app_, request);
+}
+
+void HiWayAm::OnContainerAllocated(const Container& container,
+                                   int64_t cookie) {
+  if (finished_) {
+    rm_->ReleaseContainer(container.id);
+    return;
+  }
+  ++report_.scheduler_invocations;
+  std::optional<TaskId> picked = scheduler_->SelectTask(container.node);
+  if (!picked.has_value()) {
+    // No queued task may run here. For static schedulers that simply
+    // means the matching strict request is still pending elsewhere. A
+    // dynamic scheduler with queued tasks has *declined* this node:
+    // hand the container back and re-request with the declined nodes
+    // blacklisted (cumulatively, so the request cannot ping-pong).
+    rm_->ReleaseContainer(container.id);
+    if (!scheduler_->IsStatic() && scheduler_->QueuedCount() > 0) {
+      std::vector<NodeId> blacklist;
+      auto chain = decline_chains_.find(cookie);
+      if (chain != decline_chains_.end()) {
+        blacklist = std::move(chain->second);
+        decline_chains_.erase(chain);
+      }
+      blacklist.push_back(container.node);
+      // Keep only the most recently declined half of the cluster so the
+      // replacement request always stays satisfiable (a request excluding
+      // every worker would never allocate and the engine would stall).
+      size_t cap = std::max<size_t>(
+          1, static_cast<size_t>(cluster_->num_nodes()) / 2);
+      if (blacklist.size() > cap) {
+        blacklist.erase(blacklist.begin(),
+                        blacklist.end() - static_cast<ptrdiff_t>(cap));
+      }
+      ContainerRequest request;
+      request.vcores = options_.container_vcores;
+      request.memory_mb = options_.container_memory_mb;
+      request.blacklist = blacklist;
+      request.cookie = next_decline_cookie_--;
+      decline_chains_[request.cookie] = std::move(blacklist);
+      rm_->SubmitRequest(app_, request);
+    }
+    return;
+  }
+  decline_chains_.erase(cookie);
+  auto it = tasks_.find(*picked);
+  HIWAY_CHECK(it != tasks_.end());
+  LaunchTask(&it->second, container);
+}
+
+void HiWayAm::LaunchTask(TaskEntry* entry, const Container& container) {
+  entry->state = TaskState::kRunning;
+  entry->container = container.id;
+  ++entry->attempts;
+  ++entry->attempt_epoch;
+  ++running_;
+  ++report_.task_attempts;
+  provenance_->RecordTaskStart(entry->spec, container.node,
+                               cluster_->node(container.node).name,
+                               cluster_->engine()->Now());
+  TaskId id = entry->spec.id;
+  int epoch = entry->attempt_epoch;
+  TaskSpec spec = entry->spec;
+  NodeId node = container.node;
+  int vcores = container.vcores;
+  // Container localisation / process start overhead, then execute.
+  cluster_->engine()->ScheduleAfter(
+      options_.task_launch_overhead_s, [this, id, epoch, spec, node, vcores] {
+        executor_->Execute(spec, node, vcores,
+                           [this, id, epoch](TaskAttemptOutcome outcome) {
+                             OnAttemptDone(id, epoch, std::move(outcome));
+                           });
+      });
+}
+
+void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  TaskEntry* entry = &it->second;
+  if (entry->attempt_epoch != epoch || entry->state != TaskState::kRunning) {
+    // A superseded attempt (its container was lost and the task already
+    // re-queued); ignore.
+    return;
+  }
+  --running_;
+  rm_->ReleaseContainer(entry->container);
+  entry->container = kInvalidContainer;
+
+  const TaskResult& result = outcome.result;
+  provenance_->RecordTaskEnd(result, cluster_->node(result.node).name);
+  for (const auto& t : outcome.transfers) {
+    if (t.stage_in) {
+      provenance_->RecordFileStageIn(id, t.path, t.size_bytes, t.seconds,
+                                     cluster_->engine()->Now());
+    } else {
+      provenance_->RecordFileStageOut(id, t.path, t.size_bytes, t.seconds,
+                                      cluster_->engine()->Now());
+    }
+  }
+
+  if (!result.status.ok()) {
+    entry->blacklist.push_back(result.node);
+    HandleAttemptFailure(entry, result.status);
+    return;
+  }
+
+  entry->state = TaskState::kDone;
+  ++report_.tasks_completed;
+  estimator_->Observe(result.signature, result.node, result.Makespan());
+  RegisterProducedFiles(result);
+
+  auto discovered = source_->OnTaskCompleted(result);
+  if (!discovered.ok()) {
+    FinishWorkflow(
+        discovered.status().WithContext("workflow evaluation failed"));
+    return;
+  }
+  if (!discovered->empty()) {
+    if (scheduler_->IsStatic()) {
+      FinishWorkflow(Status::FailedPrecondition(
+          "a statically scheduled source discovered new tasks at runtime"));
+      return;
+    }
+    Status st = AdmitTasks(std::move(discovered).value());
+    if (!st.ok()) {
+      FinishWorkflow(st);
+      return;
+    }
+  }
+  MaybeFinish();
+}
+
+void HiWayAm::HandleAttemptFailure(TaskEntry* entry, const Status& failure) {
+  ++report_.failed_attempts;
+  if (entry->attempts >= options_.max_task_attempts) {
+    FinishWorkflow(failure.WithContext(StrFormat(
+        "task %lld ('%s') failed %d attempts",
+        static_cast<long long>(entry->spec.id), entry->spec.signature.c_str(),
+        entry->attempts)));
+    return;
+  }
+  // Retry elsewhere (Sec. 3.1: "re-try failed tasks, requesting YARN to
+  // allocate the additional containers on different compute nodes"); the
+  // caller added the failed node to the blacklist, which MarkReady
+  // forwards with the fresh container request.
+  MarkReady(entry);
+}
+
+void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
+  for (const auto& [path, size] : result.produced_files) {
+    auto waiters = waiting_on_file_.find(path);
+    if (waiters == waiting_on_file_.end()) continue;
+    std::set<TaskId> ids = std::move(waiters->second);
+    waiting_on_file_.erase(waiters);
+    for (TaskId id : ids) {
+      auto it = tasks_.find(id);
+      if (it == tasks_.end()) continue;
+      TaskEntry* entry = &it->second;
+      entry->missing_inputs.erase(path);
+      if (entry->state == TaskState::kWaiting &&
+          entry->missing_inputs.empty()) {
+        --waiting_;
+        MarkReady(entry);
+      }
+    }
+  }
+}
+
+void HiWayAm::MaybeFinish() {
+  if (finished_) return;
+  if (running_ > 0 || scheduler_->QueuedCount() > 0) return;
+  if (waiting_ > 0) {
+    // Nothing is running or queued, yet tasks still await inputs: those
+    // files will never appear.
+    std::string missing;
+    for (const auto& [id, entry] : tasks_) {
+      if (entry.state == TaskState::kWaiting) {
+        for (const std::string& path : entry.missing_inputs) {
+          if (!missing.empty()) missing += ", ";
+          missing += path;
+          if (missing.size() > 200) break;
+        }
+      }
+    }
+    FinishWorkflow(Status::FailedPrecondition(
+        "workflow deadlocked; unresolvable inputs: " + missing));
+    return;
+  }
+  if (!source_->IsDone()) {
+    FinishWorkflow(Status::RuntimeError(
+        "workflow source reports pending work but no tasks are eligible"));
+    return;
+  }
+  FinishWorkflow(Status::OK());
+}
+
+void HiWayAm::FinishWorkflow(Status status) {
+  if (finished_) return;
+  finished_ = true;
+  report_.status = status;
+  report_.finished_at = cluster_->engine()->Now();
+  provenance_->EndWorkflow(report_.finished_at, status.ok());
+  if (submitted_) {
+    rm_->UnregisterApplication(app_);
+  }
+}
+
+void HiWayAm::OnContainerLost(const Container& container) {
+  if (finished_) return;
+  for (auto& [id, entry] : tasks_) {
+    if (entry.state == TaskState::kRunning &&
+        entry.container == container.id) {
+      --running_;
+      entry.container = kInvalidContainer;
+      ++entry.attempt_epoch;  // discard the in-flight outcome
+      entry.blacklist.push_back(container.node);
+      ++report_.failed_attempts;
+      if (entry.attempts >= options_.max_task_attempts) {
+        FinishWorkflow(Status::RuntimeError(StrFormat(
+            "task %lld lost its container too many times",
+            static_cast<long long>(id))));
+        return;
+      }
+      MarkReady(&entry);
+      return;
+    }
+  }
+}
+
+Result<WorkflowReport> HiWayAm::RunToCompletion() {
+  if (!submitted_) {
+    return Status::FailedPrecondition("Submit() a workflow first");
+  }
+  cluster_->engine()->RunUntilPredicate([this] { return finished_; });
+  if (!finished_) {
+    return Status::RuntimeError(
+        "engine ran out of events before the workflow finished");
+  }
+  return report_;
+}
+
+}  // namespace hiway

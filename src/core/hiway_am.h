@@ -1,0 +1,153 @@
+// The Hi-WAY application master: the iterative Workflow Driver (Sec. 3.3)
+// plus the glue between the language front-ends, the Workflow Scheduler,
+// YARN, HDFS, and the Provenance Manager (Fig. 1 of the paper).
+//
+// Lifecycle (Fig. 3): parse -> discover tasks -> request containers for
+// ready tasks -> on allocation let the scheduler pick a task -> execute ->
+// on completion register outputs, possibly discover new tasks -> repeat
+// until the source is done. Failed attempts are retried on other nodes.
+
+#ifndef HIWAY_CORE_HIWAY_AM_H_
+#define HIWAY_CORE_HIWAY_AM_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/provenance.h"
+#include "src/core/runtime_estimator.h"
+#include "src/core/scheduler.h"
+#include "src/core/task_executor.h"
+#include "src/hdfs/dfs.h"
+#include "src/lang/workflow.h"
+#include "src/tools/tool_registry.h"
+#include "src/yarn/yarn.h"
+
+namespace hiway {
+
+struct HiWayOptions {
+  /// Default container sizing (the paper: identical containers per run;
+  /// a TaskSpec may override).
+  int container_vcores = 1;
+  double container_memory_mb = 1024.0;
+  /// AM container sizing / placement (kInvalidNode = RM chooses).
+  int am_vcores = 1;
+  double am_memory_mb = 1024.0;
+  NodeId am_node = kInvalidNode;
+  /// Attempts per task before the workflow fails (first try + retries).
+  int max_task_attempts = 3;
+  /// Fixed per-task container launch latency (localisation, JVM start).
+  double task_launch_overhead_s = 1.0;
+  /// Seed for runtime noise / failure injection.
+  uint64_t seed = 42;
+  /// Custom-tailored containers (the paper's Sec. 5 future work): instead
+  /// of identical containers, each task's container is sized to its
+  /// tool's useful parallelism (vcores = min(profile max_threads,
+  /// container_vcores); single-threaded tools get one core). Avoids
+  /// under-utilisation when fat containers run thin tools.
+  bool tailor_containers = false;
+};
+
+/// Final report of one workflow execution.
+struct WorkflowReport {
+  Status status;
+  std::string workflow_name;
+  std::string run_id;
+  double started_at = 0.0;
+  double finished_at = 0.0;
+  int tasks_completed = 0;
+  int task_attempts = 0;
+  int failed_attempts = 0;
+  /// Scheduling decisions taken by the AM (Fig. 6 master-load accounting).
+  int64_t scheduler_invocations = 0;
+
+  double Makespan() const { return finished_at - started_at; }
+};
+
+class HiWayAm : public AmCallbacks {
+ public:
+  HiWayAm(Cluster* cluster, ResourceManager* rm, Dfs* dfs,
+          ToolRegistry* tools, ProvenanceManager* provenance,
+          RuntimeEstimator* estimator, HiWayOptions options);
+  ~HiWayAm() override;
+  HiWayAm(const HiWayAm&) = delete;
+  HiWayAm& operator=(const HiWayAm&) = delete;
+
+  /// Registers the AM with YARN, parses the workflow, and starts issuing
+  /// container requests. Rejects static schedulers for iterative sources
+  /// (the paper's Cuneiform restriction). Neither pointer is owned.
+  Status Submit(WorkflowSource* source, WorkflowScheduler* scheduler);
+
+  /// Drives the engine until the workflow finishes; returns the report.
+  /// (Convenience for single-workflow experiments; multi-workflow setups
+  /// run the engine themselves and poll finished().)
+  Result<WorkflowReport> RunToCompletion();
+
+  bool finished() const { return finished_; }
+  const WorkflowReport& report() const { return report_; }
+
+  // AmCallbacks:
+  void OnContainerAllocated(const Container& container,
+                            int64_t cookie) override;
+  void OnContainerLost(const Container& container) override;
+
+ private:
+  enum class TaskState { kWaiting, kReady, kRunning, kDone };
+
+  struct TaskEntry {
+    TaskSpec spec;
+    TaskState state = TaskState::kWaiting;
+    int attempts = 0;
+    int attempt_epoch = 0;  // invalidates outcomes of superseded attempts
+    std::vector<NodeId> blacklist;
+    std::set<std::string> missing_inputs;
+    ContainerId container = kInvalidContainer;
+  };
+
+  /// Applies option defaults to a TaskSpec's container sizing.
+  void ApplyContainerDefaults(TaskSpec* spec) const;
+
+  Status AdmitTasks(std::vector<TaskSpec> tasks);
+  void MarkReady(TaskEntry* entry);
+  void LaunchTask(TaskEntry* entry, const Container& container);
+  void OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome);
+  void HandleAttemptFailure(TaskEntry* entry, const Status& failure);
+  void RegisterProducedFiles(const TaskResult& result);
+  void MaybeFinish();
+  void FinishWorkflow(Status status);
+
+  Cluster* cluster_;
+  ResourceManager* rm_;
+  Dfs* dfs_;
+  ToolRegistry* tools_;
+  ProvenanceManager* provenance_;
+  RuntimeEstimator* estimator_;
+  HiWayOptions options_;
+
+  WorkflowSource* source_ = nullptr;
+  WorkflowScheduler* scheduler_ = nullptr;
+  std::unique_ptr<TaskExecutor> executor_;
+  std::unique_ptr<DfsStorageAdapter> storage_;
+
+  ApplicationId app_ = -1;
+  bool submitted_ = false;
+  bool finished_ = false;
+  WorkflowReport report_;
+
+  std::map<TaskId, TaskEntry> tasks_;
+  std::map<std::string, std::set<TaskId>> waiting_on_file_;
+  int running_ = 0;
+  int waiting_ = 0;
+  TaskId next_task_id_ = 1;
+  /// Decline chains: when a dynamic scheduler declines a container, the
+  /// replacement request carries the nodes declined so far (keyed by a
+  /// negative cookie) so a request cannot ping-pong between bad nodes.
+  std::map<int64_t, std::vector<NodeId>> decline_chains_;
+  int64_t next_decline_cookie_ = -1;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_CORE_HIWAY_AM_H_

@@ -1,0 +1,85 @@
+#include "src/core/metrics.h"
+
+namespace hiway {
+
+MasterLoad ComputeMasterLoad(const MasterLoadInputs& inputs,
+                             const MasterCostModel& model) {
+  MasterLoad out;
+  if (inputs.duration_s <= 0.0) return out;
+  double dur = inputs.duration_s;
+  double n = static_cast<double>(inputs.num_workers);
+
+  // ResourceManager: periodic NM heartbeats plus allocation churn.
+  double heartbeats = n * dur / model.nm_heartbeat_period_s;
+  double rm_cpu_s =
+      heartbeats * model.rm_heartbeat_cpu_s +
+      static_cast<double>(inputs.rm.allocations + inputs.rm.requests +
+                          inputs.rm.releases) *
+          model.rm_allocation_cpu_s;
+
+  // NameNode: metadata ops plus periodic block reports.
+  double block_reports = n * dur / model.blockreport_period_s;
+  double nn_cpu_s =
+      static_cast<double>(inputs.dfs.metadata_ops) * model.nn_metadata_cpu_s +
+      block_reports * model.nn_blockreport_cpu_s;
+
+  out.hadoop_master.cpu_load = (rm_cpu_s + nn_cpu_s) / dur;
+  double master_wire =
+      heartbeats * model.heartbeat_wire_bytes +
+      static_cast<double>(inputs.dfs.metadata_ops) *
+          model.metadata_wire_bytes;
+  out.hadoop_master.net_mbps = master_wire / dur / (1024.0 * 1024.0);
+  // Masters do little disk I/O beyond edit logs; model as proportional to
+  // metadata mutation rate against a 100 MB/s log device.
+  out.hadoop_master.io_utilization =
+      std::min(1.0, static_cast<double>(inputs.dfs.metadata_ops) * 512.0 /
+                        dur / (100.0 * 1024.0 * 1024.0) * 100.0);
+
+  // Hi-WAY AM: scheduling decisions, provenance writes, and container
+  // status updates arriving with every AM-RM heartbeat.
+  double am_cpu_s =
+      static_cast<double>(inputs.am_decisions) * model.am_decision_cpu_s +
+      static_cast<double>(inputs.provenance_events) *
+          model.am_provenance_cpu_s +
+      inputs.mean_running_containers * dur / model.nm_heartbeat_period_s *
+          model.am_status_cpu_s;
+  out.hiway_am.cpu_load = am_cpu_s / dur;
+  out.hiway_am.net_mbps = static_cast<double>(inputs.am_decisions) *
+                          model.decision_wire_bytes / dur /
+                          (1024.0 * 1024.0);
+  out.hiway_am.io_utilization =
+      std::min(1.0, static_cast<double>(inputs.provenance_events) * 1024.0 /
+                        dur / (100.0 * 1024.0 * 1024.0) * 100.0);
+  return out;
+}
+
+RoleUtilization WorkerUtilization(const FlowNetwork& net,
+                                  const Cluster& cluster, NodeId node) {
+  RoleUtilization out;
+  out.cpu_load = net.Stats(cluster.cpu(node)).mean_rate;
+  out.io_utilization = net.Stats(cluster.disk(node)).busy_fraction;
+  out.net_mbps = net.Stats(cluster.nic(node)).mean_rate;
+  return out;
+}
+
+RoleUtilization MeanWorkerUtilization(const FlowNetwork& net,
+                                      const Cluster& cluster, NodeId first,
+                                      NodeId last) {
+  RoleUtilization out;
+  int count = 0;
+  for (NodeId n = first; n <= last; ++n) {
+    RoleUtilization u = WorkerUtilization(net, cluster, n);
+    out.cpu_load += u.cpu_load;
+    out.io_utilization += u.io_utilization;
+    out.net_mbps += u.net_mbps;
+    ++count;
+  }
+  if (count > 0) {
+    out.cpu_load /= count;
+    out.io_utilization /= count;
+    out.net_mbps /= count;
+  }
+  return out;
+}
+
+}  // namespace hiway

@@ -1,0 +1,85 @@
+// Resource-utilisation accounting for the Fig. 6 experiment.
+//
+// Worker-side numbers come directly from the flow network's integrals
+// (CPU load like `uptime`, device busy fraction like `iostat`, NIC MB/s
+// like `ifstat`). Master-side numbers come from an explicit cost model:
+// each control-plane operation (NM heartbeat, container allocation,
+// NameNode metadata op, AM scheduling decision, provenance write) charges
+// a fixed CPU time and wire volume on the node hosting that process. The
+// constants are stated here, not hidden, because Fig. 6's claim is about
+// *orders of magnitude and trends*, not absolute values: master load grows
+// with cluster size but stays far below saturation.
+
+#ifndef HIWAY_CORE_METRICS_H_
+#define HIWAY_CORE_METRICS_H_
+
+#include "src/core/hiway_am.h"
+#include "src/hdfs/dfs.h"
+#include "src/sim/flow.h"
+#include "src/yarn/yarn.h"
+
+namespace hiway {
+
+/// One role's utilisation triple (what Fig. 6 plots).
+struct RoleUtilization {
+  double cpu_load = 0.0;       // mean runnable demand, in cores
+  double io_utilization = 0.0; // device busy fraction, 0..1
+  double net_mbps = 0.0;       // mean NIC throughput, MB/s
+};
+
+/// Cost constants of the master-load model (seconds / bytes per op).
+struct MasterCostModel {
+  double rm_heartbeat_cpu_s = 0.0002;   // RM processing one NM heartbeat
+  double rm_allocation_cpu_s = 0.0010;  // one container allocation
+  double nn_metadata_cpu_s = 0.0005;    // one NameNode metadata op
+  double nn_blockreport_cpu_s = 0.0004; // one DataNode block report
+  double am_decision_cpu_s = 0.0020;    // one AM scheduling decision
+  double am_provenance_cpu_s = 0.0020;  // one provenance event write (JSON
+                                        // serialisation + HDFS append)
+  double am_status_cpu_s = 0.0002;      // one container status update,
+                                        // received per container per
+                                        // AM-RM heartbeat
+
+  double heartbeat_wire_bytes = 2048;   // NM heartbeat request+response
+  double metadata_wire_bytes = 512;
+  double decision_wire_bytes = 1024;
+
+  double nm_heartbeat_period_s = 1.0;
+  double blockreport_period_s = 3.0;
+};
+
+/// Aggregated inputs of the master-load model for one run.
+struct MasterLoadInputs {
+  double duration_s = 0.0;
+  int num_workers = 0;
+  RmCounters rm;
+  DfsCounters dfs;
+  int64_t am_decisions = 0;
+  int64_t provenance_events = 0;
+  /// Mean number of concurrently running containers (drives the AM's
+  /// status-update processing load).
+  double mean_running_containers = 0.0;
+};
+
+/// Computed master-process utilisation.
+struct MasterLoad {
+  RoleUtilization hadoop_master;  // RM + NameNode co-located (the paper's
+                                  // "two Hadoop master threads" VM)
+  RoleUtilization hiway_am;
+};
+
+MasterLoad ComputeMasterLoad(const MasterLoadInputs& inputs,
+                             const MasterCostModel& model = MasterCostModel());
+
+/// Mean utilisation of one worker node, read from the flow network.
+RoleUtilization WorkerUtilization(const FlowNetwork& net,
+                                  const Cluster& cluster, NodeId node);
+
+/// Mean across a range of worker nodes [first, last].
+RoleUtilization MeanWorkerUtilization(const FlowNetwork& net,
+                                      const Cluster& cluster, NodeId first,
+                                      NodeId last);
+
+}  // namespace hiway
+
+#endif  // HIWAY_CORE_METRICS_H_

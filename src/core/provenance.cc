@@ -1,0 +1,251 @@
+#include "src/core/provenance.h"
+
+#include "src/common/strings.h"
+
+namespace hiway {
+
+std::string_view ProvenanceEventTypeToString(ProvenanceEventType type) {
+  switch (type) {
+    case ProvenanceEventType::kWorkflowStart:
+      return "workflow-start";
+    case ProvenanceEventType::kWorkflowEnd:
+      return "workflow-end";
+    case ProvenanceEventType::kTaskStart:
+      return "task-start";
+    case ProvenanceEventType::kTaskEnd:
+      return "task-end";
+    case ProvenanceEventType::kFileStageIn:
+      return "file-stage-in";
+    case ProvenanceEventType::kFileStageOut:
+      return "file-stage-out";
+  }
+  return "unknown";
+}
+
+Result<ProvenanceEventType> ProvenanceEventTypeFromString(
+    std::string_view s) {
+  if (s == "workflow-start") return ProvenanceEventType::kWorkflowStart;
+  if (s == "workflow-end") return ProvenanceEventType::kWorkflowEnd;
+  if (s == "task-start") return ProvenanceEventType::kTaskStart;
+  if (s == "task-end") return ProvenanceEventType::kTaskEnd;
+  if (s == "file-stage-in") return ProvenanceEventType::kFileStageIn;
+  if (s == "file-stage-out") return ProvenanceEventType::kFileStageOut;
+  return Status::ParseError("unknown provenance event type: " +
+                            std::string(s));
+}
+
+Json ProvenanceEvent::ToJson() const {
+  Json obj = Json::MakeObject();
+  obj.Set("type", std::string(ProvenanceEventTypeToString(type)));
+  obj.Set("run_id", run_id);
+  obj.Set("timestamp", timestamp);
+  switch (type) {
+    case ProvenanceEventType::kWorkflowStart:
+      obj.Set("workflow", workflow_name);
+      break;
+    case ProvenanceEventType::kWorkflowEnd:
+      obj.Set("workflow", workflow_name);
+      obj.Set("total_runtime", total_runtime);
+      obj.Set("success", success);
+      break;
+    case ProvenanceEventType::kTaskStart:
+      obj.Set("task_id", task_id);
+      obj.Set("signature", signature);
+      obj.Set("command", command);
+      obj.Set("tool", tool);
+      obj.Set("node", static_cast<int64_t>(node));
+      obj.Set("node_name", node_name);
+      break;
+    case ProvenanceEventType::kTaskEnd:
+      obj.Set("task_id", task_id);
+      obj.Set("signature", signature);
+      obj.Set("command", command);
+      obj.Set("node", static_cast<int64_t>(node));
+      obj.Set("node_name", node_name);
+      obj.Set("duration", duration);
+      obj.Set("success", success);
+      if (!stdout_value.empty()) obj.Set("stdout", stdout_value);
+      break;
+    case ProvenanceEventType::kFileStageIn:
+    case ProvenanceEventType::kFileStageOut:
+      obj.Set("task_id", task_id);
+      obj.Set("file", file_path);
+      obj.Set("size_bytes", size_bytes);
+      obj.Set("transfer_seconds", transfer_seconds);
+      break;
+  }
+  return obj;
+}
+
+Result<ProvenanceEvent> ProvenanceEvent::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("provenance event must be a JSON object");
+  }
+  ProvenanceEvent ev;
+  HIWAY_ASSIGN_OR_RETURN(
+      ev.type, ProvenanceEventTypeFromString(json.GetString("type")));
+  ev.run_id = json.GetString("run_id");
+  ev.timestamp = json.GetNumber("timestamp");
+  ev.workflow_name = json.GetString("workflow");
+  ev.total_runtime = json.GetNumber("total_runtime");
+  ev.success = json.GetBool("success", true);
+  ev.task_id = json.GetInt("task_id", kInvalidTask);
+  ev.signature = json.GetString("signature");
+  ev.command = json.GetString("command");
+  ev.tool = json.GetString("tool");
+  ev.node = static_cast<int32_t>(json.GetInt("node", -1));
+  ev.node_name = json.GetString("node_name");
+  ev.duration = json.GetNumber("duration");
+  ev.stdout_value = json.GetString("stdout");
+  ev.file_path = json.GetString("file");
+  ev.size_bytes = json.GetInt("size_bytes");
+  ev.transfer_seconds = json.GetNumber("transfer_seconds");
+  return ev;
+}
+
+std::string SerializeTrace(const std::vector<ProvenanceEvent>& events) {
+  std::string out;
+  for (const ProvenanceEvent& ev : events) {
+    out += ev.ToJson().Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<ProvenanceEvent>> ParseTrace(std::string_view text) {
+  std::vector<ProvenanceEvent> out;
+  size_t line_no = 0;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    auto json = Json::Parse(trimmed);
+    if (!json.ok()) {
+      return json.status().WithContext(
+          StrFormat("trace line %zu", line_no));
+    }
+    auto ev = ProvenanceEvent::FromJson(*json);
+    if (!ev.ok()) {
+      return ev.status().WithContext(StrFormat("trace line %zu", line_no));
+    }
+    out.push_back(std::move(ev).value());
+  }
+  return out;
+}
+
+std::string ProvenanceManager::BeginWorkflow(const std::string& workflow_name,
+                                             double now) {
+  run_id_ = StrFormat("%s-run-%lld", workflow_name.c_str(),
+                      static_cast<long long>(run_counter_++));
+  workflow_name_ = workflow_name;
+  run_started_ = now;
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kWorkflowStart;
+  ev.run_id = run_id_;
+  ev.timestamp = now;
+  ev.workflow_name = workflow_name;
+  store_->Append(ev);
+  return run_id_;
+}
+
+void ProvenanceManager::EndWorkflow(double now, bool success) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kWorkflowEnd;
+  ev.run_id = run_id_;
+  ev.timestamp = now;
+  ev.workflow_name = workflow_name_;
+  ev.total_runtime = now - run_started_;
+  ev.success = success;
+  store_->Append(ev);
+}
+
+void ProvenanceManager::RecordTaskStart(const TaskSpec& task, int32_t node,
+                                        const std::string& node_name,
+                                        double now) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kTaskStart;
+  ev.run_id = run_id_;
+  ev.timestamp = now;
+  ev.task_id = task.id;
+  ev.signature = task.signature;
+  ev.command = task.command;
+  ev.tool = task.ToolName();
+  ev.node = node;
+  ev.node_name = node_name;
+  store_->Append(ev);
+}
+
+void ProvenanceManager::RecordTaskEnd(const TaskResult& result,
+                                      const std::string& node_name) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kTaskEnd;
+  ev.run_id = run_id_;
+  ev.timestamp = result.finished_at;
+  ev.task_id = result.id;
+  ev.signature = result.signature;
+  ev.node = result.node;
+  ev.node_name = node_name;
+  ev.duration = result.Makespan();
+  ev.success = result.status.ok();
+  ev.stdout_value = result.stdout_value;
+  store_->Append(ev);
+}
+
+void ProvenanceManager::RecordFileStageIn(TaskId task, const std::string& path,
+                                          int64_t size_bytes,
+                                          double transfer_seconds,
+                                          double now) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kFileStageIn;
+  ev.run_id = run_id_;
+  ev.timestamp = now;
+  ev.task_id = task;
+  ev.file_path = path;
+  ev.size_bytes = size_bytes;
+  ev.transfer_seconds = transfer_seconds;
+  store_->Append(ev);
+}
+
+void ProvenanceManager::RecordFileStageOut(TaskId task,
+                                           const std::string& path,
+                                           int64_t size_bytes,
+                                           double transfer_seconds,
+                                           double now) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kFileStageOut;
+  ev.run_id = run_id_;
+  ev.timestamp = now;
+  ev.task_id = task;
+  ev.file_path = path;
+  ev.size_bytes = size_bytes;
+  ev.transfer_seconds = transfer_seconds;
+  store_->Append(ev);
+}
+
+Result<double> ProvenanceManager::LatestRuntime(const std::string& signature,
+                                                int32_t node) const {
+  // Scan newest-to-oldest; the paper's strategy is "always use the latest
+  // observed runtime" to adapt quickly to infrastructure changes.
+  std::vector<ProvenanceEvent> events = store_->Events();
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->type == ProvenanceEventType::kTaskEnd && it->success &&
+        it->signature == signature && it->node == node) {
+      return it->duration;
+    }
+  }
+  return Status::NotFound("no runtime observation for " + signature);
+}
+
+std::vector<std::pair<int32_t, double>> ProvenanceManager::RuntimeObservations(
+    const std::string& signature) const {
+  std::vector<std::pair<int32_t, double>> out;
+  for (const ProvenanceEvent& ev : store_->Events()) {
+    if (ev.type == ProvenanceEventType::kTaskEnd && ev.success &&
+        ev.signature == signature) {
+      out.emplace_back(ev.node, ev.duration);
+    }
+  }
+  return out;
+}
+
+}  // namespace hiway

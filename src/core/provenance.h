@@ -1,0 +1,145 @@
+// Provenance Manager (Sec. 3.5 of the paper).
+//
+// Records events at three granularities — workflow, task, and file — each
+// timestamped and serialisable as JSON, so a trace is both a queryable
+// statistics source (feeding the adaptive schedulers) and a re-executable
+// workflow (the trace front-end in src/lang/trace_source.h).
+
+#ifndef HIWAY_CORE_PROVENANCE_H_
+#define HIWAY_CORE_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/result.h"
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+enum class ProvenanceEventType {
+  kWorkflowStart,
+  kWorkflowEnd,
+  kTaskStart,
+  kTaskEnd,
+  kFileStageIn,
+  kFileStageOut,
+};
+
+std::string_view ProvenanceEventTypeToString(ProvenanceEventType type);
+Result<ProvenanceEventType> ProvenanceEventTypeFromString(std::string_view s);
+
+/// One provenance record. Unused fields stay at their defaults and are
+/// omitted from the JSON encoding.
+struct ProvenanceEvent {
+  ProvenanceEventType type = ProvenanceEventType::kWorkflowStart;
+  /// Unique id of the workflow run this event belongs to.
+  std::string run_id;
+  /// Virtual timestamp (seconds).
+  double timestamp = 0.0;
+
+  // Workflow-level fields.
+  std::string workflow_name;
+  double total_runtime = 0.0;
+  bool success = true;
+
+  // Task-level fields.
+  TaskId task_id = kInvalidTask;
+  std::string signature;
+  std::string command;
+  std::string tool;
+  int32_t node = -1;
+  std::string node_name;
+  double duration = 0.0;
+  std::string stdout_value;
+
+  // File-level fields.
+  std::string file_path;
+  int64_t size_bytes = 0;
+  double transfer_seconds = 0.0;
+
+  Json ToJson() const;
+  static Result<ProvenanceEvent> FromJson(const Json& json);
+};
+
+/// Long-term storage for provenance events. Implementations: in-memory
+/// (default), and the embedded key-value database in src/provdb/ standing
+/// in for the paper's MySQL/Couchbase backends.
+class ProvenanceStore {
+ public:
+  virtual ~ProvenanceStore() = default;
+  virtual void Append(const ProvenanceEvent& event) = 0;
+  /// All stored events in append order.
+  virtual std::vector<ProvenanceEvent> Events() const = 0;
+  virtual size_t size() const = 0;
+  virtual void Clear() = 0;
+};
+
+class InMemoryProvenanceStore : public ProvenanceStore {
+ public:
+  void Append(const ProvenanceEvent& event) override {
+    events_.push_back(event);
+  }
+  std::vector<ProvenanceEvent> Events() const override { return events_; }
+  size_t size() const override { return events_.size(); }
+  void Clear() override { events_.clear(); }
+
+ private:
+  std::vector<ProvenanceEvent> events_;
+};
+
+/// Serialises events as JSON lines (one compact object per line) — the
+/// paper's HDFS trace-file format.
+std::string SerializeTrace(const std::vector<ProvenanceEvent>& events);
+
+/// Parses a JSON-lines trace back into events.
+Result<std::vector<ProvenanceEvent>> ParseTrace(std::string_view text);
+
+/// Front door used by the AM: stamps run ids and timestamps, forwards to a
+/// store, and answers the statistics queries the Workflow Scheduler needs
+/// (Sec. 3.4: observed runtimes per task signature and node).
+class ProvenanceManager {
+ public:
+  /// Does not take ownership of `store`.
+  explicit ProvenanceManager(ProvenanceStore* store) : store_(store) {}
+
+  /// Starts a new run; returns its id.
+  std::string BeginWorkflow(const std::string& workflow_name, double now);
+  void EndWorkflow(double now, bool success);
+
+  void RecordTaskStart(const TaskSpec& task, int32_t node,
+                       const std::string& node_name, double now);
+  void RecordTaskEnd(const TaskResult& result, const std::string& node_name);
+  void RecordFileStageIn(TaskId task, const std::string& path,
+                         int64_t size_bytes, double transfer_seconds,
+                         double now);
+  void RecordFileStageOut(TaskId task, const std::string& path,
+                          int64_t size_bytes, double transfer_seconds,
+                          double now);
+
+  /// Latest observed runtime of `signature` on `node` across all stored
+  /// runs; NotFound when the pair was never observed.
+  Result<double> LatestRuntime(const std::string& signature,
+                               int32_t node) const;
+
+  /// All observed (node, runtime) samples for a signature, oldest first.
+  std::vector<std::pair<int32_t, double>> RuntimeObservations(
+      const std::string& signature) const;
+
+  ProvenanceStore* store() const { return store_; }
+  const std::string& current_run_id() const { return run_id_; }
+
+ private:
+  ProvenanceStore* store_;
+  std::string run_id_;
+  std::string workflow_name_;
+  double run_started_ = 0.0;
+  int64_t run_counter_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_CORE_PROVENANCE_H_

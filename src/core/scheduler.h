@@ -1,0 +1,207 @@
+// Workflow Scheduler framework (Sec. 3.4 of the paper).
+//
+// The Workflow Scheduler decides, above YARN's resource-level scheduling,
+// which *task* runs in which *container*. Four policies from the paper:
+//
+//  * FCFS           — queue order, no placement preference.
+//  * data-aware     — Hi-WAY's default: pick the pending task with the
+//                     largest fraction of its input already local (in
+//                     HDFS) to the node hosting the fresh container.
+//  * round-robin    — static: tasks assigned to nodes in turn at onset.
+//  * HEFT           — static and adaptive: placements minimise estimated
+//                     finish times computed from provenance statistics.
+//
+// Static policies need the full task graph up front and are therefore
+// incompatible with iterative (Cuneiform) workflows — the driver enforces
+// this, mirroring the paper.
+
+#ifndef HIWAY_CORE_SCHEDULER_H_
+#define HIWAY_CORE_SCHEDULER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime_estimator.h"
+#include "src/hdfs/dfs.h"
+#include "src/lang/workflow.h"
+#include "src/yarn/yarn.h"
+
+namespace hiway {
+
+/// Dependency edges of a static task graph: deps[t] = tasks t reads from.
+using TaskDependencies = std::map<TaskId, std::vector<TaskId>>;
+
+class WorkflowScheduler {
+ public:
+  virtual ~WorkflowScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Static schedulers pre-build a full placement and pin containers.
+  virtual bool IsStatic() const { return false; }
+
+  /// Called once with the complete task graph (static schedulers only).
+  /// `nodes` are the compute nodes that can actually host task containers
+  /// (dedicated master VMs are excluded).
+  virtual Status BuildStaticSchedule(const std::vector<TaskSpec>& tasks,
+                                     const TaskDependencies& deps,
+                                     const std::vector<NodeId>& nodes) {
+    (void)tasks;
+    (void)deps;
+    (void)nodes;
+    return Status::OK();
+  }
+
+  /// A task's data dependencies are met; it now awaits a container.
+  virtual void EnqueueReady(const TaskSpec& task) = 0;
+
+  /// The container request the AM should submit on behalf of this ready
+  /// task. Note the allocated container is matched to *some* queued task
+  /// by SelectTask, not necessarily this one.
+  virtual ContainerRequest RequestFor(const TaskSpec& task) = 0;
+
+  /// Picks (and removes) a queued task to run in a container on `node`;
+  /// nullopt if no queued task may run there.
+  virtual std::optional<TaskId> SelectTask(NodeId node) = 0;
+
+  /// Removes a task from the queue without running it (e.g. workflow
+  /// abort). Unknown ids are ignored.
+  virtual void RemoveTask(TaskId id) = 0;
+
+  virtual size_t QueuedCount() const = 0;
+};
+
+/// First-come-first-served: the policy "most established SWfMSs employ".
+class FcfsScheduler : public WorkflowScheduler {
+ public:
+  std::string name() const override { return "fcfs"; }
+  void EnqueueReady(const TaskSpec& task) override;
+  ContainerRequest RequestFor(const TaskSpec& task) override;
+  std::optional<TaskId> SelectTask(NodeId node) override;
+  void RemoveTask(TaskId id) override;
+  size_t QueuedCount() const override { return queue_.size(); }
+
+ private:
+  std::deque<TaskSpec> queue_;
+};
+
+/// Hi-WAY's default policy for I/O-intensive workflows: selects the task
+/// with the highest fraction of input bytes already on the container's
+/// node, minimising transfer over the switch.
+class DataAwareScheduler : public WorkflowScheduler {
+ public:
+  explicit DataAwareScheduler(Dfs* dfs) : dfs_(dfs) {}
+  std::string name() const override { return "data-aware"; }
+  void EnqueueReady(const TaskSpec& task) override;
+  ContainerRequest RequestFor(const TaskSpec& task) override;
+  std::optional<TaskId> SelectTask(NodeId node) override;
+  void RemoveTask(TaskId id) override;
+  size_t QueuedCount() const override { return queue_.size(); }
+
+ private:
+  Dfs* dfs_;
+  std::deque<TaskSpec> queue_;  // FIFO among locality ties
+};
+
+/// Static round-robin: tasks are dealt to nodes in turn (topological
+/// order), and each container is pinned to its task's node.
+class RoundRobinScheduler : public WorkflowScheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  bool IsStatic() const override { return true; }
+  Status BuildStaticSchedule(const std::vector<TaskSpec>& tasks,
+                             const TaskDependencies& deps,
+                             const std::vector<NodeId>& nodes) override;
+  void EnqueueReady(const TaskSpec& task) override;
+  ContainerRequest RequestFor(const TaskSpec& task) override;
+  std::optional<TaskId> SelectTask(NodeId node) override;
+  void RemoveTask(TaskId id) override;
+  size_t QueuedCount() const override;
+
+  /// Node a task was assigned to (tests / diagnostics).
+  Result<NodeId> AssignedNode(TaskId id) const;
+
+ private:
+  std::map<TaskId, NodeId> assignment_;
+  std::map<NodeId, std::deque<TaskSpec>> ready_per_node_;
+  size_t queued_ = 0;
+};
+
+/// Heterogeneous Earliest Finish Time [Topcuoglu et al. 2002], driven by
+/// provenance-based runtime estimates. Upward ranks order the tasks;
+/// each is placed on the node with the earliest estimated finish time.
+/// Unobserved (signature, node) pairs estimate 0, encouraging exploration
+/// exactly as described in Sec. 3.4.
+class HeftScheduler : public WorkflowScheduler {
+ public:
+  explicit HeftScheduler(const RuntimeEstimator* estimator)
+      : estimator_(estimator) {}
+  std::string name() const override { return "heft"; }
+  bool IsStatic() const override { return true; }
+  Status BuildStaticSchedule(const std::vector<TaskSpec>& tasks,
+                             const TaskDependencies& deps,
+                             const std::vector<NodeId>& nodes) override;
+  void EnqueueReady(const TaskSpec& task) override;
+  ContainerRequest RequestFor(const TaskSpec& task) override;
+  std::optional<TaskId> SelectTask(NodeId node) override;
+  void RemoveTask(TaskId id) override;
+  size_t QueuedCount() const override;
+
+  Result<NodeId> AssignedNode(TaskId id) const;
+  Result<double> UpwardRank(TaskId id) const;
+
+ private:
+  const RuntimeEstimator* estimator_;
+  std::map<TaskId, NodeId> assignment_;
+  std::map<TaskId, double> rank_;
+  std::map<NodeId, std::deque<TaskSpec>> ready_per_node_;  // rank-ordered
+  size_t queued_ = 0;
+};
+
+/// Online minimum-completion-time: a *dynamic* adaptive policy (the
+/// paper's Sec. 3.4 notes such policies were "in the process of being
+/// integrated"). No pre-built schedule: when a container on node n is
+/// allocated, pick the queued task whose estimated runtime on n is lowest
+/// relative to its mean across nodes — i.e. the task for which this node
+/// is comparatively best — falling back to FIFO among unobserved tasks.
+/// Unlike HEFT it tolerates iterative workflows, and unlike plain FCFS it
+/// exploits provenance statistics without pinning placements.
+/// Additionally, the policy *declines* a container when the node is
+/// estimated markedly slower than average for every queued task
+/// (SelectTask returns nullopt); the driver then hands the container back
+/// and re-requests with the node blacklisted.
+class OnlineMctScheduler : public WorkflowScheduler {
+ public:
+  /// `decline_threshold`: decline when even the best queued task is
+  /// estimated this many times slower than its cross-node mean here.
+  OnlineMctScheduler(const RuntimeEstimator* estimator, int num_nodes,
+                     double decline_threshold = 1.5)
+      : estimator_(estimator),
+        num_nodes_(num_nodes),
+        decline_threshold_(decline_threshold) {}
+  std::string name() const override { return "online-mct"; }
+  void EnqueueReady(const TaskSpec& task) override;
+  ContainerRequest RequestFor(const TaskSpec& task) override;
+  std::optional<TaskId> SelectTask(NodeId node) override;
+  void RemoveTask(TaskId id) override;
+  size_t QueuedCount() const override { return queue_.size(); }
+
+ private:
+  const RuntimeEstimator* estimator_;
+  int num_nodes_;
+  double decline_threshold_;
+  int declines_since_dispatch_ = 0;
+  std::deque<TaskSpec> queue_;
+};
+
+/// Factory: "fcfs", "data-aware", "round-robin", "heft", "online-mct".
+Result<std::unique_ptr<WorkflowScheduler>> MakeScheduler(
+    const std::string& policy, Dfs* dfs, const RuntimeEstimator* estimator);
+
+}  // namespace hiway
+
+#endif  // HIWAY_CORE_SCHEDULER_H_

@@ -1,0 +1,137 @@
+// Container-side task lifecycle (Sec. 3.1): (i) obtain input data,
+// (ii) invoke the black-box command, (iii) store outputs for downstream
+// consumers. Data movement costs depend on the storage backend: Hi-WAY
+// stages through node-local disk + HDFS; the Galaxy CloudMan baseline
+// moves everything over a shared network volume (Sec. 4.2).
+
+#ifndef HIWAY_CORE_TASK_EXECUTOR_H_
+#define HIWAY_CORE_TASK_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/hdfs/dfs.h"
+#include "src/lang/workflow.h"
+#include "src/sim/cluster.h"
+#include "src/tools/tool_registry.h"
+
+namespace hiway {
+
+/// Abstracts where task data lives and what moving it costs.
+class StorageAdapter {
+ public:
+  virtual ~StorageAdapter() = default;
+
+  /// Size of an existing file, or NotFound.
+  virtual Result<int64_t> FileSize(const std::string& path) const = 0;
+
+  /// Moves `path` to `node` for consumption;
+  /// `done(status, bytes, seconds)` reports the transfer.
+  virtual void StageIn(const std::string& path, NodeId node,
+                       std::function<void(Status, int64_t, double)> done) = 0;
+
+  /// Publishes a `size_bytes` output produced on `node`.
+  virtual void StageOut(const std::string& path, int64_t size_bytes,
+                        NodeId node, std::function<void(Status)> done) = 0;
+
+  /// Performs `scratch_mb` of tool-transient I/O on `node` (intermediate
+  /// spill files); where those bytes go is the adapter's choice.
+  virtual void ScratchIo(double scratch_mb, NodeId node,
+                         std::function<void(Status)> done) = 0;
+};
+
+/// HDFS-backed storage (Hi-WAY's mode): local replicas read from local
+/// disk, remote blocks cross the switch, outputs are replicated, scratch
+/// hits the node-local disk.
+class DfsStorageAdapter : public StorageAdapter {
+ public:
+  explicit DfsStorageAdapter(Dfs* dfs) : dfs_(dfs) {}
+  Result<int64_t> FileSize(const std::string& path) const override;
+  void StageIn(const std::string& path, NodeId node,
+               std::function<void(Status, int64_t, double)> done) override;
+  void StageOut(const std::string& path, int64_t size_bytes, NodeId node,
+                std::function<void(Status)> done) override;
+  void ScratchIo(double scratch_mb, NodeId node,
+                 std::function<void(Status)> done) override;
+
+ private:
+  Dfs* dfs_;
+};
+
+/// Shared-network-volume storage (the CloudMan baseline): every byte —
+/// inputs, outputs, and scratch — crosses the EBS volume and the node's
+/// NIC. Sizes are tracked in a simple catalog (no blocks, no locality).
+class SharedVolumeStorageAdapter : public StorageAdapter {
+ public:
+  /// `client_mbps` caps each node's streaming rate against the volume
+  /// (per-mount NFS/EBS client throughput); the volume's aggregate
+  /// capacity is the cluster's ebs resource.
+  explicit SharedVolumeStorageAdapter(Cluster* cluster,
+                                      double client_mbps = 40.0)
+      : cluster_(cluster), client_mbps_(client_mbps) {}
+  Result<int64_t> FileSize(const std::string& path) const override;
+  void StageIn(const std::string& path, NodeId node,
+               std::function<void(Status, int64_t, double)> done) override;
+  void StageOut(const std::string& path, int64_t size_bytes, NodeId node,
+                std::function<void(Status)> done) override;
+  void ScratchIo(double scratch_mb, NodeId node,
+                 std::function<void(Status)> done) override;
+
+  /// Registers a pre-existing file on the volume (input staging).
+  void AddFile(const std::string& path, int64_t size_bytes);
+  bool Exists(const std::string& path) const;
+
+ private:
+  Cluster* cluster_;
+  double client_mbps_;
+  std::map<std::string, int64_t> catalog_;
+};
+
+/// Result of simulating one task attempt, handed to the AM.
+struct TaskAttemptOutcome {
+  TaskResult result;
+  /// Transfer log for file-level provenance: (path, bytes, seconds, is_in).
+  struct FileTransfer {
+    std::string path;
+    int64_t size_bytes;
+    double seconds;
+    bool stage_in;
+  };
+  std::vector<FileTransfer> transfers;
+};
+
+/// Executes TaskSpecs inside containers. Stateless across tasks except for
+/// the RNG (runtime noise / failure injection) and the tool registry's
+/// invocation counters.
+class TaskExecutor {
+ public:
+  TaskExecutor(Cluster* cluster, ToolRegistry* tools, StorageAdapter* storage,
+               uint64_t seed = 42)
+      : cluster_(cluster), tools_(tools), storage_(storage), rng_(seed) {}
+
+  /// Runs `task` on `node` with `vcores` of CPU available. `done` fires
+  /// (via the engine) once the attempt finished or failed.
+  void Execute(const TaskSpec& task, NodeId node, int vcores,
+               std::function<void(TaskAttemptOutcome)> done);
+
+ private:
+  struct Attempt;
+  void StartStageIn(std::shared_ptr<Attempt> attempt);
+  void StartInvoke(std::shared_ptr<Attempt> attempt);
+  void StartScratch(std::shared_ptr<Attempt> attempt, double scratch_mb);
+  void StartStageOut(std::shared_ptr<Attempt> attempt);
+  void Finish(std::shared_ptr<Attempt> attempt, Status status);
+
+  Cluster* cluster_;
+  ToolRegistry* tools_;
+  StorageAdapter* storage_;
+  Rng rng_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_CORE_TASK_EXECUTOR_H_

@@ -1,0 +1,360 @@
+#include "src/hdfs/dfs.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+
+namespace {
+constexpr double kBytesPerMb = 1024.0 * 1024.0;
+}
+
+Dfs::Dfs(Cluster* cluster, DfsOptions options)
+    : cluster_(cluster), options_(options), rng_(options.seed) {
+  HIWAY_CHECK(options_.replication >= 1);
+  HIWAY_CHECK(options_.block_size_bytes > 0);
+}
+
+int Dfs::EffectiveReplication() const {
+  int alive = 0;
+  for (NodeId n = options_.first_datanode; n < cluster_->num_nodes(); ++n) {
+    if (dead_nodes_.find(n) == dead_nodes_.end()) ++alive;
+  }
+  return std::max(1, std::min(options_.replication, alive));
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  ++counters_.metadata_ops;
+  return files_.find(path) != files_.end();
+}
+
+Result<DfsFileInfo> Dfs::Stat(const std::string& path) const {
+  ++counters_.metadata_ops;
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file in DFS: " + path);
+  }
+  return it->second;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  ++counters_.metadata_ops;
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file in DFS: " + path);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<NodeId> Dfs::PlaceReplicas(std::optional<NodeId> favored,
+                                       int count) {
+  std::vector<NodeId> alive;
+  alive.reserve(static_cast<size_t>(cluster_->num_nodes()));
+  for (NodeId n = options_.first_datanode; n < cluster_->num_nodes(); ++n) {
+    if (dead_nodes_.find(n) == dead_nodes_.end()) alive.push_back(n);
+  }
+  HIWAY_CHECK(!alive.empty());
+  std::vector<NodeId> chosen;
+  if (favored.has_value() && *favored >= options_.first_datanode &&
+      dead_nodes_.find(*favored) == dead_nodes_.end()) {
+    chosen.push_back(*favored);
+  }
+  // Fisher-Yates style selection of the remaining replicas.
+  std::vector<NodeId> pool;
+  for (NodeId n : alive) {
+    if (chosen.empty() || n != chosen[0]) pool.push_back(n);
+  }
+  while (static_cast<int>(chosen.size()) < count && !pool.empty()) {
+    size_t idx = static_cast<size_t>(rng_.UniformInt(pool.size()));
+    chosen.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(idx));
+  }
+  return chosen;
+}
+
+Status Dfs::IngestFile(const std::string& path, int64_t size_bytes,
+                       std::optional<NodeId> favored_node) {
+  ++counters_.metadata_ops;
+  if (size_bytes < 0) {
+    return Status::InvalidArgument("negative file size for " + path);
+  }
+  if (files_.find(path) != files_.end()) {
+    return Status::AlreadyExists("file already in DFS: " + path);
+  }
+  DfsFileInfo info;
+  info.path = path;
+  info.size_bytes = size_bytes;
+  int64_t remaining = size_bytes;
+  int rep = EffectiveReplication();
+  do {
+    DfsBlock block;
+    block.size_bytes = std::min(remaining, options_.block_size_bytes);
+    block.replicas = PlaceReplicas(favored_node, rep);
+    info.blocks.push_back(std::move(block));
+    remaining -= info.blocks.back().size_bytes;
+  } while (remaining > 0);
+  files_.emplace(path, std::move(info));
+  return Status::OK();
+}
+
+Status Dfs::RegisterExternalFile(const std::string& path,
+                                 int64_t size_bytes) {
+  ++counters_.metadata_ops;
+  if (!cluster_->has_s3()) {
+    return Status::FailedPrecondition(
+        "cluster has no S3 uplink for external file " + path);
+  }
+  if (files_.find(path) != files_.end()) {
+    return Status::AlreadyExists("file already in DFS: " + path);
+  }
+  DfsFileInfo info;
+  info.path = path;
+  info.size_bytes = size_bytes;
+  info.external = true;
+  files_.emplace(path, std::move(info));
+  return Status::OK();
+}
+
+int64_t Dfs::LocalBytes(const std::string& path, NodeId node) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return 0;
+  int64_t total = 0;
+  for (const DfsBlock& block : it->second.blocks) {
+    if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
+        block.replicas.end()) {
+      total += block.size_bytes;
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> Dfs::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, info] : files_) out.push_back(path);
+  return out;
+}
+
+void Dfs::ReadToNode(const std::string& path, NodeId node,
+                     std::function<void(Status)> done) {
+  ++counters_.metadata_ops;  // block-location lookup
+  if (dead_nodes_.find(node) != dead_nodes_.end()) {
+    Status st = Status::IoError("reader node is dead");
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), st] { done(st); });
+    return;
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    Status st = Status::NotFound("no such file in DFS: " + path);
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), st] { done(st); });
+    return;
+  }
+  const DfsFileInfo& info = it->second;
+  // Zero-byte files (and metadata-only sentinels) complete immediately.
+  if (info.size_bytes == 0) {
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done)] { done(Status::OK()); });
+    return;
+  }
+  if (info.external) {
+    // Stream from the S3-like object store through the node's NIC onto
+    // its local disk.
+    counters_.bytes_read_remote += info.size_bytes;
+    FlowSpec spec;
+    spec.resources = cluster_->S3ReadPath(node);
+    spec.demand = static_cast<double>(info.size_bytes) / kBytesPerMb;
+    spec.on_complete = [done = std::move(done)] { done(Status::OK()); };
+    cluster_->net()->StartFlow(std::move(spec));
+    return;
+  }
+  struct ReadState {
+    int pending = 0;
+    bool delivered = false;
+    Status status;
+    std::function<void(Status)> done;
+    void MaybeFinish() {
+      if (pending == 0 && !delivered) {
+        delivered = true;
+        done(status);
+      }
+    }
+  };
+  auto state = std::make_shared<ReadState>();
+  state->done = std::move(done);
+  for (const DfsBlock& block : info.blocks) {
+    if (block.replicas.empty()) {
+      Status st = Status::IoError("block lost (all replicas dead): " + path);
+      cluster_->engine()->ScheduleAfter(
+          0.0, [state, st] {
+            if (state->status.ok()) state->status = st;
+            state->MaybeFinish();
+          });
+      continue;
+    }
+    bool local = std::find(block.replicas.begin(), block.replicas.end(),
+                           node) != block.replicas.end();
+    FlowSpec spec;
+    if (local) {
+      ++counters_.blocks_read_local;
+      counters_.bytes_read_local += block.size_bytes;
+      spec.resources = cluster_->LocalDiskPath(node);
+    } else {
+      ++counters_.blocks_read_remote;
+      counters_.bytes_read_remote += block.size_bytes;
+      // Fetch from a deterministic replica choice (first alive replica).
+      NodeId src = block.replicas.front();
+      spec.resources = cluster_->RemoteTransferPath(src, node);
+    }
+    spec.demand = static_cast<double>(block.size_bytes) / kBytesPerMb;
+    ++state->pending;
+    spec.on_complete = [state] {
+      --state->pending;
+      state->MaybeFinish();
+    };
+    cluster_->net()->StartFlow(std::move(spec));
+  }
+  // If all blocks were lost, the scheduled error callbacks deliver the
+  // status (exactly once, guarded by `delivered`).
+}
+
+void Dfs::WriteFromNode(const std::string& path, int64_t size_bytes,
+                        NodeId node, std::function<void(Status)> done) {
+  ++counters_.metadata_ops;
+  if (dead_nodes_.find(node) != dead_nodes_.end()) {
+    // A crashed DataNode cannot push a write pipeline; this also stops
+    // "ghost" attempts of lost containers from publishing outputs.
+    Status st = Status::IoError("writer node is dead");
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), st] { done(st); });
+    return;
+  }
+  if (files_.find(path) != files_.end()) {
+    Status st = Status::AlreadyExists("file already in DFS: " + path);
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), st] { done(st); });
+    return;
+  }
+  counters_.bytes_written += size_bytes;
+  // Build metadata up front (placement is decided at write start, like an
+  // HDFS client asking the NameNode for a pipeline).
+  DfsFileInfo info;
+  info.path = path;
+  info.size_bytes = size_bytes;
+  int rep = EffectiveReplication();
+  int64_t remaining = size_bytes;
+  struct WriteState {
+    int pending = 0;
+    std::function<void(Status)> done;
+  };
+  auto state = std::make_shared<WriteState>();
+  state->done = std::move(done);
+  std::vector<FlowSpec> flows;
+  do {
+    DfsBlock block;
+    block.size_bytes = std::min(remaining, options_.block_size_bytes);
+    remaining -= block.size_bytes;
+    block.replicas = PlaceReplicas(node, rep);
+    // Pipelined replication: one flow crossing the writer's disk plus the
+    // network path to every remote replica.
+    FlowSpec spec;
+    std::vector<ResourceId> resources;
+    bool writer_is_replica =
+        std::find(block.replicas.begin(), block.replicas.end(), node) !=
+        block.replicas.end();
+    if (writer_is_replica) {
+      resources.push_back(cluster_->disk(node));
+    }
+    bool any_remote = false;
+    for (NodeId replica : block.replicas) {
+      if (replica == node) continue;
+      any_remote = true;
+      resources.push_back(cluster_->nic(replica));
+      resources.push_back(cluster_->disk(replica));
+    }
+    if (any_remote) {
+      resources.push_back(cluster_->nic(node));
+      resources.push_back(cluster_->switch_resource());
+    }
+    if (resources.empty()) resources.push_back(cluster_->disk(node));
+    spec.resources = std::move(resources);
+    spec.demand =
+        std::max(static_cast<double>(block.size_bytes) / kBytesPerMb, 1e-6);
+    spec.on_complete = [state] {
+      if (--state->pending == 0) state->done(Status::OK());
+    };
+    flows.push_back(std::move(spec));
+    info.blocks.push_back(std::move(block));
+  } while (remaining > 0);
+  files_.emplace(path, std::move(info));
+  state->pending = static_cast<int>(flows.size());
+  for (FlowSpec& spec : flows) {
+    cluster_->net()->StartFlow(std::move(spec));
+  }
+}
+
+void Dfs::KillNode(NodeId node) {
+  dead_nodes_.insert(node);
+  for (auto& [path, info] : files_) {
+    for (DfsBlock& block : info.blocks) {
+      block.replicas.erase(
+          std::remove(block.replicas.begin(), block.replicas.end(), node),
+          block.replicas.end());
+    }
+  }
+}
+
+bool Dfs::AllFilesReadable() const {
+  for (const auto& [path, info] : files_) {
+    if (info.size_bytes == 0) continue;
+    for (const DfsBlock& block : info.blocks) {
+      if (block.replicas.empty()) return false;
+    }
+  }
+  return true;
+}
+
+void Dfs::ReReplicate() {
+  int rep = EffectiveReplication();
+  for (auto& [path, info] : files_) {
+    for (DfsBlock& block : info.blocks) {
+      if (block.replicas.empty()) continue;  // unrecoverable
+      while (static_cast<int>(block.replicas.size()) < rep) {
+        // Choose a new home distinct from current replicas.
+        std::vector<NodeId> pool;
+        for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+          if (dead_nodes_.find(n) != dead_nodes_.end()) continue;
+          if (std::find(block.replicas.begin(), block.replicas.end(), n) ==
+              block.replicas.end()) {
+            pool.push_back(n);
+          }
+        }
+        if (pool.empty()) break;
+        NodeId dst = pool[static_cast<size_t>(rng_.UniformInt(pool.size()))];
+        block.replicas.push_back(dst);
+        ++counters_.blocks_re_replicated;
+        ++counters_.metadata_ops;
+      }
+    }
+  }
+}
+
+int64_t Dfs::StoredBytes(NodeId node) const {
+  int64_t total = 0;
+  for (const auto& [path, info] : files_) {
+    for (const DfsBlock& block : info.blocks) {
+      if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
+          block.replicas.end()) {
+        total += block.size_bytes;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace hiway

@@ -1,0 +1,154 @@
+// Simulated HDFS: block-structured immutable files with replicated
+// placement across cluster nodes, locality metadata for data-aware
+// scheduling, and flow-based data movement for reads and pipelined
+// replicated writes.
+//
+// Only the behaviour Hi-WAY depends on is modelled: block locations and
+// sizes (for the data-aware scheduler), replication (for fault tolerance),
+// and the cost of moving bytes between disks and across the switch.
+
+#ifndef HIWAY_HDFS_DFS_H_
+#define HIWAY_HDFS_DFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/sim/cluster.h"
+
+namespace hiway {
+
+struct DfsOptions {
+  /// Number of replicas per block (HDFS default 3, clamped to the cluster
+  /// size).
+  int replication = 3;
+  /// Block size in bytes (HDFS default 128 MiB).
+  int64_t block_size_bytes = 128LL * 1024 * 1024;
+  /// Seed for randomized replica placement.
+  uint64_t seed = 7;
+  /// Nodes below this id run no DataNode (dedicated master VMs store no
+  /// HDFS blocks).
+  NodeId first_datanode = 0;
+};
+
+/// One replicated block of a file.
+struct DfsBlock {
+  int64_t size_bytes = 0;
+  /// Nodes currently holding a replica (distinct, possibly fewer than the
+  /// target replication after node failures).
+  std::vector<NodeId> replicas;
+};
+
+/// NameNode-side metadata of one file.
+struct DfsFileInfo {
+  std::string path;
+  int64_t size_bytes = 0;
+  std::vector<DfsBlock> blocks;
+  /// External objects (e.g. the 1000-Genomes S3 bucket in Sec. 4.1) have
+  /// no HDFS replicas; reads stream through the cluster's S3 uplink.
+  bool external = false;
+};
+
+/// Cumulative counters, used for master-load accounting (Fig. 6) and for
+/// quantifying locality wins (Fig. 4).
+struct DfsCounters {
+  int64_t metadata_ops = 0;
+  int64_t blocks_read_local = 0;
+  int64_t blocks_read_remote = 0;
+  int64_t bytes_read_local = 0;
+  int64_t bytes_read_remote = 0;
+  int64_t bytes_written = 0;
+  int64_t blocks_re_replicated = 0;
+};
+
+class Dfs {
+ public:
+  Dfs(Cluster* cluster, DfsOptions options);
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  // ---- Metadata operations (instantaneous; counted) --------------------
+
+  bool Exists(const std::string& path) const;
+
+  Result<DfsFileInfo> Stat(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+
+  /// Creates metadata for a pre-loaded file without moving data: replicas
+  /// are placed per policy. Used to stage workflow input. If
+  /// `favored_node` is given, the first replica lands there (like an HDFS
+  /// write from that node).
+  Status IngestFile(const std::string& path, int64_t size_bytes,
+                    std::optional<NodeId> favored_node = std::nullopt);
+
+  /// Registers an external (S3-hosted) object: readable from any node via
+  /// the cluster's S3 uplink, never local to any node. Requires the
+  /// cluster to have an S3 resource.
+  Status RegisterExternalFile(const std::string& path, int64_t size_bytes);
+
+  /// Bytes of `path` that have a replica on `node` — the quantity the
+  /// data-aware scheduler maximises.
+  int64_t LocalBytes(const std::string& path, NodeId node) const;
+
+  /// All file paths currently in the namespace, sorted.
+  std::vector<std::string> ListFiles() const;
+
+  // ---- Data operations (asynchronous; consume simulated bandwidth) -----
+
+  /// Stages the file onto `node`'s local disk: local blocks are read from
+  /// the local disk, remote blocks are fetched from a replica over the
+  /// switch. `done` fires when every block has arrived.
+  void ReadToNode(const std::string& path, NodeId node,
+                  std::function<void(Status)> done);
+
+  /// Writes a new `size_bytes` file from `node`, pipelining each block to
+  /// `replication` replicas (first replica local, as in HDFS). `done`
+  /// fires when the last block is fully replicated.
+  void WriteFromNode(const std::string& path, int64_t size_bytes, NodeId node,
+                     std::function<void(Status)> done);
+
+  // ---- Failure handling -------------------------------------------------
+
+  /// Drops every replica stored on `node` (simulates a DataNode crash).
+  /// Files that lose all replicas of some block become unreadable.
+  void KillNode(NodeId node);
+
+  /// True if every block of every file still has >= 1 replica.
+  bool AllFilesReadable() const;
+
+  /// Restores the target replication of under-replicated blocks by copying
+  /// from surviving replicas (metadata-level; instantaneous, counted).
+  void ReReplicate();
+
+  const DfsCounters& counters() const { return counters_; }
+  const DfsOptions& options() const { return options_; }
+  Cluster* cluster() const { return cluster_; }
+
+  /// Total bytes of replicas currently stored on `node`.
+  int64_t StoredBytes(NodeId node) const;
+
+ private:
+  /// Picks `count` distinct replica nodes, honouring the favored first
+  /// node when alive.
+  std::vector<NodeId> PlaceReplicas(std::optional<NodeId> favored, int count);
+
+  int EffectiveReplication() const;
+
+  Cluster* cluster_;
+  DfsOptions options_;
+  mutable DfsCounters counters_;
+  Rng rng_;
+  std::map<std::string, DfsFileInfo> files_;
+  std::set<NodeId> dead_nodes_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_HDFS_DFS_H_

@@ -1,0 +1,245 @@
+#include "src/infra/karamel.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/tools/standard_tools.h"
+#include "src/workloads/workloads.h"
+
+namespace hiway {
+
+namespace {
+
+std::string Attr(const ChefAttributes& attrs, const std::string& key,
+                 const std::string& def) {
+  auto it = attrs.find(key);
+  return it == attrs.end() ? def : it->second;
+}
+
+int64_t AttrInt(const ChefAttributes& attrs, const std::string& key,
+                int64_t def) {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return def;
+  auto parsed = ParseInt64(it->second);
+  return parsed.ok() ? *parsed : def;
+}
+
+double AttrDouble(const ChefAttributes& attrs, const std::string& key,
+                  double def) {
+  auto it = attrs.find(key);
+  if (it == attrs.end()) return def;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : def;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Deployment>> Karamel::Converge() {
+  // Kahn's algorithm over recipe dependencies.
+  std::map<std::string, const Recipe*> by_name;
+  for (const Recipe& r : recipes_) {
+    if (by_name.count(r.name) > 0) {
+      return Status::InvalidArgument("duplicate recipe: " + r.name);
+    }
+    by_name[r.name] = &r;
+  }
+  std::map<std::string, int> in_degree;
+  std::map<std::string, std::vector<std::string>> dependents;
+  for (const Recipe& r : recipes_) {
+    in_degree[r.name] += 0;
+    for (const std::string& dep : r.dependencies) {
+      if (by_name.count(dep) == 0) {
+        return Status::InvalidArgument("recipe '" + r.name +
+                                       "' depends on unknown '" + dep + "'");
+      }
+      ++in_degree[r.name];
+      dependents[dep].push_back(r.name);
+    }
+  }
+  std::deque<std::string> frontier;
+  for (const Recipe& r : recipes_) {
+    if (in_degree[r.name] == 0) frontier.push_back(r.name);
+  }
+  std::vector<const Recipe*> order;
+  while (!frontier.empty()) {
+    std::string name = frontier.front();
+    frontier.pop_front();
+    order.push_back(by_name[name]);
+    for (const std::string& d : dependents[name]) {
+      if (--in_degree[d] == 0) frontier.push_back(d);
+    }
+  }
+  if (order.size() != recipes_.size()) {
+    return Status::InvalidArgument("recipe dependency cycle");
+  }
+  auto deployment = std::make_unique<Deployment>();
+  for (const Recipe* r : order) {
+    Status st = r->converge(attributes_, deployment.get());
+    if (!st.ok()) {
+      return st.WithContext("recipe '" + r->name + "' failed to converge");
+    }
+  }
+  return deployment;
+}
+
+Recipe HadoopInstallRecipe() {
+  Recipe r;
+  r.name = "hadoop::install";
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    NodeSpec node;
+    node.cores = static_cast<int>(AttrInt(attrs, "cluster/cores", 2));
+    node.memory_mb = AttrDouble(attrs, "cluster/memory_mb", 7680.0);
+    node.disk_bw_mbps = AttrDouble(attrs, "cluster/disk_mbps", 150.0);
+    node.nic_bw_mbps = AttrDouble(attrs, "cluster/nic_mbps", 125.0);
+    int workers = static_cast<int>(AttrInt(attrs, "cluster/workers", 4));
+    if (workers < 1) {
+      return Status::InvalidArgument("cluster/workers must be >= 1");
+    }
+    ClusterSpec spec = ClusterSpec::Uniform(
+        workers, node, AttrDouble(attrs, "cluster/switch_mbps", 1250.0));
+    spec.ebs_bw_mbps = AttrDouble(attrs, "cluster/ebs_mbps", 0.0);
+    spec.s3_bw_mbps = AttrDouble(attrs, "cluster/s3_mbps", 0.0);
+    d->cluster = std::make_unique<Cluster>(&d->engine, &d->net, spec);
+    DfsOptions dfs_opts;
+    dfs_opts.replication =
+        static_cast<int>(AttrInt(attrs, "dfs/replication", 3));
+    dfs_opts.block_size_bytes = AttrInt(attrs, "dfs/block_mb", 128) << 20;
+    dfs_opts.first_datanode =
+        static_cast<NodeId>(AttrInt(attrs, "dfs/first_datanode", 0));
+    dfs_opts.seed = static_cast<uint64_t>(AttrInt(attrs, "seed", 7));
+    d->dfs = std::make_unique<Dfs>(d->cluster.get(), dfs_opts);
+    YarnOptions yarn_opts;
+    yarn_opts.allocation_delay_s =
+        AttrDouble(attrs, "yarn/allocation_delay_s", 0.5);
+    d->rm = std::make_unique<ResourceManager>(d->cluster.get(), yarn_opts);
+    d->load = std::make_unique<LoadInjector>(d->cluster.get());
+    return Status::OK();
+  };
+  return r;
+}
+
+Recipe HiWayInstallRecipe() {
+  Recipe r;
+  r.name = "hiway::install";
+  r.dependencies = {"hadoop::install"};
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    (void)attrs;
+    RegisterStandardTools(&d->tools);
+    d->provenance_store = std::make_unique<InMemoryProvenanceStore>();
+    d->provenance =
+        std::make_unique<ProvenanceManager>(d->provenance_store.get());
+    return Status::OK();
+  };
+  return r;
+}
+
+Recipe SnvWorkflowRecipe() {
+  Recipe r;
+  r.name = "workflow::snv-calling";
+  r.dependencies = {"hiway::install"};
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    SnvWorkloadOptions options;
+    options.num_chunks = static_cast<int>(AttrInt(attrs, "snv/chunks", 8));
+    options.chunk_bytes = AttrInt(attrs, "snv/chunk_mb", 1024) << 20;
+    options.cram_compression = AttrInt(attrs, "snv/cram", 0) != 0;
+    GeneratedWorkload workload = MakeSnvCallingWorkflow(options);
+    StagedWorkflow staged;
+    staged.language = "cuneiform";
+    staged.document = workload.document;
+    staged.inputs = workload.inputs;
+    std::string ingest = Attr(attrs, "snv/ingest", "dfs");
+    if (ingest == "dfs") {
+      for (const auto& [path, size] : workload.inputs) {
+        HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
+      }
+    } else if (ingest == "s3") {
+      // Sec. 4.1, second experiment: "obtaining input read data during
+      // workflow execution from the Amazon S3 bucket ... instead of
+      // storing them on the cluster in HDFS".
+      for (const auto& [path, size] : workload.inputs) {
+        HIWAY_RETURN_IF_ERROR(d->dfs->RegisterExternalFile(path, size));
+      }
+    } else if (ingest != "none") {
+      return Status::InvalidArgument("unknown snv/ingest mode: " + ingest);
+    }
+    d->workflows["snv-calling"] = std::move(staged);
+    return Status::OK();
+  };
+  return r;
+}
+
+Recipe TraplineWorkflowRecipe() {
+  Recipe r;
+  r.name = "workflow::trapline";
+  r.dependencies = {"hiway::install"};
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    RnaSeqWorkloadOptions options;
+    options.replicates_per_condition =
+        static_cast<int>(AttrInt(attrs, "rnaseq/replicates", 3));
+    options.sample_bytes = AttrInt(attrs, "rnaseq/sample_mb", 1740) << 20;
+    GeneratedWorkload workload = MakeTraplineWorkflow(options);
+    StagedWorkflow staged;
+    staged.language = "galaxy";
+    staged.document = workload.document;
+    staged.inputs = workload.inputs;
+    for (const auto& [name, path] : TraplineInputBindings(options)) {
+      staged.galaxy_inputs[name] = path;
+    }
+    for (const auto& [path, size] : workload.inputs) {
+      HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
+    }
+    d->workflows["trapline"] = std::move(staged);
+    return Status::OK();
+  };
+  return r;
+}
+
+Recipe MontageWorkflowRecipe() {
+  Recipe r;
+  r.name = "workflow::montage";
+  r.dependencies = {"hiway::install"};
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    MontageWorkloadOptions options;
+    options.num_images =
+        static_cast<int>(AttrInt(attrs, "montage/images", 11));
+    options.image_bytes = AttrInt(attrs, "montage/image_mb", 4) << 20;
+    GeneratedWorkload workload = MakeMontageWorkflow(options);
+    StagedWorkflow staged;
+    staged.language = "dax";
+    staged.document = workload.document;
+    staged.inputs = workload.inputs;
+    for (const auto& [path, size] : workload.inputs) {
+      HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
+    }
+    d->workflows["montage"] = std::move(staged);
+    return Status::OK();
+  };
+  return r;
+}
+
+Recipe KmeansWorkflowRecipe() {
+  Recipe r;
+  r.name = "workflow::kmeans";
+  r.dependencies = {"hiway::install"};
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    KmeansWorkloadOptions options;
+    options.points_bytes = AttrInt(attrs, "kmeans/points_mb", 64) << 20;
+    options.converge_after =
+        static_cast<int>(AttrInt(attrs, "kmeans/converge_after", 5));
+    GeneratedWorkload workload = MakeKmeansWorkflow(options);
+    StagedWorkflow staged;
+    staged.language = "cuneiform";
+    staged.document = workload.document;
+    staged.inputs = workload.inputs;
+    for (const auto& [path, size] : workload.inputs) {
+      HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
+    }
+    d->workflows["kmeans"] = std::move(staged);
+    return Status::OK();
+  };
+  return r;
+}
+
+}  // namespace hiway

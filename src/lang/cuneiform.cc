@@ -1,0 +1,438 @@
+#include "src/lang/cuneiform.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/strings.h"
+#include "src/lang/cuneiform_parser.h"
+
+namespace hiway {
+
+using cuneiform::Expr;
+using cuneiform::ExprPtr;
+using cuneiform::FunDef;
+using cuneiform::OutDecl;
+using cuneiform::ParamDecl;
+using cuneiform::Program;
+using cuneiform::TaskDef;
+
+bool CuneiformValue::IsConcrete() const {
+  if (kind == Kind::kPending) return false;
+  if (kind == Kind::kList) {
+    for (const CuneiformValue& item : items) {
+      if (!item.IsConcrete()) return false;
+    }
+  }
+  return true;
+}
+
+Result<std::unique_ptr<CuneiformSource>> CuneiformSource::Parse(
+    std::string_view source_text, CuneiformOptions options) {
+  HIWAY_ASSIGN_OR_RETURN(Program program,
+                         cuneiform::ParseCuneiform(source_text));
+  return std::unique_ptr<CuneiformSource>(
+      new CuneiformSource(std::move(program), std::move(options)));
+}
+
+bool CuneiformSource::Truthy(const CuneiformValue& v) {
+  switch (v.kind) {
+    case CuneiformValue::Kind::kString:
+    case CuneiformValue::Kind::kFile:
+      return !v.str.empty() && v.str != "false" && v.str != "0";
+    case CuneiformValue::Kind::kList:
+      return !v.items.empty();
+    case CuneiformValue::Kind::kPending:
+      return false;  // callers must check IsConcrete first
+  }
+  return false;
+}
+
+std::string CuneiformSource::Serialize(const CuneiformValue& v) {
+  switch (v.kind) {
+    case CuneiformValue::Kind::kString:
+      return "s'" + v.str + "'";
+    case CuneiformValue::Kind::kFile:
+      return "f'" + v.str + "'";
+    case CuneiformValue::Kind::kList: {
+      std::string out = "[";
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        if (i > 0) out += ",";
+        out += Serialize(v.items[i]);
+      }
+      return out + "]";
+    }
+    case CuneiformValue::Kind::kPending:
+      return "<pending>";
+  }
+  return "?";
+}
+
+Result<std::vector<TaskSpec>> CuneiformSource::Init() {
+  std::vector<TaskSpec> discovered;
+  HIWAY_RETURN_IF_ERROR(Sweep(&discovered));
+  return discovered;
+}
+
+Result<std::vector<TaskSpec>> CuneiformSource::OnTaskCompleted(
+    const TaskResult& result) {
+  auto key_it = key_by_task_.find(result.id);
+  if (key_it == key_by_task_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("completion for unknown task %lld",
+                  static_cast<long long>(result.id)));
+  }
+  AppEntry& entry = memo_[key_it->second];
+  entry.done = true;
+  // Bind declared outputs to produced files / the stdout value.
+  const TaskDef& def = program_.tasks.at(entry.spec.signature);
+  std::map<std::string, std::string> produced;
+  for (const OutputSpec& out : entry.spec.outputs) {
+    produced[out.param] = out.path;
+  }
+  for (const OutDecl& out : def.outputs) {
+    if (out.is_value) {
+      entry.outputs[out.name] =
+          CuneiformValue::String(result.stdout_value);
+    } else {
+      entry.outputs[out.name] = CuneiformValue::File(produced[out.name]);
+    }
+  }
+  std::vector<TaskSpec> discovered;
+  HIWAY_RETURN_IF_ERROR(Sweep(&discovered));
+  return discovered;
+}
+
+std::vector<std::string> CuneiformSource::Targets() const {
+  std::vector<std::string> out;
+  // Flatten file paths of resolved targets.
+  std::function<void(const CuneiformValue&)> visit =
+      [&](const CuneiformValue& v) {
+        if (v.kind == CuneiformValue::Kind::kFile) out.push_back(v.str);
+        if (v.kind == CuneiformValue::Kind::kList) {
+          for (const CuneiformValue& item : v.items) visit(item);
+        }
+      };
+  for (const CuneiformValue& v : target_values_) visit(v);
+  return out;
+}
+
+Status CuneiformSource::Sweep(std::vector<TaskSpec>* discovered) {
+  Env env;
+  // Top-level lets evaluate in order; later bindings may shadow earlier.
+  for (const auto& [name, expr] : program_.lets) {
+    HIWAY_ASSIGN_OR_RETURN(CuneiformValue v, Eval(expr, env, 0, discovered));
+    env[name] = std::move(v);
+  }
+  target_values_.clear();
+  bool all_concrete = true;
+  for (const ExprPtr& target : program_.targets) {
+    HIWAY_ASSIGN_OR_RETURN(CuneiformValue v,
+                           Eval(target, env, 0, discovered));
+    all_concrete = all_concrete && v.IsConcrete();
+    target_values_.push_back(std::move(v));
+  }
+  done_ = all_concrete;
+  return Status::OK();
+}
+
+Result<CuneiformValue> CuneiformSource::Eval(
+    const ExprPtr& expr, const Env& env, int depth,
+    std::vector<TaskSpec>* discovered) {
+  if (depth > options_.max_eval_depth) {
+    return Status::RuntimeError(StrFormat(
+        "evaluation depth limit (%d) exceeded at line %d — unbounded "
+        "static recursion?",
+        options_.max_eval_depth, expr->line));
+  }
+  switch (expr->kind) {
+    case Expr::Kind::kString:
+      return CuneiformValue::String(expr->str);
+    case Expr::Kind::kVar: {
+      auto it = env.find(expr->str);
+      if (it == env.end()) {
+        return Status::InvalidArgument(StrFormat(
+            "undefined variable '%s' at line %d", expr->str.c_str(),
+            expr->line));
+      }
+      return it->second;
+    }
+    case Expr::Kind::kList: {
+      std::vector<CuneiformValue> items;
+      items.reserve(expr->items.size());
+      for (const ExprPtr& item : expr->items) {
+        HIWAY_ASSIGN_OR_RETURN(CuneiformValue v,
+                               Eval(item, env, depth + 1, discovered));
+        items.push_back(std::move(v));
+      }
+      return CuneiformValue::List(std::move(items));
+    }
+    case Expr::Kind::kConcat: {
+      std::string out;
+      for (const ExprPtr& part : expr->items) {
+        HIWAY_ASSIGN_OR_RETURN(CuneiformValue v,
+                               Eval(part, env, depth + 1, discovered));
+        if (v.kind == CuneiformValue::Kind::kPending) {
+          return CuneiformValue::Pending();
+        }
+        if (v.kind == CuneiformValue::Kind::kList) {
+          return Status::InvalidArgument(StrFormat(
+              "cannot concatenate a list at line %d", expr->line));
+        }
+        out += v.str;
+      }
+      return CuneiformValue::String(std::move(out));
+    }
+    case Expr::Kind::kIf: {
+      HIWAY_ASSIGN_OR_RETURN(CuneiformValue cond,
+                             Eval(expr->cond, env, depth + 1, discovered));
+      if (!cond.IsConcrete()) {
+        // Data-dependent control flow: suspend both branches until the
+        // condition's task(s) finish. This is what makes the language
+        // iterative without unbounded task graphs.
+        return CuneiformValue::Pending();
+      }
+      return Eval(Truthy(cond) ? expr->then_branch : expr->else_branch, env,
+                  depth + 1, discovered);
+    }
+    case Expr::Kind::kApply:
+      return EvalApply(*expr, env, depth, discovered);
+  }
+  return Status::RuntimeError("unreachable expression kind");
+}
+
+Result<CuneiformValue> CuneiformSource::EvalApply(
+    const Expr& expr, const Env& env, int depth,
+    std::vector<TaskSpec>* discovered) {
+  auto task_it = program_.tasks.find(expr.str);
+  if (task_it != program_.tasks.end()) {
+    // Task application: named arguments only.
+    std::map<std::string, CuneiformValue> args;
+    for (const auto& [name, value_expr] : expr.args) {
+      if (name.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "task '%s' requires named arguments (line %d)",
+            expr.str.c_str(), expr.line));
+      }
+      HIWAY_ASSIGN_OR_RETURN(CuneiformValue v,
+                             Eval(value_expr, env, depth + 1, discovered));
+      args[name] = std::move(v);
+    }
+    return ApplyTask(task_it->second, args, discovered);
+  }
+  auto fun_it = program_.funs.find(expr.str);
+  if (fun_it != program_.funs.end()) {
+    const FunDef& def = fun_it->second;
+    if (expr.args.size() != def.params.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "function '%s' expects %zu arguments, got %zu (line %d)",
+          def.name.c_str(), def.params.size(), expr.args.size(), expr.line));
+    }
+    Env local;  // defuns close over nothing but their parameters
+    for (size_t i = 0; i < def.params.size(); ++i) {
+      if (!expr.args[i].first.empty() &&
+          expr.args[i].first != def.params[i]) {
+        return Status::InvalidArgument(StrFormat(
+            "function '%s' argument %zu is named '%s', expected '%s'",
+            def.name.c_str(), i, expr.args[i].first.c_str(),
+            def.params[i].c_str()));
+      }
+      HIWAY_ASSIGN_OR_RETURN(
+          CuneiformValue v,
+          Eval(expr.args[i].second, env, depth + 1, discovered));
+      local[def.params[i]] = std::move(v);
+    }
+    return Eval(def.body, local, depth + 1, discovered);
+  }
+  return Status::InvalidArgument(StrFormat(
+      "'%s' is neither a task nor a function (line %d)", expr.str.c_str(),
+      expr.line));
+}
+
+Result<CuneiformValue> CuneiformSource::ApplyTask(
+    const TaskDef& def, const std::map<std::string, CuneiformValue>& args,
+    std::vector<TaskSpec>* discovered) {
+  // Check arity.
+  for (const ParamDecl& param : def.inputs) {
+    if (args.find(param.name) == args.end()) {
+      return Status::InvalidArgument(StrFormat(
+          "task '%s' missing argument '%s'", def.name.c_str(),
+          param.name.c_str()));
+    }
+  }
+  if (args.size() != def.inputs.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "task '%s' called with %zu arguments, expects %zu",
+        def.name.c_str(), args.size(), def.inputs.size()));
+  }
+
+  // Implicit map/cross: each *single* parameter bound to a list expands
+  // the application over the cross product of such lists (Cuneiform's
+  // second-order behaviour). Aggregating ([x]) parameters consume their
+  // whole list in one invocation.
+  std::vector<const ParamDecl*> mapped;
+  for (const ParamDecl& param : def.inputs) {
+    const CuneiformValue& v = args.at(param.name);
+    if (!param.is_list && v.kind == CuneiformValue::Kind::kList) {
+      mapped.push_back(&param);
+    }
+  }
+
+  if (mapped.empty()) {
+    return InvokeCombination(def, args, {}, discovered);
+  }
+
+  // Mapping over an empty list yields an empty list (no invocations).
+  for (const ParamDecl* param : mapped) {
+    if (args.at(param->name).items.empty()) {
+      return CuneiformValue::List({});
+    }
+  }
+
+  // Enumerate the cross product (deterministic order). Per-combination
+  // bindings are pointer overrides into the argument lists — copying the
+  // lists here would make large fan-outs quadratic.
+  std::vector<CuneiformValue> results;
+  std::vector<size_t> index(mapped.size(), 0);
+  std::map<std::string, const CuneiformValue*> overrides;
+  while (true) {
+    bool element_pending = false;
+    for (size_t i = 0; i < mapped.size(); ++i) {
+      const CuneiformValue& list = args.at(mapped[i]->name);
+      const CuneiformValue& element = list.items[index[i]];
+      if (!element.IsConcrete()) element_pending = true;
+      overrides[mapped[i]->name] = &element;
+    }
+    if (element_pending) {
+      // This combination's inputs are not known yet; it stays pending but
+      // sibling combinations still proceed (eager per-element evaluation).
+      results.push_back(CuneiformValue::Pending());
+    } else {
+      HIWAY_ASSIGN_OR_RETURN(
+          CuneiformValue v,
+          InvokeCombination(def, args, overrides, discovered));
+      results.push_back(std::move(v));
+    }
+    // Advance the odometer.
+    size_t pos = mapped.size();
+    while (pos > 0) {
+      --pos;
+      if (++index[pos] < args.at(mapped[pos]->name).items.size()) break;
+      index[pos] = 0;
+      if (pos == 0) return CuneiformValue::List(std::move(results));
+    }
+  }
+}
+
+Result<CuneiformValue> CuneiformSource::InvokeCombination(
+    const TaskDef& def, const std::map<std::string, CuneiformValue>& args,
+    const std::map<std::string, const CuneiformValue*>& overrides,
+    std::vector<TaskSpec>* discovered) {
+  auto arg = [&](const std::string& name) -> const CuneiformValue& {
+    auto it = overrides.find(name);
+    return it != overrides.end() ? *it->second : args.at(name);
+  };
+  // Pending arguments suspend this combination entirely.
+  for (const ParamDecl& param : def.inputs) {
+    if (!arg(param.name).IsConcrete()) {
+      return CuneiformValue::Pending();
+    }
+  }
+  // Validate argument shapes.
+  for (const ParamDecl& param : def.inputs) {
+    const CuneiformValue& v = arg(param.name);
+    if (param.is_list) {
+      if (v.kind != CuneiformValue::Kind::kList) {
+        return Status::InvalidArgument(StrFormat(
+            "task '%s' parameter [%s] requires a list", def.name.c_str(),
+            param.name.c_str()));
+      }
+    } else if (v.kind == CuneiformValue::Kind::kList) {
+      return Status::RuntimeError("unexpanded list argument");
+    }
+  }
+
+  // Memo key: the concrete application.
+  std::string key = def.name + "(";
+  for (const ParamDecl& param : def.inputs) {
+    key += param.name + "=" + Serialize(arg(param.name)) + ";";
+  }
+  key += ")";
+
+  auto result_value = [&](AppEntry& entry) -> CuneiformValue {
+    if (!entry.done) return CuneiformValue::Pending();
+    if (def.outputs.size() == 1) {
+      return entry.outputs.at(def.outputs[0].name);
+    }
+    std::vector<CuneiformValue> tuple;
+    for (const OutDecl& out : def.outputs) {
+      tuple.push_back(entry.outputs.at(out.name));
+    }
+    return CuneiformValue::List(std::move(tuple));
+  };
+
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    return result_value(it->second);
+  }
+
+  // New concrete application: synthesise a TaskSpec.
+  AppEntry entry;
+  entry.task_id = next_task_id_++;
+  int64_t seq = next_invocation_seq_++;
+  TaskSpec spec;
+  spec.id = entry.task_id;
+  spec.signature = def.name;
+  spec.tool = def.tool;
+  for (const ParamDecl& param : def.inputs) {
+    const CuneiformValue& v = arg(param.name);
+    if (param.is_list) {
+      int files = 0;
+      for (const CuneiformValue& item : v.items) {
+        if (item.kind == CuneiformValue::Kind::kFile) {
+          spec.input_files.push_back(item.str);
+          ++files;
+        } else {
+          spec.params[param.name + "." +
+                      StrFormat("%d", files)] = item.str;
+        }
+      }
+      spec.params[param.name + ".count"] =
+          StrFormat("%zu", v.items.size());
+    } else if (param.is_string) {
+      spec.params[param.name] = v.str;
+    } else {
+      // File parameter: string literals are path literals.
+      spec.input_files.push_back(v.str);
+    }
+  }
+  for (const auto& [prop, value] : def.props) {
+    if (prop == "cpu") {
+      auto parsed = ParseInt64(value);
+      if (parsed.ok()) spec.vcores = static_cast<int>(*parsed);
+    } else if (prop == "mem") {
+      auto parsed = ParseDouble(value);
+      if (parsed.ok()) spec.memory_mb = *parsed;
+    } else {
+      spec.params[prop] = value;
+    }
+  }
+  for (const OutDecl& out : def.outputs) {
+    OutputSpec o;
+    o.param = out.name;
+    o.is_value = out.is_value;
+    if (!out.is_value) {
+      o.path = StrFormat("%s/%s-%lld/%s.dat", options_.output_dir.c_str(),
+                         def.name.c_str(), static_cast<long long>(seq),
+                         out.name.c_str());
+    }
+    spec.outputs.push_back(std::move(o));
+  }
+  spec.command = key;
+  entry.spec = spec;
+  memo_.emplace(key, std::move(entry));
+  key_by_task_.emplace(spec.id, key);
+  discovered->push_back(std::move(spec));
+  return CuneiformValue::Pending();
+}
+
+}  // namespace hiway

@@ -1,0 +1,149 @@
+// The Cuneiform-lite front-end: an iterative WorkflowSource.
+//
+// Evaluation model (Sec. 3.3 of the paper): the interpreter reduces the
+// program as far as its data allows. Each concrete black-box application
+// becomes a task; its results are unknown until the driver runs it, so the
+// application's value is *pending*. After every task completion the
+// program is re-evaluated from the root (memoised per concrete
+// application, so nothing is re-submitted), which naturally supports
+// data-dependent conditionals, unbounded loops, and recursion: an `if`
+// whose condition is pending suspends both branches, and resolving it may
+// discover entirely new tasks.
+
+#ifndef HIWAY_LANG_CUNEIFORM_H_
+#define HIWAY_LANG_CUNEIFORM_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lang/cuneiform_ast.h"
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+/// Evaluation value: strings, files, lists, or a pending task output.
+struct CuneiformValue {
+  enum class Kind { kString, kFile, kList, kPending };
+  Kind kind = Kind::kString;
+  std::string str;                     // kString / kFile payload
+  std::vector<CuneiformValue> items;   // kList payload
+
+  static CuneiformValue String(std::string s) {
+    CuneiformValue v;
+    v.kind = Kind::kString;
+    v.str = std::move(s);
+    return v;
+  }
+  static CuneiformValue File(std::string path) {
+    CuneiformValue v;
+    v.kind = Kind::kFile;
+    v.str = std::move(path);
+    return v;
+  }
+  static CuneiformValue List(std::vector<CuneiformValue> items) {
+    CuneiformValue v;
+    v.kind = Kind::kList;
+    v.items = std::move(items);
+    return v;
+  }
+  static CuneiformValue Pending() {
+    CuneiformValue v;
+    v.kind = Kind::kPending;
+    return v;
+  }
+
+  /// True if no pending value occurs anywhere inside.
+  bool IsConcrete() const;
+};
+
+struct CuneiformOptions {
+  /// DFS directory generated outputs are placed under.
+  std::string output_dir = "/cuneiform";
+  /// Guards against unbounded *static* recursion (a defun that recurses
+  /// without consuming task results). Each level costs several native
+  /// stack frames, so the bound is sized to trip well before the C++
+  /// stack does (even under sanitizers); ~60+ data-driven iterations per
+  /// sweep still fit comfortably.
+  int max_eval_depth = 400;
+  /// Workflow name used in provenance.
+  std::string workflow_name = "cuneiform-workflow";
+};
+
+class CuneiformSource : public WorkflowSource {
+ public:
+  /// Parses `source_text`; fails on syntax errors.
+  static Result<std::unique_ptr<CuneiformSource>> Parse(
+      std::string_view source_text, CuneiformOptions options = {});
+
+  std::string name() const override { return options_.workflow_name; }
+  bool IsStatic() const override { return false; }
+  Result<std::vector<TaskSpec>> Init() override;
+  Result<std::vector<TaskSpec>> OnTaskCompleted(
+      const TaskResult& result) override;
+  bool IsDone() const override { return done_; }
+  std::vector<std::string> Targets() const override;
+
+  /// Resolved target values after completion (files flattened in order).
+  const std::vector<CuneiformValue>& target_values() const {
+    return target_values_;
+  }
+
+  /// Number of distinct task applications discovered so far.
+  size_t applications() const { return memo_.size(); }
+
+ private:
+  CuneiformSource(cuneiform::Program program, CuneiformOptions options)
+      : program_(std::move(program)), options_(std::move(options)) {}
+
+  struct AppEntry {
+    TaskId task_id = kInvalidTask;
+    bool done = false;
+    /// Output values by parameter name (filled on completion).
+    std::map<std::string, CuneiformValue> outputs;
+    TaskSpec spec;
+  };
+
+  using Env = std::map<std::string, CuneiformValue>;
+
+  /// One full reduction sweep; fills `discovered` with new tasks and sets
+  /// done_ when all targets are concrete.
+  Status Sweep(std::vector<TaskSpec>* discovered);
+
+  Result<CuneiformValue> Eval(const cuneiform::ExprPtr& expr, const Env& env,
+                              int depth, std::vector<TaskSpec>* discovered);
+  Result<CuneiformValue> EvalApply(const cuneiform::Expr& expr, const Env& env,
+                                   int depth,
+                                   std::vector<TaskSpec>* discovered);
+  Result<CuneiformValue> ApplyTask(const cuneiform::TaskDef& def,
+                                   const std::map<std::string, CuneiformValue>&
+                                       args,
+                                   std::vector<TaskSpec>* discovered);
+  /// Invokes one concrete combination (after map/cross expansion).
+  /// A parameter's value is `overrides[name]` if present, else
+  /// `args[name]` — the override indirection avoids copying the (possibly
+  /// huge) argument lists once per combination.
+  Result<CuneiformValue> InvokeCombination(
+      const cuneiform::TaskDef& def,
+      const std::map<std::string, CuneiformValue>& args,
+      const std::map<std::string, const CuneiformValue*>& overrides,
+      std::vector<TaskSpec>* discovered);
+
+  static bool Truthy(const CuneiformValue& v);
+  static std::string Serialize(const CuneiformValue& v);
+
+  cuneiform::Program program_;
+  CuneiformOptions options_;
+  std::map<std::string, AppEntry> memo_;      // app key -> entry
+  std::map<TaskId, std::string> key_by_task_;
+  TaskId next_task_id_ = 1;
+  int64_t next_invocation_seq_ = 0;
+  bool done_ = false;
+  std::vector<CuneiformValue> target_values_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_CUNEIFORM_H_

@@ -1,0 +1,103 @@
+// AST for Cuneiform-lite, hiway's implementation of the Cuneiform
+// functional workflow language [Brandt et al. 2015]. The dialect keeps the
+// properties the paper exercises — black-box task definitions, implicit
+// map/cross application over lists, data-dependent conditionals, and
+// recursion (i.e. unbounded iteration) — with a compact grammar:
+//
+//   program  := stmt*
+//   stmt     := deftask | defun | let | target
+//   deftask  := 'deftask' NAME '(' out* ':' in* ')' 'in' STRING props? ';'
+//   out      := NAME            -- file output
+//             | '<' NAME '>'    -- value output (task stdout, for control flow)
+//   in       := NAME            -- single file parameter (lists map/cross)
+//             | '[' NAME ']'    -- aggregating file-list parameter
+//             | '~' NAME        -- string parameter
+//   props    := '{' NAME ':' (STRING | NUMBER) (',' ...)* '}'
+//               -- recognised: cpu, mem, output_ratio (forwarded as params)
+//   defun    := 'defun' NAME '(' NAME (',' NAME)* ')' '{' expr '}'
+//   let      := 'let' NAME '=' expr ';'
+//   target   := 'target' expr (',' expr)* ';'
+//   expr     := primary ('+' primary)*                    -- string concat
+//   primary  := STRING | NAME | list | apply | ifexpr | '(' expr ')'
+//   list     := '[' (expr (',' expr)*)? ']'
+//   apply    := NAME '(' (param ':' expr | expr) (',' ...)* ')'
+//               -- named args call a task, positional args call a defun
+//   ifexpr   := 'if' expr 'then' expr 'else' expr 'end'
+//               -- truthy: non-empty string != "false"/"0", non-empty list
+//   comments := '%' to end of line
+//   STRING   := '...' with \\ escapes
+
+#ifndef HIWAY_LANG_CUNEIFORM_AST_H_
+#define HIWAY_LANG_CUNEIFORM_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hiway {
+namespace cuneiform {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kString, kVar, kList, kApply, kIf, kConcat };
+  Kind kind = Kind::kString;
+  int line = 0;
+
+  // kString: the literal; kVar / kApply: the name.
+  std::string str;
+  // kList elements or kConcat parts.
+  std::vector<ExprPtr> items;
+  // kApply arguments; `first` empty for positional (defun) arguments.
+  std::vector<std::pair<std::string, ExprPtr>> args;
+  // kIf branches.
+  ExprPtr cond;
+  ExprPtr then_branch;
+  ExprPtr else_branch;
+};
+
+/// One input parameter of a task definition.
+struct ParamDecl {
+  std::string name;
+  bool is_list = false;    // '[name]': consumes a whole list
+  bool is_string = false;  // '~name': plain string, not staged
+};
+
+/// One output of a task definition.
+struct OutDecl {
+  std::string name;
+  bool is_value = false;  // '<name>': carries the task's stdout
+};
+
+struct TaskDef {
+  std::string name;
+  std::vector<OutDecl> outputs;
+  std::vector<ParamDecl> inputs;
+  /// Tool profile to invoke (the 'in "..."' clause).
+  std::string tool;
+  std::map<std::string, std::string> props;
+  int line = 0;
+};
+
+struct FunDef {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+  int line = 0;
+};
+
+struct Program {
+  std::map<std::string, TaskDef> tasks;
+  std::map<std::string, FunDef> funs;
+  /// Top-level bindings, in order.
+  std::vector<std::pair<std::string, ExprPtr>> lets;
+  std::vector<ExprPtr> targets;
+};
+
+}  // namespace cuneiform
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_CUNEIFORM_AST_H_

@@ -1,0 +1,436 @@
+#include "src/lang/cuneiform_parser.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace hiway {
+namespace cuneiform {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto error = [&line](const std::string& msg) {
+    return Status::ParseError(
+        StrFormat("cuneiform lex error at line %d: %s", line, msg.c_str()));
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < source.size()) {
+        char s = source[i++];
+        if (s == '\\') {
+          if (i >= source.size()) return error("truncated escape in string");
+          char e = source[i++];
+          switch (e) {
+            case 'n':
+              value += '\n';
+              break;
+            case 't':
+              value += '\t';
+              break;
+            default:
+              value += e;
+          }
+          continue;
+        }
+        if (s == '\'') {
+          closed = true;
+          break;
+        }
+        if (s == '\n') ++line;
+        value += s;
+      }
+      if (!closed) return error("unterminated string literal");
+      tokens.push_back(Token{TokenKind::kString, std::move(value), line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) ++i;
+      tokens.push_back(Token{TokenKind::kIdent,
+                             std::string(source.substr(start, i - start)),
+                             line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.')) {
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kNumber,
+                             std::string(source.substr(start, i - start)),
+                             line});
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case '[':
+        kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        kind = TokenKind::kRBracket;
+        break;
+      case ':':
+        kind = TokenKind::kColon;
+        break;
+      case '=':
+        kind = TokenKind::kEquals;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '~':
+        kind = TokenKind::kTilde;
+        break;
+      case '<':
+        kind = TokenKind::kLess;
+        break;
+      case '>':
+        kind = TokenKind::kGreater;
+        break;
+      default:
+        return error(StrFormat("unexpected character '%c'", c));
+    }
+    tokens.push_back(Token{kind, std::string(1, c), line});
+    ++i;
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line});
+  return tokens;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Parse() {
+    Program program;
+    while (!AtEnd()) {
+      const Token& tok = Peek();
+      if (tok.kind != TokenKind::kIdent) {
+        return Error("statement expected");
+      }
+      if (tok.text == "deftask") {
+        HIWAY_RETURN_IF_ERROR(ParseDeftask(&program));
+      } else if (tok.text == "defun") {
+        HIWAY_RETURN_IF_ERROR(ParseDefun(&program));
+      } else if (tok.text == "let") {
+        HIWAY_RETURN_IF_ERROR(ParseLet(&program));
+      } else if (tok.text == "target") {
+        HIWAY_RETURN_IF_ERROR(ParseTarget(&program));
+      } else {
+        return Error("unknown statement '" + tok.text + "'");
+      }
+    }
+    if (program.targets.empty()) {
+      return Status::ParseError(
+          "cuneiform program has no 'target' statement");
+    }
+    return program;
+  }
+
+ private:
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  Token Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StrFormat("cuneiform parse error at line %d: %s",
+                                        Peek().line, msg.c_str()));
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) return Error(std::string("expected ") + what);
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // deftask NAME ( out* : in* ) in STRING props? ;
+  Status ParseDeftask(Program* program) {
+    Advance();  // deftask
+    TaskDef def;
+    def.line = Peek().line;
+    HIWAY_ASSIGN_OR_RETURN(def.name, ExpectIdent("task name"));
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    // Outputs until ':'.
+    while (Peek().kind != TokenKind::kColon) {
+      OutDecl out;
+      if (Match(TokenKind::kLess)) {
+        out.is_value = true;
+        HIWAY_ASSIGN_OR_RETURN(out.name, ExpectIdent("output name"));
+        HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kGreater, "'>'"));
+      } else {
+        HIWAY_ASSIGN_OR_RETURN(out.name, ExpectIdent("output name"));
+      }
+      def.outputs.push_back(std::move(out));
+      if (Peek().kind == TokenKind::kColon) break;
+    }
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+    while (Peek().kind != TokenKind::kRParen) {
+      ParamDecl param;
+      if (Match(TokenKind::kLBracket)) {
+        param.is_list = true;
+        HIWAY_ASSIGN_OR_RETURN(param.name, ExpectIdent("parameter name"));
+        HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+      } else if (Match(TokenKind::kTilde)) {
+        param.is_string = true;
+        HIWAY_ASSIGN_OR_RETURN(param.name, ExpectIdent("parameter name"));
+      } else {
+        HIWAY_ASSIGN_OR_RETURN(param.name, ExpectIdent("parameter name"));
+      }
+      def.inputs.push_back(std::move(param));
+    }
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    HIWAY_ASSIGN_OR_RETURN(std::string in_kw, ExpectIdent("'in'"));
+    if (in_kw != "in") return Error("expected 'in' after task signature");
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected tool name string after 'in'");
+    }
+    def.tool = Advance().text;
+    if (Match(TokenKind::kLBrace)) {
+      while (Peek().kind != TokenKind::kRBrace) {
+        HIWAY_ASSIGN_OR_RETURN(std::string key, ExpectIdent("property name"));
+        HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+        if (Peek().kind != TokenKind::kString &&
+            Peek().kind != TokenKind::kNumber) {
+          return Error("property value must be a string or number");
+        }
+        def.props[key] = Advance().text;
+        if (!Match(TokenKind::kComma)) break;
+      }
+      HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+    }
+    Match(TokenKind::kSemicolon);
+    if (def.outputs.empty()) {
+      return Error("task '" + def.name + "' declares no outputs");
+    }
+    if (program->tasks.count(def.name) > 0 ||
+        program->funs.count(def.name) > 0) {
+      return Error("duplicate definition of '" + def.name + "'");
+    }
+    program->tasks.emplace(def.name, std::move(def));
+    return Status::OK();
+  }
+
+  // defun NAME ( NAME (, NAME)* ) { expr }
+  Status ParseDefun(Program* program) {
+    Advance();  // defun
+    FunDef def;
+    def.line = Peek().line;
+    HIWAY_ASSIGN_OR_RETURN(def.name, ExpectIdent("function name"));
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        HIWAY_ASSIGN_OR_RETURN(std::string p, ExpectIdent("parameter name"));
+        def.params.push_back(std::move(p));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    HIWAY_ASSIGN_OR_RETURN(def.body, ParseExpr());
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+    if (program->tasks.count(def.name) > 0 ||
+        program->funs.count(def.name) > 0) {
+      return Error("duplicate definition of '" + def.name + "'");
+    }
+    program->funs.emplace(def.name, std::move(def));
+    return Status::OK();
+  }
+
+  // let NAME = expr ;
+  Status ParseLet(Program* program) {
+    Advance();  // let
+    HIWAY_ASSIGN_OR_RETURN(std::string name, ExpectIdent("binding name"));
+    HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
+    HIWAY_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    Match(TokenKind::kSemicolon);
+    program->lets.emplace_back(std::move(name), std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseTarget(Program* program) {
+    Advance();  // target
+    while (true) {
+      HIWAY_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      program->targets.push_back(std::move(e));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    Match(TokenKind::kSemicolon);
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    HIWAY_ASSIGN_OR_RETURN(ExprPtr first, ParsePrimary());
+    if (Peek().kind != TokenKind::kPlus) return first;
+    auto concat = std::make_shared<Expr>();
+    concat->kind = Expr::Kind::kConcat;
+    concat->line = first->line;
+    concat->items.push_back(std::move(first));
+    while (Match(TokenKind::kPlus)) {
+      HIWAY_ASSIGN_OR_RETURN(ExprPtr part, ParsePrimary());
+      concat->items.push_back(std::move(part));
+    }
+    return concat;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kString) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kString;
+      e->line = tok.line;
+      e->str = Advance().text;
+      return e;
+    }
+    if (tok.kind == TokenKind::kLBracket) {
+      Advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kList;
+      e->line = tok.line;
+      if (Peek().kind != TokenKind::kRBracket) {
+        while (true) {
+          HIWAY_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          e->items.push_back(std::move(item));
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+      HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+      return e;
+    }
+    if (tok.kind == TokenKind::kLParen) {
+      Advance();
+      HIWAY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    if (tok.kind == TokenKind::kIdent && tok.text == "if") {
+      Advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kIf;
+      e->line = tok.line;
+      HIWAY_ASSIGN_OR_RETURN(e->cond, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(std::string kw1, ExpectIdent("'then'"));
+      if (kw1 != "then") return Error("expected 'then'");
+      HIWAY_ASSIGN_OR_RETURN(e->then_branch, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(std::string kw2, ExpectIdent("'else'"));
+      if (kw2 != "else") return Error("expected 'else'");
+      HIWAY_ASSIGN_OR_RETURN(e->else_branch, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(std::string kw3, ExpectIdent("'end'"));
+      if (kw3 != "end") return Error("expected 'end'");
+      return e;
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      std::string name = Advance().text;
+      if (Peek().kind == TokenKind::kLParen) {
+        Advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kApply;
+        e->line = tok.line;
+        e->str = std::move(name);
+        if (Peek().kind != TokenKind::kRParen) {
+          while (true) {
+            std::string arg_name;
+            if (Peek().kind == TokenKind::kIdent &&
+                Peek(1).kind == TokenKind::kColon) {
+              arg_name = Advance().text;
+              Advance();  // ':'
+            }
+            HIWAY_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+            e->args.emplace_back(std::move(arg_name), std::move(value));
+            if (!Match(TokenKind::kComma)) break;
+          }
+        }
+        HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kVar;
+      e->line = tok.line;
+      e->str = std::move(name);
+      return e;
+    }
+    return Error("expression expected");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseCuneiform(std::string_view source) {
+  HIWAY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace cuneiform
+}  // namespace hiway

@@ -1,0 +1,53 @@
+// Lexer and recursive-descent parser for Cuneiform-lite (see the grammar
+// in cuneiform_ast.h).
+
+#ifndef HIWAY_LANG_CUNEIFORM_PARSER_H_
+#define HIWAY_LANG_CUNEIFORM_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/cuneiform_ast.h"
+
+namespace hiway {
+namespace cuneiform {
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kColon,
+  kEquals,
+  kComma,
+  kSemicolon,
+  kPlus,
+  kTilde,
+  kLess,
+  kGreater,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 1;
+};
+
+/// Tokenises a Cuneiform-lite program; '%' comments are stripped.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+/// Parses a complete program.
+Result<Program> ParseCuneiform(std::string_view source);
+
+}  // namespace cuneiform
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_CUNEIFORM_PARSER_H_

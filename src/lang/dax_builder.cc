@@ -1,0 +1,103 @@
+#include "src/lang/dax_builder.h"
+
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/common/xml.h"
+
+namespace hiway {
+
+DaxJobBuilder& DaxJobBuilder::Argument(std::string argument_text) {
+  argument = std::move(argument_text);
+  return *this;
+}
+
+DaxJobBuilder& DaxJobBuilder::Input(std::string file,
+                                    std::optional<int64_t> size_bytes) {
+  uses.push_back(Uses{std::move(file), true, size_bytes});
+  return *this;
+}
+
+DaxJobBuilder& DaxJobBuilder::Output(std::string file,
+                                     std::optional<int64_t> size_bytes) {
+  uses.push_back(Uses{std::move(file), false, size_bytes});
+  return *this;
+}
+
+DaxJobBuilder& DaxBuilder::AddJob(const std::string& transformation) {
+  auto job = std::make_unique<DaxJobBuilder>();
+  job->id = StrFormat("ID%05d", next_id_++);
+  job->name = transformation;
+  jobs_.push_back(std::move(job));
+  return *jobs_.back();
+}
+
+Result<std::string> DaxBuilder::ToXml() const {
+  // Validate: a file has at most one producer; no job both reads and
+  // writes the same file.
+  std::map<std::string, std::string> producer;  // file -> job id
+  for (const auto& job : jobs_) {
+    std::set<std::string> inputs, outputs;
+    for (const DaxJobBuilder::Uses& u : job->uses) {
+      (u.is_input ? inputs : outputs).insert(u.file);
+    }
+    for (const std::string& file : outputs) {
+      if (inputs.count(file) > 0) {
+        return Status::InvalidArgument(StrFormat(
+            "job %s both reads and writes '%s'", job->id.c_str(),
+            file.c_str()));
+      }
+      auto [it, inserted] = producer.emplace(file, job->id);
+      if (!inserted) {
+        return Status::InvalidArgument(StrFormat(
+            "file '%s' produced by both %s and %s", file.c_str(),
+            it->second.c_str(), job->id.c_str()));
+      }
+    }
+  }
+
+  std::string xml = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  xml += StrFormat("<adag name=\"%s\">\n", XmlEscape(name_).c_str());
+  for (const auto& job : jobs_) {
+    xml += StrFormat("  <job id=\"%s\" name=\"%s\">\n", job->id.c_str(),
+                     XmlEscape(job->name).c_str());
+    if (!job->argument.empty()) {
+      xml += StrFormat("    <argument>%s</argument>\n",
+                       XmlEscape(job->argument).c_str());
+    }
+    for (const DaxJobBuilder::Uses& u : job->uses) {
+      xml += StrFormat("    <uses file=\"%s\" link=\"%s\"",
+                       XmlEscape(u.file).c_str(),
+                       u.is_input ? "input" : "output");
+      if (u.size_bytes.has_value()) {
+        xml += StrFormat(" size=\"%lld\"",
+                         static_cast<long long>(*u.size_bytes));
+      }
+      xml += "/>\n";
+    }
+    xml += "  </job>\n";
+  }
+  // Explicit dependency edges implied by the file graph (Pegasus emits
+  // them; DaxSource validates them).
+  for (const auto& job : jobs_) {
+    std::set<std::string> parents;
+    for (const DaxJobBuilder::Uses& u : job->uses) {
+      if (!u.is_input) continue;
+      auto it = producer.find(u.file);
+      if (it != producer.end() && it->second != job->id) {
+        parents.insert(it->second);
+      }
+    }
+    if (parents.empty()) continue;
+    xml += StrFormat("  <child ref=\"%s\">\n", job->id.c_str());
+    for (const std::string& parent : parents) {
+      xml += StrFormat("    <parent ref=\"%s\"/>\n", parent.c_str());
+    }
+    xml += "  </child>\n";
+  }
+  xml += "</adag>\n";
+  return xml;
+}
+
+}  // namespace hiway

@@ -1,0 +1,78 @@
+// Programmatic DAX generation (Sec. 3.2: DAX workflows "are not intended
+// to be read or written by workflow developers directly. Instead, APIs
+// enabling the generation of DAX workflows are provided" — Pegasus ships
+// Java/Python/Perl builders; this is the C++ one).
+//
+//   DaxBuilder dax("mosaic");
+//   DaxJobBuilder& project = dax.AddJob("mProjectPP")
+//       .Argument("-X raw.fits proj.fits")
+//       .Input("raw.fits", 4 << 20)
+//       .Output("proj.fits");
+//   dax.AddJob("mAdd").Input("proj.fits").Output("mosaic.fits");
+//   std::string xml = dax.ToXml();          // parses with DaxSource
+//
+// File-implied dependencies are automatic; explicit <child>/<parent>
+// edges are emitted for them as well, matching Pegasus output.
+
+#ifndef HIWAY_LANG_DAX_BUILDER_H_
+#define HIWAY_LANG_DAX_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace hiway {
+
+class DaxBuilder;
+
+/// Fluent handle for one <job>.
+class DaxJobBuilder {
+ public:
+  DaxJobBuilder& Argument(std::string argument);
+  DaxJobBuilder& Input(std::string file,
+                       std::optional<int64_t> size_bytes = std::nullopt);
+  DaxJobBuilder& Output(std::string file,
+                        std::optional<int64_t> size_bytes = std::nullopt);
+
+ private:
+  friend class DaxBuilder;
+  struct Uses {
+    std::string file;
+    bool is_input;
+    std::optional<int64_t> size_bytes;
+  };
+  std::string id;
+  std::string name;
+  std::string argument;
+  std::vector<Uses> uses;
+};
+
+class DaxBuilder {
+ public:
+  explicit DaxBuilder(std::string workflow_name)
+      : name_(std::move(workflow_name)) {}
+
+  /// Adds a job invoking `transformation` (the executable name; becomes
+  /// the task signature). The returned reference remains valid for the
+  /// builder's lifetime (jobs are heap-allocated).
+  DaxJobBuilder& AddJob(const std::string& transformation);
+
+  size_t job_count() const { return jobs_.size(); }
+
+  /// Serialises the workflow; fails if a file has two producers or a job
+  /// lists the same file as both input and output.
+  Result<std::string> ToXml() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<DaxJobBuilder>> jobs_;
+  int next_id_ = 1;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_DAX_BUILDER_H_

@@ -1,0 +1,67 @@
+// Pegasus DAX front-end (Sec. 3.2): the XML workflow description language
+// of the Pegasus SWfMS. DAX workflows are fully static — every job and
+// file is explicit — which makes them eligible for the static scheduling
+// policies (round-robin, HEFT).
+//
+// Recognised structure:
+//   <adag name="...">
+//     <job id="ID0001" name="mProjectPP" [namespace=... version=...]>
+//       <argument>...</argument>                 (recorded as the command)
+//       <uses file="in.fits"  link="input"  [size="4194304"]/>
+//       <uses file="out.fits" link="output" [size="6291456"]/>
+//     </job>
+//     <child ref="ID0002"><parent ref="ID0001"/></child>*
+//   </adag>
+//
+// Data dependencies are derived from the file sets (the driver's readiness
+// rule); explicit <child>/<parent> edges are validated for consistency.
+
+#ifndef HIWAY_LANG_DAX_SOURCE_H_
+#define HIWAY_LANG_DAX_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+class DaxSource : public WorkflowSource {
+ public:
+  /// Parses a DAX document. `file_prefix` is prepended to every file name
+  /// to form DFS paths (DAX uses bare logical file names).
+  static Result<std::unique_ptr<DaxSource>> Parse(
+      std::string_view xml_text, const std::string& file_prefix = "/dax/");
+
+  std::string name() const override { return name_; }
+  bool IsStatic() const override { return true; }
+  Result<std::vector<TaskSpec>> Init() override;
+  Result<std::vector<TaskSpec>> OnTaskCompleted(
+      const TaskResult& result) override;
+  bool IsDone() const override { return completed_ >= tasks_.size(); }
+  std::vector<std::string> Targets() const override { return targets_; }
+
+  /// Workflow input files (consumed but never produced): the caller must
+  /// stage these into DFS before submitting.
+  const std::vector<std::pair<std::string, int64_t>>& required_inputs()
+      const {
+    return required_inputs_;
+  }
+
+  size_t task_count() const { return tasks_.size(); }
+
+ private:
+  DaxSource() = default;
+
+  std::string name_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::string> targets_;
+  /// (path, declared size or 0).
+  std::vector<std::pair<std::string, int64_t>> required_inputs_;
+  size_t completed_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_DAX_SOURCE_H_

@@ -1,0 +1,53 @@
+// Galaxy front-end (Sec. 3.2): executes workflows exported from the Galaxy
+// SWfMS as JSON (".ga" files).
+//
+// In a Galaxy export the workflow inputs are placeholders ("data_input"
+// steps); the paper resolves them interactively when the workflow is
+// committed — here the caller provides an input-name -> DFS-path map at
+// parse time. Tool steps connect to upstream step outputs via
+// "input_connections". The resulting task graph is static.
+
+#ifndef HIWAY_LANG_GALAXY_SOURCE_H_
+#define HIWAY_LANG_GALAXY_SOURCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+class GalaxySource : public WorkflowSource {
+ public:
+  /// Parses an exported Galaxy workflow. `inputs` maps each data_input
+  /// step's name (or label) to a DFS path; all placeholders must resolve.
+  /// Generated outputs are placed under `output_dir`.
+  static Result<std::unique_ptr<GalaxySource>> Parse(
+      std::string_view json_text,
+      const std::map<std::string, std::string>& inputs,
+      const std::string& output_dir = "/galaxy");
+
+  std::string name() const override { return name_; }
+  bool IsStatic() const override { return true; }
+  Result<std::vector<TaskSpec>> Init() override;
+  Result<std::vector<TaskSpec>> OnTaskCompleted(
+      const TaskResult& result) override;
+  bool IsDone() const override { return completed_ >= tasks_.size(); }
+  std::vector<std::string> Targets() const override { return targets_; }
+
+  size_t task_count() const { return tasks_.size(); }
+
+ private:
+  GalaxySource() = default;
+
+  std::string name_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::string> targets_;
+  size_t completed_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_GALAXY_SOURCE_H_

@@ -1,0 +1,63 @@
+// Provenance-trace front-end (Sec. 3.5): a Hi-WAY trace file "holds
+// information about all of a workflow's tasks and data dependencies" and
+// "can be interpreted as a workflow itself" — the fourth supported
+// language. Re-executing a trace replays the exact task invocations
+// (signatures, tools, input files, output files) of the recorded run,
+// though not necessarily on the same compute nodes.
+
+#ifndef HIWAY_LANG_TRACE_SOURCE_H_
+#define HIWAY_LANG_TRACE_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/provenance.h"
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+class TraceSource : public WorkflowSource {
+ public:
+  /// Reconstructs a workflow from a JSON-lines trace. When `run_id` is
+  /// empty the first recorded run in the trace is replayed.
+  static Result<std::unique_ptr<TraceSource>> Parse(
+      std::string_view trace_text, const std::string& run_id = "");
+
+  /// Same, from already-parsed events.
+  static Result<std::unique_ptr<TraceSource>> FromEvents(
+      const std::vector<ProvenanceEvent>& events,
+      const std::string& run_id = "");
+
+  std::string name() const override { return name_; }
+  bool IsStatic() const override { return true; }
+  Result<std::vector<TaskSpec>> Init() override;
+  Result<std::vector<TaskSpec>> OnTaskCompleted(
+      const TaskResult& result) override;
+  bool IsDone() const override { return completed_ >= tasks_.size(); }
+  std::vector<std::string> Targets() const override { return targets_; }
+
+  /// Input files of the recorded run that no recorded task produced; they
+  /// must exist in DFS before re-execution (the paper: trace re-execution
+  /// "requires input data to be located ... just like during the workflow
+  /// run from which the trace file was derived").
+  const std::vector<std::pair<std::string, int64_t>>& required_inputs()
+      const {
+    return required_inputs_;
+  }
+
+  size_t task_count() const { return tasks_.size(); }
+
+ private:
+  TraceSource() = default;
+
+  std::string name_;
+  std::vector<TaskSpec> tasks_;
+  std::vector<std::string> targets_;
+  std::vector<std::pair<std::string, int64_t>> required_inputs_;
+  size_t completed_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_TRACE_SOURCE_H_

@@ -1,0 +1,292 @@
+#include "src/provdb/provdb.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+
+namespace {
+
+constexpr uint8_t kRecordPut = 0;
+constexpr uint8_t kRecordDelete = 1;
+
+/// Record layout: u32 payload_len | u32 crc | payload, where payload is
+/// u8 type | u32 klen | key | u32 vlen | value. All integers little-endian.
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static uint32_t table[256];
+  static bool initialized = false;
+  if (!initialized) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    initialized = true;
+  }
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<ProvDb>> ProvDb::Open(const std::string& path) {
+  auto db = std::unique_ptr<ProvDb>(new ProvDb(path));
+  HIWAY_RETURN_IF_ERROR(db->ReplayLog());
+  db->log_ = std::fopen(path.c_str(), "ab");
+  if (db->log_ == nullptr) {
+    return Status::IoError("cannot open provdb log for append: " + path +
+                           ": " + std::strerror(errno));
+  }
+  return db;
+}
+
+ProvDb::~ProvDb() {
+  if (log_ != nullptr) std::fclose(log_);
+}
+
+Status ProvDb::ReplayLog() {
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    log_bytes_ = 0;
+    return Status::OK();  // fresh database
+  }
+  std::string payload;
+  int64_t valid_bytes = 0;
+  while (true) {
+    unsigned char header[8];
+    size_t n = std::fread(header, 1, sizeof(header), f);
+    if (n == 0) break;
+    if (n < sizeof(header)) {
+      ++corrupt_dropped_;
+      break;
+    }
+    uint32_t payload_len = GetU32(header);
+    uint32_t crc = GetU32(header + 4);
+    if (payload_len > (64u << 20)) {  // sanity: no 64MB+ records
+      ++corrupt_dropped_;
+      break;
+    }
+    payload.resize(payload_len);
+    if (std::fread(payload.data(), 1, payload_len, f) != payload_len) {
+      ++corrupt_dropped_;
+      break;
+    }
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      ++corrupt_dropped_;
+      break;
+    }
+    // Decode payload.
+    if (payload.size() < 5) {
+      ++corrupt_dropped_;
+      break;
+    }
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(payload.data());
+    uint8_t type = p[0];
+    uint32_t klen = GetU32(p + 1);
+    if (5 + klen + 4 > payload.size()) {
+      ++corrupt_dropped_;
+      break;
+    }
+    std::string key(payload.data() + 5, klen);
+    uint32_t vlen = GetU32(p + 5 + klen);
+    if (5 + klen + 4 + vlen != payload.size()) {
+      ++corrupt_dropped_;
+      break;
+    }
+    if (type == kRecordPut) {
+      index_[key] = std::string(payload.data() + 5 + klen + 4, vlen);
+    } else if (type == kRecordDelete) {
+      index_.erase(key);
+    } else {
+      ++corrupt_dropped_;
+      break;
+    }
+    valid_bytes += 8 + payload_len;
+  }
+  std::fclose(f);
+  if (corrupt_dropped_ > 0) {
+    HIWAY_LOG_WARN << "provdb " << path_ << ": dropped corrupt log tail ("
+                   << corrupt_dropped_ << " record(s))";
+    // Truncate to the last valid record (by rewriting, which is portable)
+    // so that future appends produce a readable log.
+    FILE* out = std::fopen((path_ + ".tmp").c_str(), "wb");
+    FILE* in = std::fopen(path_.c_str(), "rb");
+    if (out != nullptr && in != nullptr) {
+      std::string buf(64 << 10, '\0');
+      int64_t remaining = valid_bytes;
+      while (remaining > 0) {
+        size_t chunk = static_cast<size_t>(
+            std::min<int64_t>(remaining, static_cast<int64_t>(buf.size())));
+        if (std::fread(buf.data(), 1, chunk, in) != chunk) break;
+        std::fwrite(buf.data(), 1, chunk, out);
+        remaining -= static_cast<int64_t>(chunk);
+      }
+    }
+    if (in != nullptr) std::fclose(in);
+    if (out != nullptr) {
+      std::fclose(out);
+      std::rename((path_ + ".tmp").c_str(), path_.c_str());
+    }
+  }
+  log_bytes_ = valid_bytes;
+  return Status::OK();
+}
+
+Status ProvDb::AppendRecord(uint8_t type, const std::string& key,
+                            const std::string& value) {
+  if (log_ == nullptr) return Status::FailedPrecondition("provdb not open");
+  std::string payload;
+  payload.reserve(9 + key.size() + value.size());
+  payload.push_back(static_cast<char>(type));
+  PutU32(&payload, static_cast<uint32_t>(key.size()));
+  payload += key;
+  PutU32(&payload, static_cast<uint32_t>(value.size()));
+  payload += value;
+  std::string record;
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, Crc32(payload.data(), payload.size()));
+  record += payload;
+  if (std::fwrite(record.data(), 1, record.size(), log_) != record.size()) {
+    return Status::IoError("provdb append failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  std::fflush(log_);
+  log_bytes_ += static_cast<int64_t>(record.size());
+  return Status::OK();
+}
+
+Status ProvDb::Put(const std::string& key, const std::string& value) {
+  HIWAY_RETURN_IF_ERROR(AppendRecord(kRecordPut, key, value));
+  index_[key] = value;
+  return Status::OK();
+}
+
+Status ProvDb::Delete(const std::string& key) {
+  if (index_.find(key) == index_.end()) {
+    return Status::NotFound("no such key: " + key);
+  }
+  HIWAY_RETURN_IF_ERROR(AppendRecord(kRecordDelete, key, ""));
+  index_.erase(key);
+  return Status::OK();
+}
+
+Result<std::string> ProvDb::Get(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no such key: " + key);
+  return it->second;
+}
+
+bool ProvDb::Contains(const std::string& key) const {
+  return index_.find(key) != index_.end();
+}
+
+std::vector<std::pair<std::string, std::string>> ProvDb::Scan(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+Result<int64_t> ProvDb::Compact() {
+  if (log_ == nullptr) return Status::FailedPrecondition("provdb not open");
+  int64_t before = log_bytes_;
+  std::string tmp_path = path_ + ".compact";
+  FILE* old_log = log_;
+  log_ = std::fopen(tmp_path.c_str(), "wb");
+  if (log_ == nullptr) {
+    log_ = old_log;
+    return Status::IoError("cannot create compaction file: " + tmp_path);
+  }
+  log_bytes_ = 0;
+  for (const auto& [key, value] : index_) {
+    Status st = AppendRecord(kRecordPut, key, value);
+    if (!st.ok()) {
+      std::fclose(log_);
+      std::remove(tmp_path.c_str());
+      log_ = old_log;
+      return st;
+    }
+  }
+  std::fclose(old_log);
+  std::fclose(log_);
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("compaction rename failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  log_ = std::fopen(path_.c_str(), "ab");
+  if (log_ == nullptr) {
+    return Status::IoError("cannot reopen compacted log");
+  }
+  return before - log_bytes_;
+}
+
+// ------------------------------------------------ ProvDbProvenanceStore --
+
+ProvDbProvenanceStore::ProvDbProvenanceStore(ProvDb* db) : db_(db) {
+  // Resume the sequence after the highest existing key.
+  auto existing = db_->Scan("ev/");
+  if (!existing.empty()) {
+    auto parsed = ParseInt64(existing.back().first.substr(3));
+    if (parsed.ok()) next_seq_ = *parsed + 1;
+  }
+}
+
+void ProvDbProvenanceStore::Append(const ProvenanceEvent& event) {
+  std::string key = StrFormat("ev/%016lld",
+                              static_cast<long long>(next_seq_++));
+  Status st = db_->Put(key, event.ToJson().Dump());
+  if (!st.ok()) {
+    HIWAY_LOG_ERROR << "provdb append failed: " << st;
+  }
+}
+
+std::vector<ProvenanceEvent> ProvDbProvenanceStore::Events() const {
+  std::vector<ProvenanceEvent> out;
+  for (const auto& [key, value] : db_->Scan("ev/")) {
+    auto json = Json::Parse(value);
+    if (!json.ok()) continue;
+    auto ev = ProvenanceEvent::FromJson(*json);
+    if (ev.ok()) out.push_back(std::move(ev).value());
+  }
+  return out;
+}
+
+size_t ProvDbProvenanceStore::size() const { return db_->Scan("ev/").size(); }
+
+void ProvDbProvenanceStore::Clear() {
+  for (const auto& [key, value] : db_->Scan("ev/")) {
+    (void)db_->Delete(key);
+  }
+  next_seq_ = 0;
+}
+
+}  // namespace hiway

@@ -1,0 +1,59 @@
+#include "src/sim/cluster.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+
+ClusterSpec ClusterSpec::Uniform(int n, const NodeSpec& node,
+                                 double switch_bw) {
+  ClusterSpec spec;
+  spec.switch_bw_mbps = switch_bw;
+  spec.nodes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    NodeSpec ns = node;
+    ns.name = StrFormat("node-%03d", i);
+    spec.nodes.push_back(std::move(ns));
+  }
+  return spec;
+}
+
+Cluster::Cluster(SimEngine* engine, FlowNetwork* net, ClusterSpec spec)
+    : engine_(engine), net_(net), spec_(std::move(spec)) {
+  HIWAY_CHECK(!spec_.nodes.empty());
+  for (const NodeSpec& node : spec_.nodes) {
+    cpu_.push_back(
+        net_->AddResource(node.name + "/cpu", static_cast<double>(node.cores)));
+    disk_.push_back(net_->AddResource(node.name + "/disk", node.disk_bw_mbps));
+    nic_.push_back(net_->AddResource(node.name + "/nic", node.nic_bw_mbps));
+  }
+  switch_ = net_->AddResource("switch", spec_.switch_bw_mbps);
+  if (spec_.ebs_bw_mbps > 0.0) {
+    ebs_ = net_->AddResource("ebs", spec_.ebs_bw_mbps);
+  }
+  if (spec_.s3_bw_mbps > 0.0) {
+    s3_ = net_->AddResource("s3", spec_.s3_bw_mbps);
+  }
+}
+
+std::vector<ResourceId> Cluster::RemoteTransferPath(NodeId src,
+                                                    NodeId dst) const {
+  HIWAY_CHECK(src != dst);
+  return {disk(src), nic(src), switch_, nic(dst), disk(dst)};
+}
+
+std::vector<ResourceId> Cluster::LocalDiskPath(NodeId node) const {
+  return {disk(node)};
+}
+
+std::vector<ResourceId> Cluster::S3ReadPath(NodeId node) const {
+  HIWAY_CHECK(has_s3());
+  return {s3_, nic(node), disk(node)};
+}
+
+std::vector<ResourceId> Cluster::EbsPath(NodeId node) const {
+  HIWAY_CHECK(has_ebs());
+  return {ebs_, nic(node)};
+}
+
+}  // namespace hiway

@@ -1,0 +1,103 @@
+// Simulated datacenter: nodes (CPU cores, local disk, NIC), a shared
+// top-of-rack switch, and optional external storage systems (an
+// EBS-like network volume and an S3-like object store uplink).
+//
+// The Cluster owns only the resource topology; data placement lives in
+// src/hdfs/ and task execution in src/yarn/ + src/core/.
+
+#ifndef HIWAY_SIM_CLUSTER_H_
+#define HIWAY_SIM_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/engine.h"
+#include "src/sim/flow.h"
+
+namespace hiway {
+
+using NodeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// Hardware description of one compute node.
+struct NodeSpec {
+  std::string name;
+  int cores = 2;
+  double memory_mb = 7680;      // m3.large default
+  double disk_bw_mbps = 150.0;  // local SSD sequential bandwidth, MB/s
+  double nic_bw_mbps = 125.0;   // 1 GbE
+  /// Relative CPU speed (1.0 = reference). Task compute time divides by
+  /// this, modelling heterogeneous hardware.
+  double speed_factor = 1.0;
+};
+
+/// Description of the whole cluster.
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  /// Aggregate switch bandwidth shared by all inter-node traffic, MB/s.
+  double switch_bw_mbps = 1250.0;
+  /// Shared network-attached volume bandwidth (Galaxy CloudMan's EBS),
+  /// MB/s; 0 disables the volume.
+  double ebs_bw_mbps = 0.0;
+  /// Aggregate external object-store bandwidth (Amazon S3), MB/s; 0
+  /// disables it.
+  double s3_bw_mbps = 0.0;
+
+  /// Convenience: n identical nodes.
+  static ClusterSpec Uniform(int n, const NodeSpec& node,
+                             double switch_bw_mbps);
+};
+
+/// Instantiates the resource topology of a ClusterSpec in a FlowNetwork.
+class Cluster {
+ public:
+  Cluster(SimEngine* engine, FlowNetwork* net, ClusterSpec spec);
+
+  int num_nodes() const { return static_cast<int>(spec_.nodes.size()); }
+  const ClusterSpec& spec() const { return spec_; }
+  const NodeSpec& node(NodeId id) const {
+    return spec_.nodes[static_cast<size_t>(id)];
+  }
+
+  SimEngine* engine() const { return engine_; }
+  FlowNetwork* net() const { return net_; }
+
+  ResourceId cpu(NodeId id) const { return cpu_[static_cast<size_t>(id)]; }
+  ResourceId disk(NodeId id) const { return disk_[static_cast<size_t>(id)]; }
+  ResourceId nic(NodeId id) const { return nic_[static_cast<size_t>(id)]; }
+  ResourceId switch_resource() const { return switch_; }
+
+  bool has_ebs() const { return ebs_ >= 0; }
+  ResourceId ebs() const { return ebs_; }
+  bool has_s3() const { return s3_ >= 0; }
+  ResourceId s3() const { return s3_; }
+
+  /// Resource path for moving `bytes` from `src` to `dst` over the network
+  /// (disk read at src, both NICs, the switch, disk write at dst).
+  std::vector<ResourceId> RemoteTransferPath(NodeId src, NodeId dst) const;
+
+  /// Resource path for a purely local disk access on `node`.
+  std::vector<ResourceId> LocalDiskPath(NodeId node) const;
+
+  /// Path for reading from the S3-like store onto `node`'s disk.
+  std::vector<ResourceId> S3ReadPath(NodeId node) const;
+
+  /// Path for reading/writing the EBS-like shared volume from `node`.
+  std::vector<ResourceId> EbsPath(NodeId node) const;
+
+ private:
+  SimEngine* engine_;
+  FlowNetwork* net_;
+  ClusterSpec spec_;
+  std::vector<ResourceId> cpu_;
+  std::vector<ResourceId> disk_;
+  std::vector<ResourceId> nic_;
+  ResourceId switch_ = -1;
+  ResourceId ebs_ = -1;
+  ResourceId s3_ = -1;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_SIM_CLUSTER_H_

@@ -1,0 +1,59 @@
+#include "src/sim/engine.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace hiway {
+
+EventId SimEngine::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void SimEngine::Cancel(EventId id) { cancelled_.insert(id); }
+
+bool SimEngine::PopAndRunNext(SimTime limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > limit) return false;
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    // Move out before popping; fn may schedule more events.
+    Event ev{top.time, top.seq, top.id,
+             std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    HIWAY_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void SimEngine::Run() {
+  while (PopAndRunNext(std::numeric_limits<SimTime>::infinity())) {
+  }
+}
+
+void SimEngine::RunUntil(SimTime until) {
+  while (PopAndRunNext(until)) {
+  }
+  if (until > now_) now_ = until;
+}
+
+bool SimEngine::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (PopAndRunNext(std::numeric_limits<SimTime>::infinity())) {
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+}  // namespace hiway

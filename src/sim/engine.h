@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// All of hiway's "distributed" components (YARN, HDFS, the AM, tasks) run
+// inside one SimEngine: they schedule callbacks at virtual timestamps and
+// the engine executes them in time order. Ties are broken by insertion
+// order, which makes runs fully deterministic.
+
+#ifndef HIWAY_SIM_ENGINE_H_
+#define HIWAY_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hiway {
+
+/// Virtual time in seconds since simulation start.
+using SimTime = double;
+
+/// Handle used to cancel a scheduled event.
+using EventId = uint64_t;
+
+class SimEngine {
+ public:
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (clamped to Now()).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now.
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op.
+  void Cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Runs events with timestamps <= `until`, then sets Now() to `until`.
+  void RunUntil(SimTime until);
+
+  /// Runs until `pred()` becomes true (checked after each event) or the
+  /// queue empties. Returns true if the predicate was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  /// Number of events executed so far (for diagnostics / benchmarks).
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO within a timestamp
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRunNext(SimTime limit);
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_SIM_ENGINE_H_

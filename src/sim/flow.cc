@@ -1,0 +1,277 @@
+#include "src/sim/flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hiway {
+
+namespace {
+// Demand below this is considered delivered (guards float drift).
+constexpr double kDemandEpsilon = 1e-7;
+// Rates below this are treated as starvation (no completion scheduled).
+constexpr double kRateEpsilon = 1e-12;
+}  // namespace
+
+ResourceId FlowNetwork::AddResource(std::string name, double capacity) {
+  HIWAY_CHECK(capacity >= 0.0);
+  Resource r;
+  r.name = std::move(name);
+  r.capacity = capacity;
+  resources_.push_back(std::move(r));
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void FlowNetwork::SetCapacity(ResourceId id, double capacity) {
+  HIWAY_CHECK(id >= 0 && static_cast<size_t>(id) < resources_.size());
+  Settle();
+  resources_[static_cast<size_t>(id)].capacity = capacity;
+  Rebalance();
+}
+
+double FlowNetwork::Capacity(ResourceId id) const {
+  HIWAY_CHECK(id >= 0 && static_cast<size_t>(id) < resources_.size());
+  return resources_[static_cast<size_t>(id)].capacity;
+}
+
+const std::string& FlowNetwork::ResourceName(ResourceId id) const {
+  HIWAY_CHECK(id >= 0 && static_cast<size_t>(id) < resources_.size());
+  return resources_[static_cast<size_t>(id)].name;
+}
+
+FlowId FlowNetwork::StartFlow(FlowSpec spec) {
+  HIWAY_CHECK(!spec.resources.empty());
+  HIWAY_CHECK(spec.demand >= 0.0);
+  Settle();
+  HIWAY_CHECK(spec.weight > 0.0);
+  FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.resources = std::move(spec.resources);
+  for (ResourceId r : flow.resources) {
+    HIWAY_CHECK(r >= 0 && static_cast<size_t>(r) < resources_.size());
+  }
+  flow.remaining = spec.demand;
+  flow.rate_cap = spec.rate_cap;
+  flow.weight = spec.weight;
+  flow.on_complete = std::move(spec.on_complete);
+  flows_.emplace(id, std::move(flow));
+  Rebalance();
+  return id;
+}
+
+void FlowNetwork::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Settle();
+  flows_.erase(it);
+  Rebalance();
+}
+
+bool FlowNetwork::IsActive(FlowId id) const {
+  return flows_.find(id) != flows_.end();
+}
+
+double FlowNetwork::RemainingDemand(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  // Account for progress since the last settle without mutating state.
+  double dt = engine_->Now() - last_update_;
+  double progressed = it->second.remaining - it->second.rate * dt;
+  return std::max(progressed, 0.0);
+}
+
+double FlowNetwork::CurrentRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::Settle() {
+  SimTime now = engine_->Now();
+  double dt = now - last_update_;
+  if (dt < 0.0) dt = 0.0;
+  if (dt > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      if (std::isfinite(flow.remaining)) {
+        flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+      }
+    }
+    for (auto& res : resources_) {
+      res.rate_integral += res.current_rate * dt;
+      if (res.active_count > 0) res.busy_integral += dt;
+    }
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::Rebalance() {
+  // --- Weighted progressive-filling max-min fairness with rate caps. ---
+  // All unfrozen flows rise together at rate `level * weight` until either
+  // (a) some resource saturates — its flows freeze at the current level —
+  // or (b) a flow reaches its cap (normalised level cap/weight) and
+  // freezes there. Repeats until every flow is frozen.
+  struct ResState {
+    double remaining_capacity;
+    double unfrozen_weight;
+    int unfrozen_count;
+  };
+  std::vector<ResState> rs(resources_.size());
+  for (size_t i = 0; i < resources_.size(); ++i) {
+    rs[i] = {resources_[i].capacity, 0.0, 0};
+  }
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    unfrozen.push_back(&flow);
+    for (ResourceId r : flow.resources) {
+      rs[static_cast<size_t>(r)].unfrozen_weight += flow.weight;
+      ++rs[static_cast<size_t>(r)].unfrozen_count;
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    // Normalised level at which the tightest resource saturates.
+    double min_res_level = std::numeric_limits<double>::infinity();
+    for (const auto& r : rs) {
+      if (r.unfrozen_count > 0) {
+        min_res_level =
+            std::min(min_res_level,
+                     std::max(0.0, r.remaining_capacity) / r.unfrozen_weight);
+      }
+    }
+    // Normalised level at which the most constrained flow caps out.
+    double min_cap_level = std::numeric_limits<double>::infinity();
+    for (const Flow* f : unfrozen) {
+      min_cap_level = std::min(min_cap_level, f->rate_cap / f->weight);
+    }
+    double level = std::min(min_res_level, min_cap_level);
+    if (!std::isfinite(level)) level = 0.0;
+
+    std::vector<size_t> to_freeze;
+    for (size_t i = 0; i < unfrozen.size(); ++i) {
+      Flow* f = unfrozen[i];
+      bool freeze = f->rate_cap / f->weight <= level + kRateEpsilon;
+      if (!freeze) {
+        for (ResourceId r : f->resources) {
+          const auto& st = rs[static_cast<size_t>(r)];
+          double res_level =
+              std::max(0.0, st.remaining_capacity) / st.unfrozen_weight;
+          if (res_level <= level + kRateEpsilon) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) to_freeze.push_back(i);
+    }
+    if (to_freeze.empty()) {
+      // Numerical corner: force progress by freezing everything at level.
+      for (size_t i = 0; i < unfrozen.size(); ++i) to_freeze.push_back(i);
+    }
+
+    // Apply freezes (reverse order keeps indices valid on erase).
+    for (auto it = to_freeze.rbegin(); it != to_freeze.rend(); ++it) {
+      Flow* f = unfrozen[*it];
+      double rate = std::min(level * f->weight, f->rate_cap);
+      f->rate = rate;
+      for (ResourceId r : f->resources) {
+        auto& st = rs[static_cast<size_t>(r)];
+        st.remaining_capacity -= rate;
+        st.unfrozen_weight -= f->weight;
+        --st.unfrozen_count;
+      }
+      unfrozen.erase(unfrozen.begin() + static_cast<ptrdiff_t>(*it));
+    }
+  }
+
+  // Refresh per-resource instantaneous accounting.
+  for (auto& res : resources_) {
+    res.current_rate = 0.0;
+    res.active_count = 0;
+  }
+  for (const auto& [id, flow] : flows_) {
+    for (ResourceId r : flow.resources) {
+      auto& res = resources_[static_cast<size_t>(r)];
+      res.current_rate += flow.rate;
+      ++res.active_count;
+    }
+  }
+  for (auto& res : resources_) {
+    res.peak_rate = std::max(res.peak_rate, res.current_rate);
+  }
+
+  // (Re)schedule the next completion event.
+  if (has_pending_event_) {
+    engine_->Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  double next_dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (!std::isfinite(flow.remaining)) continue;
+    if (flow.remaining <= kDemandEpsilon) {
+      next_dt = 0.0;
+      break;
+    }
+    if (flow.rate > kRateEpsilon) {
+      next_dt = std::min(next_dt, flow.remaining / flow.rate);
+    }
+  }
+  if (std::isfinite(next_dt)) {
+    pending_event_ =
+        engine_->ScheduleAfter(next_dt, [this] { OnCompletionEvent(); });
+    has_pending_event_ = true;
+  }
+}
+
+void FlowNetwork::OnCompletionEvent() {
+  has_pending_event_ = false;
+  Settle();
+  // Collect finished flows first so that callbacks observe a consistent
+  // network (they frequently start follow-up flows).
+  std::vector<std::function<void()>> callbacks;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (std::isfinite(it->second.remaining) &&
+        it->second.remaining <= kDemandEpsilon) {
+      if (it->second.on_complete) {
+        callbacks.push_back(std::move(it->second.on_complete));
+      }
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Rebalance();
+  for (auto& cb : callbacks) cb();
+}
+
+ResourceStats FlowNetwork::Stats(ResourceId id) const {
+  HIWAY_CHECK(id >= 0 && static_cast<size_t>(id) < resources_.size());
+  const Resource& res = resources_[static_cast<size_t>(id)];
+  ResourceStats out;
+  out.capacity = res.capacity;
+  out.peak_rate = res.peak_rate;
+  double window = engine_->Now() - stats_start_;
+  // Include un-settled progress since last_update_.
+  double extra = engine_->Now() - last_update_;
+  double rate_integral = res.rate_integral + res.current_rate * extra;
+  double busy_integral =
+      res.busy_integral + (res.active_count > 0 ? extra : 0.0);
+  if (window > 0.0) {
+    out.mean_rate = rate_integral / window;
+    out.busy_fraction = busy_integral / window;
+  }
+  return out;
+}
+
+void FlowNetwork::ResetStats() {
+  Settle();
+  stats_start_ = engine_->Now();
+  for (auto& res : resources_) {
+    res.rate_integral = 0.0;
+    res.busy_integral = 0.0;
+    res.peak_rate = res.current_rate;
+  }
+}
+
+}  // namespace hiway

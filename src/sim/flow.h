@@ -1,0 +1,152 @@
+// Max-min fair flow network: the performance model of the simulator.
+//
+// Every concurrent activity (a CPU burst, a disk read, a network transfer)
+// is a *flow* that must cross one or more *shared resources* (a node's CPU
+// cores, its disk bandwidth, its NIC, the cluster switch, an EBS volume, an
+// S3 uplink). At any instant, rates are assigned by progressive-filling
+// max-min fairness with optional per-flow rate caps (e.g. a task that can
+// only use 8 threads). A flow completes once its total demand has been
+// delivered; completions are discrete events on the SimEngine.
+//
+// This model reproduces the contention phenomena the Hi-WAY paper's
+// evaluation rests on: a saturated 1 GbE switch (Fig. 4), a shared EBS
+// volume (Fig. 8), and stress-process interference (Fig. 9).
+
+#ifndef HIWAY_SIM_FLOW_H_
+#define HIWAY_SIM_FLOW_H_
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/engine.h"
+
+namespace hiway {
+
+using ResourceId = int32_t;
+using FlowId = int64_t;
+
+constexpr double kInfiniteDemand = std::numeric_limits<double>::infinity();
+constexpr double kNoRateCap = std::numeric_limits<double>::infinity();
+
+/// Time-averaged usage statistics for one resource.
+struct ResourceStats {
+  double capacity = 0.0;
+  /// Mean allocated rate over the observation window (same unit as
+  /// capacity, e.g. cores or MB/s). Comparable to Linux load average for
+  /// CPU resources.
+  double mean_rate = 0.0;
+  /// Fraction of the window during which at least one flow was active
+  /// (i.e. `iostat`-style device utilisation).
+  double busy_fraction = 0.0;
+  /// Peak instantaneous allocated rate observed.
+  double peak_rate = 0.0;
+};
+
+/// Parameters for starting a flow.
+struct FlowSpec {
+  /// Resources the flow crosses; its rate is bounded by its fair share on
+  /// each. Must be non-empty.
+  std::vector<ResourceId> resources;
+  /// Total units (e.g. MB, core-seconds) to deliver. kInfiniteDemand makes
+  /// a permanent background flow (never completes; cancel explicitly).
+  double demand = 0.0;
+  /// Upper bound on the instantaneous rate (e.g. thread count for a CPU
+  /// flow). kNoRateCap disables the bound.
+  double rate_cap = kNoRateCap;
+  /// Fair-share weight: a flow of weight w receives w times the share of a
+  /// weight-1 flow on contended resources. Lets N identical background
+  /// processes (`stress --cpu N`) be modelled as one flow of weight N.
+  double weight = 1.0;
+  /// Invoked (via the engine, at completion time) once the demand has been
+  /// fully delivered.
+  std::function<void()> on_complete;
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(SimEngine* engine) : engine_(engine) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Registers a resource with the given capacity (units/second).
+  ResourceId AddResource(std::string name, double capacity);
+
+  /// Adjusts capacity at the current virtual time (e.g. node slowdown).
+  void SetCapacity(ResourceId id, double capacity);
+
+  double Capacity(ResourceId id) const;
+  const std::string& ResourceName(ResourceId id) const;
+
+  /// Starts a flow; rates of all flows are re-balanced immediately.
+  FlowId StartFlow(FlowSpec spec);
+
+  /// Cancels an in-flight flow without invoking its completion callback.
+  /// Unknown / already-completed ids are ignored.
+  void CancelFlow(FlowId id);
+
+  /// True if the flow is still in flight.
+  bool IsActive(FlowId id) const;
+
+  /// Remaining demand of an active flow (infinity for permanent flows).
+  double RemainingDemand(FlowId id) const;
+
+  /// Current assigned rate of an active flow.
+  double CurrentRate(FlowId id) const;
+
+  /// Number of flows currently in flight.
+  size_t active_flows() const { return flows_.size(); }
+
+  /// Usage statistics since the last ResetStats (or construction).
+  ResourceStats Stats(ResourceId id) const;
+
+  /// Clears accumulated statistics for all resources; the observation
+  /// window restarts at the current virtual time.
+  void ResetStats();
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity = 0.0;
+    // Accounting.
+    double rate_integral = 0.0;   // sum of rate * dt
+    double busy_integral = 0.0;   // sum of (any flow active) * dt
+    double peak_rate = 0.0;
+    double current_rate = 0.0;    // sum of flow rates at `last_update`
+    int active_count = 0;         // flows crossing this resource
+  };
+
+  struct Flow {
+    std::vector<ResourceId> resources;
+    double remaining = 0.0;
+    double rate_cap = kNoRateCap;
+    double weight = 1.0;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Advances all flow progress / statistics to engine_->Now().
+  void Settle();
+
+  /// Recomputes max-min fair rates and (re)schedules the next completion.
+  void Rebalance();
+
+  /// Event handler: completes every flow whose demand has been delivered.
+  void OnCompletionEvent();
+
+  SimEngine* engine_;
+  std::vector<Resource> resources_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  SimTime last_update_ = 0.0;
+  SimTime stats_start_ = 0.0;
+  EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_SIM_FLOW_H_

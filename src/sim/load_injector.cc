@@ -1,0 +1,65 @@
+#include <cmath>
+
+#include "src/sim/load_injector.h"
+
+namespace hiway {
+
+namespace {
+
+// Aggregate fair-share weight of N stress processes. On the paper's EC2
+// VMs the interference of `stress` grows clearly but *sub-linearly* with
+// the process count (Fig. 9's runtimes stay within one order of magnitude
+// across 1..256 processes): Linux CFS groups a session's spinners under a
+// shared weight, leaving residual per-process pressure. 1 + log2(N)
+// reproduces that observed envelope (weights 1,3,5,7,9 for the paper's
+// 1/4/16/64/256 levels).
+double StressWeight(int count) {
+  return 1.0 + std::log2(static_cast<double>(count));
+}
+
+}  // namespace
+
+void LoadInjector::StressCpu(NodeId node, int count) {
+  if (count <= 0) return;
+  FlowSpec spec;
+  spec.resources = {cluster_->cpu(node)};
+  spec.demand = kInfiniteDemand;
+  spec.weight = StressWeight(count);
+  spec.rate_cap = static_cast<double>(count);  // N procs use <= N cores
+  flows_[node].push_back(cluster_->net()->StartFlow(std::move(spec)));
+}
+
+void LoadInjector::StressDisk(NodeId node, int count, double per_proc_mbps) {
+  if (count <= 0) return;
+  FlowSpec spec;
+  spec.resources = {cluster_->disk(node)};
+  spec.demand = kInfiniteDemand;
+  spec.weight = StressWeight(count);
+  spec.rate_cap = static_cast<double>(count) * per_proc_mbps;
+  flows_[node].push_back(cluster_->net()->StartFlow(std::move(spec)));
+}
+
+void LoadInjector::StopNode(NodeId node) {
+  auto it = flows_.find(node);
+  if (it == flows_.end()) return;
+  for (FlowId id : it->second) {
+    cluster_->net()->CancelFlow(id);
+  }
+  flows_.erase(it);
+}
+
+void LoadInjector::StopAll() {
+  for (auto& [node, ids] : flows_) {
+    for (FlowId id : ids) {
+      cluster_->net()->CancelFlow(id);
+    }
+  }
+  flows_.clear();
+}
+
+int LoadInjector::ActiveCount(NodeId node) const {
+  auto it = flows_.find(node);
+  return it == flows_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+}  // namespace hiway

@@ -1,0 +1,48 @@
+// Synthetic background load, mirroring the Linux `stress` tool used in the
+// paper's Fig. 9 experiment: N CPU-bound spinner processes and/or N
+// processes writing to the local disk, per node.
+
+#ifndef HIWAY_SIM_LOAD_INJECTOR_H_
+#define HIWAY_SIM_LOAD_INJECTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace hiway {
+
+/// Injects and removes permanent background flows on cluster nodes.
+class LoadInjector {
+ public:
+  explicit LoadInjector(Cluster* cluster) : cluster_(cluster) {}
+  ~LoadInjector() { StopAll(); }
+  LoadInjector(const LoadInjector&) = delete;
+  LoadInjector& operator=(const LoadInjector&) = delete;
+
+  /// Starts `count` CPU hog processes on `node` (each demands one core,
+  /// like `stress --cpu count`).
+  void StressCpu(NodeId node, int count);
+
+  /// Starts `count` disk writer processes on `node` (together they contend
+  /// for the node's disk bandwidth, like `stress --hdd count`). Each
+  /// writer's streaming rate is capped at `per_proc_mbps`.
+  void StressDisk(NodeId node, int count, double per_proc_mbps = 40.0);
+
+  /// Stops every injected flow on `node`.
+  void StopNode(NodeId node);
+
+  /// Stops all injected flows.
+  void StopAll();
+
+  /// Number of injected flows currently running on `node`.
+  int ActiveCount(NodeId node) const;
+
+ private:
+  Cluster* cluster_;
+  std::map<NodeId, std::vector<FlowId>> flows_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_SIM_LOAD_INJECTOR_H_

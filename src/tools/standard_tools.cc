@@ -1,0 +1,221 @@
+#include "src/tools/standard_tools.h"
+
+#include <cstdlib>
+
+namespace hiway {
+
+void RegisterGenomicsTools(ToolRegistry* registry) {
+  {
+    // Bowtie 2: CPU-bound, multithreaded short-read aligner. Reference
+    // index is pre-installed on every node by the Chef recipes (Sec. 3.6),
+    // so only the read chunk is staged.
+    ToolProfile p;
+    p.name = "bowtie2";
+    p.cpu_seconds_per_mb = 3.0;
+    p.fixed_cpu_seconds = 20.0;
+    p.max_threads = 16;
+    p.output_ratio = 1.15;  // SAM is slightly larger than FASTQ
+    p.runtime_noise_sigma = 0.04;
+    registry->Register(std::move(p));
+  }
+  {
+    // SAMtools sort: moderate CPU, compresses SAM to BAM. When the task
+    // carries the parameter cram=1 it emits CRAM referential compression
+    // (the Sec. 4.1 weak-scaling experiment), shrinking the output.
+    ToolProfile p;
+    p.name = "samtools-sort";
+    p.cpu_seconds_per_mb = 0.5;
+    p.fixed_cpu_seconds = 5.0;
+    p.max_threads = 4;
+    p.output_ratio = 0.35;  // BAM; overridden to 0.12 via cram=1
+    p.runtime_noise_sigma = 0.03;
+    registry->Register(std::move(p));
+  }
+  {
+    // VarScan: CPU-bound variant caller over sorted alignments.
+    ToolProfile p;
+    p.name = "varscan";
+    p.cpu_seconds_per_mb = 2.2;
+    p.fixed_cpu_seconds = 10.0;
+    p.max_threads = 8;
+    p.output_ratio = 0.02;  // VCF is small
+    p.runtime_noise_sigma = 0.05;
+    registry->Register(std::move(p));
+  }
+  {
+    // ANNOVAR: annotates the (small) VCF against local databases.
+    ToolProfile p;
+    p.name = "annovar";
+    p.cpu_seconds_per_mb = 3.0;
+    p.fixed_cpu_seconds = 15.0;
+    p.max_threads = 1;
+    p.output_ratio = 1.5;
+    p.runtime_noise_sigma = 0.03;
+    registry->Register(std::move(p));
+  }
+}
+
+void RegisterRnaSeqTools(ToolRegistry* registry) {
+  {
+    ToolProfile p;
+    p.name = "fastqc";
+    p.cpu_seconds_per_mb = 0.1;
+    p.fixed_cpu_seconds = 10.0;
+    p.max_threads = 2;
+    p.output_ratio = 0.01;
+    registry->Register(std::move(p));
+  }
+  {
+    ToolProfile p;
+    p.name = "trimmomatic";
+    p.cpu_seconds_per_mb = 0.3;
+    p.fixed_cpu_seconds = 10.0;
+    p.max_threads = 4;
+    p.output_ratio = 0.9;
+    registry->Register(std::move(p));
+  }
+  {
+    // TopHat 2: the dominant step — heavy multithreaded compute plus
+    // "large amounts of intermediate files" (Sec. 4.2), which is exactly
+    // where local SSD beats CloudMan's network EBS volume.
+    ToolProfile p;
+    p.name = "tophat2";
+    p.cpu_seconds_per_mb = 6.0;
+    p.fixed_cpu_seconds = 60.0;
+    p.max_threads = 8;
+    p.scratch_mb_per_input_mb = 12.0;
+    p.output_ratio = 1.5;  // accepted_hits.bam
+    p.runtime_noise_sigma = 0.04;
+    registry->Register(std::move(p));
+  }
+  {
+    ToolProfile p;
+    p.name = "cufflinks";
+    p.cpu_seconds_per_mb = 1.5;
+    p.fixed_cpu_seconds = 30.0;
+    p.max_threads = 8;
+    p.scratch_mb_per_input_mb = 0.5;
+    p.output_ratio = 0.1;
+    p.runtime_noise_sigma = 0.04;
+    registry->Register(std::move(p));
+  }
+  {
+    ToolProfile p;
+    p.name = "cuffmerge";
+    p.cpu_seconds_per_mb = 0.2;
+    p.fixed_cpu_seconds = 120.0;
+    p.max_threads = 4;
+    p.output_ratio = 0.8;
+    registry->Register(std::move(p));
+  }
+  {
+    // Cuffdiff: reads every sample's alignments; serial tail of TRAPLINE.
+    ToolProfile p;
+    p.name = "cuffdiff";
+    p.cpu_seconds_per_mb = 0.5;
+    p.fixed_cpu_seconds = 60.0;
+    p.max_threads = 8;
+    p.output_ratio = 0.01;
+    p.runtime_noise_sigma = 0.04;
+    registry->Register(std::move(p));
+  }
+}
+
+void RegisterMontageTools(ToolRegistry* registry) {
+  auto simple = [registry](const char* name, double per_mb, double fixed,
+                           double out_ratio) {
+    ToolProfile p;
+    p.name = name;
+    p.cpu_seconds_per_mb = per_mb;
+    p.fixed_cpu_seconds = fixed;
+    p.max_threads = 1;  // Montage binaries are single-threaded
+    p.output_ratio = out_ratio;
+    p.runtime_noise_sigma = 0.05;
+    registry->Register(std::move(p));
+  };
+  // The per-image projection / correction fan-outs dominate a 0.25-degree
+  // mosaic; the serial tail tasks (mConcatFit .. mJPEG) are light.
+  simple("mProjectPP", 6.0, 5.0, 1.5);    // re-project one FITS image
+  simple("mDiffFit", 1.0, 2.0, 0.001);    // fit plane between two overlaps
+  simple("mConcatFit", 0.2, 1.5, 0.01);   // concatenate fit results
+  simple("mBgModel", 0.5, 3.0, 0.01);     // global background model
+  simple("mBackground", 1.5, 3.0, 1.0);   // apply background correction
+  simple("mImgtbl", 0.1, 1.0, 0.001);     // build image metadata table
+  simple("mAdd", 0.3, 4.0, 1.2);          // co-add into the mosaic
+  simple("mShrink", 0.1, 1.5, 0.25);      // shrink the mosaic
+  simple("mJPEG", 0.1, 1.0, 0.1);         // render JPEG preview
+}
+
+void RegisterKmeansTools(ToolRegistry* registry, int converge_after) {
+  {
+    ToolProfile p;
+    p.name = "kmeans-init";
+    p.cpu_seconds_per_mb = 0.05;
+    p.fixed_cpu_seconds = 5.0;
+    p.output_ratio = 0.001;
+    p.min_output_bytes = 4096;
+    registry->Register(std::move(p));
+  }
+  {
+    ToolProfile p;
+    p.name = "kmeans-assign";
+    p.cpu_seconds_per_mb = 0.5;
+    p.fixed_cpu_seconds = 2.0;
+    p.max_threads = 4;
+    p.output_ratio = 0.05;
+    registry->Register(std::move(p));
+  }
+  {
+    // Fused assign+update iteration step (the Cuneiform k-means example
+    // expresses one refinement per recursion).
+    ToolProfile p;
+    p.name = "kmeans-step";
+    p.cpu_seconds_per_mb = 0.6;
+    p.fixed_cpu_seconds = 4.0;
+    p.max_threads = 4;
+    p.output_ratio = 0.01;
+    p.min_output_bytes = 4096;
+    registry->Register(std::move(p));
+  }
+  {
+    ToolProfile p;
+    p.name = "kmeans-update";
+    p.cpu_seconds_per_mb = 0.2;
+    p.fixed_cpu_seconds = 5.0;
+    p.output_ratio = 0.5;
+    p.min_output_bytes = 4096;
+    registry->Register(std::move(p));
+  }
+  {
+    // Convergence check: a data-dependent control-flow decision. The
+    // synthetic criterion declares convergence on the N-th invocation
+    // (N = task param "converge_after", else the registration default),
+    // standing in for the residual-threshold test of real k-means.
+    ToolProfile p;
+    p.name = "kmeans-check";
+    p.cpu_seconds_per_mb = 0.05;
+    p.fixed_cpu_seconds = 2.0;
+    p.output_ratio = 0.0;
+    p.min_output_bytes = 16;
+    p.stdout_fn = [converge_after](const ToolInvocation& inv) -> std::string {
+      int threshold = converge_after;
+      if (inv.task != nullptr) {
+        auto it = inv.task->params.find("converge_after");
+        if (it != inv.task->params.end()) {
+          threshold = std::atoi(it->second.c_str());
+        }
+      }
+      return (inv.prior_invocations + 1 >= threshold) ? "true" : "";
+    };
+    registry->Register(std::move(p));
+  }
+}
+
+void RegisterStandardTools(ToolRegistry* registry) {
+  RegisterGenomicsTools(registry);
+  RegisterRnaSeqTools(registry);
+  RegisterMontageTools(registry);
+  RegisterKmeansTools(registry);
+}
+
+}  // namespace hiway

@@ -1,0 +1,40 @@
+// Synthetic profiles for every external tool appearing in the paper's
+// evaluation (Sec. 4): the SNV-calling pipeline (Bowtie 2, SAMtools,
+// VarScan, ANNOVAR), the TRAPLINE RNA-seq pipeline (FastQC, Trimmomatic,
+// TopHat 2, Cufflinks, Cuffmerge, Cuffdiff), the Montage astronomy toolkit
+// (mProjectPP, mDiffFit, mConcatFit, mBgModel, mBackground, mImgtbl, mAdd,
+// mShrink, mJPEG), and the k-means helpers used by the iterative-workflow
+// example.
+//
+// Profiles are calibrated so that the simulated experiments land in the
+// paper's runtime ballpark (e.g. ~5.5 h for one 8 GB sample on an
+// m3.large, Sec. 4.1) — absolute values are ours, shapes are the claim.
+
+#ifndef HIWAY_TOOLS_STANDARD_TOOLS_H_
+#define HIWAY_TOOLS_STANDARD_TOOLS_H_
+
+#include "src/tools/tool_registry.h"
+
+namespace hiway {
+
+/// Registers the genomics (SNV calling) tool profiles.
+void RegisterGenomicsTools(ToolRegistry* registry);
+
+/// Registers the RNA-seq (TRAPLINE) tool profiles.
+void RegisterRnaSeqTools(ToolRegistry* registry);
+
+/// Registers the Montage astronomy tool profiles.
+void RegisterMontageTools(ToolRegistry* registry);
+
+/// Registers the k-means helper tools. `converge_after` bounds the
+/// iteration count of the synthetic convergence check (the check's stdout
+/// becomes "true" on its converge_after-th invocation), unless the task
+/// itself carries a "converge_after" parameter.
+void RegisterKmeansTools(ToolRegistry* registry, int converge_after = 5);
+
+/// Registers everything above.
+void RegisterStandardTools(ToolRegistry* registry);
+
+}  // namespace hiway
+
+#endif  // HIWAY_TOOLS_STANDARD_TOOLS_H_

@@ -1,0 +1,43 @@
+#include "src/tools/tool_registry.h"
+
+namespace hiway {
+
+void ToolRegistry::Register(ToolProfile profile) {
+  std::string name = profile.name;
+  profiles_[name] = std::move(profile);
+}
+
+bool ToolRegistry::Contains(const std::string& name) const {
+  return profiles_.find(name) != profiles_.end();
+}
+
+Result<const ToolProfile*> ToolRegistry::Find(const std::string& name) const {
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no tool profile registered for: " + name);
+  }
+  return &it->second;
+}
+
+Result<const ToolProfile*> ToolRegistry::FindForInvocation(
+    const std::string& name, int* prior_invocations) {
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no tool profile registered for: " + name);
+  }
+  int& count = invocations_[name];
+  if (prior_invocations != nullptr) *prior_invocations = count;
+  ++count;
+  return &it->second;
+}
+
+std::vector<std::string> ToolRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [name, profile] : profiles_) out.push_back(name);
+  return out;
+}
+
+void ToolRegistry::ResetInvocationCounts() { invocations_.clear(); }
+
+}  // namespace hiway

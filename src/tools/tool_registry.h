@@ -1,0 +1,102 @@
+// Black-box tool model.
+//
+// Hi-WAY never inspects what a task does — it only observes resource
+// consumption (Sec. 1: "strict black-box view on tools"). A ToolProfile
+// captures exactly that observable signature: CPU work per input byte,
+// thread scalability, scratch I/O, output volume, and an optional stdout
+// function (used by iterative workflows for convergence checks).
+//
+// Profiles for the tools appearing in the paper's experiments (Bowtie 2,
+// SAMtools, VarScan, ANNOVAR, TopHat 2, Cufflinks, the Montage binaries,
+// the k-means helpers) live in standard_tools.h.
+
+#ifndef HIWAY_TOOLS_TOOL_REGISTRY_H_
+#define HIWAY_TOOLS_TOOL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+/// Context handed to a tool's stdout function.
+struct ToolInvocation {
+  const TaskSpec* task = nullptr;
+  /// How many times this tool has been invoked before in this registry
+  /// (lets synthetic convergence checks terminate deterministically).
+  int prior_invocations = 0;
+  /// Total input bytes staged in.
+  int64_t input_bytes = 0;
+};
+
+/// Resource signature of one black-box tool.
+struct ToolProfile {
+  std::string name;
+
+  /// Core-seconds of compute per MiB of input (at reference speed 1.0).
+  double cpu_seconds_per_mb = 0.0;
+  /// Fixed startup compute cost in core-seconds (JVM warmup, index load).
+  double fixed_cpu_seconds = 1.0;
+  /// Maximum useful parallelism; the effective rate cap is
+  /// min(max_threads, container vcores).
+  int max_threads = 1;
+
+  /// Scratch I/O written to the local disk per MiB of input, concurrent
+  /// with the compute phase (TopHat-style intermediate spill).
+  double scratch_mb_per_input_mb = 0.0;
+
+  /// Total output bytes per input byte, split evenly across file outputs
+  /// unless `output_ratio_by_param` names them individually.
+  double output_ratio = 1.0;
+  std::map<std::string, double> output_ratio_by_param;
+  /// Minimum size of any produced file, bytes (log files etc. are never
+  /// truly empty).
+  int64_t min_output_bytes = 1024;
+
+  /// Multiplicative log-normal noise applied to the compute work; 0
+  /// disables noise (fully deterministic tools).
+  double runtime_noise_sigma = 0.0;
+
+  /// Probability that an invocation fails (transient tool error); the AM
+  /// retries failed tasks on other nodes.
+  double failure_probability = 0.0;
+
+  /// Synthesises the task's stdout; default empty.
+  std::function<std::string(const ToolInvocation&)> stdout_fn;
+};
+
+/// Per-run registry of tool profiles; also tracks invocation counts so
+/// synthetic convergence checks behave deterministically.
+class ToolRegistry {
+ public:
+  ToolRegistry() = default;
+
+  /// Registers (or replaces) a profile.
+  void Register(ToolProfile profile);
+
+  bool Contains(const std::string& name) const;
+
+  Result<const ToolProfile*> Find(const std::string& name) const;
+
+  /// Returns the profile and bumps its invocation counter.
+  Result<const ToolProfile*> FindForInvocation(const std::string& name,
+                                               int* prior_invocations);
+
+  std::vector<std::string> Names() const;
+
+  /// Resets per-run invocation counters (between consecutive workflow
+  /// executions of the Fig. 9 experiment).
+  void ResetInvocationCounts();
+
+ private:
+  std::map<std::string, ToolProfile> profiles_;
+  std::map<std::string, int> invocations_;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_TOOLS_TOOL_REGISTRY_H_

@@ -1,0 +1,329 @@
+#include "src/workloads/workloads.h"
+
+#include "src/common/json.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+
+// ------------------------------------------------------------ SNV calling -
+
+GeneratedWorkload MakeSnvCallingWorkflow(const SnvWorkloadOptions& options) {
+  GeneratedWorkload out;
+  std::string reads_list = "[";
+  for (int i = 0; i < options.num_chunks; ++i) {
+    std::string path =
+        StrFormat("%s/chunk%04d.fq.gz", options.input_dir.c_str(), i);
+    out.inputs.emplace_back(path, options.chunk_bytes);
+    if (i > 0) reads_list += ", ";
+    reads_list += "'" + path + "'";
+  }
+  reads_list += "]";
+
+  // The sort step's output ratio models BAM (0.35) vs CRAM referential
+  // compression (0.12); the property is forwarded to the tool model.
+  const char* sort_ratio = options.cram_compression ? "0.12" : "0.35";
+
+  out.document = StrFormat(
+      "%% Single nucleotide variant calling [Pabinger et al. 2014],\n"
+      "%% as evaluated in Sec. 4.1 of the Hi-WAY paper.\n"
+      "deftask align( sam : reads ) in 'bowtie2';\n"
+      "deftask sort( bam : sam ) in 'samtools-sort' { output_ratio: '%s' };\n"
+      "deftask call( vcf : bam ) in 'varscan';\n"
+      "deftask annotate( csv : vcf ) in 'annovar';\n"
+      "let reads = %s;\n"
+      "let sams = align( reads: reads );\n"
+      "let bams = sort( sam: sams );\n"
+      "let vcfs = call( bam: bams );\n"
+      "let csvs = annotate( vcf: vcfs );\n"
+      "target csvs;\n",
+      sort_ratio, reads_list.c_str());
+  return out;
+}
+
+// ---------------------------------------------------------------- RNA-seq -
+
+namespace {
+
+std::string SampleName(int condition, int replicate) {
+  return StrFormat("%s_rep%d", condition == 0 ? "young" : "aged",
+                   replicate + 1);
+}
+
+Json Connection(int64_t step, const std::string& output = "output") {
+  Json c = Json::MakeObject();
+  c.Set("id", step);
+  c.Set("output_name", output);
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> TraplineInputBindings(
+    const RnaSeqWorkloadOptions& options) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (int c = 0; c < 2; ++c) {
+    for (int r = 0; r < options.replicates_per_condition; ++r) {
+      std::string name = SampleName(c, r);
+      out.emplace_back(name, StrFormat("%s/%s.fastq.gz",
+                                       options.input_dir.c_str(),
+                                       name.c_str()));
+    }
+  }
+  return out;
+}
+
+GeneratedWorkload MakeTraplineWorkflow(const RnaSeqWorkloadOptions& options) {
+  GeneratedWorkload out;
+  const int reps = options.replicates_per_condition;
+  const int samples = 2 * reps;
+
+  Json steps = Json::MakeObject();
+  int64_t next_id = 0;
+  std::vector<int64_t> input_ids;
+  std::vector<int64_t> cufflinks_ids;
+  std::vector<int64_t> tophat_ids;
+
+  // Data inputs (placeholders resolved at submission).
+  for (int c = 0; c < 2; ++c) {
+    for (int r = 0; r < reps; ++r) {
+      std::string name = SampleName(c, r);
+      out.inputs.emplace_back(StrFormat("%s/%s.fastq.gz",
+                                        options.input_dir.c_str(),
+                                        name.c_str()),
+                              options.sample_bytes);
+      Json step = Json::MakeObject();
+      step.Set("id", next_id);
+      step.Set("type", "data_input");
+      Json inputs = Json::MakeArray();
+      Json input = Json::MakeObject();
+      input.Set("name", name);
+      inputs.Append(std::move(input));
+      step.Set("inputs", std::move(inputs));
+      steps.Set(StrFormat("%lld", static_cast<long long>(next_id)),
+                std::move(step));
+      input_ids.push_back(next_id);
+      ++next_id;
+    }
+  }
+
+  auto add_tool_step = [&](const std::string& tool_id,
+                           std::vector<std::pair<std::string, Json>> conns,
+                           std::vector<std::pair<std::string, std::string>>
+                               outputs) -> int64_t {
+    Json step = Json::MakeObject();
+    step.Set("id", next_id);
+    step.Set("type", "tool");
+    step.Set("tool_id", tool_id);
+    Json connections = Json::MakeObject();
+    for (auto& [name, conn] : conns) {
+      connections.Set(name, std::move(conn));
+    }
+    step.Set("input_connections", std::move(connections));
+    Json outs = Json::MakeArray();
+    for (auto& [name, type] : outputs) {
+      Json o = Json::MakeObject();
+      o.Set("name", name);
+      o.Set("type", type);
+      outs.Append(std::move(o));
+    }
+    step.Set("outputs", std::move(outs));
+    steps.Set(StrFormat("%lld", static_cast<long long>(next_id)),
+              std::move(step));
+    return next_id++;
+  };
+
+  // Per-sample chains.
+  for (int s = 0; s < samples; ++s) {
+    int64_t in = input_ids[static_cast<size_t>(s)];
+    add_tool_step("toolshed/repos/devteam/fastqc/fastqc/0.11",
+                  {{"input", Connection(in)}}, {{"report", "html"}});
+    int64_t trimmed = add_tool_step(
+        "toolshed/repos/pjbriggs/trimmomatic/trimmomatic/0.36",
+        {{"input", Connection(in)}}, {{"output", "fastq"}});
+    int64_t aligned = add_tool_step(
+        "toolshed/repos/devteam/tophat2/tophat2/2.1.0",
+        {{"input", Connection(trimmed)}}, {{"output", "bam"}});
+    tophat_ids.push_back(aligned);
+    int64_t quantified = add_tool_step(
+        "toolshed/repos/devteam/cufflinks/cufflinks/2.2.1",
+        {{"input", Connection(aligned)}}, {{"output", "gtf"}});
+    cufflinks_ids.push_back(quantified);
+  }
+
+  // Cuffmerge over all assembled transcripts.
+  Json merge_conns = Json::MakeArray();
+  for (int64_t id : cufflinks_ids) merge_conns.Append(Connection(id));
+  int64_t merged = add_tool_step(
+      "toolshed/repos/devteam/cuffmerge/cuffmerge/2.2.1",
+      {{"inputs", std::move(merge_conns)}}, {{"output", "gtf"}});
+
+  // Cuffdiff: merged annotation + every sample's alignments.
+  Json diff_bams = Json::MakeArray();
+  for (int64_t id : tophat_ids) diff_bams.Append(Connection(id));
+  add_tool_step("toolshed/repos/devteam/cuffdiff/cuffdiff/2.2.1",
+                {{"annotation", Connection(merged)},
+                 {"alignments", std::move(diff_bams)}},
+                {{"output", "tabular"}});
+
+  Json doc = Json::MakeObject();
+  doc.Set("a_galaxy_workflow", "true");
+  doc.Set("name", "TRAPLINE");
+  doc.Set("annotation",
+          "Standardized RNA-seq analysis pipeline [Wolfien et al. 2016]");
+  doc.Set("format-version", "0.1");
+  doc.Set("steps", std::move(steps));
+  out.document = doc.Dump(2);
+  return out;
+}
+
+// ---------------------------------------------------------------- Montage -
+
+GeneratedWorkload MakeMontageWorkflow(const MontageWorkloadOptions& options) {
+  GeneratedWorkload out;
+  const int n = options.num_images;
+  std::string xml =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!-- Montage 0.25 degree mosaic of the Omega Nebula (Sec. 4.3) -->\n"
+      "<adag name=\"montage-0.25\">\n";
+  int job_seq = 1;
+  auto job_id = [&]() { return StrFormat("ID%05d", job_seq++); };
+
+  const int64_t img = options.image_bytes;
+  const int64_t projected = static_cast<int64_t>(img * 1.5);
+
+  // Raw input images. DAX files use *logical* file names; the DaxSource
+  // front-end maps every name under its file prefix (default "/dax/"), so
+  // the staged input paths carry the same prefix.
+  (void)options.input_dir;  // logical names are bare in the DAX document
+  for (int i = 0; i < n; ++i) {
+    out.inputs.emplace_back(StrFormat("/dax/raw_%02d.fits", i), img);
+  }
+
+  // mProjectPP per image.
+  for (int i = 0; i < n; ++i) {
+    xml += StrFormat(
+        "  <job id=\"%s\" name=\"mProjectPP\">\n"
+        "    <argument>-X raw_%02d.fits proj_%02d.fits "
+        "region.hdr</argument>\n"
+        "    <uses file=\"raw_%02d.fits\" link=\"input\" size=\"%lld\"/>\n"
+        "    <uses file=\"proj_%02d.fits\" link=\"output\" size=\"%lld\"/>\n"
+        "  </job>\n",
+        job_id().c_str(), i, i, i, static_cast<long long>(img), i,
+        static_cast<long long>(projected));
+  }
+  // Overlap pairs: adjacent and next-adjacent images overlap on the sky.
+  struct Pair {
+    int a, b;
+  };
+  std::vector<Pair> overlaps;
+  for (int i = 0; i + 1 < n; ++i) overlaps.push_back({i, i + 1});
+  for (int i = 0; i + 2 < n; ++i) overlaps.push_back({i, i + 2});
+
+  // mDiffFit per overlap.
+  for (size_t k = 0; k < overlaps.size(); ++k) {
+    xml += StrFormat(
+        "  <job id=\"%s\" name=\"mDiffFit\">\n"
+        "    <argument>proj_%02d.fits proj_%02d.fits fit_%03zu.txt</argument>\n"
+        "    <uses file=\"proj_%02d.fits\" link=\"input\"/>\n"
+        "    <uses file=\"proj_%02d.fits\" link=\"input\"/>\n"
+        "    <uses file=\"fit_%03zu.txt\" link=\"output\" size=\"2048\"/>\n"
+        "  </job>\n",
+        job_id().c_str(), overlaps[k].a, overlaps[k].b, k, overlaps[k].a,
+        overlaps[k].b, k);
+  }
+  // mConcatFit over all fit results.
+  xml += StrFormat("  <job id=\"%s\" name=\"mConcatFit\">\n",
+                   job_id().c_str());
+  xml += "    <argument>fits.tbl</argument>\n";
+  for (size_t k = 0; k < overlaps.size(); ++k) {
+    xml += StrFormat("    <uses file=\"fit_%03zu.txt\" link=\"input\"/>\n", k);
+  }
+  xml += "    <uses file=\"fits.tbl\" link=\"output\" size=\"8192\"/>\n";
+  xml += "  </job>\n";
+  // mBgModel.
+  xml += StrFormat(
+      "  <job id=\"%s\" name=\"mBgModel\">\n"
+      "    <argument>fits.tbl corrections.tbl</argument>\n"
+      "    <uses file=\"fits.tbl\" link=\"input\"/>\n"
+      "    <uses file=\"corrections.tbl\" link=\"output\" size=\"4096\"/>\n"
+      "  </job>\n",
+      job_id().c_str());
+  // mBackground per image.
+  for (int i = 0; i < n; ++i) {
+    xml += StrFormat(
+        "  <job id=\"%s\" name=\"mBackground\">\n"
+        "    <argument>proj_%02d.fits corr_%02d.fits</argument>\n"
+        "    <uses file=\"proj_%02d.fits\" link=\"input\"/>\n"
+        "    <uses file=\"corrections.tbl\" link=\"input\"/>\n"
+        "    <uses file=\"corr_%02d.fits\" link=\"output\" size=\"%lld\"/>\n"
+        "  </job>\n",
+        job_id().c_str(), i, i, i, i, static_cast<long long>(projected));
+  }
+  // mImgtbl.
+  xml += StrFormat("  <job id=\"%s\" name=\"mImgtbl\">\n", job_id().c_str());
+  xml += "    <argument>images.tbl</argument>\n";
+  for (int i = 0; i < n; ++i) {
+    xml += StrFormat("    <uses file=\"corr_%02d.fits\" link=\"input\"/>\n",
+                     i);
+  }
+  xml += "    <uses file=\"images.tbl\" link=\"output\" size=\"4096\"/>\n";
+  xml += "  </job>\n";
+  // mAdd.
+  xml += StrFormat("  <job id=\"%s\" name=\"mAdd\">\n", job_id().c_str());
+  xml += "    <argument>images.tbl mosaic.fits</argument>\n";
+  xml += "    <uses file=\"images.tbl\" link=\"input\"/>\n";
+  for (int i = 0; i < n; ++i) {
+    xml += StrFormat("    <uses file=\"corr_%02d.fits\" link=\"input\"/>\n",
+                     i);
+  }
+  xml += StrFormat(
+      "    <uses file=\"mosaic.fits\" link=\"output\" size=\"%lld\"/>\n",
+      static_cast<long long>(projected * n));
+  xml += "  </job>\n";
+  // mShrink + mJPEG.
+  xml += StrFormat(
+      "  <job id=\"%s\" name=\"mShrink\">\n"
+      "    <argument>mosaic.fits shrunken.fits</argument>\n"
+      "    <uses file=\"mosaic.fits\" link=\"input\"/>\n"
+      "    <uses file=\"shrunken.fits\" link=\"output\" size=\"%lld\"/>\n"
+      "  </job>\n",
+      job_id().c_str(), static_cast<long long>(projected * n / 4));
+  xml += StrFormat(
+      "  <job id=\"%s\" name=\"mJPEG\">\n"
+      "    <argument>shrunken.fits mosaic.jpg</argument>\n"
+      "    <uses file=\"shrunken.fits\" link=\"input\"/>\n"
+      "    <uses file=\"mosaic.jpg\" link=\"output\" size=\"%lld\"/>\n"
+      "  </job>\n",
+      job_id().c_str(), static_cast<long long>(projected * n / 40));
+  xml += "</adag>\n";
+  out.document = std::move(xml);
+  return out;
+}
+
+// ---------------------------------------------------------------- k-means -
+
+GeneratedWorkload MakeKmeansWorkflow(const KmeansWorkloadOptions& options) {
+  GeneratedWorkload out;
+  out.inputs.emplace_back(options.input_path, options.points_bytes);
+  out.document = StrFormat(
+      "%% Iterative k-means clustering (Sec. 3.3): refine centroids until\n"
+      "%% the convergence check's stdout is truthy.\n"
+      "deftask init( c : points ) in 'kmeans-init';\n"
+      "deftask step( next : points centroids ) in 'kmeans-step';\n"
+      "deftask check( <ok> : old new ) in 'kmeans-check'\n"
+      "  { converge_after: '%d' };\n"
+      "defun iterate(points, centroids) {\n"
+      "  if check( old: centroids,\n"
+      "            new: step( points: points, centroids: centroids ) )\n"
+      "  then step( points: points, centroids: centroids )\n"
+      "  else iterate( points,\n"
+      "                step( points: points, centroids: centroids ) )\n"
+      "  end\n"
+      "}\n"
+      "target iterate( '%s', init( points: '%s' ) );\n",
+      options.converge_after, options.input_path.c_str(),
+      options.input_path.c_str());
+  return out;
+}
+
+}  // namespace hiway

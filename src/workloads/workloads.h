@@ -1,0 +1,100 @@
+// Generators for the four workloads of the paper's evaluation (Table 1):
+//
+//  * SNV calling (genomics, Cuneiform)     — Sec. 4.1, Fig. 4/5, Table 2
+//  * TRAPLINE RNA-seq (Galaxy JSON)        — Sec. 4.2, Fig. 8
+//  * Montage mosaic (Pegasus DAX)          — Sec. 4.3, Fig. 9
+//  * k-means clustering (iterative Cuneiform) — Sec. 3.3 example
+//
+// Each generator returns the workflow document in its native language plus
+// the input files that must be staged before execution, mirroring how the
+// paper's Chef recipes provision inputs (Sec. 3.6).
+
+#ifndef HIWAY_WORKLOADS_WORKLOADS_H_
+#define HIWAY_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hiway {
+
+/// A generated workflow document plus its required input files.
+struct GeneratedWorkload {
+  /// Workflow text in the native language (Cuneiform / DAX XML / Galaxy
+  /// JSON).
+  std::string document;
+  /// Files to stage into storage before submission: (path, size bytes).
+  std::vector<std::pair<std::string, int64_t>> inputs;
+};
+
+// ------------------------------------------------------------ SNV calling -
+
+struct SnvWorkloadOptions {
+  /// Number of read chunks ("eight files, each about one gigabyte" per
+  /// sample in the weak-scaling experiment).
+  int num_chunks = 8;
+  int64_t chunk_bytes = 1LL << 30;
+  /// CRAM referential compression of intermediate alignments (Sec. 4.1,
+  /// second experiment).
+  bool cram_compression = false;
+  std::string input_dir = "/in/1000genomes";
+  std::string output_dir = "/out/snv";
+};
+
+/// Single-nucleotide-variant calling: align (Bowtie 2) -> sort (SAMtools)
+/// -> call (VarScan) -> annotate (ANNOVAR), mapped over read chunks.
+GeneratedWorkload MakeSnvCallingWorkflow(const SnvWorkloadOptions& options);
+
+// ---------------------------------------------------------------- RNA-seq -
+
+struct RnaSeqWorkloadOptions {
+  /// Samples per condition ("each of these two samples is expected to be
+  /// available in triplicates" -> 2 x 3 = 6, degree of parallelism 6).
+  int replicates_per_condition = 3;
+  int64_t sample_bytes = 1740LL << 20;  // ~1.7 GB per replicate, 10+ GB total
+  std::string input_dir = "/in/geo";
+};
+
+/// The TRAPLINE Galaxy workflow: per-sample FastQC / Trimmomatic /
+/// TopHat 2 / Cufflinks chains feeding Cuffmerge and a final Cuffdiff
+/// comparing the two conditions. Returns the Galaxy JSON export.
+GeneratedWorkload MakeTraplineWorkflow(const RnaSeqWorkloadOptions& options);
+
+/// Input-name -> DFS path map for resolving the workflow's data_input
+/// placeholders (what the paper resolves interactively on submission).
+std::vector<std::pair<std::string, std::string>> TraplineInputBindings(
+    const RnaSeqWorkloadOptions& options);
+
+// ---------------------------------------------------------------- Montage -
+
+struct MontageWorkloadOptions {
+  /// Number of raw telescope images; degree 0.25 yields a "comparably
+  /// small workflow with a maximum degree of parallelism of eleven".
+  int num_images = 11;
+  int64_t image_bytes = 4LL << 20;
+  std::string input_dir = "/in/2mass";
+};
+
+/// Montage 0.25-degree mosaic as a Pegasus DAX document: mProjectPP per
+/// image, mDiffFit per overlap, mConcatFit, mBgModel, mBackground per
+/// image, mImgtbl, mAdd, mShrink, mJPEG.
+GeneratedWorkload MakeMontageWorkflow(const MontageWorkloadOptions& options);
+
+// ---------------------------------------------------------------- k-means -
+
+struct KmeansWorkloadOptions {
+  int64_t points_bytes = 64LL << 20;
+  /// Iterations until the synthetic convergence check fires (forwarded to
+  /// the kmeans-check tool as a task parameter).
+  int converge_after = 5;
+  std::string input_path = "/in/kmeans/points.csv";
+};
+
+/// Iterative k-means as a recursive Cuneiform workflow (the paper's
+/// flagship example of data-dependent control flow).
+GeneratedWorkload MakeKmeansWorkflow(const KmeansWorkloadOptions& options);
+
+}  // namespace hiway
+
+#endif  // HIWAY_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,235 @@
+#include "src/yarn/yarn.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hiway {
+
+ResourceManager::ResourceManager(Cluster* cluster, YarnOptions options)
+    : cluster_(cluster), options_(options) {
+  nodes_.resize(static_cast<size_t>(cluster_->num_nodes()));
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    nodes_[static_cast<size_t>(n)].free_vcores = cluster_->node(n).cores;
+    nodes_[static_cast<size_t>(n)].free_memory_mb =
+        cluster_->node(n).memory_mb;
+  }
+}
+
+Container* ResourceManager::AllocateOn(ApplicationId app, NodeId node,
+                                       int vcores, double memory_mb) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  HIWAY_CHECK(ns.alive);
+  HIWAY_CHECK(ns.free_vcores >= vcores && ns.free_memory_mb >= memory_mb);
+  ns.free_vcores -= vcores;
+  ns.free_memory_mb -= memory_mb;
+  Container c;
+  c.id = next_container_++;
+  c.app = app;
+  c.node = node;
+  c.vcores = vcores;
+  c.memory_mb = memory_mb;
+  auto [it, inserted] = containers_.emplace(c.id, c);
+  HIWAY_CHECK(inserted);
+  ++counters_.allocations;
+  return &it->second;
+}
+
+Result<ApplicationId> ResourceManager::RegisterApplication(
+    const std::string& name, AmCallbacks* callbacks, int am_vcores,
+    double am_memory_mb, NodeId am_node) {
+  NodeId target = am_node;
+  if (target == kInvalidNode) {
+    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+      const NodeState& ns = nodes_[static_cast<size_t>(n)];
+      if (ns.alive && ns.free_vcores >= am_vcores &&
+          ns.free_memory_mb >= am_memory_mb) {
+        target = n;
+        break;
+      }
+    }
+    if (target == kInvalidNode) {
+      return Status::ResourceExhausted(
+          "no node has capacity for the AM container of " + name);
+    }
+  } else {
+    const NodeState& ns = nodes_[static_cast<size_t>(target)];
+    if (!ns.alive || ns.free_vcores < am_vcores ||
+        ns.free_memory_mb < am_memory_mb) {
+      return Status::ResourceExhausted("requested AM node lacks capacity");
+    }
+  }
+  ApplicationId app = next_app_++;
+  Container* am = AllocateOn(app, target, am_vcores, am_memory_mb);
+  AppState state;
+  state.name = name;
+  state.callbacks = callbacks;
+  state.am_container = am->id;
+  apps_.emplace(app, std::move(state));
+  return app;
+}
+
+void ResourceManager::UnregisterApplication(ApplicationId app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return;
+  it->second.active = false;
+  // Drop pending requests.
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [app](const PendingRequest& p) {
+                                return p.app == app;
+                              }),
+               queue_.end());
+  if (it->second.am_container != kInvalidContainer) {
+    ReleaseContainer(it->second.am_container);
+  }
+  apps_.erase(it);
+}
+
+void ResourceManager::SubmitRequest(ApplicationId app,
+                                    const ContainerRequest& request) {
+  HIWAY_CHECK(apps_.find(app) != apps_.end());
+  ++counters_.requests;
+  queue_.push_back(PendingRequest{app, request});
+  ScheduleAllocationPass();
+}
+
+int ResourceManager::CancelRequests(ApplicationId app, int64_t cookie) {
+  int removed = 0;
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const PendingRequest& p) {
+                                if (p.app == app &&
+                                    p.request.cookie == cookie) {
+                                  ++removed;
+                                  return true;
+                                }
+                                return false;
+                              }),
+               queue_.end());
+  return removed;
+}
+
+void ResourceManager::ReleaseContainer(ContainerId id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  const Container& c = it->second;
+  NodeState& ns = nodes_[static_cast<size_t>(c.node)];
+  if (ns.alive) {
+    ns.free_vcores += c.vcores;
+    ns.free_memory_mb += c.memory_mb;
+  }
+  ++counters_.releases;
+  containers_.erase(it);
+  ScheduleAllocationPass();
+}
+
+void ResourceManager::KillNode(NodeId node) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  if (!ns.alive) return;
+  ns.alive = false;
+  ns.free_vcores = 0;
+  ns.free_memory_mb = 0.0;
+  // Report running containers on the node as lost.
+  std::vector<Container> lost;
+  for (auto& [id, c] : containers_) {
+    if (c.node == node) lost.push_back(c);
+  }
+  for (const Container& c : lost) {
+    containers_.erase(c.id);
+    ++counters_.lost_containers;
+    auto app_it = apps_.find(c.app);
+    if (app_it != apps_.end() && app_it->second.callbacks != nullptr) {
+      AmCallbacks* cb = app_it->second.callbacks;
+      Container copy = c;
+      cluster_->engine()->ScheduleAfter(
+          options_.nm_heartbeat_s, [cb, copy] { cb->OnContainerLost(copy); });
+    }
+  }
+  ScheduleAllocationPass();
+}
+
+bool ResourceManager::IsNodeAlive(NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].alive;
+}
+
+Result<NodeId> ResourceManager::AmNode(ApplicationId app) const {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return Status::NotFound("unknown application");
+  auto cit = containers_.find(it->second.am_container);
+  if (cit == containers_.end()) {
+    return Status::NotFound("AM container gone");
+  }
+  return cit->second.node;
+}
+
+int ResourceManager::free_vcores(NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].free_vcores;
+}
+
+double ResourceManager::free_memory_mb(NodeId node) const {
+  return nodes_[static_cast<size_t>(node)].free_memory_mb;
+}
+
+std::vector<ContainerRequest> ResourceManager::PendingRequestDump() const {
+  std::vector<ContainerRequest> out;
+  out.reserve(queue_.size());
+  for (const PendingRequest& p : queue_) out.push_back(p.request);
+  return out;
+}
+
+void ResourceManager::ScheduleAllocationPass() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  cluster_->engine()->ScheduleAfter(options_.allocation_delay_s, [this] {
+    pass_scheduled_ = false;
+    AllocationPass();
+  });
+}
+
+void ResourceManager::AllocationPass() {
+  // FIFO with locality preference: each queued request first tries its
+  // preferred node, then (unless strict) any node with capacity that is
+  // not blacklisted. Deferred strict requests stay queued.
+  bool allocated_any = false;
+  std::deque<PendingRequest> still_pending;
+  while (!queue_.empty()) {
+    PendingRequest p = std::move(queue_.front());
+    queue_.pop_front();
+    auto app_it = apps_.find(p.app);
+    if (app_it == apps_.end() || !app_it->second.active) continue;
+    const ContainerRequest& r = p.request;
+    NodeId chosen = kInvalidNode;
+    if (r.preferred_node != kInvalidNode &&
+        Fits(nodes_[static_cast<size_t>(r.preferred_node)], r)) {
+      chosen = r.preferred_node;
+    } else if (!r.strict_locality) {
+      int total = cluster_->num_nodes();
+      for (int step = 0; step < total; ++step) {
+        NodeId n = (next_alloc_node_ + step) % total;
+        if (!Fits(nodes_[static_cast<size_t>(n)], r)) continue;
+        if (std::find(r.blacklist.begin(), r.blacklist.end(), n) !=
+            r.blacklist.end()) {
+          continue;
+        }
+        chosen = n;
+        next_alloc_node_ = (n + 1) % total;
+        break;
+      }
+    }
+    if (chosen == kInvalidNode) {
+      still_pending.push_back(std::move(p));
+      continue;
+    }
+    Container* c = AllocateOn(p.app, chosen, r.vcores, r.memory_mb);
+    allocated_any = true;
+    AmCallbacks* cb = app_it->second.callbacks;
+    Container copy = *c;
+    int64_t cookie = r.cookie;
+    // Deliver the allocation asynchronously (AM heartbeat).
+    cluster_->engine()->ScheduleAfter(
+        0.0, [cb, copy, cookie] { cb->OnContainerAllocated(copy, cookie); });
+  }
+  queue_ = std::move(still_pending);
+  (void)allocated_any;
+}
+
+}  // namespace hiway

@@ -1,0 +1,184 @@
+// Simulated Hadoop YARN: a ResourceManager that leases containers
+// (fixed-size slices of a node's cores and memory) to per-application
+// masters, honouring locality preferences, strict placements (for static
+// schedules), and blacklists (for failure retries).
+//
+// This implements exactly the scheduling contract Hi-WAY consumes
+// (Sec. 3.1 of the paper): request container -> allocation callback ->
+// launch work -> release / failure notification. YARN's multi-tenant
+// fairness machinery is out of scope; each experiment runs one AM.
+
+#ifndef HIWAY_YARN_YARN_H_
+#define HIWAY_YARN_YARN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/cluster.h"
+
+namespace hiway {
+
+using ApplicationId = int32_t;
+using ContainerId = int64_t;
+constexpr ContainerId kInvalidContainer = -1;
+
+/// A leased slice of one node.
+struct Container {
+  ContainerId id = kInvalidContainer;
+  ApplicationId app = -1;
+  NodeId node = kInvalidNode;
+  int vcores = 1;
+  double memory_mb = 1024.0;
+};
+
+/// What an application asks the RM for.
+struct ContainerRequest {
+  int vcores = 1;
+  double memory_mb = 1024.0;
+  /// Preferred host (data locality); kInvalidNode = anywhere.
+  NodeId preferred_node = kInvalidNode;
+  /// If true the request may only be satisfied on `preferred_node`
+  /// (static schedules pin their placements).
+  bool strict_locality = false;
+  /// Nodes this request must avoid (failed-attempt blacklisting).
+  std::vector<NodeId> blacklist;
+  /// Opaque cookie passed back with the allocation.
+  int64_t cookie = 0;
+};
+
+/// Callbacks implemented by an application master.
+class AmCallbacks {
+ public:
+  virtual ~AmCallbacks() = default;
+  /// A previously submitted request has been satisfied.
+  virtual void OnContainerAllocated(const Container& container,
+                                    int64_t cookie) = 0;
+  /// A running container was lost (its node died).
+  virtual void OnContainerLost(const Container& container) = 0;
+};
+
+/// RM-side counters for master-load accounting (Fig. 6).
+struct RmCounters {
+  int64_t requests = 0;
+  int64_t allocations = 0;
+  int64_t releases = 0;
+  int64_t lost_containers = 0;
+};
+
+struct YarnOptions {
+  /// Latency between a request (or a release) and the allocation pass,
+  /// modelling the NM/AM heartbeat cadence.
+  double allocation_delay_s = 0.5;
+  /// NodeManager heartbeat period; only used for master-load accounting.
+  double nm_heartbeat_s = 1.0;
+};
+
+class ResourceManager {
+ public:
+  ResourceManager(Cluster* cluster, YarnOptions options);
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  /// Registers an application and allocates its AM container (the paper
+  /// runs one dedicated AM container per workflow). When `am_node` is
+  /// given the AM is pinned there (the scalability experiment isolates the
+  /// AM on its own VM); otherwise the RM picks any node with capacity.
+  /// Returns the application id, or an error if no capacity exists.
+  Result<ApplicationId> RegisterApplication(const std::string& name,
+                                            AmCallbacks* callbacks,
+                                            int am_vcores, double am_memory_mb,
+                                            NodeId am_node = kInvalidNode);
+
+  /// Releases the AM container and drops pending requests.
+  void UnregisterApplication(ApplicationId app);
+
+  /// Queues a container request; the AM is called back on allocation.
+  void SubmitRequest(ApplicationId app, const ContainerRequest& request);
+
+  /// Withdraws all pending (unallocated) requests of an application whose
+  /// cookie matches `cookie`. Returns how many were removed.
+  int CancelRequests(ApplicationId app, int64_t cookie);
+
+  /// Returns a finished container's resources to its node.
+  void ReleaseContainer(ContainerId id);
+
+  /// Simulates a NodeManager crash: capacity disappears and running
+  /// containers are reported lost to their AMs.
+  void KillNode(NodeId node);
+
+  bool IsNodeAlive(NodeId node) const;
+
+  /// Node hosting an application's AM container.
+  Result<NodeId> AmNode(ApplicationId app) const;
+
+  int free_vcores(NodeId node) const;
+  double free_memory_mb(NodeId node) const;
+
+  /// Containers currently running (including AM containers).
+  int running_containers() const {
+    return static_cast<int>(containers_.size());
+  }
+  int pending_requests() const { return static_cast<int>(queue_.size()); }
+
+  /// Snapshot of the pending request queue (diagnostics).
+  std::vector<ContainerRequest> PendingRequestDump() const;
+
+  const RmCounters& counters() const { return counters_; }
+  const YarnOptions& options() const { return options_; }
+  Cluster* cluster() const { return cluster_; }
+
+ private:
+  struct NodeState {
+    int free_vcores = 0;
+    double free_memory_mb = 0.0;
+    bool alive = true;
+  };
+  struct PendingRequest {
+    ApplicationId app;
+    ContainerRequest request;
+  };
+  struct AppState {
+    std::string name;
+    AmCallbacks* callbacks = nullptr;
+    ContainerId am_container = kInvalidContainer;
+    bool active = true;
+  };
+
+  /// Matches pending requests against free capacity, FIFO with one pass
+  /// of locality preference.
+  void AllocationPass();
+  void ScheduleAllocationPass();
+
+  bool Fits(const NodeState& ns, const ContainerRequest& r) const {
+    return ns.alive && ns.free_vcores >= r.vcores &&
+           ns.free_memory_mb >= r.memory_mb;
+  }
+
+  Container* AllocateOn(ApplicationId app, NodeId node, int vcores,
+                        double memory_mb);
+
+  Cluster* cluster_;
+  YarnOptions options_;
+  RmCounters counters_;
+  std::vector<NodeState> nodes_;
+  std::map<ApplicationId, AppState> apps_;
+  std::map<ContainerId, Container> containers_;
+  std::deque<PendingRequest> queue_;
+  ApplicationId next_app_ = 1;
+  ContainerId next_container_ = 1;
+  bool pass_scheduled_ = false;
+  /// Rotating start position for relaxed allocations: real YARN assigns
+  /// containers as NodeManager heartbeats arrive, which spreads load
+  /// across nodes instead of packing the lowest node ids.
+  NodeId next_alloc_node_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_YARN_YARN_H_

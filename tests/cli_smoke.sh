@@ -1,0 +1,35 @@
+#!/bin/sh
+# Smoke test of the `hiway` CLI: run a Cuneiform workflow, export its
+# provenance trace, and replay the trace — asserting both runs succeed and
+# produce the same task count.
+set -e
+
+HIWAY_BIN="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/wf.cf" <<'EOF'
+deftask align( sam : reads ) in 'bowtie2';
+deftask sort( bam : sam ) in 'samtools-sort';
+target sort( sam: align( reads: '/in/reads.fq' ) );
+EOF
+
+"$HIWAY_BIN" --workflow "$WORKDIR/wf.cf" --policy data-aware \
+    -a cluster/workers=4 --input /in/reads.fq=64MB \
+    --trace-out "$WORKDIR/trace.jsonl" > "$WORKDIR/run1.out"
+grep -q "finished: 2 task(s)" "$WORKDIR/run1.out"
+test -s "$WORKDIR/trace.jsonl"
+
+"$HIWAY_BIN" --workflow "$WORKDIR/trace.jsonl" --language trace \
+    --policy fcfs -a cluster/workers=4 > "$WORKDIR/run2.out"
+grep -q "finished: 2 task(s)" "$WORKDIR/run2.out"
+
+# Unknown flags and missing files fail with helpful errors.
+if "$HIWAY_BIN" --bogus 2> "$WORKDIR/err1.out"; then exit 1; fi
+grep -q "unknown flag" "$WORKDIR/err1.out"
+if "$HIWAY_BIN" --workflow /nonexistent.cf 2> "$WORKDIR/err2.out"; then
+  exit 1
+fi
+grep -q "cannot read" "$WORKDIR/err2.out"
+
+echo "cli smoke test passed"

@@ -1,0 +1,242 @@
+// Unit tests for src/common: Status, Result, string helpers, RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+namespace {
+
+// ----------------------------------------------------------------- Status -
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughName) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kUnimplemented,
+        StatusCode::kIoError, StatusCode::kParseError,
+        StatusCode::kRuntimeError}) {
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+    EXPECT_NE(StatusCodeToString(code), "OK");
+  }
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::IoError("disk on fire").WithContext("stage-in");
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_EQ(st.message(), "stage-in: disk on fire");
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CopiesShareRepresentation) {
+  Status a = Status::ParseError("bad token");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "bad token");
+}
+
+// ----------------------------------------------------------------- Result -
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(42), 42);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto chain = [](int v) -> Result<int> {
+    HIWAY_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+    return parsed * 2;
+  };
+  EXPECT_EQ(*chain(4), 8);
+  EXPECT_TRUE(chain(-4).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, OkStatusIntoResultBecomesError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsRuntimeError());
+}
+
+// ---------------------------------------------------------------- strings -
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, JoinInverse) {
+  std::vector<std::string> parts = {"a", "bb", "ccc"};
+  EXPECT_EQ(StrJoin(parts, "/"), "a/bb/ccc");
+  EXPECT_EQ(StrSplit(StrJoin(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  x y\t\n"), "x y");
+  EXPECT_EQ(StrTrim("\r\n \t"), "");
+  EXPECT_EQ(StrTrim("abc"), "abc");
+}
+
+TEST(StringsTest, Predicates) {
+  EXPECT_TRUE(StartsWith("workflow.dax", "workflow"));
+  EXPECT_FALSE(StartsWith("dax", "workflow"));
+  EXPECT_TRUE(EndsWith("trace.json", ".json"));
+  EXPECT_FALSE(EndsWith("json", "trace.json"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -17 "), -17);
+  EXPECT_FALSE(ParseInt64("12abc").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%s-%03d", "node", 7), "node-007");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(1024.0 * 1024 * 1024), "1.00 GB");
+}
+
+TEST(StringsTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(75), "1:15");
+  EXPECT_EQ(HumanDuration(3661), "1:01:01");
+  EXPECT_EQ(HumanDuration(0), "0:00");
+}
+
+// -------------------------------------------------------------------- RNG -
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, LogNormalIsPositiveWithMedianNearParameter) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) {
+    double x = rng.LogNormal(5.0, 0.1);
+    EXPECT_GT(x, 0.0);
+    xs.push_back(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 5.0, 0.15);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+}  // namespace
+}  // namespace hiway

@@ -1,0 +1,254 @@
+// End-to-end tests of the Hi-WAY AM driver on small simulated clusters.
+
+#include "src/core/hiway_am.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+#include "src/tools/standard_tools.h"
+
+namespace hiway {
+namespace {
+
+/// Everything a small workflow run needs, wired together.
+struct TestRig {
+  SimEngine engine;
+  FlowNetwork net{&engine};
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Dfs> dfs;
+  std::unique_ptr<ResourceManager> rm;
+  ToolRegistry tools;
+  InMemoryProvenanceStore store;
+  ProvenanceManager provenance{&store};
+  RuntimeEstimator estimator;
+
+  explicit TestRig(int nodes, int cores = 4) {
+    NodeSpec node;
+    node.cores = cores;
+    node.memory_mb = 8192;
+    ClusterSpec spec = ClusterSpec::Uniform(nodes, node, 1250.0);
+    cluster = std::make_unique<Cluster>(&engine, &net, spec);
+    DfsOptions dfs_opts;
+    dfs_opts.replication = 2;
+    dfs = std::make_unique<Dfs>(cluster.get(), dfs_opts);
+    rm = std::make_unique<ResourceManager>(cluster.get(), YarnOptions());
+    RegisterStandardTools(&tools);
+  }
+
+  HiWayAm MakeAm(HiWayOptions options = HiWayOptions()) {
+    return HiWayAm(cluster.get(), rm.get(), dfs.get(), &tools, &provenance,
+                   &estimator, options);
+  }
+};
+
+TaskSpec MakeTask(TaskId id, std::string tool, std::vector<std::string> in,
+                  std::vector<std::string> out) {
+  TaskSpec t;
+  t.id = id;
+  t.signature = tool;
+  t.tool = std::move(tool);
+  t.command = t.signature + " ...";
+  t.input_files = std::move(in);
+  for (std::string& path : out) {
+    OutputSpec o;
+    o.param = "out";
+    o.path = std::move(path);
+    t.outputs.push_back(std::move(o));
+  }
+  return t;
+}
+
+TEST(HiWayAmTest, RunsLinearPipeline) {
+  TestRig rig(4);
+  ASSERT_TRUE(rig.dfs->IngestFile("/in/reads.fq", 64 << 20).ok());
+
+  std::vector<TaskSpec> tasks;
+  tasks.push_back(MakeTask(1, "bowtie2", {"/in/reads.fq"}, {"/out/a.sam"}));
+  tasks.push_back(MakeTask(2, "samtools-sort", {"/out/a.sam"}, {"/out/a.bam"}));
+  tasks.push_back(MakeTask(3, "varscan", {"/out/a.bam"}, {"/out/a.vcf"}));
+  StaticWorkflowSource source("pipeline", tasks, {"/out/a.vcf"});
+
+  FcfsScheduler scheduler;
+  HiWayAm am = rig.MakeAm();
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks_completed, 3);
+  EXPECT_GT(report->Makespan(), 0.0);
+  // All outputs exist in DFS.
+  EXPECT_TRUE(rig.dfs->Exists("/out/a.sam"));
+  EXPECT_TRUE(rig.dfs->Exists("/out/a.bam"));
+  EXPECT_TRUE(rig.dfs->Exists("/out/a.vcf"));
+}
+
+TEST(HiWayAmTest, ParallelFanOutUsesAllNodes) {
+  TestRig rig(4);
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < 8; ++i) {
+    std::string in = StrFormat("/in/chunk%d.fq", i);
+    ASSERT_TRUE(rig.dfs->IngestFile(in, 32 << 20).ok());
+    tasks.push_back(
+        MakeTask(i + 1, "bowtie2", {in}, {StrFormat("/out/%d.sam", i)}));
+  }
+  StaticWorkflowSource source("fanout", tasks);
+  FcfsScheduler scheduler;
+  HiWayAm am = rig.MakeAm();
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks_completed, 8);
+  // Provenance recorded tasks on more than one node.
+  std::set<int32_t> nodes;
+  for (const auto& ev : rig.store.Events()) {
+    if (ev.type == ProvenanceEventType::kTaskEnd) nodes.insert(ev.node);
+  }
+  EXPECT_GT(nodes.size(), 1u);
+}
+
+TEST(HiWayAmTest, MissingInputDeadlocksWithDiagnostic) {
+  TestRig rig(2);
+  std::vector<TaskSpec> tasks;
+  tasks.push_back(MakeTask(1, "bowtie2", {"/in/never-created.fq"},
+                           {"/out/x.sam"}));
+  StaticWorkflowSource source("deadlock", tasks);
+  FcfsScheduler scheduler;
+  HiWayAm am = rig.MakeAm();
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.IsFailedPrecondition());
+  EXPECT_NE(report->status.message().find("never-created"),
+            std::string::npos);
+}
+
+TEST(HiWayAmTest, EmptyWorkflowFinishesImmediately) {
+  TestRig rig(2);
+  StaticWorkflowSource source("empty", {});
+  FcfsScheduler scheduler;
+  HiWayAm am = rig.MakeAm();
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.ok());
+  EXPECT_EQ(report->tasks_completed, 0);
+}
+
+TEST(HiWayAmTest, RetriesTransientToolFailuresOnOtherNodes) {
+  TestRig rig(4);
+  ASSERT_TRUE(rig.dfs->IngestFile("/in/x", 8 << 20).ok());
+  ToolProfile flaky;
+  flaky.name = "flaky";
+  flaky.fixed_cpu_seconds = 5.0;
+  flaky.failure_probability = 0.7;
+  rig.tools.Register(flaky);
+
+  std::vector<TaskSpec> tasks;
+  tasks.push_back(MakeTask(1, "flaky", {"/in/x"}, {"/out/y"}));
+  StaticWorkflowSource source("flaky-wf", tasks);
+  FcfsScheduler scheduler;
+  HiWayOptions options;
+  options.max_task_attempts = 50;  // practically always succeeds eventually
+  HiWayAm am = rig.MakeAm(options);
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks_completed, 1);
+  EXPECT_EQ(report->task_attempts,
+            report->failed_attempts + report->tasks_completed);
+}
+
+TEST(HiWayAmTest, StaticSchedulerRejectedForIterativeSource) {
+  // A fake iterative source.
+  class IterativeSource : public WorkflowSource {
+   public:
+    std::string name() const override { return "iterative"; }
+    bool IsStatic() const override { return false; }
+    Result<std::vector<TaskSpec>> Init() override {
+      return std::vector<TaskSpec>{};
+    }
+    Result<std::vector<TaskSpec>> OnTaskCompleted(const TaskResult&) override {
+      return std::vector<TaskSpec>{};
+    }
+    bool IsDone() const override { return true; }
+    std::vector<std::string> Targets() const override { return {}; }
+  };
+  TestRig rig(2);
+  IterativeSource source;
+  RoundRobinScheduler scheduler;
+  HiWayAm am = rig.MakeAm();
+  Status st = am.Submit(&source, &scheduler);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(HiWayAmTest, HeftRunsStaticDagToCompletion) {
+  TestRig rig(3);
+  ASSERT_TRUE(rig.dfs->IngestFile("/in/a", 16 << 20).ok());
+  std::vector<TaskSpec> tasks;
+  tasks.push_back(MakeTask(1, "mProjectPP", {"/in/a"}, {"/out/p1"}));
+  tasks.push_back(MakeTask(2, "mProjectPP", {"/in/a"}, {"/out/p2"}));
+  tasks.push_back(MakeTask(3, "mAdd", {"/out/p1", "/out/p2"}, {"/out/sum"}));
+  StaticWorkflowSource source("mini-montage", tasks, {"/out/sum"});
+  HeftScheduler scheduler(&rig.estimator);
+  HiWayAm am = rig.MakeAm();
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks_completed, 3);
+}
+
+TEST(HiWayAmTest, TailoredContainersCapAtToolThreads) {
+  TestRig rig(2, /*cores=*/8);
+  ASSERT_TRUE(rig.dfs->IngestFile("/in/v.vcf", 1 << 20).ok());
+  // annovar is single-threaded; with tailoring its container shrinks to
+  // one core, so eight annotate tasks can run on one 8-core node at once.
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(MakeTask(i + 1, "annovar", {"/in/v.vcf"},
+                             {StrFormat("/out/a%d.csv", i)}));
+  }
+  StaticWorkflowSource fat_source("fat", tasks);
+  FcfsScheduler fat_sched;
+  HiWayOptions fat;
+  fat.container_vcores = 8;
+  fat.container_memory_mb = 8000;
+  HiWayAm fat_am = rig.MakeAm(fat);
+  ASSERT_TRUE(fat_am.Submit(&fat_source, &fat_sched).ok());
+  auto fat_report = fat_am.RunToCompletion();
+  ASSERT_TRUE(fat_report.ok() && fat_report->status.ok());
+
+  TestRig rig2(2, /*cores=*/8);
+  ASSERT_TRUE(rig2.dfs->IngestFile("/in/v.vcf", 1 << 20).ok());
+  StaticWorkflowSource tailored_source("tailored", tasks);
+  FcfsScheduler tailored_sched;
+  HiWayOptions tailored = fat;
+  tailored.tailor_containers = true;
+  HiWayAm tailored_am = rig2.MakeAm(tailored);
+  ASSERT_TRUE(tailored_am.Submit(&tailored_source, &tailored_sched).ok());
+  auto tailored_report = tailored_am.RunToCompletion();
+  ASSERT_TRUE(tailored_report.ok() && tailored_report->status.ok());
+
+  // Tailoring unlocks parallelism the identical fat containers wasted.
+  EXPECT_LT(tailored_report->Makespan(), 0.5 * fat_report->Makespan());
+}
+
+TEST(HiWayAmTest, OnlineMctRunsIterativeWorkflows) {
+  TestRig rig(3);
+  ASSERT_TRUE(rig.dfs->IngestFile("/in/reads.fq", 16 << 20).ok());
+  std::vector<TaskSpec> tasks;
+  tasks.push_back(MakeTask(1, "bowtie2", {"/in/reads.fq"}, {"/out/a.sam"}));
+  StaticWorkflowSource source("mct", tasks);
+  OnlineMctScheduler scheduler(&rig.estimator, 3);
+  EXPECT_FALSE(scheduler.IsStatic());
+  HiWayAm am = rig.MakeAm();
+  ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->status.ok());
+}
+
+}  // namespace
+}  // namespace hiway

@@ -1,0 +1,353 @@
+// Tests of the Cuneiform-lite lexer, parser, and iterative interpreter,
+// including end-to-end execution on the Hi-WAY AM (conditionals,
+// map/cross application, aggregation, and k-means-style recursion).
+
+#include "src/lang/cuneiform.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+#include "src/core/hiway_am.h"
+#include "src/lang/cuneiform_parser.h"
+#include "src/tools/standard_tools.h"
+
+namespace hiway {
+namespace {
+
+using cuneiform::Lex;
+using cuneiform::ParseCuneiform;
+using cuneiform::TokenKind;
+
+// ------------------------------------------------------------------ lexer -
+
+TEST(CuneiformLexerTest, TokenizesBasicProgram) {
+  auto tokens = Lex("let x = 'a.txt'; % comment\ntarget x;");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kIdent, TokenKind::kEquals,
+                TokenKind::kString, TokenKind::kSemicolon, TokenKind::kIdent,
+                TokenKind::kIdent, TokenKind::kSemicolon, TokenKind::kEof}));
+}
+
+TEST(CuneiformLexerTest, HandlesEscapesInStrings) {
+  auto tokens = Lex("'a\\'b\\nc'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a'b\nc");
+}
+
+TEST(CuneiformLexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(CuneiformLexerTest, RejectsUnknownCharacter) {
+  auto r = Lex("let x = @;");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CuneiformLexerTest, TracksLineNumbers) {
+  auto tokens = Lex("a\nb\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 3);
+}
+
+// ----------------------------------------------------------------- parser -
+
+TEST(CuneiformParserTest, ParsesTaskDefinition) {
+  auto program = ParseCuneiform(
+      "deftask align( sam : ref reads ) in 'bowtie2' { cpu: 8 };\n"
+      "let x = align( ref: 'r.fa', reads: 'a.fq' );\n"
+      "target x;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->tasks.count("align"), 1u);
+  const auto& def = program->tasks.at("align");
+  EXPECT_EQ(def.tool, "bowtie2");
+  ASSERT_EQ(def.outputs.size(), 1u);
+  EXPECT_EQ(def.outputs[0].name, "sam");
+  ASSERT_EQ(def.inputs.size(), 2u);
+  EXPECT_EQ(def.props.at("cpu"), "8");
+}
+
+TEST(CuneiformParserTest, ParsesValueOutputAndParamKinds) {
+  auto program = ParseCuneiform(
+      "deftask check( <verdict> : [olds] ~label f ) in 'chk';\n"
+      "target check( olds: ['a'], label: 'x', f: 'b' );");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const auto& def = program->tasks.at("check");
+  EXPECT_TRUE(def.outputs[0].is_value);
+  EXPECT_TRUE(def.inputs[0].is_list);
+  EXPECT_TRUE(def.inputs[1].is_string);
+  EXPECT_FALSE(def.inputs[2].is_list);
+}
+
+TEST(CuneiformParserTest, RequiresTarget) {
+  auto program = ParseCuneiform("let x = 'a';");
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(CuneiformParserTest, RejectsDuplicateDefinitions) {
+  auto program = ParseCuneiform(
+      "deftask t( o : i ) in 'a'; deftask t( o : i ) in 'b'; target 'x';");
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(CuneiformParserTest, ParsesIfAndConcatAndFunctions) {
+  auto program = ParseCuneiform(
+      "defun f(a, b) { if a then b else a + '-x' end }\n"
+      "target f('1', '2');");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->funs.count("f"), 1u);
+}
+
+TEST(CuneiformParserTest, ReportsLineNumbersInErrors) {
+  auto program = ParseCuneiform("let x = 'a';\nlet y ;\ntarget x;");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos);
+}
+
+// ------------------------------------------------------- interpreter unit -
+
+/// Drives a CuneiformSource without a cluster: tasks "complete" with
+/// synthetic outputs decided by `stdout_for`.
+class FakeDriver {
+ public:
+  explicit FakeDriver(CuneiformSource* source) : source_(source) {}
+
+  Status RunAll(
+      const std::function<std::string(const TaskSpec&)>& stdout_for =
+          nullptr) {
+    auto initial = source_->Init();
+    HIWAY_RETURN_IF_ERROR(initial.status());
+    pending_.insert(pending_.end(), initial->begin(), initial->end());
+    int guard = 0;
+    while (!pending_.empty()) {
+      if (++guard > 10000) return Status::RuntimeError("runaway workflow");
+      TaskSpec spec = pending_.front();
+      pending_.erase(pending_.begin());
+      executed_.push_back(spec);
+      TaskResult result;
+      result.id = spec.id;
+      result.signature = spec.signature;
+      result.status = Status::OK();
+      result.node = 0;
+      if (stdout_for) result.stdout_value = stdout_for(spec);
+      for (const OutputSpec& out : spec.outputs) {
+        if (!out.is_value) result.produced_files.emplace_back(out.path, 1024);
+      }
+      auto more = source_->OnTaskCompleted(result);
+      HIWAY_RETURN_IF_ERROR(more.status());
+      pending_.insert(pending_.end(), more->begin(), more->end());
+    }
+    return Status::OK();
+  }
+
+  const std::vector<TaskSpec>& executed() const { return executed_; }
+
+ private:
+  CuneiformSource* source_;
+  std::vector<TaskSpec> pending_;
+  std::vector<TaskSpec> executed_;
+};
+
+TEST(CuneiformInterpTest, SingleTaskWorkflow) {
+  auto source = CuneiformSource::Parse(
+      "deftask align( sam : reads ) in 'bowtie2';\n"
+      "target align( reads: '/in/a.fq' );");
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll().ok());
+  ASSERT_EQ(driver.executed().size(), 1u);
+  EXPECT_EQ(driver.executed()[0].signature, "align");
+  EXPECT_EQ(driver.executed()[0].input_files,
+            std::vector<std::string>{"/in/a.fq"});
+  EXPECT_TRUE((*source)->IsDone());
+  EXPECT_EQ((*source)->Targets().size(), 1u);
+}
+
+TEST(CuneiformInterpTest, MapsOverLists) {
+  auto source = CuneiformSource::Parse(
+      "deftask align( sam : reads ) in 'bowtie2';\n"
+      "let sams = align( reads: ['/a', '/b', '/c'] );\n"
+      "target sams;");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll().ok());
+  EXPECT_EQ(driver.executed().size(), 3u);
+  EXPECT_EQ((*source)->Targets().size(), 3u);
+}
+
+TEST(CuneiformInterpTest, CrossProductOverTwoLists) {
+  auto source = CuneiformSource::Parse(
+      "deftask mix( out : a b ) in 'mixer';\n"
+      "target mix( a: ['/a1', '/a2'], b: ['/b1', '/b2', '/b3'] );");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll().ok());
+  EXPECT_EQ(driver.executed().size(), 6u);
+}
+
+TEST(CuneiformInterpTest, AggregatingParameterConsumesWholeList) {
+  auto source = CuneiformSource::Parse(
+      "deftask merge( table : [parts] ) in 'merger';\n"
+      "deftask split( part : whole ) in 'splitter';\n"
+      "let parts = split( whole: ['/x', '/y'] );\n"
+      "target merge( parts: parts );");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll().ok());
+  // 2 splits + 1 merge; merge waits for both splits.
+  ASSERT_EQ(driver.executed().size(), 3u);
+  EXPECT_EQ(driver.executed()[2].signature, "merge");
+  EXPECT_EQ(driver.executed()[2].input_files.size(), 2u);
+}
+
+TEST(CuneiformInterpTest, MemoisationDeduplicatesIdenticalApplications) {
+  auto source = CuneiformSource::Parse(
+      "deftask t( o : i ) in 'tool';\n"
+      "let a = t( i: '/same' );\n"
+      "let b = t( i: '/same' );\n"
+      "target a, b;");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll().ok());
+  EXPECT_EQ(driver.executed().size(), 1u);  // one invocation, shared
+}
+
+TEST(CuneiformInterpTest, ConditionalOnTaskStdout) {
+  auto source = CuneiformSource::Parse(
+      "deftask decide( <v> : i ) in 'decider';\n"
+      "deftask yes( o : i ) in 'yes-tool';\n"
+      "deftask no( o : i ) in 'no-tool';\n"
+      "let v = decide( i: '/in' );\n"
+      "target if v then yes( i: '/in' ) else no( i: '/in' ) end;");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll([](const TaskSpec& t) {
+    return t.signature == "decide" ? "true" : "";
+  }).ok());
+  ASSERT_EQ(driver.executed().size(), 2u);
+  EXPECT_EQ(driver.executed()[1].signature, "yes");
+}
+
+TEST(CuneiformInterpTest, RecursiveIterationUntilConvergence) {
+  // The k-means pattern from the paper: iterate until a check task's
+  // stdout says "true". Converges on the 4th check.
+  auto source = CuneiformSource::Parse(
+      "deftask step( next : points centroids ) in 'kmeans-step';\n"
+      "deftask check( <ok> : old new ) in 'kmeans-check';\n"
+      "defun iterate(points, centroids) {\n"
+      "  if check( old: centroids, new: step( points: points,\n"
+      "                                       centroids: centroids ) )\n"
+      "  then step( points: points, centroids: centroids )\n"
+      "  else iterate( points, step( points: points,\n"
+      "                              centroids: centroids ) )\n"
+      "  end\n"
+      "}\n"
+      "target iterate( '/in/points', '/in/c0' );");
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  FakeDriver driver(source->get());
+  int checks = 0;
+  ASSERT_TRUE(driver.RunAll([&checks](const TaskSpec& t) -> std::string {
+    if (t.signature == "check") {
+      return ++checks >= 4 ? "true" : "";
+    }
+    return "";
+  }).ok());
+  // 4 iterations: each runs one step + one check (memoised across the
+  // recursion: the "then" branch reuses the step of the final iteration).
+  int steps = 0;
+  for (const TaskSpec& t : driver.executed()) {
+    if (t.signature == "step") ++steps;
+  }
+  EXPECT_EQ(checks, 4);
+  EXPECT_EQ(steps, 4);
+  EXPECT_TRUE((*source)->IsDone());
+}
+
+TEST(CuneiformInterpTest, UndefinedVariableFailsCleanly) {
+  auto source = CuneiformSource::Parse("target nope;");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  Status st = driver.RunAll();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(CuneiformInterpTest, UnboundedStaticRecursionIsCaught) {
+  auto source = CuneiformSource::Parse(
+      "defun loop(x) { loop(x) }\n"
+      "target loop('a');");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  Status st = driver.RunAll();
+  EXPECT_TRUE(st.IsRuntimeError()) << st.ToString();
+  EXPECT_NE(st.message().find("depth"), std::string::npos);
+}
+
+TEST(CuneiformInterpTest, StringParamsAndConcat) {
+  auto source = CuneiformSource::Parse(
+      "deftask grep( hits : ~pattern corpus ) in 'grep';\n"
+      "let p = 'AC' + 'GT';\n"
+      "target grep( pattern: p, corpus: '/data/genome' );");
+  ASSERT_TRUE(source.ok());
+  FakeDriver driver(source->get());
+  ASSERT_TRUE(driver.RunAll().ok());
+  ASSERT_EQ(driver.executed().size(), 1u);
+  EXPECT_EQ(driver.executed()[0].params.at("pattern"), "ACGT");
+  EXPECT_EQ(driver.executed()[0].input_files.size(), 1u);
+}
+
+// -------------------------------------------------- end-to-end on the AM --
+
+TEST(CuneiformEndToEndTest, KmeansIterativeWorkflowOnCluster) {
+  SimEngine engine;
+  FlowNetwork net(&engine);
+  NodeSpec node;
+  node.cores = 4;
+  Cluster cluster(&engine, &net, ClusterSpec::Uniform(3, node, 1250.0));
+  Dfs dfs(&cluster, DfsOptions{});
+  ResourceManager rm(&cluster, YarnOptions{});
+  ToolRegistry tools;
+  RegisterKmeansTools(&tools, /*converge_after=*/3);
+  InMemoryProvenanceStore store;
+  ProvenanceManager provenance(&store);
+  RuntimeEstimator estimator;
+
+  ASSERT_TRUE(dfs.IngestFile("/in/points.csv", 32 << 20).ok());
+
+  auto source = CuneiformSource::Parse(
+      "deftask init( c : points ) in 'kmeans-init';\n"
+      "deftask step( next : points centroids ) in 'kmeans-step';\n"
+      "deftask check( <ok> : old new ) in 'kmeans-check';\n"
+      "defun iterate(points, centroids) {\n"
+      "  if check( old: centroids,\n"
+      "            new: step( points: points, centroids: centroids ) )\n"
+      "  then step( points: points, centroids: centroids )\n"
+      "  else iterate( points,\n"
+      "                step( points: points, centroids: centroids ) )\n"
+      "  end\n"
+      "}\n"
+      "target iterate( '/in/points.csv', init( points: '/in/points.csv' ) );");
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+
+  FcfsScheduler scheduler;
+  HiWayAm am(&cluster, &rm, &dfs, &tools, &provenance, &estimator,
+             HiWayOptions{});
+  ASSERT_TRUE(am.Submit(source->get(), &scheduler).ok());
+  auto report = am.RunToCompletion();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+  // init + 3 iterations of (step + check) = 7 tasks.
+  EXPECT_EQ(report->tasks_completed, 7);
+  // The final target file exists in DFS.
+  auto targets = (*source)->Targets();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_TRUE(dfs.Exists(targets[0]));
+}
+
+}  // namespace
+}  // namespace hiway

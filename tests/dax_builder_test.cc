@@ -1,0 +1,93 @@
+// Tests for the programmatic DAX generation API, including the round trip
+// through the DaxSource parser.
+
+#include "src/lang/dax_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/dax_source.h"
+
+namespace hiway {
+namespace {
+
+TEST(DaxBuilderTest, BuildsDiamondThatParses) {
+  DaxBuilder dax("diamond");
+  dax.AddJob("preprocess")
+      .Argument("-i f.a -o f.b1 -o f.b2")
+      .Input("f.a", 1 << 20)
+      .Output("f.b1", 512 << 10)
+      .Output("f.b2", 512 << 10);
+  dax.AddJob("findrange").Input("f.b1").Output("f.c1");
+  dax.AddJob("findrange").Input("f.b2").Output("f.c2");
+  dax.AddJob("analyze").Input("f.c1").Input("f.c2").Output("f.d");
+  EXPECT_EQ(dax.job_count(), 4u);
+  auto xml = dax.ToXml();
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+
+  auto source = DaxSource::Parse(*xml);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ((*source)->name(), "diamond");
+  EXPECT_EQ((*source)->task_count(), 4u);
+  ASSERT_EQ((*source)->required_inputs().size(), 1u);
+  EXPECT_EQ((*source)->required_inputs()[0].first, "/dax/f.a");
+  EXPECT_EQ((*source)->required_inputs()[0].second, 1 << 20);
+  EXPECT_EQ((*source)->Targets(), std::vector<std::string>{"/dax/f.d"});
+  // Declared sizes survive the round trip.
+  auto tasks = (*source)->Init();
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(*(*tasks)[0].outputs[0].size_bytes, 512 << 10);
+  EXPECT_NE((*tasks)[0].command.find("-i f.a"), std::string::npos);
+}
+
+TEST(DaxBuilderTest, EmitsExplicitDependencyEdges) {
+  DaxBuilder dax("chain");
+  dax.AddJob("a").Output("x");
+  dax.AddJob("b").Input("x").Output("y");
+  auto xml = dax.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_NE(xml->find("<child ref=\"ID00002\">"), std::string::npos);
+  EXPECT_NE(xml->find("<parent ref=\"ID00001\"/>"), std::string::npos);
+}
+
+TEST(DaxBuilderTest, EscapesXmlMetacharacters) {
+  DaxBuilder dax("weird & <name>");
+  dax.AddJob("tool").Argument("--flag=\"<&>\"").Output("out");
+  auto xml = dax.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml->find("& <"), std::string::npos);  // raw metachars gone
+  auto source = DaxSource::Parse(*xml);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ((*source)->name(), "weird & <name>");
+  auto tasks = (*source)->Init();
+  EXPECT_NE((*tasks)[0].command.find("--flag=\"<&>\""), std::string::npos);
+}
+
+TEST(DaxBuilderTest, RejectsTwoProducersOfOneFile) {
+  DaxBuilder dax("conflict");
+  dax.AddJob("a").Output("same");
+  dax.AddJob("b").Output("same");
+  auto xml = dax.ToXml();
+  EXPECT_TRUE(xml.status().IsInvalidArgument());
+  EXPECT_NE(xml.status().message().find("same"), std::string::npos);
+}
+
+TEST(DaxBuilderTest, RejectsReadWriteOfSameFile) {
+  DaxBuilder dax("cycle");
+  dax.AddJob("a").Input("f").Output("f");
+  EXPECT_TRUE(dax.ToXml().status().IsInvalidArgument());
+}
+
+TEST(DaxBuilderTest, FluentReferencesStayValidAcrossAddJob) {
+  DaxBuilder dax("stable");
+  DaxJobBuilder& first = dax.AddJob("first");
+  dax.AddJob("second").Output("s");
+  first.Output("f");  // mutate after later AddJob calls
+  auto xml = dax.ToXml();
+  ASSERT_TRUE(xml.ok());
+  auto source = DaxSource::Parse(*xml);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->Targets().size(), 2u);
+}
+
+}  // namespace
+}  // namespace hiway

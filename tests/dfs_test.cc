@@ -1,0 +1,313 @@
+// Tests for the simulated HDFS: placement invariants, locality metadata,
+// data movement costs, failures and re-replication.
+
+#include "src/hdfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace hiway {
+namespace {
+
+struct DfsRig {
+  SimEngine engine;
+  FlowNetwork net{&engine};
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Dfs> dfs;
+
+  explicit DfsRig(int nodes, DfsOptions options = DfsOptions{},
+                  double s3_mbps = 0.0) {
+    NodeSpec node;
+    node.disk_bw_mbps = 100.0;
+    node.nic_bw_mbps = 100.0;
+    ClusterSpec spec = ClusterSpec::Uniform(nodes, node, 1000.0);
+    spec.s3_bw_mbps = s3_mbps;
+    cluster = std::make_unique<Cluster>(&engine, &net, spec);
+    dfs = std::make_unique<Dfs>(cluster.get(), options);
+  }
+};
+
+TEST(DfsTest, IngestAndStat) {
+  DfsRig rig(4);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 100 << 20).ok());
+  auto info = rig.dfs->Stat("/a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size_bytes, 100 << 20);
+  EXPECT_EQ(info->blocks.size(), 1u);  // < 128 MB block size
+  EXPECT_TRUE(rig.dfs->Exists("/a"));
+  EXPECT_FALSE(rig.dfs->Exists("/b"));
+  EXPECT_TRUE(rig.dfs->Stat("/b").status().IsNotFound());
+}
+
+TEST(DfsTest, FilesSplitIntoBlocks) {
+  DfsOptions options;
+  options.block_size_bytes = 64 << 20;
+  DfsRig rig(4, options);
+  ASSERT_TRUE(rig.dfs->IngestFile("/big", 200 << 20).ok());
+  auto info = rig.dfs->Stat("/big");
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->blocks.size(), 4u);  // 64+64+64+8
+  int64_t total = 0;
+  for (const DfsBlock& b : info->blocks) total += b.size_bytes;
+  EXPECT_EQ(total, 200 << 20);
+  EXPECT_EQ(info->blocks.back().size_bytes, 8 << 20);
+}
+
+TEST(DfsTest, ReplicasAreDistinctNodes) {
+  DfsOptions options;
+  options.replication = 3;
+  DfsRig rig(8, options);
+  for (int i = 0; i < 20; ++i) {
+    std::string path = StrFormat("/f%d", i);
+    ASSERT_TRUE(rig.dfs->IngestFile(path, 10 << 20).ok());
+    auto info = rig.dfs->Stat(path);
+    for (const DfsBlock& block : info->blocks) {
+      std::set<NodeId> distinct(block.replicas.begin(),
+                                block.replicas.end());
+      EXPECT_EQ(distinct.size(), 3u);
+    }
+  }
+}
+
+TEST(DfsTest, ReplicationClampedToClusterSize) {
+  DfsOptions options;
+  options.replication = 5;
+  DfsRig rig(2, options);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 1 << 20).ok());
+  EXPECT_EQ(rig.dfs->Stat("/a")->blocks[0].replicas.size(), 2u);
+}
+
+TEST(DfsTest, FavoredNodeGetsFirstReplica) {
+  DfsRig rig(6);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 10 << 20, NodeId{3}).ok());
+  EXPECT_EQ(rig.dfs->Stat("/a")->blocks[0].replicas.front(), 3);
+}
+
+TEST(DfsTest, FirstDatanodeExcludesMasters) {
+  DfsOptions options;
+  options.first_datanode = 2;
+  options.replication = 3;
+  DfsRig rig(6, options);
+  for (int i = 0; i < 10; ++i) {
+    std::string path = StrFormat("/f%d", i);
+    ASSERT_TRUE(rig.dfs->IngestFile(path, 10 << 20, NodeId{0}).ok());
+    auto info = rig.dfs->Stat(path);
+    ASSERT_TRUE(info.ok());
+    for (NodeId replica : info->blocks[0].replicas) {
+      EXPECT_GE(replica, 2);
+    }
+  }
+  EXPECT_EQ(rig.dfs->StoredBytes(0), 0);
+  EXPECT_EQ(rig.dfs->StoredBytes(1), 0);
+}
+
+TEST(DfsTest, LocalBytesMatchesPlacement) {
+  DfsRig rig(4);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 10 << 20, NodeId{1}).ok());
+  EXPECT_EQ(rig.dfs->LocalBytes("/a", 1), 10 << 20);
+  int64_t total_local = 0;
+  for (NodeId n = 0; n < 4; ++n) total_local += rig.dfs->LocalBytes("/a", n);
+  EXPECT_EQ(total_local, 3 * (10 << 20));  // replication 3
+  EXPECT_EQ(rig.dfs->LocalBytes("/missing", 0), 0);
+}
+
+TEST(DfsTest, DuplicateIngestRejected) {
+  DfsRig rig(2);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 1).ok());
+  EXPECT_TRUE(rig.dfs->IngestFile("/a", 1).IsAlreadyExists());
+}
+
+TEST(DfsTest, DeleteRemovesFile) {
+  DfsRig rig(2);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 1).ok());
+  ASSERT_TRUE(rig.dfs->Delete("/a").ok());
+  EXPECT_FALSE(rig.dfs->Exists("/a"));
+  EXPECT_TRUE(rig.dfs->Delete("/a").IsNotFound());
+}
+
+TEST(DfsTest, LocalReadIsDiskOnly) {
+  DfsRig rig(2);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 100 << 20, NodeId{0}).ok());
+  Status read_status = Status::RuntimeError("not called");
+  rig.dfs->ReadToNode("/a", 0, [&](Status st) { read_status = st; });
+  rig.engine.Run();
+  EXPECT_TRUE(read_status.ok());
+  // 100 MB at 100 MB/s disk = 1 s; no switch traffic.
+  EXPECT_NEAR(rig.engine.Now(), 1.0, 1e-6);
+  EXPECT_NEAR(rig.net.Stats(rig.cluster->switch_resource()).mean_rate, 0.0,
+              1e-9);
+  EXPECT_EQ(rig.dfs->counters().blocks_read_local, 1);
+  EXPECT_EQ(rig.dfs->counters().blocks_read_remote, 0);
+}
+
+TEST(DfsTest, RemoteReadCrossesSwitch) {
+  DfsOptions options;
+  options.replication = 1;
+  DfsRig rig(3, options);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 50 << 20, NodeId{0}).ok());
+  bool done = false;
+  rig.dfs->ReadToNode("/a", 2, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    done = true;
+  });
+  rig.engine.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.dfs->counters().blocks_read_remote, 1);
+  EXPECT_GT(rig.net.Stats(rig.cluster->switch_resource()).peak_rate, 0.0);
+}
+
+TEST(DfsTest, WriteCreatesReplicatedFile) {
+  DfsRig rig(4);
+  Status write_status = Status::RuntimeError("not called");
+  rig.dfs->WriteFromNode("/out", 64 << 20, 1,
+                         [&](Status st) { write_status = st; });
+  rig.engine.Run();
+  EXPECT_TRUE(write_status.ok());
+  auto info = rig.dfs->Stat("/out");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->blocks[0].replicas.size(), 3u);
+  EXPECT_EQ(info->blocks[0].replicas.front(), 1);  // writer-local first
+  EXPECT_GT(rig.engine.Now(), 0.0);
+}
+
+TEST(DfsTest, WriteOfExistingPathFails) {
+  DfsRig rig(2);
+  ASSERT_TRUE(rig.dfs->IngestFile("/x", 1).ok());
+  Status st = Status::OK();
+  rig.dfs->WriteFromNode("/x", 1, 0, [&](Status s) { st = s; });
+  rig.engine.Run();
+  EXPECT_TRUE(st.IsAlreadyExists());
+}
+
+TEST(DfsTest, ZeroByteWriteAndRead) {
+  DfsRig rig(2);
+  bool wrote = false;
+  rig.dfs->WriteFromNode("/empty", 0, 0, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    wrote = true;
+  });
+  rig.engine.Run();
+  EXPECT_TRUE(wrote);
+  bool read = false;
+  rig.dfs->ReadToNode("/empty", 1, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    read = true;
+  });
+  rig.engine.Run();
+  EXPECT_TRUE(read);
+}
+
+TEST(DfsTest, ReadOfMissingFileFailsAsync) {
+  DfsRig rig(2);
+  Status st = Status::OK();
+  rig.dfs->ReadToNode("/nope", 0, [&](Status s) { st = s; });
+  rig.engine.Run();
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST(DfsTest, NodeDeathLosesReplicasButDataSurvives) {
+  DfsRig rig(4);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 10 << 20).ok());
+  NodeId victim = rig.dfs->Stat("/a")->blocks[0].replicas[0];
+  rig.dfs->KillNode(victim);
+  EXPECT_TRUE(rig.dfs->AllFilesReadable());  // 2 replicas left
+  EXPECT_EQ(rig.dfs->Stat("/a")->blocks[0].replicas.size(), 2u);
+  EXPECT_EQ(rig.dfs->LocalBytes("/a", victim), 0);
+}
+
+TEST(DfsTest, LosingAllReplicasIsDetected) {
+  DfsOptions options;
+  options.replication = 1;
+  DfsRig rig(2, options);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 10 << 20).ok());
+  NodeId holder = rig.dfs->Stat("/a")->blocks[0].replicas[0];
+  rig.dfs->KillNode(holder);
+  EXPECT_FALSE(rig.dfs->AllFilesReadable());
+  Status st = Status::OK();
+  rig.dfs->ReadToNode("/a", holder == 0 ? 1 : 0,
+                      [&](Status s) { st = s; });
+  rig.engine.Run();
+  EXPECT_TRUE(st.IsIoError());
+}
+
+TEST(DfsTest, ReReplicationRestoresTargetFactor) {
+  DfsRig rig(5);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 10 << 20).ok());
+  NodeId victim = rig.dfs->Stat("/a")->blocks[0].replicas[0];
+  rig.dfs->KillNode(victim);
+  rig.dfs->ReReplicate();
+  auto info = rig.dfs->Stat("/a");
+  EXPECT_EQ(info->blocks[0].replicas.size(), 3u);
+  for (NodeId n : info->blocks[0].replicas) EXPECT_NE(n, victim);
+  EXPECT_GT(rig.dfs->counters().blocks_re_replicated, 0);
+}
+
+TEST(DfsTest, ExternalFilesStreamFromS3) {
+  DfsRig rig(2, DfsOptions{}, /*s3_mbps=*/500.0);
+  ASSERT_TRUE(rig.dfs->RegisterExternalFile("/s3/reads", 100 << 20).ok());
+  EXPECT_TRUE(rig.dfs->Exists("/s3/reads"));
+  EXPECT_EQ(rig.dfs->LocalBytes("/s3/reads", 0), 0);
+  bool done = false;
+  rig.dfs->ReadToNode("/s3/reads", 0, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    done = true;
+  });
+  rig.engine.Run();
+  EXPECT_TRUE(done);
+  // Bottleneck: 100 MB/s NIC (S3 uplink is 500) -> 1 s.
+  EXPECT_NEAR(rig.engine.Now(), 1.0, 1e-6);
+}
+
+TEST(DfsTest, ExternalFileRequiresS3Uplink) {
+  DfsRig rig(2);  // no S3
+  EXPECT_TRUE(rig.dfs->RegisterExternalFile("/s3/x", 1)
+                  .IsFailedPrecondition());
+}
+
+TEST(DfsTest, ListFilesSorted) {
+  DfsRig rig(2);
+  ASSERT_TRUE(rig.dfs->IngestFile("/b", 1).ok());
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 1).ok());
+  EXPECT_EQ(rig.dfs->ListFiles(), (std::vector<std::string>{"/a", "/b"}));
+}
+
+TEST(DfsTest, StoredBytesAccountsReplicas) {
+  DfsOptions options;
+  options.replication = 2;
+  DfsRig rig(2, options);
+  ASSERT_TRUE(rig.dfs->IngestFile("/a", 10 << 20).ok());
+  EXPECT_EQ(rig.dfs->StoredBytes(0) + rig.dfs->StoredBytes(1),
+            2 * (10 << 20));
+}
+
+// Property sweep: placement is balanced within a reasonable factor.
+class DfsBalanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfsBalanceTest, PlacementRoughlyBalanced) {
+  int nodes = GetParam();
+  DfsOptions options;
+  options.seed = 1234;
+  DfsRig rig(nodes, options);
+  const int files = 40 * nodes;
+  for (int i = 0; i < files; ++i) {
+    ASSERT_TRUE(rig.dfs->IngestFile(StrFormat("/f%d", i), 1 << 20).ok());
+  }
+  int64_t min_bytes = INT64_MAX, max_bytes = 0;
+  for (NodeId n = 0; n < nodes; ++n) {
+    int64_t b = rig.dfs->StoredBytes(n);
+    min_bytes = std::min(min_bytes, b);
+    max_bytes = std::max(max_bytes, b);
+  }
+  EXPECT_GT(min_bytes, 0);
+  EXPECT_LT(max_bytes, 2 * min_bytes + (10 << 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, DfsBalanceTest,
+                         ::testing::Values(4, 8, 16, 24));
+
+}  // namespace
+}  // namespace hiway

@@ -1,0 +1,214 @@
+// Tests for the Karamel/Chef-style reproducible-installation module.
+
+#include "src/infra/karamel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/client.h"
+
+namespace hiway {
+namespace {
+
+TEST(KaramelTest, ConvergesRecipesInDependencyOrder) {
+  Karamel karamel;
+  std::vector<std::string> order;
+  Recipe a;
+  a.name = "a";
+  a.dependencies = {"b"};
+  a.converge = [&order](const ChefAttributes&, Deployment*) {
+    order.push_back("a");
+    return Status::OK();
+  };
+  Recipe b;
+  b.name = "b";
+  b.converge = [&order](const ChefAttributes&, Deployment*) {
+    order.push_back("b");
+    return Status::OK();
+  };
+  // Register in the "wrong" order on purpose.
+  karamel.AddRecipe(a);
+  karamel.AddRecipe(b);
+  ASSERT_TRUE(karamel.Converge().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(KaramelTest, DetectsCyclesAndUnknownDependencies) {
+  {
+    Karamel karamel;
+    Recipe a;
+    a.name = "a";
+    a.dependencies = {"b"};
+    a.converge = [](const ChefAttributes&, Deployment*) {
+      return Status::OK();
+    };
+    Recipe b;
+    b.name = "b";
+    b.dependencies = {"a"};
+    b.converge = a.converge;
+    karamel.AddRecipe(a);
+    karamel.AddRecipe(b);
+    EXPECT_TRUE(karamel.Converge().status().IsInvalidArgument());
+  }
+  {
+    Karamel karamel;
+    Recipe a;
+    a.name = "a";
+    a.dependencies = {"ghost"};
+    a.converge = [](const ChefAttributes&, Deployment*) {
+      return Status::OK();
+    };
+    karamel.AddRecipe(a);
+    EXPECT_TRUE(karamel.Converge().status().IsInvalidArgument());
+  }
+  {
+    Karamel karamel;
+    Recipe a;
+    a.name = "dup";
+    a.converge = [](const ChefAttributes&, Deployment*) {
+      return Status::OK();
+    };
+    karamel.AddRecipe(a);
+    karamel.AddRecipe(a);
+    EXPECT_TRUE(karamel.Converge().status().IsInvalidArgument());
+  }
+}
+
+TEST(KaramelTest, RecipeFailureNamesTheRecipe) {
+  Karamel karamel;
+  Recipe bad;
+  bad.name = "workflow::broken";
+  bad.converge = [](const ChefAttributes&, Deployment*) {
+    return Status::IoError("no data");
+  };
+  karamel.AddRecipe(bad);
+  auto result = karamel.Converge();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("workflow::broken"),
+            std::string::npos);
+}
+
+TEST(HadoopRecipeTest, BuildsClusterFromAttributes) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", "6");
+  karamel.SetAttribute("cluster/cores", "16");
+  karamel.SetAttribute("cluster/switch_mbps", "500");
+  karamel.SetAttribute("cluster/ebs_mbps", "120");
+  karamel.SetAttribute("dfs/replication", "2");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  auto d = karamel.Converge();
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ((*d)->cluster->num_nodes(), 6);
+  EXPECT_EQ((*d)->cluster->node(0).cores, 16);
+  EXPECT_DOUBLE_EQ(
+      (*d)->net.Capacity((*d)->cluster->switch_resource()), 500.0);
+  EXPECT_TRUE((*d)->cluster->has_ebs());
+  EXPECT_EQ((*d)->dfs->options().replication, 2);
+  EXPECT_NE((*d)->rm, nullptr);
+  EXPECT_NE((*d)->load, nullptr);
+}
+
+TEST(HadoopRecipeTest, RejectsNonsenseAttributes) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", "0");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  EXPECT_FALSE(karamel.Converge().ok());
+}
+
+TEST(HiWayRecipeTest, InstallsToolsAndProvenance) {
+  Karamel karamel;
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  auto d = karamel.Converge();
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE((*d)->tools.Contains("bowtie2"));
+  EXPECT_TRUE((*d)->tools.Contains("mAdd"));
+  EXPECT_NE((*d)->provenance, nullptr);
+  EXPECT_EQ((*d)->provenance_store->size(), 0u);
+}
+
+TEST(WorkflowRecipesTest, StageDocumentsAndIngestInputs) {
+  Karamel karamel;
+  karamel.SetAttribute("snv/chunks", "4");
+  karamel.SetAttribute("snv/chunk_mb", "64");
+  karamel.SetAttribute("kmeans/points_mb", "16");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  karamel.AddRecipe(KmeansWorkflowRecipe());
+  karamel.AddRecipe(MontageWorkflowRecipe());
+  karamel.AddRecipe(TraplineWorkflowRecipe());
+  auto d = karamel.Converge();
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  ASSERT_EQ((*d)->workflows.size(), 4u);
+  // Inputs of every staged workflow exist in the DFS.
+  for (const auto& [name, staged] : (*d)->workflows) {
+    for (const auto& [path, size] : staged.inputs) {
+      EXPECT_TRUE((*d)->dfs->Exists(path)) << name << " " << path;
+    }
+  }
+  EXPECT_EQ((*d)->workflows.at("snv-calling").language, "cuneiform");
+  EXPECT_EQ((*d)->workflows.at("montage").language, "dax");
+  EXPECT_EQ((*d)->workflows.at("trapline").language, "galaxy");
+  EXPECT_EQ((*d)->workflows.at("trapline").galaxy_inputs.size(), 6u);
+}
+
+TEST(WorkflowRecipesTest, S3IngestRegistersExternalFiles) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/s3_mbps", "1000");
+  karamel.SetAttribute("snv/chunks", "2");
+  karamel.SetAttribute("snv/ingest", "s3");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  auto d = karamel.Converge();
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  const StagedWorkflow& staged = (*d)->workflows.at("snv-calling");
+  for (const auto& [path, size] : staged.inputs) {
+    EXPECT_TRUE((*d)->dfs->Exists(path));
+    EXPECT_EQ((*d)->dfs->LocalBytes(path, 0), 0);  // external, no replicas
+  }
+}
+
+TEST(WorkflowRecipesTest, UnknownIngestModeFails) {
+  Karamel karamel;
+  karamel.SetAttribute("snv/ingest", "carrier-pigeon");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  EXPECT_FALSE(karamel.Converge().ok());
+}
+
+TEST(ClientTest, RunsStagedWorkflowEndToEnd) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", "4");
+  karamel.SetAttribute("cluster/cores", "4");
+  karamel.SetAttribute("kmeans/points_mb", "16");
+  karamel.SetAttribute("kmeans/converge_after", "2");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(KmeansWorkflowRecipe());
+  auto d = karamel.Converge();
+  ASSERT_TRUE(d.ok());
+  HiWayClient client(d->get());
+  auto report = client.Run("kmeans", "fcfs");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  // init + 2 x (step + check) = 5.
+  EXPECT_EQ(report->tasks_completed, 5);
+}
+
+TEST(ClientTest, UnknownWorkflowOrPolicyFails) {
+  Karamel karamel;
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(KmeansWorkflowRecipe());
+  auto d = karamel.Converge();
+  ASSERT_TRUE(d.ok());
+  HiWayClient client(d->get());
+  EXPECT_TRUE(client.Run("nope", "fcfs").status().IsNotFound());
+  EXPECT_TRUE(
+      client.Run("kmeans", "quantum").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hiway

@@ -1,0 +1,290 @@
+// Cross-module integration and property tests: full workflows in every
+// language on simulated clusters, scheduler equivalence of results,
+// fault-tolerance paths, and trace re-execution.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/baseline/tez_am.h"
+#include "src/common/strings.h"
+#include "src/core/client.h"
+#include "src/lang/cuneiform.h"
+#include "src/lang/dax_source.h"
+#include "src/lang/trace_source.h"
+
+namespace hiway {
+namespace {
+
+Result<std::unique_ptr<Deployment>> SmallDeployment(
+    int workers = 4, const ChefAttributes& extra = {}) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", StrFormat("%d", workers));
+  karamel.SetAttribute("cluster/cores", "4");
+  karamel.SetAttribute("snv/chunks", "6");
+  karamel.SetAttribute("snv/chunk_mb", "64");
+  karamel.SetAttribute("rnaseq/sample_mb", "64");
+  karamel.SetAttribute("montage/images", "6");
+  karamel.SetAttribute("kmeans/points_mb", "16");
+  for (const auto& [k, v] : extra) karamel.SetAttribute(k, v);
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  karamel.AddRecipe(TraplineWorkflowRecipe());
+  karamel.AddRecipe(MontageWorkflowRecipe());
+  karamel.AddRecipe(KmeansWorkflowRecipe());
+  return karamel.Converge();
+}
+
+// Every language front-end runs end-to-end on the same deployment.
+TEST(IntegrationTest, AllFourLanguagesExecute) {
+  struct Case {
+    const char* workflow;
+    const char* policy;
+    int expected_tasks;
+  };
+  const Case cases[] = {
+      {"snv-calling", "data-aware", 24},  // 6 chunks x 4 stages
+      {"trapline", "fcfs", 26},
+      {"montage", "heft", 27},  // 6 proj + 9 diff + 6 bg + 6 tail
+      {"kmeans", "fcfs", 11},   // init + 5 x (step + check)
+  };
+  for (const Case& c : cases) {
+    auto d = SmallDeployment();
+    ASSERT_TRUE(d.ok());
+    HiWayClient client(d->get());
+    auto report = client.Run(c.workflow, c.policy);
+    ASSERT_TRUE(report.ok()) << c.workflow << ": "
+                             << report.status().ToString();
+    EXPECT_TRUE(report->status.ok())
+        << c.workflow << ": " << report->status.ToString();
+    EXPECT_EQ(report->tasks_completed, c.expected_tasks) << c.workflow;
+    EXPECT_GT(report->Makespan(), 0.0);
+  }
+}
+
+// Property: every scheduler executes each task exactly once, respects
+// data dependencies, and produces the same set of output files.
+class SchedulerEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchedulerEquivalenceTest, SameOutputsEveryTaskOnce) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  HiWayClient client(d->get());
+  auto report = client.Run("montage", GetParam());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks_completed, 27);
+  EXPECT_EQ(report->task_attempts, 27);  // no retries without failures
+
+  // Each task has exactly one start and one end; end after start; inputs
+  // staged before the task that produced them completed... verify
+  // dependency order via file events: a stage-in of a produced file only
+  // happens after that file's stage-out.
+  std::map<std::string, double> produced_at;
+  std::map<TaskId, int> starts, ends;
+  for (const ProvenanceEvent& ev : (*d)->provenance_store->Events()) {
+    switch (ev.type) {
+      case ProvenanceEventType::kTaskStart:
+        ++starts[ev.task_id];
+        break;
+      case ProvenanceEventType::kTaskEnd:
+        ++ends[ev.task_id];
+        break;
+      case ProvenanceEventType::kFileStageOut:
+        produced_at[ev.file_path] = ev.timestamp;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(starts.size(), 27u);
+  for (const auto& [id, n] : starts) EXPECT_EQ(n, 1);
+  for (const auto& [id, n] : ends) EXPECT_EQ(n, 1);
+  for (const ProvenanceEvent& ev : (*d)->provenance_store->Events()) {
+    if (ev.type == ProvenanceEventType::kFileStageIn) {
+      auto it = produced_at.find(ev.file_path);
+      if (it != produced_at.end()) {
+        EXPECT_LE(it->second, ev.timestamp + 1e-9) << ev.file_path;
+      }
+    }
+  }
+  // The final mosaic exists.
+  EXPECT_TRUE((*d)->dfs->Exists("/dax/mosaic.jpg"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerEquivalenceTest,
+                         ::testing::Values("fcfs", "data-aware",
+                                           "round-robin", "heft"));
+
+// Property: weak scaling stays within a narrow band (the Fig. 5 claim at
+// test scale).
+TEST(IntegrationTest, WeakScalingStaysFlat) {
+  auto run_scale = [](int workers) -> double {
+    Karamel karamel;
+    karamel.SetAttribute("cluster/workers", StrFormat("%d", workers));
+    karamel.SetAttribute("cluster/cores", "2");
+    karamel.SetAttribute("cluster/switch_mbps", "20000");
+    karamel.SetAttribute("snv/chunks", StrFormat("%d", workers * 2));
+    karamel.SetAttribute("snv/chunk_mb", "64");
+    karamel.AddRecipe(HadoopInstallRecipe());
+    karamel.AddRecipe(HiWayInstallRecipe());
+    karamel.AddRecipe(SnvWorkflowRecipe());
+    auto d = karamel.Converge();
+    EXPECT_TRUE(d.ok());
+    HiWayClient client(d->get());
+    HiWayOptions options;
+    options.container_vcores = 2;
+    options.container_memory_mb = 6000;
+    options.am_vcores = 0;
+    auto report = client.Run("snv-calling", "fcfs", options);
+    EXPECT_TRUE(report.ok() && report->status.ok());
+    return report->Makespan();
+  };
+  double small = run_scale(2);
+  double large = run_scale(16);
+  EXPECT_LT(large, 1.25 * small);
+  EXPECT_GT(large, 0.75 * small);
+}
+
+// Fault tolerance: a workflow survives losing a node mid-run (data is
+// replicated; the lost container's task retries elsewhere).
+TEST(IntegrationTest, SurvivesNodeCrashMidWorkflow) {
+  auto d = SmallDeployment(6);
+  ASSERT_TRUE(d.ok());
+  Deployment& dep = **d;
+  // Crash node 5 shortly into the run.
+  dep.engine.ScheduleAt(30.0, [&dep] {
+    dep.rm->KillNode(5);
+    dep.dfs->KillNode(5);
+  });
+  HiWayClient client(&dep);
+  auto report = client.Run("snv-calling", "data-aware");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->status.ok()) << report->status.ToString();
+  EXPECT_EQ(report->tasks_completed, 24);
+  // No completed task may report the dead node after the crash.
+  for (const ProvenanceEvent& ev : dep.provenance_store->Events()) {
+    if (ev.type == ProvenanceEventType::kTaskEnd && ev.timestamp > 40.0) {
+      EXPECT_NE(ev.node, 5);
+    }
+  }
+}
+
+TEST(IntegrationTest, WorkflowFailsCleanlyWhenDataIsLost) {
+  // Replication 1 and the only holder of the input dies: unrecoverable.
+  auto d = SmallDeployment(3, {{"dfs/replication", "1"}});
+  ASSERT_TRUE(d.ok());
+  Deployment& dep = **d;
+  // Find the holder of the first chunk and kill it immediately.
+  auto info = dep.dfs->Stat("/in/1000genomes/chunk0000.fq.gz");
+  ASSERT_TRUE(info.ok());
+  NodeId holder = info->blocks[0].replicas[0];
+  dep.rm->KillNode(holder);
+  dep.dfs->KillNode(holder);
+  HiWayClient client(&dep);
+  HiWayOptions options;
+  options.max_task_attempts = 2;
+  auto report = client.Run("snv-calling", "fcfs", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->status.ok());
+}
+
+// Reproducibility: executing a trace replays the same task graph and
+// produces the same outputs (Sec. 3.5).
+TEST(IntegrationTest, TraceReExecutionReproducesOutputs) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  HiWayClient client(d->get());
+  auto original = client.Run("montage", "data-aware");
+  ASSERT_TRUE(original.ok() && original->status.ok());
+
+  std::string trace =
+      SerializeTrace((*d)->provenance_store->Events());
+  auto replay_source = TraceSource::Parse(trace, original->run_id);
+  ASSERT_TRUE(replay_source.ok()) << replay_source.status().ToString();
+  EXPECT_EQ((*replay_source)->task_count(), 27u);
+
+  // Fresh cluster, only the recorded inputs staged.
+  auto d2 = SmallDeployment();
+  ASSERT_TRUE(d2.ok());
+  // montage inputs are already staged by the recipe; clear everything the
+  // original run produced is not present on the fresh deployment anyway.
+  HiWayClient client2(d2->get());
+  auto replayed = client2.RunSource(replay_source->get(), "fcfs");
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(replayed->status.ok()) << replayed->status.ToString();
+  EXPECT_EQ(replayed->tasks_completed, 27);
+  // Identical output file sets, byte-for-byte sizes.
+  for (const std::string& target : (*replay_source)->Targets()) {
+    auto a = (*d)->dfs->Stat(target);
+    auto b = (*d2)->dfs->Stat(target);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok()) << target;
+    EXPECT_EQ(a->size_bytes, b->size_bytes) << target;
+  }
+}
+
+// Multiple AMs share one YARN cluster (one dedicated AM per workflow).
+TEST(IntegrationTest, ConcurrentWorkflowsShareTheCluster) {
+  auto d = SmallDeployment(6);
+  ASSERT_TRUE(d.ok());
+  Deployment& dep = **d;
+  auto src1 = CuneiformSource::Parse(
+      "deftask a( o : i ) in 'bowtie2';\n"
+      "target a( i: '/in/1000genomes/chunk0000.fq.gz' );");
+  auto src2 = CuneiformSource::Parse(
+      "deftask b( o : i ) in 'varscan';\n"
+      "target b( i: '/in/1000genomes/chunk0001.fq.gz' );");
+  ASSERT_TRUE(src1.ok() && src2.ok());
+  FcfsScheduler sched1, sched2;
+  HiWayAm am1(dep.cluster.get(), dep.rm.get(), dep.dfs.get(), &dep.tools,
+              dep.provenance.get(), &dep.estimator, HiWayOptions{});
+  HiWayAm am2(dep.cluster.get(), dep.rm.get(), dep.dfs.get(), &dep.tools,
+              dep.provenance.get(), &dep.estimator, HiWayOptions{});
+  ASSERT_TRUE(am1.Submit(src1->get(), &sched1).ok());
+  ASSERT_TRUE(am2.Submit(src2->get(), &sched2).ok());
+  dep.engine.RunUntilPredicate(
+      [&] { return am1.finished() && am2.finished(); });
+  EXPECT_TRUE(am1.finished() && am1.report().status.ok());
+  EXPECT_TRUE(am2.finished() && am2.report().status.ok());
+}
+
+// Hi-WAY vs Tez on identical inputs: both complete, Hi-WAY's data-aware
+// run moves fewer remote bytes.
+TEST(IntegrationTest, DataAwareMovesFewerBytesThanTez) {
+  auto d1 = SmallDeployment(6);
+  ASSERT_TRUE(d1.ok());
+  HiWayClient client((*d1).get());
+  auto hiway_report = client.Run("snv-calling", "data-aware");
+  ASSERT_TRUE(hiway_report.ok() && hiway_report->status.ok());
+  int64_t hiway_remote = (*d1)->dfs->counters().bytes_read_remote;
+
+  auto d2 = SmallDeployment(6);
+  ASSERT_TRUE(d2.ok());
+  // Build the equivalent static DAG for Tez.
+  std::vector<TaskSpec> tasks;
+  TaskId next = 1;
+  for (const auto& [chunk, size] : (*d2)->workflows.at("snv-calling").inputs) {
+    TaskSpec align;
+    align.id = next++;
+    align.signature = "bowtie2";
+    align.tool = "bowtie2";
+    align.input_files = {chunk};
+    align.outputs.push_back(
+        OutputSpec{"out", chunk + ".sam", {}, false});
+    tasks.push_back(std::move(align));
+  }
+  StaticWorkflowSource source("tez-align", tasks);
+  TezAm tez((*d2)->cluster.get(), (*d2)->rm.get(), (*d2)->dfs.get(),
+            &(*d2)->tools, TezOptions{});
+  ASSERT_TRUE(tez.Submit(&source).ok());
+  auto tez_report = tez.RunToCompletion();
+  ASSERT_TRUE(tez_report.ok() && tez_report->status.ok());
+  int64_t tez_remote = (*d2)->dfs->counters().bytes_read_remote;
+  EXPECT_LT(hiway_remote, tez_remote);
+}
+
+}  // namespace
+}  // namespace hiway

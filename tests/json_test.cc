@@ -1,0 +1,181 @@
+// Unit and property tests for the JSON parser / serializer.
+
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->as_bool(), true);
+  EXPECT_EQ(Json::Parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("-17")->as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("6.02e23")->as_number(), 6.02e23);
+  EXPECT_EQ(Json::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto doc = Json::Parse(R"({"a": [1, 2, {"b": null}], "c": {"d": true}})");
+  ASSERT_TRUE(doc.ok());
+  const Json* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].Find("b")->is_null());
+  EXPECT_TRUE(doc->Find("c")->Find("d")->as_bool());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto doc = Json::Parse(R"("a\"b\\c\/d\n\tA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->as_string(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParseTest, UnicodeSurrogatePairs) {
+  auto doc = Json::Parse(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",          "{",          "[1,",      "{\"a\":}", "tru",
+      "01",        "1.",         "1e",       "\"\\x\"",  "\"unterminated",
+      "[1] extra", "{\"a\" 1}",  "[,]",      "{,}",      "\"\\ud800\"",
+      "nan",       "'single'",   "[1 2]",
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(Json::Parse(doc).ok()) << doc;
+  }
+}
+
+TEST(JsonParseTest, ErrorsCarryLineAndColumn) {
+  auto r = Json::Parse("{\n  \"a\": 1,\n  oops\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(JsonParseTest, DeepNestingIsBounded) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonParseTest, PreservesObjectKeyOrder) {
+  auto doc = Json::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(doc.ok());
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : doc->as_object()) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonDumpTest, CompactAndPretty) {
+  Json obj = Json::MakeObject();
+  obj.Set("name", "hiway");
+  obj.Set("tasks", Json(JsonArray{Json(1), Json(2)}));
+  EXPECT_EQ(obj.Dump(), R"({"name":"hiway","tasks":[1,2]})");
+  std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find("\n  \"name\": \"hiway\""), std::string::npos);
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(static_cast<int64_t>(-7)).Dump(), "-7");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+}
+
+TEST(JsonDumpTest, ControlCharactersEscaped) {
+  EXPECT_EQ(Json(std::string("a\x01"
+                             "b"))
+                .Dump(),
+            "\"a\\u0001b\"");
+  EXPECT_EQ(Json("tab\t").Dump(), "\"tab\\t\"");
+}
+
+TEST(JsonSetTest, OverwritesExistingKey) {
+  Json obj = Json::MakeObject();
+  obj.Set("k", 1);
+  obj.Set("k", 2);
+  EXPECT_EQ(obj.as_object().size(), 1u);
+  EXPECT_EQ(obj.GetInt("k"), 2);
+}
+
+TEST(JsonGettersTest, TypedGettersWithDefaults) {
+  auto doc = Json::Parse(R"({"s": "x", "n": 2.5, "b": true, "i": 7})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("s"), "x");
+  EXPECT_EQ(doc->GetString("missing", "def"), "def");
+  EXPECT_DOUBLE_EQ(doc->GetNumber("n"), 2.5);
+  EXPECT_EQ(doc->GetInt("i"), 7);
+  EXPECT_TRUE(doc->GetBool("b"));
+  EXPECT_EQ(doc->GetString("n", "notstring"), "notstring");  // type mismatch
+}
+
+// -------- property: random documents round-trip through Dump/Parse -------
+
+Json RandomJson(Rng* rng, int depth) {
+  int pick = depth > 4 ? static_cast<int>(rng->UniformInt(4))
+                       : static_cast<int>(rng->UniformInt(6));
+  switch (pick) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng->NextDouble() < 0.5);
+    case 2: {
+      // Mix integral and fractional values.
+      if (rng->NextDouble() < 0.5) {
+        return Json(static_cast<int64_t>(rng->UniformInt(1000000)) - 500000);
+      }
+      return Json(rng->Uniform(-1e6, 1e6));
+    }
+    case 3: {
+      std::string s;
+      size_t len = rng->UniformInt(12);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng->UniformInt(26));
+      }
+      if (rng->NextDouble() < 0.3) s += "\"\\\n\t";
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json arr = Json::MakeArray();
+      size_t n = rng->UniformInt(4);
+      for (size_t i = 0; i < n; ++i) arr.Append(RandomJson(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      Json obj = Json::MakeObject();
+      size_t n = rng->UniformInt(4);
+      for (size_t i = 0; i < n; ++i) {
+        obj.Set(StrFormat("k%zu", i), RandomJson(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripTest, DumpParseIsIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    Json doc = RandomJson(&rng, 0);
+    for (int indent : {-1, 2}) {
+      auto reparsed = Json::Parse(doc.Dump(indent));
+      ASSERT_TRUE(reparsed.ok()) << doc.Dump(indent);
+      EXPECT_TRUE(doc == *reparsed) << doc.Dump(indent);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hiway

@@ -1,0 +1,85 @@
+// Tests for the Fig. 6 utilisation accounting (worker-side flow statistics
+// and the master-load cost model).
+
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hiway {
+namespace {
+
+TEST(MasterLoadTest, ZeroDurationYieldsZeroLoad) {
+  MasterLoadInputs inputs;
+  MasterLoad load = ComputeMasterLoad(inputs);
+  EXPECT_DOUBLE_EQ(load.hadoop_master.cpu_load, 0.0);
+  EXPECT_DOUBLE_EQ(load.hiway_am.cpu_load, 0.0);
+}
+
+TEST(MasterLoadTest, LoadGrowsWithClusterSize) {
+  MasterLoadInputs small;
+  small.duration_s = 1000.0;
+  small.num_workers = 1;
+  small.mean_running_containers = 1;
+  MasterLoadInputs big = small;
+  big.num_workers = 128;
+  big.mean_running_containers = 128;
+  MasterLoad ls = ComputeMasterLoad(small);
+  MasterLoad lb = ComputeMasterLoad(big);
+  EXPECT_GT(lb.hadoop_master.cpu_load, ls.hadoop_master.cpu_load);
+  EXPECT_GT(lb.hiway_am.cpu_load, ls.hiway_am.cpu_load);
+  EXPECT_GT(lb.hadoop_master.net_mbps, ls.hadoop_master.net_mbps);
+}
+
+TEST(MasterLoadTest, StaysFarBelowCapacityAtPaperScale) {
+  // 128 workers, ~6 h run, realistic op counts from the weak-scaling
+  // experiment: the paper's headline observation is < 5 % utilisation.
+  MasterLoadInputs inputs;
+  inputs.duration_s = 6.0 * 3600;
+  inputs.num_workers = 128;
+  inputs.mean_running_containers = 128;
+  inputs.rm.requests = 5000;
+  inputs.rm.allocations = 5000;
+  inputs.rm.releases = 5000;
+  inputs.dfs.metadata_ops = 200000;
+  inputs.am_decisions = 5000;
+  inputs.provenance_events = 30000;
+  MasterLoad load = ComputeMasterLoad(inputs);
+  EXPECT_LT(load.hadoop_master.cpu_load, 0.10);  // < 5 % of 2 cores
+  EXPECT_LT(load.hiway_am.cpu_load, 0.10);
+  EXPECT_GT(load.hadoop_master.cpu_load, 0.0);
+}
+
+TEST(MasterLoadTest, MetadataOpsDriveNameNodeShare) {
+  MasterLoadInputs base;
+  base.duration_s = 1000.0;
+  base.num_workers = 4;
+  MasterLoadInputs busy = base;
+  busy.dfs.metadata_ops = 1000000;
+  EXPECT_GT(ComputeMasterLoad(busy).hadoop_master.cpu_load,
+            ComputeMasterLoad(base).hadoop_master.cpu_load);
+  EXPECT_GT(ComputeMasterLoad(busy).hadoop_master.io_utilization,
+            ComputeMasterLoad(base).hadoop_master.io_utilization);
+}
+
+TEST(WorkerUtilizationTest, ReadsFlowStatistics) {
+  SimEngine engine;
+  FlowNetwork net(&engine);
+  NodeSpec node;
+  node.cores = 2;
+  node.disk_bw_mbps = 100.0;
+  Cluster cluster(&engine, &net, ClusterSpec::Uniform(2, node, 1000.0));
+  // Saturate node 0's CPU for 10 s; leave node 1 idle.
+  net.StartFlow({{cluster.cpu(0)}, 20.0, kNoRateCap, 1.0, {}});
+  net.StartFlow({{cluster.disk(0)}, 500.0, kNoRateCap, 1.0, {}});
+  engine.Run();
+  RoleUtilization busy = WorkerUtilization(net, cluster, 0);
+  RoleUtilization idle = WorkerUtilization(net, cluster, 1);
+  EXPECT_GT(busy.cpu_load, 1.5);
+  EXPECT_GT(busy.io_utilization, 0.4);
+  EXPECT_DOUBLE_EQ(idle.cpu_load, 0.0);
+  RoleUtilization mean = MeanWorkerUtilization(net, cluster, 0, 1);
+  EXPECT_NEAR(mean.cpu_load, busy.cpu_load / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hiway

@@ -1,0 +1,175 @@
+// Tests for the Provenance Manager: event recording, JSON-lines trace
+// round-trips, and the statistics queries feeding adaptive scheduling.
+
+#include "src/core/provenance.h"
+
+#include <gtest/gtest.h>
+
+namespace hiway {
+namespace {
+
+TaskSpec MakeSpec(TaskId id, std::string signature) {
+  TaskSpec spec;
+  spec.id = id;
+  spec.signature = signature;
+  spec.tool = signature;
+  spec.command = signature + " --args";
+  return spec;
+}
+
+TaskResult MakeResult(TaskId id, std::string signature, int32_t node,
+                      double start, double end, bool success = true) {
+  TaskResult result;
+  result.id = id;
+  result.signature = std::move(signature);
+  result.node = node;
+  result.started_at = start;
+  result.finished_at = end;
+  result.status = success ? Status::OK() : Status::RuntimeError("boom");
+  return result;
+}
+
+TEST(ProvenanceEventTest, TypeStringsRoundTrip) {
+  for (ProvenanceEventType type :
+       {ProvenanceEventType::kWorkflowStart, ProvenanceEventType::kWorkflowEnd,
+        ProvenanceEventType::kTaskStart, ProvenanceEventType::kTaskEnd,
+        ProvenanceEventType::kFileStageIn,
+        ProvenanceEventType::kFileStageOut}) {
+    auto parsed =
+        ProvenanceEventTypeFromString(ProvenanceEventTypeToString(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ProvenanceEventTypeFromString("garbage").ok());
+}
+
+TEST(ProvenanceEventTest, JsonRoundTripTaskEnd) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kTaskEnd;
+  ev.run_id = "wf-run-0";
+  ev.timestamp = 12.5;
+  ev.task_id = 42;
+  ev.signature = "bowtie2";
+  ev.tool = "bowtie2";
+  ev.node = 3;
+  ev.node_name = "node-003";
+  ev.duration = 99.25;
+  ev.success = true;
+  ev.stdout_value = "aligned";
+  auto round = ProvenanceEvent::FromJson(ev.ToJson());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->task_id, 42);
+  EXPECT_EQ(round->signature, "bowtie2");
+  EXPECT_EQ(round->node, 3);
+  EXPECT_DOUBLE_EQ(round->duration, 99.25);
+  EXPECT_EQ(round->stdout_value, "aligned");
+}
+
+TEST(ProvenanceManagerTest, RecordsWorkflowLifecycle) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  std::string run_id = manager.BeginWorkflow("snv", 100.0);
+  EXPECT_FALSE(run_id.empty());
+  manager.EndWorkflow(250.0, true);
+  auto events = store.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, ProvenanceEventType::kWorkflowStart);
+  EXPECT_EQ(events[1].type, ProvenanceEventType::kWorkflowEnd);
+  EXPECT_DOUBLE_EQ(events[1].total_runtime, 150.0);
+  EXPECT_EQ(events[0].run_id, run_id);
+}
+
+TEST(ProvenanceManagerTest, RunIdsAreUniquePerRun) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  std::string a = manager.BeginWorkflow("wf", 0.0);
+  manager.EndWorkflow(1.0, true);
+  std::string b = manager.BeginWorkflow("wf", 2.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ProvenanceManagerTest, TaskAndFileEventsCarryDetail) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  manager.BeginWorkflow("wf", 0.0);
+  TaskSpec spec = MakeSpec(7, "varscan");
+  manager.RecordTaskStart(spec, 2, "node-002", 5.0);
+  manager.RecordFileStageIn(7, "/in/a.bam", 1024, 0.5, 5.5);
+  manager.RecordTaskEnd(MakeResult(7, "varscan", 2, 5.0, 25.0), "node-002");
+  manager.RecordFileStageOut(7, "/out/a.vcf", 2048, 0.25, 25.0);
+  auto events = store.Events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[1].command, "varscan --args");
+  EXPECT_EQ(events[1].tool, "varscan");
+  EXPECT_EQ(events[2].file_path, "/in/a.bam");
+  EXPECT_EQ(events[2].size_bytes, 1024);
+  EXPECT_DOUBLE_EQ(events[3].duration, 20.0);
+  EXPECT_EQ(events[4].type, ProvenanceEventType::kFileStageOut);
+}
+
+TEST(ProvenanceManagerTest, LatestRuntimeQueriesNewestSuccess) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  manager.BeginWorkflow("wf", 0.0);
+  manager.RecordTaskEnd(MakeResult(1, "align", 0, 0, 30), "node-000");
+  manager.RecordTaskEnd(MakeResult(2, "align", 0, 30, 80), "node-000");
+  manager.RecordTaskEnd(MakeResult(3, "align", 1, 0, 10), "node-001");
+  manager.RecordTaskEnd(MakeResult(4, "align", 0, 80, 200, false),
+                        "node-000");  // failed: ignored
+  auto latest = manager.LatestRuntime("align", 0);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_DOUBLE_EQ(*latest, 50.0);
+  EXPECT_DOUBLE_EQ(*manager.LatestRuntime("align", 1), 10.0);
+  EXPECT_TRUE(manager.LatestRuntime("align", 9).status().IsNotFound());
+  EXPECT_TRUE(manager.LatestRuntime("sort", 0).status().IsNotFound());
+}
+
+TEST(ProvenanceManagerTest, RuntimeObservationsInOrder) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  manager.BeginWorkflow("wf", 0.0);
+  manager.RecordTaskEnd(MakeResult(1, "align", 0, 0, 30), "node-000");
+  manager.RecordTaskEnd(MakeResult(2, "align", 1, 0, 20), "node-001");
+  auto obs = manager.RuntimeObservations("align");
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].first, 0);
+  EXPECT_DOUBLE_EQ(obs[0].second, 30.0);
+  EXPECT_EQ(obs[1].first, 1);
+}
+
+TEST(TraceSerializationTest, RoundTripThroughJsonLines) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  manager.BeginWorkflow("wf", 0.0);
+  TaskSpec spec = MakeSpec(1, "align");
+  manager.RecordTaskStart(spec, 0, "node-000", 1.0);
+  manager.RecordFileStageIn(1, "/in", 100, 0.1, 1.1);
+  manager.RecordTaskEnd(MakeResult(1, "align", 0, 1.0, 9.0), "node-000");
+  manager.EndWorkflow(10.0, true);
+  std::string text = SerializeTrace(store.Events());
+  EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')),
+            store.size());
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), store.size());
+  EXPECT_EQ((*parsed)[2].file_path, "/in");
+}
+
+TEST(TraceSerializationTest, BlankLinesIgnoredErrorsNameLine) {
+  auto ok = ParseTrace("\n\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->empty());
+  auto bad = ParseTrace(
+      "{\"type\":\"workflow-start\",\"run_id\":\"r\",\"timestamp\":0}\n"
+      "not json\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceSerializationTest, UnknownTypeRejected) {
+  auto bad = ParseTrace("{\"type\":\"task-vanished\"}\n");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace hiway

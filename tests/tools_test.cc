@@ -1,0 +1,131 @@
+// Tests for the black-box tool registry and the standard tool library.
+
+#include "src/tools/standard_tools.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tools/tool_registry.h"
+
+namespace hiway {
+namespace {
+
+TEST(ToolRegistryTest, RegisterFindReplace) {
+  ToolRegistry registry;
+  EXPECT_FALSE(registry.Contains("x"));
+  EXPECT_TRUE(registry.Find("x").status().IsNotFound());
+  ToolProfile p;
+  p.name = "x";
+  p.fixed_cpu_seconds = 1.0;
+  registry.Register(p);
+  ASSERT_TRUE(registry.Contains("x"));
+  EXPECT_DOUBLE_EQ((*registry.Find("x"))->fixed_cpu_seconds, 1.0);
+  p.fixed_cpu_seconds = 9.0;
+  registry.Register(p);  // replace
+  EXPECT_DOUBLE_EQ((*registry.Find("x"))->fixed_cpu_seconds, 9.0);
+  EXPECT_EQ(registry.Names().size(), 1u);
+}
+
+TEST(ToolRegistryTest, InvocationCountersPerTool) {
+  ToolRegistry registry;
+  ToolProfile a;
+  a.name = "a";
+  registry.Register(a);
+  ToolProfile b;
+  b.name = "b";
+  registry.Register(b);
+  int prior = -1;
+  ASSERT_TRUE(registry.FindForInvocation("a", &prior).ok());
+  EXPECT_EQ(prior, 0);
+  ASSERT_TRUE(registry.FindForInvocation("a", &prior).ok());
+  EXPECT_EQ(prior, 1);
+  ASSERT_TRUE(registry.FindForInvocation("b", &prior).ok());
+  EXPECT_EQ(prior, 0);  // independent counter
+  registry.ResetInvocationCounts();
+  ASSERT_TRUE(registry.FindForInvocation("a", &prior).ok());
+  EXPECT_EQ(prior, 0);
+}
+
+TEST(StandardToolsTest, AllPaperToolsRegistered) {
+  ToolRegistry registry;
+  RegisterStandardTools(&registry);
+  for (const char* name :
+       {"bowtie2", "samtools-sort", "varscan", "annovar",           // SNV
+        "fastqc", "trimmomatic", "tophat2", "cufflinks",            // RNA
+        "cuffmerge", "cuffdiff",                                    //
+        "mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",         // Montage
+        "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG",       //
+        "kmeans-init", "kmeans-step", "kmeans-update",              // k-means
+        "kmeans-assign", "kmeans-check"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(StandardToolsTest, ProfilesAreSane) {
+  ToolRegistry registry;
+  RegisterStandardTools(&registry);
+  for (const std::string& name : registry.Names()) {
+    const ToolProfile* p = *registry.Find(name);
+    EXPECT_GE(p->cpu_seconds_per_mb, 0.0) << name;
+    EXPECT_GE(p->fixed_cpu_seconds, 0.0) << name;
+    EXPECT_GE(p->max_threads, 1) << name;
+    EXPECT_GE(p->output_ratio, 0.0) << name;
+    EXPECT_GE(p->scratch_mb_per_input_mb, 0.0) << name;
+    EXPECT_GE(p->min_output_bytes, 0) << name;
+    EXPECT_LT(p->runtime_noise_sigma, 0.5) << name;  // noise, not chaos
+    EXPECT_DOUBLE_EQ(p->failure_probability, 0.0) << name;
+  }
+}
+
+TEST(StandardToolsTest, HeavyStepsAreMultithreaded) {
+  // The paper relies on the alignment / variant-calling steps being
+  // "multithreaded and CPU-bound" (Sec. 4.1) and on TopHat 2 making
+  // "heavy use of multithreading" (Sec. 4.2).
+  ToolRegistry registry;
+  RegisterStandardTools(&registry);
+  EXPECT_GE((*registry.Find("bowtie2"))->max_threads, 8);
+  EXPECT_GE((*registry.Find("varscan"))->max_threads, 2);
+  EXPECT_GE((*registry.Find("tophat2"))->max_threads, 8);
+  // Montage binaries are single-threaded.
+  EXPECT_EQ((*registry.Find("mProjectPP"))->max_threads, 1);
+}
+
+TEST(StandardToolsTest, TophatGeneratesHeavyScratch) {
+  // "generates large amounts of intermediate files" — the Fig. 8 lever.
+  ToolRegistry registry;
+  RegisterRnaSeqTools(&registry);
+  EXPECT_GE((*registry.Find("tophat2"))->scratch_mb_per_input_mb, 5.0);
+  EXPECT_LT((*registry.Find("cufflinks"))->scratch_mb_per_input_mb, 1.0);
+}
+
+TEST(StandardToolsTest, KmeansCheckConvergesOnConfiguredInvocation) {
+  ToolRegistry registry;
+  RegisterKmeansTools(&registry, /*converge_after=*/3);
+  for (int invocation = 0; invocation < 5; ++invocation) {
+    int prior = 0;
+    const ToolProfile* p = *registry.FindForInvocation("kmeans-check",
+                                                       &prior);
+    ToolInvocation inv;
+    inv.prior_invocations = prior;
+    std::string verdict = p->stdout_fn(inv);
+    if (invocation < 2) {
+      EXPECT_EQ(verdict, "") << invocation;
+    } else {
+      EXPECT_EQ(verdict, "true") << invocation;
+    }
+  }
+}
+
+TEST(StandardToolsTest, KmeansCheckHonoursTaskParameterOverride) {
+  ToolRegistry registry;
+  RegisterKmeansTools(&registry, /*converge_after=*/99);
+  TaskSpec task;
+  task.params["converge_after"] = "1";
+  ToolInvocation inv;
+  inv.task = &task;
+  inv.prior_invocations = 0;
+  const ToolProfile* p = *registry.Find("kmeans-check");
+  EXPECT_EQ(p->stdout_fn(inv), "true");  // param beats registration default
+}
+
+}  // namespace
+}  // namespace hiway

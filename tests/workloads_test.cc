@@ -1,0 +1,152 @@
+// Tests for the workload generators: documents parse in their native
+// front-ends and have the structure the paper describes.
+
+#include "src/workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/lang/cuneiform.h"
+#include "src/lang/dax_source.h"
+#include "src/lang/galaxy_source.h"
+
+namespace hiway {
+namespace {
+
+TEST(SnvWorkloadTest, GeneratesParsableCuneiform) {
+  SnvWorkloadOptions options;
+  options.num_chunks = 5;
+  GeneratedWorkload workload = MakeSnvCallingWorkflow(options);
+  EXPECT_EQ(workload.inputs.size(), 5u);
+  for (const auto& [path, size] : workload.inputs) {
+    EXPECT_EQ(size, options.chunk_bytes);
+  }
+  auto source = CuneiformSource::Parse(workload.document);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+}
+
+TEST(SnvWorkloadTest, EmitsFourTasksPerChunkWhenDriven) {
+  SnvWorkloadOptions options;
+  options.num_chunks = 3;
+  GeneratedWorkload workload = MakeSnvCallingWorkflow(options);
+  auto source = CuneiformSource::Parse(workload.document);
+  ASSERT_TRUE(source.ok());
+  // Drive to completion with a fake executor.
+  auto tasks = (*source)->Init();
+  ASSERT_TRUE(tasks.ok());
+  std::vector<TaskSpec> pending = *tasks;
+  int executed = 0;
+  while (!pending.empty()) {
+    TaskSpec spec = pending.back();
+    pending.pop_back();
+    ++executed;
+    TaskResult result;
+    result.id = spec.id;
+    result.status = Status::OK();
+    for (const OutputSpec& out : spec.outputs) {
+      if (!out.is_value) result.produced_files.emplace_back(out.path, 1);
+    }
+    auto more = (*source)->OnTaskCompleted(result);
+    ASSERT_TRUE(more.ok());
+    pending.insert(pending.end(), more->begin(), more->end());
+  }
+  EXPECT_EQ(executed, 12);  // align/sort/call/annotate x 3 chunks
+  EXPECT_TRUE((*source)->IsDone());
+}
+
+TEST(SnvWorkloadTest, CramTogglesSortOutputRatio) {
+  SnvWorkloadOptions cram;
+  cram.cram_compression = true;
+  EXPECT_NE(MakeSnvCallingWorkflow(cram).document.find("0.12"),
+            std::string::npos);
+  SnvWorkloadOptions bam;
+  bam.cram_compression = false;
+  EXPECT_NE(MakeSnvCallingWorkflow(bam).document.find("0.35"),
+            std::string::npos);
+}
+
+TEST(TraplineWorkloadTest, GeneratesParsableGalaxyJson) {
+  RnaSeqWorkloadOptions options;
+  GeneratedWorkload workload = MakeTraplineWorkflow(options);
+  EXPECT_EQ(workload.inputs.size(), 6u);  // 2 conditions x 3 replicates
+  std::map<std::string, std::string> bindings;
+  for (const auto& [name, path] : TraplineInputBindings(options)) {
+    bindings[name] = path;
+  }
+  EXPECT_EQ(bindings.size(), 6u);
+  auto source = GalaxySource::Parse(workload.document, bindings);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // 6 x (fastqc + trimmomatic + tophat2 + cufflinks) + cuffmerge +
+  // cuffdiff = 26 tool steps.
+  EXPECT_EQ((*source)->task_count(), 26u);
+}
+
+TEST(TraplineWorkloadTest, CuffdiffConsumesEveryAlignment) {
+  RnaSeqWorkloadOptions options;
+  GeneratedWorkload workload = MakeTraplineWorkflow(options);
+  std::map<std::string, std::string> bindings;
+  for (const auto& [name, path] : TraplineInputBindings(options)) {
+    bindings[name] = path;
+  }
+  auto source = GalaxySource::Parse(workload.document, bindings);
+  ASSERT_TRUE(source.ok());
+  auto tasks = (*source)->Init();
+  ASSERT_TRUE(tasks.ok());
+  const TaskSpec* cuffdiff = nullptr;
+  for (const TaskSpec& t : *tasks) {
+    if (t.signature == "cuffdiff") cuffdiff = &t;
+  }
+  ASSERT_NE(cuffdiff, nullptr);
+  // merged annotation + 6 alignments.
+  EXPECT_EQ(cuffdiff->input_files.size(), 7u);
+}
+
+TEST(MontageWorkloadTest, GeneratesParsableDax) {
+  MontageWorkloadOptions options;
+  GeneratedWorkload workload = MakeMontageWorkflow(options);
+  EXPECT_EQ(workload.inputs.size(), 11u);
+  auto source = DaxSource::Parse(workload.document);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // 11 projections + 19 diffs + concat + bgmodel + 11 background +
+  // imgtbl + add + shrink + jpeg = 47 jobs.
+  EXPECT_EQ((*source)->task_count(), 47u);
+  // The staged inputs are exactly the DAX's required inputs.
+  std::set<std::string> staged;
+  for (const auto& [path, size] : workload.inputs) staged.insert(path);
+  for (const auto& [path, size] : (*source)->required_inputs()) {
+    EXPECT_EQ(staged.count(path), 1u) << path;
+  }
+  EXPECT_EQ((*source)->required_inputs().size(), staged.size());
+  // The final products: the mosaic JPEG (and the shrunken FITS feeds it).
+  EXPECT_EQ((*source)->Targets(), std::vector<std::string>{"/dax/mosaic.jpg"});
+}
+
+TEST(MontageWorkloadTest, ParallelismMatchesImageCount) {
+  MontageWorkloadOptions options;
+  options.num_images = 7;
+  GeneratedWorkload workload = MakeMontageWorkflow(options);
+  auto source = DaxSource::Parse(workload.document);
+  ASSERT_TRUE(source.ok());
+  auto tasks = (*source)->Init();
+  int projections = 0;
+  for (const TaskSpec& t : *tasks) {
+    if (t.signature == "mProjectPP") ++projections;
+  }
+  EXPECT_EQ(projections, 7);
+}
+
+TEST(KmeansWorkloadTest, GeneratesIterativeCuneiform) {
+  KmeansWorkloadOptions options;
+  options.converge_after = 4;
+  GeneratedWorkload workload = MakeKmeansWorkflow(options);
+  ASSERT_EQ(workload.inputs.size(), 1u);
+  auto source = CuneiformSource::Parse(workload.document);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_FALSE((*source)->IsStatic());
+  EXPECT_NE(workload.document.find("converge_after: '4'"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hiway

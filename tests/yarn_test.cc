@@ -1,0 +1,267 @@
+// Tests for the simulated YARN ResourceManager: capacity accounting,
+// locality preferences, strict placement, blacklists, and node failure.
+
+#include "src/yarn/yarn.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace hiway {
+namespace {
+
+/// Records allocations for inspection.
+class RecordingAm : public AmCallbacks {
+ public:
+  void OnContainerAllocated(const Container& container,
+                            int64_t cookie) override {
+    allocations.push_back({container, cookie});
+  }
+  void OnContainerLost(const Container& container) override {
+    lost.push_back(container);
+  }
+  std::vector<std::pair<Container, int64_t>> allocations;
+  std::vector<Container> lost;
+};
+
+struct YarnRig {
+  SimEngine engine;
+  FlowNetwork net{&engine};
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ResourceManager> rm;
+  RecordingAm am;
+  ApplicationId app = -1;
+
+  explicit YarnRig(int nodes, int cores = 4, double memory_mb = 4096) {
+    NodeSpec node;
+    node.cores = cores;
+    node.memory_mb = memory_mb;
+    cluster = std::make_unique<Cluster>(
+        &engine, &net, ClusterSpec::Uniform(nodes, node, 1000.0));
+    rm = std::make_unique<ResourceManager>(cluster.get(), YarnOptions{});
+    auto result = rm->RegisterApplication("test-app", &am, 1, 512);
+    EXPECT_TRUE(result.ok());
+    app = *result;
+  }
+};
+
+TEST(YarnTest, AmContainerConsumesCapacity) {
+  YarnRig rig(1, 4, 4096);
+  EXPECT_EQ(rig.rm->free_vcores(0), 3);  // 4 - AM's 1
+  EXPECT_DOUBLE_EQ(rig.rm->free_memory_mb(0), 4096 - 512);
+  EXPECT_EQ(rig.rm->running_containers(), 1);
+  auto node = rig.rm->AmNode(rig.app);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, 0);
+}
+
+TEST(YarnTest, RegisterFailsWithoutCapacity) {
+  SimEngine engine;
+  FlowNetwork net(&engine);
+  NodeSpec node;
+  node.cores = 1;
+  node.memory_mb = 100;
+  Cluster cluster(&engine, &net, ClusterSpec::Uniform(1, node, 100.0));
+  ResourceManager rm(&cluster, YarnOptions{});
+  RecordingAm am;
+  auto r = rm.RegisterApplication("fat-am", &am, 2, 50);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(YarnTest, RequestYieldsAllocationAfterDelay) {
+  YarnRig rig(2);
+  ContainerRequest request;
+  request.vcores = 2;
+  request.memory_mb = 1024;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  EXPECT_EQ(rig.am.allocations[0].first.vcores, 2);
+  EXPECT_GE(rig.engine.Now(), rig.rm->options().allocation_delay_s);
+}
+
+TEST(YarnTest, CookiesComeBackWithAllocation) {
+  YarnRig rig(2);
+  ContainerRequest request;
+  request.cookie = 777;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  EXPECT_EQ(rig.am.allocations[0].second, 777);
+}
+
+TEST(YarnTest, PreferredNodeHonoredWhenFree) {
+  YarnRig rig(4);
+  ContainerRequest request;
+  request.preferred_node = 2;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  EXPECT_EQ(rig.am.allocations[0].first.node, 2);
+}
+
+TEST(YarnTest, RelaxedRequestFallsBackToOtherNodes) {
+  YarnRig rig(2, 2, 2048);
+  // Fill node 0 (it already hosts the AM: 1 of 2 cores used).
+  ContainerRequest filler;
+  filler.vcores = 1;
+  filler.preferred_node = 0;
+  rig.rm->SubmitRequest(rig.app, filler);
+  rig.engine.Run();
+  // Now prefer node 0 but accept elsewhere.
+  ContainerRequest request;
+  request.vcores = 2;
+  request.preferred_node = 0;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 2u);
+  EXPECT_EQ(rig.am.allocations[1].first.node, 1);
+}
+
+TEST(YarnTest, StrictRequestWaitsForItsNode) {
+  YarnRig rig(2, 2, 2048);
+  // Node 1 full.
+  ContainerRequest filler;
+  filler.vcores = 2;
+  filler.preferred_node = 1;
+  filler.strict_locality = true;
+  rig.rm->SubmitRequest(rig.app, filler);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  ContainerId filler_container = rig.am.allocations[0].first.id;
+
+  ContainerRequest strict;
+  strict.vcores = 2;
+  strict.preferred_node = 1;
+  strict.strict_locality = true;
+  rig.rm->SubmitRequest(rig.app, strict);
+  rig.engine.RunUntil(rig.engine.Now() + 10.0);
+  EXPECT_EQ(rig.am.allocations.size(), 1u);  // still waiting
+  EXPECT_EQ(rig.rm->pending_requests(), 1);
+
+  rig.rm->ReleaseContainer(filler_container);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 2u);
+  EXPECT_EQ(rig.am.allocations[1].first.node, 1);
+}
+
+TEST(YarnTest, BlacklistAvoidsNodes) {
+  YarnRig rig(3, 4, 4096);
+  ContainerRequest request;
+  request.blacklist = {0, 1};
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  EXPECT_EQ(rig.am.allocations[0].first.node, 2);
+}
+
+TEST(YarnTest, ReleaseRestoresCapacity) {
+  YarnRig rig(1, 4, 4096);
+  ContainerRequest request;
+  request.vcores = 3;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  EXPECT_EQ(rig.rm->free_vcores(0), 0);
+  rig.rm->ReleaseContainer(rig.am.allocations[0].first.id);
+  rig.engine.Run();
+  EXPECT_EQ(rig.rm->free_vcores(0), 3);
+}
+
+TEST(YarnTest, NeverOvercommitsACore) {
+  YarnRig rig(2, 3, 8192);
+  for (int i = 0; i < 10; ++i) {
+    ContainerRequest request;
+    request.vcores = 2;
+    request.memory_mb = 512;
+    rig.rm->SubmitRequest(rig.app, request);
+  }
+  rig.engine.Run();
+  // Capacity: node0 has 2 free (3 - AM), node1 has 3: fits 1 + 1
+  // two-core containers.
+  EXPECT_EQ(rig.am.allocations.size(), 2u);
+  EXPECT_GE(rig.rm->free_vcores(0), 0);
+  EXPECT_GE(rig.rm->free_vcores(1), 0);
+  EXPECT_EQ(rig.rm->pending_requests(), 8);
+}
+
+TEST(YarnTest, CancelRequestsByCookie) {
+  YarnRig rig(1, 1, 600);  // AM eats everything: requests stay pending
+  ContainerRequest a;
+  a.cookie = 1;
+  ContainerRequest b;
+  b.cookie = 2;
+  rig.rm->SubmitRequest(rig.app, a);
+  rig.rm->SubmitRequest(rig.app, b);
+  rig.engine.Run();
+  EXPECT_EQ(rig.rm->pending_requests(), 2);
+  EXPECT_EQ(rig.rm->CancelRequests(rig.app, 1), 1);
+  EXPECT_EQ(rig.rm->pending_requests(), 1);
+}
+
+TEST(YarnTest, KillNodeReportsLostContainers) {
+  YarnRig rig(2, 4, 4096);
+  ContainerRequest request;
+  request.preferred_node = 1;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  rig.rm->KillNode(1);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.lost.size(), 1u);
+  EXPECT_EQ(rig.am.lost[0].node, 1);
+  EXPECT_FALSE(rig.rm->IsNodeAlive(1));
+  EXPECT_EQ(rig.rm->free_vcores(1), 0);
+  EXPECT_EQ(rig.rm->counters().lost_containers, 1);
+}
+
+TEST(YarnTest, DeadNodeReceivesNoAllocations) {
+  YarnRig rig(2, 4, 4096);
+  rig.rm->KillNode(1);
+  for (int i = 0; i < 4; ++i) {
+    rig.rm->SubmitRequest(rig.app, ContainerRequest{});
+  }
+  rig.engine.Run();
+  for (const auto& [container, cookie] : rig.am.allocations) {
+    EXPECT_EQ(container.node, 0);
+  }
+}
+
+TEST(YarnTest, UnregisterDropsPendingRequestsAndFreesAm) {
+  YarnRig rig(1, 2, 2048);
+  rig.rm->SubmitRequest(rig.app, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app, ContainerRequest{});
+  rig.rm->UnregisterApplication(rig.app);
+  rig.engine.Run();
+  EXPECT_EQ(rig.rm->pending_requests(), 0);
+  EXPECT_EQ(rig.rm->running_containers(), 0);
+  EXPECT_EQ(rig.rm->free_vcores(0), 2);
+}
+
+TEST(YarnTest, FifoOrderAmongEqualRequests) {
+  YarnRig rig(1, 3, 8192);
+  for (int64_t i = 0; i < 2; ++i) {
+    ContainerRequest request;
+    request.cookie = i;
+    rig.rm->SubmitRequest(rig.app, request);
+  }
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 2u);
+  EXPECT_EQ(rig.am.allocations[0].second, 0);
+  EXPECT_EQ(rig.am.allocations[1].second, 1);
+}
+
+TEST(YarnTest, CountersTrackActivity) {
+  YarnRig rig(2);
+  rig.rm->SubmitRequest(rig.app, ContainerRequest{});
+  rig.engine.Run();
+  rig.rm->ReleaseContainer(rig.am.allocations[0].first.id);
+  rig.engine.Run();
+  const RmCounters& c = rig.rm->counters();
+  EXPECT_EQ(c.requests, 1);
+  EXPECT_EQ(c.allocations, 2);  // AM container + worker container
+  EXPECT_EQ(c.releases, 1);
+}
+
+}  // namespace
+}  // namespace hiway
