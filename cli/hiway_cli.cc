@@ -20,9 +20,11 @@
 
 #include "src/common/strings.h"
 #include "src/core/client.h"
+#include "src/core/metrics.h"
 #include "src/lang/dax_source.h"
 #include "src/lang/galaxy_source.h"
 #include "src/lang/trace_source.h"
+#include "src/service/workflow_service.h"
 
 namespace hiway {
 namespace {
@@ -31,7 +33,8 @@ void PrintUsage() {
   std::printf(
       "usage: hiway --workflow FILE [options]\n"
       "\n"
-      "  --workflow FILE          workflow document to execute\n"
+      "  --workflow FILE          workflow document to execute (repeatable\n"
+      "                           in --service mode)\n"
       "  --language LANG          cuneiform | dax | galaxy | trace\n"
       "                           (default: guessed from the extension:\n"
       "                            .cf/.cuneiform, .xml/.dax, .ga/.json,\n"
@@ -49,7 +52,19 @@ void PrintUsage() {
       "  --seed N                 simulation seed (default 42)\n"
       "  --trace-out FILE         write the provenance trace (JSON lines)\n"
       "  --verbose                per-task completion log\n"
-      "  --help                   this message\n");
+      "  --help                   this message\n"
+      "\n"
+      "multi-tenant service mode (many AMs in one deployment):\n"
+      "  --service                run all --workflow flags concurrently\n"
+      "                           through the WorkflowService gateway\n"
+      "  --rm-scheduler NAME      fifo | capacity | fair (default fifo)\n"
+      "  --queue NAME             submit subsequent --workflow flags to\n"
+      "                           this service queue (default 'default')\n"
+      "  --queue-config NAME=G,M,AMS,BACKLOG\n"
+      "                           configure a queue: guaranteed share G,\n"
+      "                           max share M (fractions of the cluster),\n"
+      "                           AMS concurrent AMs, BACKLOG waiting\n"
+      "                           submissions (repeatable)\n");
 }
 
 Result<int64_t> ParseSize(std::string_view text) {
@@ -81,8 +96,13 @@ std::string GuessLanguage(const std::string& path) {
   return "cuneiform";
 }
 
+struct CliWorkflow {
+  std::string path;
+  std::string queue;  // service mode: the queue it is submitted to
+};
+
 struct CliOptions {
-  std::string workflow_path;
+  std::vector<CliWorkflow> workflows;
   std::string language;
   std::string policy = "data-aware";
   ChefAttributes attributes;
@@ -94,6 +114,12 @@ struct CliOptions {
   uint64_t seed = 42;
   std::string trace_out;
   bool verbose = false;
+  // Service mode.
+  bool service = false;
+  std::string rm_scheduler = "fifo";
+  std::vector<ServiceQueueOptions> queue_configs;
+
+  const std::string& workflow_path() const { return workflows[0].path; }
 };
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -114,10 +140,37 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     }
     return std::make_pair(kv.substr(0, eq), kv.substr(eq + 1));
   };
+  std::string current_queue = "default";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--workflow") {
-      HIWAY_ASSIGN_OR_RETURN(options.workflow_path, need_value(i, "--workflow"));
+      HIWAY_ASSIGN_OR_RETURN(std::string path, need_value(i, "--workflow"));
+      options.workflows.push_back(CliWorkflow{std::move(path), current_queue});
+    } else if (arg == "--service") {
+      options.service = true;
+    } else if (arg == "--rm-scheduler") {
+      HIWAY_ASSIGN_OR_RETURN(options.rm_scheduler,
+                             need_value(i, "--rm-scheduler"));
+    } else if (arg == "--queue") {
+      HIWAY_ASSIGN_OR_RETURN(current_queue, need_value(i, "--queue"));
+    } else if (arg == "--queue-config") {
+      HIWAY_ASSIGN_OR_RETURN(std::string kv, need_value(i, "--queue-config"));
+      HIWAY_ASSIGN_OR_RETURN(auto pair, split_kv(kv, "--queue-config"));
+      std::vector<std::string> fields = StrSplit(pair.second, ',');
+      if (fields.size() != 4) {
+        return Status::InvalidArgument(
+            "--queue-config expects NAME=GUARANTEED,MAX,AMS,BACKLOG, got '" +
+            kv + "'");
+      }
+      ServiceQueueOptions q;
+      q.rm.name = pair.first;
+      HIWAY_ASSIGN_OR_RETURN(q.rm.guaranteed_share, ParseDouble(fields[0]));
+      HIWAY_ASSIGN_OR_RETURN(q.rm.max_share, ParseDouble(fields[1]));
+      HIWAY_ASSIGN_OR_RETURN(int64_t ams, ParseInt64(fields[2]));
+      HIWAY_ASSIGN_OR_RETURN(int64_t backlog, ParseInt64(fields[3]));
+      q.max_concurrent_ams = static_cast<int>(ams);
+      q.max_backlog = static_cast<int>(backlog);
+      options.queue_configs.push_back(std::move(q));
     } else if (arg == "--language") {
       HIWAY_ASSIGN_OR_RETURN(options.language, need_value(i, "--language"));
     } else if (arg == "--policy") {
@@ -158,57 +211,43 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
   }
-  if (options.workflow_path.empty()) {
+  if (options.workflows.empty()) {
     return Status::InvalidArgument("--workflow is required");
   }
-  if (options.language.empty()) {
-    options.language = GuessLanguage(options.workflow_path);
+  if (options.workflows.size() > 1 && !options.service) {
+    return Status::InvalidArgument(
+        "multiple --workflow flags require --service");
   }
   return options;
 }
 
-Result<int> Run(const CliOptions& cli) {
-  // Read the workflow document.
-  std::ifstream in(cli.workflow_path);
+/// Reads a workflow document, builds its source, and stages any inputs
+/// the document itself declares (DAX / trace) that are not yet in DFS.
+Result<std::unique_ptr<WorkflowSource>> MakeSourceForFile(
+    Deployment* d, const CliOptions& cli, const std::string& path) {
+  std::ifstream in(path);
   if (!in) {
-    return Status::IoError("cannot read workflow file: " + cli.workflow_path);
+    return Status::IoError("cannot read workflow file: " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  std::string document = buffer.str();
 
-  // Converge the deployment.
-  Karamel karamel;
-  for (const auto& [k, v] : cli.attributes) karamel.SetAttribute(k, v);
-  karamel.SetAttribute("seed", StrFormat("%llu",
-                                         (unsigned long long)cli.seed));
-  karamel.AddRecipe(HadoopInstallRecipe());
-  karamel.AddRecipe(HiWayInstallRecipe());
-  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
-
-  // Stage inputs.
-  for (const auto& [path, size] : cli.inputs) {
-    HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
-  }
-
-  // Build the source.
   StagedWorkflow staged;
-  staged.language = cli.language;
-  staged.document = std::move(document);
+  staged.language =
+      cli.language.empty() ? GuessLanguage(path) : cli.language;
+  staged.document = buffer.str();
   staged.galaxy_inputs = cli.galaxy_inputs;
-  HiWayClient client(d.get());
+  HiWayClient client(d);
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
                          client.MakeSource(staged));
 
-  // DAX / trace sources declare their required inputs; stage any that the
-  // user did not provide explicitly (size from the document).
   auto stage_required =
       [&](const std::vector<std::pair<std::string, int64_t>>& required)
       -> Status {
-    for (const auto& [path, size] : required) {
-      if (!d->dfs->Exists(path)) {
+    for (const auto& [file, size] : required) {
+      if (!d->dfs->Exists(file)) {
         HIWAY_RETURN_IF_ERROR(
-            d->dfs->IngestFile(path, std::max<int64_t>(size, 1)));
+            d->dfs->IngestFile(file, std::max<int64_t>(size, 1)));
       }
     }
     return Status::OK();
@@ -219,6 +258,129 @@ Result<int> Run(const CliOptions& cli) {
   if (auto* trace = dynamic_cast<TraceSource*>(source.get())) {
     HIWAY_RETURN_IF_ERROR(stage_required(trace->required_inputs()));
   }
+  return source;
+}
+
+Result<std::unique_ptr<Deployment>> ConvergeDeployment(
+    const CliOptions& cli) {
+  Karamel karamel;
+  for (const auto& [k, v] : cli.attributes) karamel.SetAttribute(k, v);
+  karamel.SetAttribute("seed", StrFormat("%llu",
+                                         (unsigned long long)cli.seed));
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
+  for (const auto& [path, size] : cli.inputs) {
+    HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
+  }
+  return d;
+}
+
+Result<int> RunService(const CliOptions& cli) {
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d,
+                         ConvergeDeployment(cli));
+
+  WorkflowServiceOptions service_options;
+  service_options.rm_scheduler = cli.rm_scheduler;
+  service_options.queues = cli.queue_configs;
+  service_options.base_seed = cli.seed;
+  service_options.default_policy = cli.policy;
+  // Queues referenced by --queue but never configured get the defaults.
+  for (const CliWorkflow& wf : cli.workflows) {
+    bool known = false;
+    for (const ServiceQueueOptions& q : service_options.queues) {
+      if (q.rm.name == wf.queue) known = true;
+    }
+    if (!known) {
+      ServiceQueueOptions q;
+      q.rm.name = wf.queue;
+      service_options.queues.push_back(std::move(q));
+    }
+  }
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowService> service,
+                         WorkflowService::Create(d.get(), service_options));
+
+  std::printf(
+      "hiway: service mode, %zu workflow(s), rm scheduler '%s', %d nodes\n",
+      cli.workflows.size(), cli.rm_scheduler.c_str(),
+      d->cluster->num_nodes());
+  HiWayOptions hiway;
+  hiway.container_vcores = cli.vcores;
+  hiway.container_memory_mb = cli.memory_mb;
+  hiway.tailor_containers = cli.tailor;
+  int rejected = 0;
+  for (const CliWorkflow& wf : cli.workflows) {
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
+                           MakeSourceForFile(d.get(), cli, wf.path));
+    SubmissionOptions sub;
+    sub.queue = wf.queue;
+    sub.hiway = hiway;
+    auto id = service->Submit(wf.path, std::move(source), sub);
+    if (!id.ok()) {
+      if (!id.status().IsResourceExhausted()) return id.status();
+      // Admission backpressure rejects this submission, not the burst.
+      ++rejected;
+      std::printf("  REJECTED '%s' -> queue '%s': %s\n", wf.path.c_str(),
+                  wf.queue.c_str(), id.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  submitted #%lld '%s' -> queue '%s'\n",
+                static_cast<long long>(*id), wf.path.c_str(),
+                wf.queue.c_str());
+  }
+  HIWAY_RETURN_IF_ERROR(service->RunToCompletion());
+
+  int exit_code = rejected > 0 ? 1 : 0;
+  std::printf("\nsubmissions:\n");
+  for (const SubmissionRecord& rec : service->Records()) {
+    if (rec.state == SubmissionState::kSucceeded) {
+      std::printf("  #%lld %-28s %-9s queue=%s wait=%s makespan=%s "
+                  "tasks=%d%s\n",
+                  static_cast<long long>(rec.id), rec.name.c_str(),
+                  ToString(rec.state), rec.queue.c_str(),
+                  HumanDuration(rec.QueueWait()).c_str(),
+                  HumanDuration(rec.report.Makespan()).c_str(),
+                  rec.report.tasks_completed,
+                  rec.deadline_missed ? " DEADLINE-MISSED" : "");
+    } else {
+      exit_code = 1;
+      std::printf("  #%lld %-28s %-9s queue=%s (%s)\n",
+                  static_cast<long long>(rec.id), rec.name.c_str(),
+                  ToString(rec.state), rec.queue.c_str(),
+                  rec.report.status.ToString().c_str());
+    }
+  }
+  std::printf("\nqueues (RM scheduler '%s'):\n",
+              d->rm->scheduler_name().c_str());
+  for (const QueueLoadSummary& q : SummarizeQueues(*d->rm)) {
+    std::printf("  %-12s apps=%d allocations=%lld mean-wait=%s "
+                "p95-wait=%s\n",
+                q.queue.c_str(), q.applications,
+                static_cast<long long>(q.counters.allocations),
+                HumanDuration(q.mean_wait_s).c_str(),
+                HumanDuration(q.p95_wait_s).c_str());
+  }
+  std::printf("time-averaged Jain fairness: %.3f\n",
+              d->rm->TimeAveragedFairness());
+  if (!cli.trace_out.empty()) {
+    std::ofstream out(cli.trace_out);
+    if (!out) {
+      return Status::IoError("cannot write trace file: " + cli.trace_out);
+    }
+    out << SerializeTrace(d->provenance_store->Events());
+    std::printf("trace: %s\n", cli.trace_out.c_str());
+  }
+  return exit_code;
+}
+
+Result<int> Run(const CliOptions& cli) {
+  if (cli.service) return RunService(cli);
+
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d,
+                         ConvergeDeployment(cli));
+  HiWayClient client(d.get());
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
+                         MakeSourceForFile(d.get(), cli, cli.workflow_path()));
 
   HiWayOptions options;
   options.container_vcores = cli.vcores;
@@ -226,8 +388,11 @@ Result<int> Run(const CliOptions& cli) {
   options.tailor_containers = cli.tailor;
   options.seed = cli.seed;
 
+  std::string language = cli.language.empty()
+                             ? GuessLanguage(cli.workflow_path())
+                             : cli.language;
   std::printf("hiway: executing '%s' (%s) under %s scheduling on %d nodes\n",
-              cli.workflow_path.c_str(), cli.language.c_str(),
+              cli.workflow_path().c_str(), language.c_str(),
               cli.policy.c_str(), d->cluster->num_nodes());
   auto report = client.RunSource(source.get(), cli.policy, options);
   HIWAY_RETURN_IF_ERROR(report.status());

@@ -74,7 +74,7 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
   HIWAY_ASSIGN_OR_RETURN(
       app_, rm_->RegisterApplication("hiway:" + source->name(), this,
                                      options_.am_vcores, options_.am_memory_mb,
-                                     options_.am_node));
+                                     options_.am_node, options_.rm_queue));
   submitted_ = true;
   report_ = WorkflowReport();
   report_.workflow_name = source->name();
@@ -382,6 +382,7 @@ void HiWayAm::FinishWorkflow(Status status) {
   if (submitted_) {
     rm_->UnregisterApplication(app_);
   }
+  if (finish_listener_) finish_listener_(report_);
 }
 
 void HiWayAm::OnContainerLost(const Container& container) {

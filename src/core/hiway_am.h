@@ -10,6 +10,7 @@
 #ifndef HIWAY_CORE_HIWAY_AM_H_
 #define HIWAY_CORE_HIWAY_AM_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -36,6 +37,9 @@ struct HiWayOptions {
   int am_vcores = 1;
   double am_memory_mb = 1024.0;
   NodeId am_node = kInvalidNode;
+  /// RM scheduler queue this workflow's application is charged to
+  /// (multi-tenant service mode; the queue must be configured on the RM).
+  std::string rm_queue = "default";
   /// Attempts per task before the workflow fails (first try + retries).
   int max_task_attempts = 3;
   /// Fixed per-task container launch latency (localisation, JVM start).
@@ -88,6 +92,17 @@ class HiWayAm : public AmCallbacks {
   bool finished() const { return finished_; }
   const WorkflowReport& report() const { return report_; }
 
+  /// YARN application id once Submit() succeeded (per-tenant metrics).
+  ApplicationId app() const { return app_; }
+
+  /// Invoked exactly once when the workflow reaches a terminal state
+  /// (success or failure), after the report is final. Lets a service run
+  /// many AMs concurrently without polling finished(). The listener must
+  /// not destroy the AM synchronously (it is called from AM code).
+  void set_finish_listener(std::function<void(const WorkflowReport&)> fn) {
+    finish_listener_ = std::move(fn);
+  }
+
   // AmCallbacks:
   void OnContainerAllocated(const Container& container,
                             int64_t cookie) override;
@@ -135,6 +150,7 @@ class HiWayAm : public AmCallbacks {
   bool submitted_ = false;
   bool finished_ = false;
   WorkflowReport report_;
+  std::function<void(const WorkflowReport&)> finish_listener_;
 
   std::map<TaskId, TaskEntry> tasks_;
   std::map<std::string, std::set<TaskId>> waiting_on_file_;

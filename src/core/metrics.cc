@@ -1,5 +1,8 @@
 #include "src/core/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace hiway {
 
 MasterLoad ComputeMasterLoad(const MasterLoadInputs& inputs,
@@ -78,6 +81,54 @@ RoleUtilization MeanWorkerUtilization(const FlowNetwork& net,
     out.cpu_load /= count;
     out.io_utilization /= count;
     out.net_mbps /= count;
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  if (rank == 0) rank = 1;
+  return xs[rank - 1];
+}
+
+QueueLoadSummary SummarizeQueue(const ResourceManager& rm,
+                                const std::string& queue) {
+  QueueLoadSummary out;
+  out.queue = queue;
+  for (ApplicationId app : rm.KnownApplications()) {
+    const TenantStats* stats = rm.app_stats(app);
+    if (stats != nullptr && stats->queue == queue) ++out.applications;
+  }
+  const TenantStats* stats = rm.queue_stats(queue);
+  if (stats == nullptr) return out;
+  out.pending_requests = stats->pending_requests;
+  out.allocated = stats->usage;
+  if (rm.total_vcores() > 0) {
+    out.allocated_vcore_share =
+        static_cast<double>(stats->usage.vcores) / rm.total_vcores();
+  }
+  if (rm.total_memory_mb() > 0.0) {
+    out.allocated_memory_share = stats->usage.memory_mb / rm.total_memory_mb();
+  }
+  if (!stats->wait_times_s.empty()) {
+    double sum = 0.0;
+    for (double w : stats->wait_times_s) sum += w;
+    out.mean_wait_s = sum / static_cast<double>(stats->wait_times_s.size());
+    out.p95_wait_s = Percentile(stats->wait_times_s, 95.0);
+  }
+  out.counters = stats->counters;
+  return out;
+}
+
+std::vector<QueueLoadSummary> SummarizeQueues(const ResourceManager& rm) {
+  std::vector<QueueLoadSummary> out;
+  for (const std::string& queue : rm.ConfiguredQueues()) {
+    out.push_back(SummarizeQueue(rm, queue));
   }
   return out;
 }

@@ -80,6 +80,31 @@ RoleUtilization MeanWorkerUtilization(const FlowNetwork& net,
                                       const Cluster& cluster, NodeId first,
                                       NodeId last);
 
+/// p-th percentile (p in [0, 100]) by nearest-rank over a copy of the
+/// sample; 0.0 on an empty sample.
+double Percentile(std::vector<double> xs, double p);
+
+/// One RM queue's multi-tenancy summary (service mode, Sec. 3.1's "one AM
+/// per workflow" run many-at-once): who is charged to the queue, what it
+/// holds, and how long its container requests waited.
+struct QueueLoadSummary {
+  std::string queue;
+  int applications = 0;         // apps ever charged to this queue
+  int pending_requests = 0;     // open container requests right now
+  ResourceUsage allocated;      // live containers held by the queue
+  double allocated_vcore_share = 0.0;   // fraction of cluster vcores
+  double allocated_memory_share = 0.0;  // fraction of cluster memory
+  double mean_wait_s = 0.0;     // container request queue wait
+  double p95_wait_s = 0.0;
+  RmCounters counters;          // per-queue protocol counters
+};
+
+QueueLoadSummary SummarizeQueue(const ResourceManager& rm,
+                                const std::string& queue);
+
+/// Summaries for every configured queue, ascending by name.
+std::vector<QueueLoadSummary> SummarizeQueues(const ResourceManager& rm);
+
 }  // namespace hiway
 
 #endif  // HIWAY_CORE_METRICS_H_

@@ -113,6 +113,7 @@ Recipe HadoopInstallRecipe() {
     YarnOptions yarn_opts;
     yarn_opts.allocation_delay_s =
         AttrDouble(attrs, "yarn/allocation_delay_s", 0.5);
+    yarn_opts.scheduler = Attr(attrs, "yarn/scheduler", "fifo");
     d->rm = std::make_unique<ResourceManager>(d->cluster.get(), yarn_opts);
     d->load = std::make_unique<LoadInjector>(d->cluster.get());
     return Status::OK();

@@ -1,0 +1,337 @@
+#include "src/service/workflow_service.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/yarn/rm_scheduler.h"
+
+namespace hiway {
+
+const char* ToString(SubmissionState state) {
+  switch (state) {
+    case SubmissionState::kQueued: return "queued";
+    case SubmissionState::kRunning: return "running";
+    case SubmissionState::kSucceeded: return "succeeded";
+    case SubmissionState::kFailed: return "failed";
+    case SubmissionState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<WorkflowService>> WorkflowService::Create(
+    Deployment* deployment, WorkflowServiceOptions options) {
+  if (deployment == nullptr || deployment->rm == nullptr) {
+    return Status::InvalidArgument("service needs a converged deployment");
+  }
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<RmScheduler> rm_scheduler,
+                         MakeRmScheduler(options.rm_scheduler));
+  if (options.queues.empty()) {
+    options.queues.push_back(ServiceQueueOptions{});
+  }
+  std::unique_ptr<WorkflowService> service(
+      new WorkflowService(deployment, std::move(options)));
+  for (const ServiceQueueOptions& q : service->options_.queues) {
+    if (q.rm.name.empty()) {
+      return Status::InvalidArgument("service queue without a name");
+    }
+    if (!service->queues_.emplace(q.rm.name, q).second) {
+      return Status::InvalidArgument("duplicate service queue '" +
+                                     q.rm.name + "'");
+    }
+    if (q.max_concurrent_ams < 1) {
+      return Status::InvalidArgument(
+          "queue '" + q.rm.name + "': max_concurrent_ams must be >= 1");
+    }
+    deployment->rm->ConfigureQueue(q.rm);
+    service->backlog_[q.rm.name];
+    service->running_[q.rm.name] = 0;
+    service->counters_[q.rm.name];
+  }
+  deployment->rm->SetRmScheduler(std::move(rm_scheduler));
+  return service;
+}
+
+WorkflowService::WorkflowService(Deployment* deployment,
+                                 WorkflowServiceOptions options)
+    : deployment_(deployment), options_(std::move(options)) {}
+
+uint64_t WorkflowService::SeedFor(SubmissionId id) const {
+  // SplitMix64 step over (base_seed, id): deterministic replay without
+  // correlated task-runtime noise between submissions.
+  uint64_t z = options_.base_seed +
+               0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Result<SubmissionId> WorkflowService::Submit(
+    std::string name, std::unique_ptr<WorkflowSource> source,
+    SubmissionOptions options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("null workflow source");
+  }
+  auto queue_it = queues_.find(options.queue);
+  if (queue_it == queues_.end()) {
+    return Status::InvalidArgument("unknown service queue '" +
+                                   options.queue + "'");
+  }
+  ServiceQueueCounters& counters = counters_[options.queue];
+  std::deque<SubmissionId>& backlog = backlog_[options.queue];
+  // The backlog bound applies to submissions that would wait; one that a
+  // free concurrency slot starts immediately never enters the backlog.
+  bool would_wait = !backlog.empty() ||
+                    running_[options.queue] >=
+                        queue_it->second.max_concurrent_ams;
+  if (would_wait &&
+      static_cast<int>(backlog.size()) >= queue_it->second.max_backlog) {
+    ++counters.rejected;
+    return Status::ResourceExhausted(
+        "queue '" + options.queue + "' backlog is full (" +
+        std::to_string(queue_it->second.max_backlog) +
+        " submissions); retry later");
+  }
+  ++counters.submitted;
+  SubmissionId id = next_id_++;
+  if (options.policy.empty()) options.policy = options_.default_policy;
+
+  SubmissionRecord record;
+  record.id = id;
+  record.name = std::move(name);
+  record.queue = options.queue;
+  record.policy = options.policy;
+  record.submitted_at = deployment_->engine.Now();
+  record.deadline_s = options.deadline_s;
+  records_[id] = std::move(record);
+
+  Submission sub;
+  sub.source = std::move(source);
+  sub.options = std::move(options);
+  subs_[id] = std::move(sub);
+  backlog.push_back(id);
+
+  if (records_[id].deadline_s > 0.0) {
+    deployment_->engine.ScheduleAfter(records_[id].deadline_s,
+                                      [this, id] { OnDeadline(id); });
+  }
+  Pump();
+  return id;
+}
+
+Result<SubmissionId> WorkflowService::SubmitStaged(
+    const std::string& staged_name, SubmissionOptions options) {
+  auto it = deployment_->workflows.find(staged_name);
+  if (it == deployment_->workflows.end()) {
+    return Status::NotFound("no staged workflow named '" + staged_name +
+                            "'; converge its recipe first");
+  }
+  HiWayClient client(deployment_);
+  HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
+                         client.MakeSource(it->second));
+  return Submit(staged_name, std::move(source), std::move(options));
+}
+
+void WorkflowService::Pump() {
+  for (auto& [queue, backlog] : backlog_) {
+    const ServiceQueueOptions& limits = queues_.at(queue);
+    while (running_[queue] < limits.max_concurrent_ams && !backlog.empty()) {
+      SubmissionId id = backlog.front();
+      backlog.pop_front();
+      if (TryStart(id)) continue;
+      // The cluster cannot host this AM container right now.
+      if (running_ams() == 0) {
+        // No service-run AM will ever release capacity: the cluster is
+        // statically too full. Fail instead of spinning forever.
+        SubmissionRecord& rec = records_[id];
+        rec.state = SubmissionState::kFailed;
+        rec.finished_at = deployment_->engine.Now();
+        rec.report.status = Status::ResourceExhausted(
+            "no node can host the AM container of '" + rec.name + "'");
+        ++counters_[queue].failed;
+        continue;
+      }
+      backlog.push_front(id);
+      if (!retry_scheduled_) {
+        retry_scheduled_ = true;
+        deployment_->engine.ScheduleAfter(options_.start_retry_s, [this] {
+          retry_scheduled_ = false;
+          Pump();
+        });
+      }
+      break;
+    }
+  }
+}
+
+bool WorkflowService::TryStart(SubmissionId id) {
+  SubmissionRecord& rec = records_[id];
+  Submission& sub = subs_[id];
+  auto scheduler = MakeScheduler(rec.policy, deployment_->dfs.get(),
+                                 &deployment_->estimator);
+  if (!scheduler.ok()) {
+    rec.state = SubmissionState::kFailed;
+    rec.finished_at = deployment_->engine.Now();
+    rec.report.status = scheduler.status();
+    ++counters_[rec.queue].failed;
+    return true;  // consumed: a bad policy never becomes startable
+  }
+  sub.scheduler = std::move(*scheduler);
+  HiWayOptions hiway = sub.options.hiway;
+  hiway.seed = SeedFor(id);
+  hiway.rm_queue = rec.queue;
+  sub.am = std::make_unique<HiWayAm>(
+      deployment_->cluster.get(), deployment_->rm.get(),
+      deployment_->dfs.get(), &deployment_->tools,
+      deployment_->provenance.get(), &deployment_->estimator, hiway);
+  sub.am->set_finish_listener(
+      [this, id](const WorkflowReport& report) { OnFinished(id, report); });
+  rec.state = SubmissionState::kRunning;
+  rec.started_at = deployment_->engine.Now();
+  ++running_[rec.queue];
+  Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());
+  if (st.ok()) return true;
+  if (records_[id].Terminal()) {
+    // The AM registered, then failed (e.g. the workflow does not parse);
+    // the finish listener already recorded the outcome.
+    return true;
+  }
+  --running_[rec.queue];
+  if (st.IsResourceExhausted()) {
+    // AM container placement failed; the AM never registered and owns no
+    // engine events, so it is safe to discard synchronously. Re-queue.
+    rec.state = SubmissionState::kQueued;
+    rec.started_at = -1.0;
+    sub.am.reset();
+    sub.scheduler.reset();
+    return false;
+  }
+  // Pre-registration validation failure (e.g. a static policy on an
+  // iterative language): terminal.
+  rec.state = SubmissionState::kFailed;
+  rec.finished_at = deployment_->engine.Now();
+  rec.report.status = st;
+  rec.report.workflow_name = rec.name;
+  ++counters_[rec.queue].failed;
+  sub.am.reset();
+  sub.scheduler.reset();
+  return true;
+}
+
+void WorkflowService::OnFinished(SubmissionId id,
+                                 const WorkflowReport& report) {
+  SubmissionRecord& rec = records_[id];
+  rec.state = report.status.ok() ? SubmissionState::kSucceeded
+                                 : SubmissionState::kFailed;
+  rec.report = report;
+  rec.finished_at = deployment_->engine.Now();
+  if (rec.deadline_s > 0.0 &&
+      rec.finished_at > rec.submitted_at + rec.deadline_s) {
+    rec.deadline_missed = true;
+  }
+  --running_[rec.queue];
+  ServiceQueueCounters& counters = counters_[rec.queue];
+  if (report.status.ok()) {
+    ++counters.succeeded;
+  } else {
+    ++counters.failed;
+  }
+  // The listener runs inside AM code: defer teardown and the next launch.
+  if (!reap_scheduled_) {
+    reap_scheduled_ = true;
+    deployment_->engine.ScheduleAfter(0.0, [this] {
+      reap_scheduled_ = false;
+      Reap();
+      Pump();
+    });
+  }
+}
+
+void WorkflowService::OnDeadline(SubmissionId id) {
+  SubmissionRecord& rec = records_[id];
+  if (rec.state != SubmissionState::kQueued) return;
+  std::deque<SubmissionId>& backlog = backlog_[rec.queue];
+  auto it = std::find(backlog.begin(), backlog.end(), id);
+  if (it != backlog.end()) backlog.erase(it);
+  rec.state = SubmissionState::kExpired;
+  rec.finished_at = deployment_->engine.Now();
+  rec.report.status = Status::FailedPrecondition(
+      "submission expired after " + std::to_string(rec.deadline_s) +
+      "s in the admission queue");
+  rec.report.workflow_name = rec.name;
+  ++counters_[rec.queue].expired;
+}
+
+void WorkflowService::Reap() {
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (records_[it->first].Terminal()) {
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status WorkflowService::RunToCompletion() {
+  auto all_terminal = [this] {
+    for (const auto& [id, rec] : records_) {
+      if (!rec.Terminal()) return false;
+    }
+    return true;
+  };
+  deployment_->engine.RunUntilPredicate(all_terminal);
+  if (!all_terminal()) {
+    return Status::RuntimeError(
+        "engine ran out of events before all submissions finished");
+  }
+  return Status::OK();
+}
+
+bool WorkflowService::Idle() const {
+  for (const auto& [id, rec] : records_) {
+    if (!rec.Terminal()) return false;
+  }
+  return true;
+}
+
+int WorkflowService::running_ams() const {
+  int total = 0;
+  for (const auto& [queue, count] : running_) total += count;
+  return total;
+}
+
+int WorkflowService::running_ams(const std::string& queue) const {
+  auto it = running_.find(queue);
+  return it == running_.end() ? 0 : it->second;
+}
+
+int WorkflowService::backlog(const std::string& queue) const {
+  auto it = backlog_.find(queue);
+  return it == backlog_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+const SubmissionRecord* WorkflowService::record(SubmissionId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<SubmissionRecord> WorkflowService::Records() const {
+  std::vector<SubmissionRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+const ServiceQueueCounters* WorkflowService::queue_counters(
+    const std::string& queue) const {
+  auto it = counters_.find(queue);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> WorkflowService::QueueNames() const {
+  std::vector<std::string> names;
+  names.reserve(queues_.size());
+  for (const auto& [name, q] : queues_) names.push_back(name);
+  return names;
+}
+
+}  // namespace hiway

@@ -1,0 +1,199 @@
+// Multi-tenant workflow submission gateway (the serving-stack layer the
+// paper's "one AM per workflow" scalability pillar implies but leaves to
+// YARN): many workflow submissions — any language, any policy — run as
+// concurrent Hi-WAY AMs inside one shared deployment, with admission
+// control in front of the RM:
+//
+//  * per-queue concurrency caps (max running AMs per queue),
+//  * bounded backlogs with reject backpressure (a full queue refuses
+//    further submissions instead of growing without bound),
+//  * per-submission deadlines (a submission still queued past its
+//    deadline expires and never launches; one that finishes late is
+//    flagged),
+//  * deterministic replay (per-submission seeds derive from the service
+//    base seed and the submission id, so the same burst under the same
+//    configuration yields bit-identical per-workflow reports).
+//
+// Underneath, the service configures the ResourceManager's pluggable
+// scheduler (fifo | capacity | fair DRF, src/yarn/rm_scheduler.h) and
+// its queues, so resource sharing between the admitted AMs follows the
+// selected multi-tenancy policy.
+
+#ifndef HIWAY_SERVICE_WORKFLOW_SERVICE_H_
+#define HIWAY_SERVICE_WORKFLOW_SERVICE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/hiway_am.h"
+#include "src/infra/karamel.h"
+
+namespace hiway {
+
+using SubmissionId = int64_t;
+
+/// One service queue: RM share configuration plus admission limits.
+struct ServiceQueueOptions {
+  RmQueueConfig rm;
+  /// Maximum workflows of this queue running concurrently (each running
+  /// workflow is one AM). Further submissions wait in the backlog.
+  int max_concurrent_ams = 4;
+  /// Maximum submissions waiting in the backlog; beyond this, Submit()
+  /// rejects with ResourceExhausted (backpressure).
+  int max_backlog = 64;
+};
+
+struct WorkflowServiceOptions {
+  /// RM scheduling strategy: "fifo" | "capacity" | "fair".
+  std::string rm_scheduler = "fifo";
+  /// Queues; empty means one "default" queue with the defaults above.
+  std::vector<ServiceQueueOptions> queues;
+  /// Base seed; per-submission seeds are derived from it and the
+  /// submission id (deterministic replay).
+  uint64_t base_seed = 42;
+  /// Workflow scheduling policy when a submission names none.
+  std::string default_policy = "data-aware";
+  /// Delay before re-trying a submission whose AM container could not be
+  /// placed (cluster momentarily full).
+  double start_retry_s = 5.0;
+};
+
+enum class SubmissionState {
+  kQueued,     // admitted, waiting for a concurrency slot
+  kRunning,    // AM is live
+  kSucceeded,  // terminal: workflow completed
+  kFailed,     // terminal: workflow or launch failed
+  kExpired,    // terminal: deadline passed while still queued
+};
+
+const char* ToString(SubmissionState state);
+
+struct SubmissionOptions {
+  std::string queue = "default";
+  /// Workflow scheduling policy ("fcfs" | "data-aware" | ...); empty =
+  /// service default.
+  std::string policy;
+  /// Wall-clock (virtual) deadline relative to submission; 0 = none.
+  double deadline_s = 0.0;
+  /// Container sizing etc. The seed is always overridden by the service
+  /// (see WorkflowServiceOptions::base_seed); rm_queue by `queue`.
+  HiWayOptions hiway;
+};
+
+struct SubmissionRecord {
+  SubmissionId id = -1;
+  std::string name;
+  std::string queue;
+  std::string policy;
+  SubmissionState state = SubmissionState::kQueued;
+  double submitted_at = 0.0;
+  double started_at = -1.0;
+  double finished_at = -1.0;
+  double deadline_s = 0.0;
+  /// Finished after its deadline (deadlines never kill running AMs).
+  bool deadline_missed = false;
+  /// Valid once the state is kSucceeded or kFailed.
+  WorkflowReport report;
+
+  bool Terminal() const {
+    return state == SubmissionState::kSucceeded ||
+           state == SubmissionState::kFailed ||
+           state == SubmissionState::kExpired;
+  }
+  /// Admission-queue wait: submission to AM launch (terminal-but-never-
+  /// started submissions waited until their terminal time).
+  double QueueWait() const {
+    if (started_at >= 0.0) return started_at - submitted_at;
+    if (finished_at >= 0.0) return finished_at - submitted_at;
+    return 0.0;
+  }
+};
+
+/// Per-queue admission counters.
+struct ServiceQueueCounters {
+  int64_t submitted = 0;
+  int64_t rejected = 0;
+  int64_t expired = 0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+};
+
+class WorkflowService {
+ public:
+  /// Configures the deployment's RM (scheduler strategy + queues) and
+  /// readies the service. Fails on an unknown scheduler name or
+  /// duplicate queue names. Does not take ownership of the deployment.
+  static Result<std::unique_ptr<WorkflowService>> Create(
+      Deployment* deployment, WorkflowServiceOptions options);
+
+  /// Admits a workflow for execution, or rejects it (ResourceExhausted)
+  /// when the target queue's backlog is full; unknown queues are
+  /// InvalidArgument. Takes ownership of the source.
+  Result<SubmissionId> Submit(std::string name,
+                              std::unique_ptr<WorkflowSource> source,
+                              SubmissionOptions options = {});
+
+  /// Convenience: submit a workflow staged in the deployment (by its
+  /// recipe name), building the source via HiWayClient.
+  Result<SubmissionId> SubmitStaged(const std::string& staged_name,
+                                    SubmissionOptions options = {});
+
+  /// Drives the engine until every submission is terminal.
+  Status RunToCompletion();
+
+  bool Idle() const;
+  int running_ams() const;
+  int running_ams(const std::string& queue) const;
+  int backlog(const std::string& queue) const;
+
+  const SubmissionRecord* record(SubmissionId id) const;
+  /// All records, ascending submission id.
+  std::vector<SubmissionRecord> Records() const;
+  const ServiceQueueCounters* queue_counters(const std::string& queue) const;
+  std::vector<std::string> QueueNames() const;
+
+  const WorkflowServiceOptions& options() const { return options_; }
+  Deployment* deployment() const { return deployment_; }
+
+ private:
+  struct Submission {
+    std::unique_ptr<WorkflowSource> source;
+    std::unique_ptr<WorkflowScheduler> scheduler;
+    std::unique_ptr<HiWayAm> am;
+    SubmissionOptions options;
+  };
+
+  WorkflowService(Deployment* deployment, WorkflowServiceOptions options);
+
+  /// Launches backlogged submissions while concurrency slots are free.
+  void Pump();
+  /// Attempts to start one submission; returns false when the cluster
+  /// currently cannot host its AM container (submission re-queued).
+  bool TryStart(SubmissionId id);
+  void OnFinished(SubmissionId id, const WorkflowReport& report);
+  void OnDeadline(SubmissionId id);
+  /// Destroys AMs of terminal submissions (deferred, never from inside
+  /// AM code).
+  void Reap();
+  uint64_t SeedFor(SubmissionId id) const;
+
+  Deployment* deployment_;
+  WorkflowServiceOptions options_;
+  std::map<std::string, ServiceQueueOptions> queues_;
+  std::map<std::string, std::deque<SubmissionId>> backlog_;
+  std::map<std::string, int> running_;
+  std::map<std::string, ServiceQueueCounters> counters_;
+  std::map<SubmissionId, SubmissionRecord> records_;
+  std::map<SubmissionId, Submission> subs_;
+  SubmissionId next_id_ = 1;
+  bool retry_scheduled_ = false;
+  bool reap_scheduled_ = false;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_SERVICE_WORKFLOW_SERVICE_H_

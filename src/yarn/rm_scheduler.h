@@ -1,0 +1,86 @@
+// Pluggable ResourceManager scheduling strategies (the counterpart of
+// YARN's FifoScheduler / CapacityScheduler / FairScheduler).
+//
+// The RM's allocation pass is a loop: the strategy picks which pending
+// request to try next, the RM attempts the placement (locality preference,
+// strict placement, blacklists — shared across all strategies), and the
+// strategy is consulted again with the shrunken candidate set. Three
+// implementations:
+//
+//  * fifo     — arrival order; byte-for-byte the seed RM behaviour.
+//  * capacity — hierarchical queues with guaranteed and maximum shares:
+//               the queue furthest below its guarantee is served first,
+//               and no queue may exceed its maximum share.
+//  * fair     — dominant-resource fairness (DRF, Ghodsi et al.) across
+//               applications: the app with the smallest weighted dominant
+//               share of (vcores, memory) is served first. Queue maximum
+//               shares are still enforced.
+
+#ifndef HIWAY_YARN_RM_SCHEDULER_H_
+#define HIWAY_YARN_RM_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/yarn/yarn.h"
+
+namespace hiway {
+
+/// One pending request offered to the strategy.
+struct RmCandidate {
+  /// Position in the allocation pass's slot table (opaque to strategies;
+  /// returned by the RM untouched so it can find the slot again).
+  size_t slot = 0;
+  ApplicationId app = -1;
+  const std::string* queue = nullptr;
+  const ContainerRequest* request = nullptr;
+  /// Virtual time the request entered the RM queue.
+  double submitted_at = 0.0;
+};
+
+/// Read-only multi-tenancy state the RM exposes to strategies. All maps
+/// are owned by the RM and live for the duration of the SelectNext call.
+struct RmTenancyView {
+  int total_vcores = 0;
+  double total_memory_mb = 0.0;
+  const std::map<ApplicationId, TenantStats>* app_stats = nullptr;
+  const std::map<std::string, TenantStats>* queue_stats = nullptr;
+  const std::map<std::string, RmQueueConfig>* queue_configs = nullptr;
+
+  /// Dominant share of `u` relative to live cluster capacity (DRF's
+  /// "dominant resource": whichever of cores or memory is scarcer for
+  /// this tenant).
+  double DominantShare(const ResourceUsage& u) const;
+
+  /// Would granting `r` keep `queue` within its maximum share?
+  bool WithinMaxShare(const std::string& queue,
+                      const ContainerRequest& r) const;
+};
+
+class RmScheduler {
+ public:
+  virtual ~RmScheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Returns the index into `eligible` of the request the RM should try
+  /// to place next, or -1 to end the pass. The RM removes the chosen
+  /// candidate from the eligible set whether or not placement succeeds,
+  /// so every pass terminates.
+  virtual int SelectNext(const std::vector<RmCandidate>& eligible,
+                         const RmTenancyView& view) = 0;
+};
+
+/// Builds a strategy by name: "fifo" | "capacity" | "fair".
+Result<std::unique_ptr<RmScheduler>> MakeRmScheduler(const std::string& name);
+
+/// Jain's fairness index over non-negative values: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly fair; 1/n = one tenant holds everything. Returns 1.0
+/// for empty or all-zero input (no contention to be unfair about).
+double JainFairnessIndex(const std::vector<double>& xs);
+
+}  // namespace hiway
+
+#endif  // HIWAY_YARN_RM_SCHEDULER_H_

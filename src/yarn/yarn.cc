@@ -3,16 +3,95 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/yarn/rm_scheduler.h"
 
 namespace hiway {
 
+namespace {
+
+/// Dominant share of `u` against live cluster capacity.
+double Dominant(const ResourceUsage& u, int total_vcores,
+                double total_memory_mb) {
+  double cores = total_vcores > 0
+                     ? static_cast<double>(u.vcores) / total_vcores
+                     : 0.0;
+  double mem = total_memory_mb > 0.0 ? u.memory_mb / total_memory_mb : 0.0;
+  return std::max(cores, mem);
+}
+
+}  // namespace
+
 ResourceManager::ResourceManager(Cluster* cluster, YarnOptions options)
-    : cluster_(cluster), options_(options) {
+    : cluster_(cluster), options_(std::move(options)) {
   nodes_.resize(static_cast<size_t>(cluster_->num_nodes()));
   for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
     nodes_[static_cast<size_t>(n)].free_vcores = cluster_->node(n).cores;
     nodes_[static_cast<size_t>(n)].free_memory_mb =
         cluster_->node(n).memory_mb;
+    total_vcores_ += cluster_->node(n).cores;
+    total_memory_mb_ += cluster_->node(n).memory_mb;
+  }
+  queue_configs_["default"] = RmQueueConfig{};
+  auto scheduler = MakeRmScheduler(options_.scheduler);
+  HIWAY_CHECK(scheduler.ok());
+  scheduler_ = std::move(*scheduler);
+  scheduler_name_ = scheduler_->name();
+}
+
+ResourceManager::~ResourceManager() = default;
+
+void ResourceManager::SetRmScheduler(std::unique_ptr<RmScheduler> scheduler) {
+  HIWAY_CHECK(scheduler != nullptr);
+  scheduler_name_ = scheduler->name();
+  scheduler_ = std::move(scheduler);
+}
+
+void ResourceManager::ConfigureQueue(const RmQueueConfig& config) {
+  queue_configs_[config.name] = config;
+  TenantStats& qs = queue_stats_[config.name];
+  qs.queue = config.name;
+}
+
+const RmQueueConfig* ResourceManager::queue_config(
+    const std::string& name) const {
+  auto it = queue_configs_.find(name);
+  return it == queue_configs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ResourceManager::ConfiguredQueues() const {
+  std::vector<std::string> names;
+  names.reserve(queue_configs_.size());
+  for (const auto& [name, config] : queue_configs_) names.push_back(name);
+  return names;
+}
+
+TenantStats& ResourceManager::StatsOf(ApplicationId app) {
+  TenantStats& stats = app_stats_[app];
+  if (stats.queue.empty()) stats.queue = "default";
+  return stats;
+}
+
+TenantStats& ResourceManager::QueueStatsOf(ApplicationId app) {
+  TenantStats& qs = queue_stats_[StatsOf(app).queue];
+  if (qs.queue.empty()) qs.queue = StatsOf(app).queue;
+  return qs;
+}
+
+void ResourceManager::AddPending(ApplicationId app,
+                                 const ContainerRequest& r) {
+  for (TenantStats* s : {&StatsOf(app), &QueueStatsOf(app)}) {
+    s->pending.vcores += r.vcores;
+    s->pending.memory_mb += r.memory_mb;
+    ++s->pending_requests;
+  }
+}
+
+void ResourceManager::RemovePending(ApplicationId app,
+                                    const ContainerRequest& r) {
+  for (TenantStats* s : {&StatsOf(app), &QueueStatsOf(app)}) {
+    s->pending.vcores -= r.vcores;
+    s->pending.memory_mb -= r.memory_mb;
+    --s->pending_requests;
   }
 }
 
@@ -32,12 +111,21 @@ Container* ResourceManager::AllocateOn(ApplicationId app, NodeId node,
   auto [it, inserted] = containers_.emplace(c.id, c);
   HIWAY_CHECK(inserted);
   ++counters_.allocations;
+  for (TenantStats* s : {&StatsOf(app), &QueueStatsOf(app)}) {
+    ++s->counters.allocations;
+    s->usage.vcores += vcores;
+    s->usage.memory_mb += memory_mb;
+  }
   return &it->second;
 }
 
 Result<ApplicationId> ResourceManager::RegisterApplication(
     const std::string& name, AmCallbacks* callbacks, int am_vcores,
-    double am_memory_mb, NodeId am_node) {
+    double am_memory_mb, NodeId am_node, const std::string& queue) {
+  if (queue_configs_.find(queue) == queue_configs_.end()) {
+    return Status::InvalidArgument("unknown RM queue '" + queue +
+                                   "'; ConfigureQueue it first");
+  }
   NodeId target = am_node;
   if (target == kInvalidNode) {
     for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
@@ -59,7 +147,9 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
       return Status::ResourceExhausted("requested AM node lacks capacity");
     }
   }
+  AccrueFairness();
   ApplicationId app = next_app_++;
+  app_stats_[app].queue = queue;
   Container* am = AllocateOn(app, target, am_vcores, am_memory_mb);
   AppState state;
   state.name = name;
@@ -72,11 +162,14 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
 void ResourceManager::UnregisterApplication(ApplicationId app) {
   auto it = apps_.find(app);
   if (it == apps_.end()) return;
+  AccrueFairness();
   it->second.active = false;
-  // Drop pending requests.
+  // Drop pending requests (this application's only).
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [app](const PendingRequest& p) {
-                                return p.app == app;
+                              [&](const PendingRequest& p) {
+                                if (p.app != app) return false;
+                                RemovePending(app, p.request);
+                                return true;
                               }),
                queue_.end());
   if (it->second.am_container != kInvalidContainer) {
@@ -88,17 +181,24 @@ void ResourceManager::UnregisterApplication(ApplicationId app) {
 void ResourceManager::SubmitRequest(ApplicationId app,
                                     const ContainerRequest& request) {
   HIWAY_CHECK(apps_.find(app) != apps_.end());
+  AccrueFairness();
   ++counters_.requests;
-  queue_.push_back(PendingRequest{app, request});
+  ++StatsOf(app).counters.requests;
+  ++QueueStatsOf(app).counters.requests;
+  AddPending(app, request);
+  queue_.push_back(
+      PendingRequest{app, request, cluster_->engine()->Now()});
   ScheduleAllocationPass();
 }
 
 int ResourceManager::CancelRequests(ApplicationId app, int64_t cookie) {
+  AccrueFairness();
   int removed = 0;
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                               [&](const PendingRequest& p) {
                                 if (p.app == app &&
                                     p.request.cookie == cookie) {
+                                  RemovePending(app, p.request);
                                   ++removed;
                                   return true;
                                 }
@@ -111,6 +211,7 @@ int ResourceManager::CancelRequests(ApplicationId app, int64_t cookie) {
 void ResourceManager::ReleaseContainer(ContainerId id) {
   auto it = containers_.find(id);
   if (it == containers_.end()) return;
+  AccrueFairness();
   const Container& c = it->second;
   NodeState& ns = nodes_[static_cast<size_t>(c.node)];
   if (ns.alive) {
@@ -118,6 +219,11 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
     ns.free_memory_mb += c.memory_mb;
   }
   ++counters_.releases;
+  for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
+    ++s->counters.releases;
+    s->usage.vcores -= c.vcores;
+    s->usage.memory_mb -= c.memory_mb;
+  }
   containers_.erase(it);
   ScheduleAllocationPass();
 }
@@ -125,10 +231,13 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
 void ResourceManager::KillNode(NodeId node) {
   NodeState& ns = nodes_[static_cast<size_t>(node)];
   if (!ns.alive) return;
+  AccrueFairness();
   ns.alive = false;
   ns.free_vcores = 0;
   ns.free_memory_mb = 0.0;
-  // Report running containers on the node as lost.
+  total_vcores_ -= cluster_->node(node).cores;
+  total_memory_mb_ -= cluster_->node(node).memory_mb;
+  // Report running containers on the node as lost, each to its own AM.
   std::vector<Container> lost;
   for (auto& [id, c] : containers_) {
     if (c.node == node) lost.push_back(c);
@@ -136,6 +245,11 @@ void ResourceManager::KillNode(NodeId node) {
   for (const Container& c : lost) {
     containers_.erase(c.id);
     ++counters_.lost_containers;
+    for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
+      ++s->counters.lost_containers;
+      s->usage.vcores -= c.vcores;
+      s->usage.memory_mb -= c.memory_mb;
+    }
     auto app_it = apps_.find(c.app);
     if (app_it != apps_.end() && app_it->second.callbacks != nullptr) {
       AmCallbacks* cb = app_it->second.callbacks;
@@ -169,11 +283,88 @@ double ResourceManager::free_memory_mb(NodeId node) const {
   return nodes_[static_cast<size_t>(node)].free_memory_mb;
 }
 
+int ResourceManager::pending_requests(ApplicationId app) const {
+  auto it = app_stats_.find(app);
+  return it == app_stats_.end() ? 0 : it->second.pending_requests;
+}
+
 std::vector<ContainerRequest> ResourceManager::PendingRequestDump() const {
   std::vector<ContainerRequest> out;
   out.reserve(queue_.size());
   for (const PendingRequest& p : queue_) out.push_back(p.request);
   return out;
+}
+
+const TenantStats* ResourceManager::app_stats(ApplicationId app) const {
+  auto it = app_stats_.find(app);
+  return it == app_stats_.end() ? nullptr : &it->second;
+}
+
+const TenantStats* ResourceManager::queue_stats(
+    const std::string& queue) const {
+  auto it = queue_stats_.find(queue);
+  return it == queue_stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<ApplicationId> ResourceManager::KnownApplications() const {
+  std::vector<ApplicationId> apps;
+  apps.reserve(app_stats_.size());
+  for (const auto& [app, stats] : app_stats_) apps.push_back(app);
+  return apps;
+}
+
+bool ResourceManager::ContendedFairness(double* jain) const {
+  // Demand-satisfaction ratio per active application: how much of its
+  // demanded dominant share (allocated + queued) the app actually holds.
+  // Fairness is only meaningful while >= 2 applications have demand and
+  // at least one of them is backlogged.
+  std::vector<double> xs;
+  bool backlogged = false;
+  for (const auto& [app, state] : apps_) {
+    if (!state.active) continue;
+    auto it = app_stats_.find(app);
+    if (it == app_stats_.end()) continue;
+    double alloc = Dominant(it->second.usage, total_vcores_,
+                            total_memory_mb_);
+    double pend = Dominant(it->second.pending, total_vcores_,
+                           total_memory_mb_);
+    if (alloc + pend <= 0.0) continue;
+    if (it->second.pending_requests > 0) backlogged = true;
+    xs.push_back(alloc / (alloc + pend));
+  }
+  if (xs.size() < 2 || !backlogged) return false;
+  *jain = JainFairnessIndex(xs);
+  return true;
+}
+
+double ResourceManager::InstantFairness() const {
+  double jain = 1.0;
+  return ContendedFairness(&jain) ? jain : 1.0;
+}
+
+void ResourceManager::AccrueFairness() {
+  double now = cluster_->engine()->Now();
+  double dt = now - fairness_last_;
+  fairness_last_ = now;
+  if (dt <= 0.0) return;
+  double jain = 1.0;
+  if (ContendedFairness(&jain)) {
+    fairness_integral_ += jain * dt;
+    fairness_time_ += dt;
+  }
+}
+
+double ResourceManager::TimeAveragedFairness() const {
+  // Include the open interval since the last state change.
+  double integral = fairness_integral_;
+  double time = fairness_time_;
+  double dt = cluster_->engine()->Now() - fairness_last_;
+  double jain = 1.0;
+  if (dt > 0.0 && ContendedFairness(&jain)) {
+    integral += jain * dt;
+    time += dt;
+  }
+  return time > 0.0 ? integral / time : 1.0;
 }
 
 void ResourceManager::ScheduleAllocationPass() {
@@ -185,51 +376,101 @@ void ResourceManager::ScheduleAllocationPass() {
   });
 }
 
-void ResourceManager::AllocationPass() {
-  // FIFO with locality preference: each queued request first tries its
-  // preferred node, then (unless strict) any node with capacity that is
-  // not blacklisted. Deferred strict requests stay queued.
-  bool allocated_any = false;
-  std::deque<PendingRequest> still_pending;
-  while (!queue_.empty()) {
-    PendingRequest p = std::move(queue_.front());
-    queue_.pop_front();
-    auto app_it = apps_.find(p.app);
-    if (app_it == apps_.end() || !app_it->second.active) continue;
-    const ContainerRequest& r = p.request;
-    NodeId chosen = kInvalidNode;
-    if (r.preferred_node != kInvalidNode &&
-        Fits(nodes_[static_cast<size_t>(r.preferred_node)], r)) {
-      chosen = r.preferred_node;
-    } else if (!r.strict_locality) {
-      int total = cluster_->num_nodes();
-      for (int step = 0; step < total; ++step) {
-        NodeId n = (next_alloc_node_ + step) % total;
-        if (!Fits(nodes_[static_cast<size_t>(n)], r)) continue;
-        if (std::find(r.blacklist.begin(), r.blacklist.end(), n) !=
-            r.blacklist.end()) {
-          continue;
-        }
-        chosen = n;
-        next_alloc_node_ = (n + 1) % total;
-        break;
-      }
-    }
-    if (chosen == kInvalidNode) {
-      still_pending.push_back(std::move(p));
+NodeId ResourceManager::TryPlace(const ContainerRequest& r) {
+  // Shared placement semantics across all RM schedulers: the preferred
+  // node first, then (unless strict) a rotating scan over nodes with
+  // capacity that are not blacklisted. Deferred strict requests wait.
+  if (r.preferred_node != kInvalidNode &&
+      Fits(nodes_[static_cast<size_t>(r.preferred_node)], r)) {
+    return r.preferred_node;
+  }
+  if (r.strict_locality) return kInvalidNode;
+  int total = cluster_->num_nodes();
+  for (int step = 0; step < total; ++step) {
+    NodeId n = (next_alloc_node_ + step) % total;
+    if (!Fits(nodes_[static_cast<size_t>(n)], r)) continue;
+    if (std::find(r.blacklist.begin(), r.blacklist.end(), n) !=
+        r.blacklist.end()) {
       continue;
     }
-    Container* c = AllocateOn(p.app, chosen, r.vcores, r.memory_mb);
-    allocated_any = true;
-    AmCallbacks* cb = app_it->second.callbacks;
+    next_alloc_node_ = (n + 1) % total;
+    return n;
+  }
+  return kInvalidNode;
+}
+
+void ResourceManager::AllocationPass() {
+  AccrueFairness();
+  // Snapshot the queue into a slot table. Each pass, the strategy picks
+  // the next slot to try; a slot is consumed on success or becomes
+  // ineligible for the rest of the pass on failure, so the loop always
+  // terminates. Un-consumed requests return to the queue in their
+  // original order (FIFO therefore reproduces the original single-queue
+  // behaviour decision for decision).
+  struct Slot {
+    PendingRequest req;
+    bool consumed = false;
+    bool eligible = true;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(queue_.size());
+  for (PendingRequest& p : queue_) slots.push_back(Slot{std::move(p)});
+  queue_.clear();
+  for (Slot& s : slots) {
+    auto it = apps_.find(s.req.app);
+    if (it == apps_.end() || !it->second.active) {
+      s.consumed = true;  // drop requests of departed applications
+      RemovePending(s.req.app, s.req.request);
+    }
+  }
+
+  RmTenancyView view;
+  view.total_vcores = total_vcores_;
+  view.total_memory_mb = total_memory_mb_;
+  view.app_stats = &app_stats_;
+  view.queue_stats = &queue_stats_;
+  view.queue_configs = &queue_configs_;
+
+  std::vector<RmCandidate> eligible;
+  while (true) {
+    eligible.clear();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& s = slots[i];
+      if (s.consumed || !s.eligible) continue;
+      RmCandidate c;
+      c.slot = i;
+      c.app = s.req.app;
+      c.queue = &app_stats_.at(s.req.app).queue;
+      c.request = &s.req.request;
+      c.submitted_at = s.req.submitted_at;
+      eligible.push_back(c);
+    }
+    if (eligible.empty()) break;
+    int pick = scheduler_->SelectNext(eligible, view);
+    if (pick < 0 || pick >= static_cast<int>(eligible.size())) break;
+    Slot& s = slots[eligible[static_cast<size_t>(pick)].slot];
+    const ContainerRequest& r = s.req.request;
+    NodeId chosen = TryPlace(r);
+    if (chosen == kInvalidNode) {
+      s.eligible = false;
+      continue;
+    }
+    s.consumed = true;
+    RemovePending(s.req.app, r);
+    double wait = cluster_->engine()->Now() - s.req.submitted_at;
+    StatsOf(s.req.app).wait_times_s.push_back(wait);
+    QueueStatsOf(s.req.app).wait_times_s.push_back(wait);
+    Container* c = AllocateOn(s.req.app, chosen, r.vcores, r.memory_mb);
+    AmCallbacks* cb = apps_.at(s.req.app).callbacks;
     Container copy = *c;
     int64_t cookie = r.cookie;
     // Deliver the allocation asynchronously (AM heartbeat).
     cluster_->engine()->ScheduleAfter(
         0.0, [cb, copy, cookie] { cb->OnContainerAllocated(copy, cookie); });
   }
-  queue_ = std::move(still_pending);
-  (void)allocated_any;
+  for (Slot& s : slots) {
+    if (!s.consumed) queue_.push_back(std::move(s.req));
+  }
 }
 
 }  // namespace hiway

@@ -3,10 +3,17 @@
 // masters, honouring locality preferences, strict placements (for static
 // schedules), and blacklists (for failure retries).
 //
-// This implements exactly the scheduling contract Hi-WAY consumes
-// (Sec. 3.1 of the paper): request container -> allocation callback ->
-// launch work -> release / failure notification. YARN's multi-tenant
-// fairness machinery is out of scope; each experiment runs one AM.
+// This implements the scheduling contract Hi-WAY consumes (Sec. 3.1 of
+// the paper): request container -> allocation callback -> launch work ->
+// release / failure notification — for MANY concurrent application
+// masters sharing one cluster (the paper's scalability pillar: one AM
+// per workflow). Which pending request is served first is delegated to a
+// pluggable RmScheduler strategy (src/yarn/rm_scheduler.h): FIFO
+// (default, the original single-tenant behaviour), a CapacityScheduler
+// with per-queue guaranteed/maximum shares, or a FairScheduler using
+// dominant-resource fairness. The RM additionally keeps per-application
+// and per-queue accounting (counters, allocated shares, request wait
+// times, a time-averaged Jain fairness index) for multi-tenant metrics.
 
 #ifndef HIWAY_YARN_YARN_H_
 #define HIWAY_YARN_YARN_H_
@@ -15,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -27,6 +35,8 @@ namespace hiway {
 using ApplicationId = int32_t;
 using ContainerId = int64_t;
 constexpr ContainerId kInvalidContainer = -1;
+
+class RmScheduler;
 
 /// A leased slice of one node.
 struct Container {
@@ -63,12 +73,45 @@ class AmCallbacks {
   virtual void OnContainerLost(const Container& container) = 0;
 };
 
-/// RM-side counters for master-load accounting (Fig. 6).
+/// RM-side counters for master-load accounting (Fig. 6). Kept both
+/// globally and attributed per application / per queue.
 struct RmCounters {
   int64_t requests = 0;
   int64_t allocations = 0;
   int64_t releases = 0;
   int64_t lost_containers = 0;
+};
+
+/// A (vcores, memory) pair: allocated resources or aggregate demand.
+struct ResourceUsage {
+  int vcores = 0;
+  double memory_mb = 0.0;
+};
+
+/// Configuration of one RM scheduler queue. Shares are fractions of the
+/// live cluster capacity (both vcores and memory); `guaranteed_share` is
+/// what the capacity scheduler strives to give the queue under
+/// contention, `max_share` is a hard ceiling, `weight` scales an
+/// application's dominant share under the fair scheduler.
+struct RmQueueConfig {
+  std::string name = "default";
+  double guaranteed_share = 1.0;
+  double max_share = 1.0;
+  double weight = 1.0;
+};
+
+/// Per-application / per-queue accounting snapshot.
+struct TenantStats {
+  RmCounters counters;
+  /// Currently allocated resources (including the AM container).
+  ResourceUsage usage;
+  /// Aggregate size of queued (unallocated) requests.
+  ResourceUsage pending;
+  int pending_requests = 0;
+  /// Request-to-allocation latencies, in submission order.
+  std::vector<double> wait_times_s;
+  /// Queue the tenant belongs to (apps) or the queue's own name.
+  std::string queue;
 };
 
 struct YarnOptions {
@@ -77,23 +120,40 @@ struct YarnOptions {
   double allocation_delay_s = 0.5;
   /// NodeManager heartbeat period; only used for master-load accounting.
   double nm_heartbeat_s = 1.0;
+  /// RM scheduling strategy: "fifo" (default) | "capacity" | "fair".
+  std::string scheduler = "fifo";
 };
 
 class ResourceManager {
  public:
   ResourceManager(Cluster* cluster, YarnOptions options);
+  ~ResourceManager();
   ResourceManager(const ResourceManager&) = delete;
   ResourceManager& operator=(const ResourceManager&) = delete;
+
+  /// Replaces the scheduling strategy (existing pending requests are
+  /// re-ordered by the new strategy from the next pass on).
+  void SetRmScheduler(std::unique_ptr<RmScheduler> scheduler);
+  const std::string& scheduler_name() const { return scheduler_name_; }
+
+  /// Defines or reconfigures a queue. The "default" queue always exists
+  /// (guaranteed = max = 1.0).
+  void ConfigureQueue(const RmQueueConfig& config);
+  const RmQueueConfig* queue_config(const std::string& name) const;
+  std::vector<std::string> ConfiguredQueues() const;
 
   /// Registers an application and allocates its AM container (the paper
   /// runs one dedicated AM container per workflow). When `am_node` is
   /// given the AM is pinned there (the scalability experiment isolates the
   /// AM on its own VM); otherwise the RM picks any node with capacity.
-  /// Returns the application id, or an error if no capacity exists.
+  /// Returns the application id, or an error if no capacity exists or the
+  /// queue is unknown.
   Result<ApplicationId> RegisterApplication(const std::string& name,
                                             AmCallbacks* callbacks,
                                             int am_vcores, double am_memory_mb,
-                                            NodeId am_node = kInvalidNode);
+                                            NodeId am_node = kInvalidNode,
+                                            const std::string& queue =
+                                                "default");
 
   /// Releases the AM container and drops pending requests.
   void UnregisterApplication(ApplicationId app);
@@ -102,14 +162,15 @@ class ResourceManager {
   void SubmitRequest(ApplicationId app, const ContainerRequest& request);
 
   /// Withdraws all pending (unallocated) requests of an application whose
-  /// cookie matches `cookie`. Returns how many were removed.
+  /// cookie matches `cookie`. Returns how many were removed. Other
+  /// applications' requests are never touched.
   int CancelRequests(ApplicationId app, int64_t cookie);
 
   /// Returns a finished container's resources to its node.
   void ReleaseContainer(ContainerId id);
 
   /// Simulates a NodeManager crash: capacity disappears and running
-  /// containers are reported lost to their AMs.
+  /// containers are reported lost to their owning AMs (and only theirs).
   void KillNode(NodeId node);
 
   bool IsNodeAlive(NodeId node) const;
@@ -120,16 +181,40 @@ class ResourceManager {
   int free_vcores(NodeId node) const;
   double free_memory_mb(NodeId node) const;
 
+  /// Live cluster capacity (dead nodes excluded).
+  int total_vcores() const { return total_vcores_; }
+  double total_memory_mb() const { return total_memory_mb_; }
+
   /// Containers currently running (including AM containers).
   int running_containers() const {
     return static_cast<int>(containers_.size());
   }
   int pending_requests() const { return static_cast<int>(queue_.size()); }
+  int pending_requests(ApplicationId app) const;
 
   /// Snapshot of the pending request queue (diagnostics).
   std::vector<ContainerRequest> PendingRequestDump() const;
 
   const RmCounters& counters() const { return counters_; }
+
+  /// Per-application accounting; survives UnregisterApplication so
+  /// finished tenants remain attributable. nullptr for unknown apps.
+  const TenantStats* app_stats(ApplicationId app) const;
+  /// Per-queue accounting (aggregated over the queue's applications).
+  const TenantStats* queue_stats(const std::string& queue) const;
+  /// All applications ever registered, ascending id.
+  std::vector<ApplicationId> KnownApplications() const;
+
+  /// Time-averaged Jain fairness index of per-application demand
+  /// satisfaction (allocated dominant share / demanded dominant share),
+  /// integrated over intervals where >= 2 applications had unmet or met
+  /// demand and at least one was backlogged. 1.0 when no such interval
+  /// occurred. This is the fairness number Fig.-style multi-tenant
+  /// benches report.
+  double TimeAveragedFairness() const;
+  /// The instantaneous index over the current state (diagnostics/tests).
+  double InstantFairness() const;
+
   const YarnOptions& options() const { return options_; }
   Cluster* cluster() const { return cluster_; }
 
@@ -142,6 +227,7 @@ class ResourceManager {
   struct PendingRequest {
     ApplicationId app;
     ContainerRequest request;
+    double submitted_at = 0.0;
   };
   struct AppState {
     std::string name;
@@ -150,10 +236,15 @@ class ResourceManager {
     bool active = true;
   };
 
-  /// Matches pending requests against free capacity, FIFO with one pass
-  /// of locality preference.
+  /// Matches pending requests against free capacity in the order chosen
+  /// by the RmScheduler strategy; placement itself (locality preference,
+  /// strict placement, blacklists) is strategy-independent.
   void AllocationPass();
   void ScheduleAllocationPass();
+
+  /// Seed placement logic: preferred node first, then (unless strict) a
+  /// rotating scan over non-blacklisted nodes with capacity.
+  NodeId TryPlace(const ContainerRequest& r);
 
   bool Fits(const NodeState& ns, const ContainerRequest& r) const {
     return ns.alive && ns.free_vcores >= r.vcores &&
@@ -162,6 +253,17 @@ class ResourceManager {
 
   Container* AllocateOn(ApplicationId app, NodeId node, int vcores,
                         double memory_mb);
+
+  TenantStats& StatsOf(ApplicationId app);
+  TenantStats& QueueStatsOf(ApplicationId app);
+  void AddPending(ApplicationId app, const ContainerRequest& r);
+  void RemovePending(ApplicationId app, const ContainerRequest& r);
+  /// Computes the instantaneous Jain index over demand-satisfaction
+  /// ratios; returns false when the current state is uncontended.
+  bool ContendedFairness(double* jain) const;
+  /// Integrates the fairness index up to Now(); call before any state
+  /// change that affects shares or demand.
+  void AccrueFairness();
 
   Cluster* cluster_;
   YarnOptions options_;
@@ -177,6 +279,22 @@ class ResourceManager {
   /// containers as NodeManager heartbeats arrive, which spreads load
   /// across nodes instead of packing the lowest node ids.
   NodeId next_alloc_node_ = 0;
+
+  // -- Multi-tenancy state ------------------------------------------------
+  std::unique_ptr<RmScheduler> scheduler_;
+  std::string scheduler_name_ = "fifo";
+  std::map<std::string, RmQueueConfig> queue_configs_;
+  std::map<ApplicationId, TenantStats> app_stats_;
+  std::map<std::string, TenantStats> queue_stats_;
+  /// Allocated usage views handed to the strategy (kept incrementally;
+  /// app entries include the AM container).
+  std::map<ApplicationId, ResourceUsage> app_usage_;
+  std::map<std::string, ResourceUsage> queue_usage_;
+  int total_vcores_ = 0;
+  double total_memory_mb_ = 0.0;
+  double fairness_integral_ = 0.0;
+  double fairness_time_ = 0.0;
+  double fairness_last_ = 0.0;
 };
 
 }  // namespace hiway

@@ -1,0 +1,261 @@
+// Tests for the multi-tenant WorkflowService gateway: admission control
+// (backlog bounds, concurrency caps, deadlines), queue drain order,
+// deterministic replay, and parity with the single-workflow client path.
+
+#include "src/service/workflow_service.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+#include "src/core/client.h"
+
+namespace hiway {
+namespace {
+
+Result<std::unique_ptr<Deployment>> SmallDeployment(
+    int workers = 4, const ChefAttributes& extra = {}) {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", StrFormat("%d", workers));
+  karamel.SetAttribute("cluster/cores", "4");
+  karamel.SetAttribute("snv/chunks", "4");
+  karamel.SetAttribute("snv/chunk_mb", "32");
+  karamel.SetAttribute("montage/images", "6");
+  karamel.SetAttribute("kmeans/points_mb", "8");
+  for (const auto& [k, v] : extra) karamel.SetAttribute(k, v);
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(SnvWorkflowRecipe());
+  karamel.AddRecipe(MontageWorkflowRecipe());
+  karamel.AddRecipe(KmeansWorkflowRecipe());
+  return karamel.Converge();
+}
+
+TEST(ServiceTest, RunsManyWorkflowsConcurrently) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  options.rm_scheduler = "fair";
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  for (const char* name : {"snv-calling", "montage", "kmeans"}) {
+    auto id = (*service)->SubmitStaged(name);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  EXPECT_EQ((*service)->running_ams(), 3);  // all admitted immediately
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  for (const SubmissionRecord& rec : (*service)->Records()) {
+    EXPECT_EQ(rec.state, SubmissionState::kSucceeded) << rec.name;
+    EXPECT_GT(rec.report.tasks_completed, 0) << rec.name;
+  }
+  EXPECT_TRUE((*service)->Idle());
+}
+
+TEST(ServiceTest, ConcurrencyCapQueuesAndDrainsInSubmissionOrder) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  ServiceQueueOptions q;
+  q.rm.name = "default";
+  q.max_concurrent_ams = 1;
+  options.queues = {q};
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok());
+  std::vector<SubmissionId> ids;
+  for (const char* name : {"montage", "kmeans", "snv-calling"}) {
+    auto id = (*service)->SubmitStaged(name);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ((*service)->running_ams("default"), 1);
+  EXPECT_EQ((*service)->backlog("default"), 2);
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  // One at a time, in submission order: starts are serialised.
+  const SubmissionRecord* first = (*service)->record(ids[0]);
+  const SubmissionRecord* second = (*service)->record(ids[1]);
+  const SubmissionRecord* third = (*service)->record(ids[2]);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->state, SubmissionState::kSucceeded);
+  EXPECT_EQ(second->state, SubmissionState::kSucceeded);
+  EXPECT_EQ(third->state, SubmissionState::kSucceeded);
+  EXPECT_DOUBLE_EQ(first->started_at, first->submitted_at);
+  EXPECT_GE(second->started_at, first->finished_at);
+  EXPECT_GE(third->started_at, second->finished_at);
+}
+
+TEST(ServiceTest, FullBacklogRejectsWithBackpressure) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  ServiceQueueOptions q;
+  q.rm.name = "default";
+  q.max_concurrent_ams = 1;
+  q.max_backlog = 1;
+  options.queues = {q};
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->SubmitStaged("montage").ok());  // runs
+  ASSERT_TRUE((*service)->SubmitStaged("kmeans").ok());   // backlogged
+  auto rejected = (*service)->SubmitStaged("snv-calling");
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  const ServiceQueueCounters* counters =
+      (*service)->queue_counters("default");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->rejected, 1);
+  EXPECT_EQ(counters->submitted, 2);
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+}
+
+TEST(ServiceTest, QueuedSubmissionExpiresAtItsDeadline) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  ServiceQueueOptions q;
+  q.rm.name = "default";
+  q.max_concurrent_ams = 1;
+  options.queues = {q};
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->SubmitStaged("snv-calling").ok());
+  SubmissionOptions with_deadline;
+  with_deadline.deadline_s = 10.0;  // far shorter than the running workflow
+  auto doomed = (*service)->SubmitStaged("montage", with_deadline);
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  const SubmissionRecord* rec = (*service)->record(*doomed);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kExpired);
+  EXPECT_TRUE(rec->report.status.IsFailedPrecondition());
+  const ServiceQueueCounters* counters =
+      (*service)->queue_counters("default");
+  EXPECT_EQ(counters->expired, 1);
+}
+
+TEST(ServiceTest, LateFinisherIsFlaggedNotKilled) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  auto service = WorkflowService::Create(d->get(), WorkflowServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  SubmissionOptions with_deadline;
+  with_deadline.deadline_s = 1.0;  // starts instantly, finishes way later
+  auto id = (*service)->SubmitStaged("montage", with_deadline);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  const SubmissionRecord* rec = (*service)->record(*id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kSucceeded);
+  EXPECT_TRUE(rec->deadline_missed);
+}
+
+TEST(ServiceTest, MultiQueueCapsAreIndependent) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  ServiceQueueOptions fast;
+  fast.rm.name = "fast";
+  fast.max_concurrent_ams = 2;
+  ServiceQueueOptions slow;
+  slow.rm.name = "slow";
+  slow.max_concurrent_ams = 1;
+  options.queues = {fast, slow};
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok());
+  SubmissionOptions to_fast;
+  to_fast.queue = "fast";
+  SubmissionOptions to_slow;
+  to_slow.queue = "slow";
+  ASSERT_TRUE((*service)->SubmitStaged("montage", to_fast).ok());
+  ASSERT_TRUE((*service)->SubmitStaged("kmeans", to_fast).ok());
+  ASSERT_TRUE((*service)->SubmitStaged("montage", to_slow).ok());
+  ASSERT_TRUE((*service)->SubmitStaged("kmeans", to_slow).ok());
+  EXPECT_EQ((*service)->running_ams("fast"), 2);
+  EXPECT_EQ((*service)->running_ams("slow"), 1);
+  EXPECT_EQ((*service)->backlog("slow"), 1);
+  auto unknown = (*service)->SubmitStaged("montage", SubmissionOptions{});
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());  // no "default" queue
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  for (const SubmissionRecord& rec : (*service)->Records()) {
+    EXPECT_EQ(rec.state, SubmissionState::kSucceeded) << rec.name;
+  }
+}
+
+TEST(ServiceTest, ReplayIsDeterministicAcrossFreshDeployments) {
+  auto run = [](const std::string& scheduler) {
+    std::vector<std::pair<double, int>> outcome;
+    auto d = SmallDeployment();
+    EXPECT_TRUE(d.ok());
+    WorkflowServiceOptions options;
+    options.rm_scheduler = scheduler;
+    auto service =
+        WorkflowService::Create(d->get(), options);
+    EXPECT_TRUE(service.ok());
+    for (const char* name : {"snv-calling", "montage", "kmeans"}) {
+      EXPECT_TRUE((*service)->SubmitStaged(name).ok());
+    }
+    EXPECT_TRUE((*service)->RunToCompletion().ok());
+    for (const SubmissionRecord& rec : (*service)->Records()) {
+      outcome.emplace_back(rec.finished_at, rec.report.tasks_completed);
+    }
+    return outcome;
+  };
+  for (const std::string& scheduler : {"fifo", "capacity", "fair"}) {
+    auto first = run(scheduler);
+    auto second = run(scheduler);
+    EXPECT_EQ(first, second) << scheduler;
+  }
+}
+
+// A single submission through the service behaves exactly like the
+// single-workflow client path (same seed derivation aside): same task
+// count, successful outcome, and the FIFO scheduler leaves the RM in
+// seed-equivalent shape.
+TEST(ServiceTest, SingleSubmissionMatchesClientRun) {
+  auto d_client = SmallDeployment();
+  ASSERT_TRUE(d_client.ok());
+  HiWayClient client(d_client->get());
+  HiWayOptions hiway;
+  hiway.seed = 1234;
+  auto direct = client.Run("montage", "data-aware", hiway);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->status.ok());
+
+  auto d_service = SmallDeployment();
+  ASSERT_TRUE(d_service.ok());
+  auto service =
+      WorkflowService::Create(d_service->get(), WorkflowServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto id = (*service)->SubmitStaged("montage");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  const SubmissionRecord* rec = (*service)->record(*id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kSucceeded);
+  EXPECT_EQ(rec->report.tasks_completed, direct->tasks_completed);
+  EXPECT_EQ((*service)->deployment()->rm->scheduler_name(), "fifo");
+}
+
+TEST(ServiceTest, CreateRejectsBadConfiguration) {
+  auto d = SmallDeployment();
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions bad_scheduler;
+  bad_scheduler.rm_scheduler = "lottery";
+  EXPECT_TRUE(WorkflowService::Create(d->get(), bad_scheduler)
+                  .status()
+                  .IsInvalidArgument());
+  WorkflowServiceOptions dup_queues;
+  ServiceQueueOptions q;
+  q.rm.name = "twin";
+  dup_queues.queues = {q, q};
+  EXPECT_TRUE(WorkflowService::Create(d->get(), dup_queues)
+                  .status()
+                  .IsInvalidArgument());
+  auto unknown = WorkflowService::Create(d->get(), WorkflowServiceOptions{});
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_TRUE((*unknown)
+                  ->SubmitStaged("no-such-workflow")
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace hiway

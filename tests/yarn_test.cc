@@ -7,6 +7,8 @@
 
 #include <deque>
 
+#include "src/yarn/rm_scheduler.h"
+
 namespace hiway {
 namespace {
 
@@ -261,6 +263,255 @@ TEST(YarnTest, CountersTrackActivity) {
   EXPECT_EQ(c.requests, 1);
   EXPECT_EQ(c.allocations, 2);  // AM container + worker container
   EXPECT_EQ(c.releases, 1);
+}
+
+// ------------------------------------------------- multi-tenant RM tests -
+
+/// Two applications sharing one RM, optionally under a non-FIFO strategy
+/// and custom queues.
+struct MultiRig {
+  SimEngine engine;
+  FlowNetwork net{&engine};
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ResourceManager> rm;
+  RecordingAm am_a, am_b;
+  ApplicationId app_a = -1, app_b = -1;
+
+  MultiRig(int nodes, int cores, double memory_mb,
+           const std::string& scheduler = "fifo",
+           const std::vector<RmQueueConfig>& queues = {}) {
+    NodeSpec node;
+    node.cores = cores;
+    node.memory_mb = memory_mb;
+    cluster = std::make_unique<Cluster>(
+        &engine, &net, ClusterSpec::Uniform(nodes, node, 1000.0));
+    YarnOptions options;
+    options.scheduler = scheduler;
+    rm = std::make_unique<ResourceManager>(cluster.get(), options);
+    for (const RmQueueConfig& q : queues) rm->ConfigureQueue(q);
+  }
+
+  ApplicationId Register(const std::string& name, RecordingAm* am,
+                         const std::string& queue = "default",
+                         NodeId node = kInvalidNode) {
+    auto result = rm->RegisterApplication(name, am, 1, 512, node, queue);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : -1;
+  }
+};
+
+TEST(YarnMultiAppTest, TwoAmsCompeteForLastContainerFifoOrder) {
+  MultiRig rig(1, 3, 8192);
+  rig.app_a = rig.Register("a", &rig.am_a);
+  rig.app_b = rig.Register("b", &rig.am_b);
+  // One core left; whoever asked first gets it.
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_b.allocations.size(), 1u);
+  EXPECT_EQ(rig.am_a.allocations.size(), 0u);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_a), 1);
+  // Releasing b's container hands the core to the waiting app.
+  rig.rm->ReleaseContainer(rig.am_b.allocations[0].first.id);
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_a.allocations.size(), 1u);
+}
+
+TEST(YarnMultiAppTest, CancelRequestsTouchesOnlyTheCallingApp) {
+  MultiRig rig(1, 2, 8192);  // AMs eat both cores: everything stays queued
+  rig.app_a = rig.Register("a", &rig.am_a);
+  rig.app_b = rig.Register("b", &rig.am_b);
+  ContainerRequest request;
+  request.cookie = 7;
+  rig.rm->SubmitRequest(rig.app_a, request);
+  rig.rm->SubmitRequest(rig.app_b, request);
+  rig.engine.Run();
+  EXPECT_EQ(rig.rm->CancelRequests(rig.app_a, 7), 1);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_a), 0);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_b), 1);
+}
+
+TEST(YarnMultiAppTest, KillNodeReportsLossesOnlyToTheOwningAm) {
+  MultiRig rig(2, 4, 4096);
+  rig.app_a = rig.Register("a", &rig.am_a, "default", 0);
+  rig.app_b = rig.Register("b", &rig.am_b, "default", 0);
+  ContainerRequest on_node1;
+  on_node1.preferred_node = 1;
+  on_node1.strict_locality = true;
+  rig.rm->SubmitRequest(rig.app_a, on_node1);
+  ContainerRequest on_node0;
+  on_node0.preferred_node = 0;
+  on_node0.strict_locality = true;
+  rig.rm->SubmitRequest(rig.app_b, on_node0);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.allocations.size(), 1u);
+  ASSERT_EQ(rig.am_b.allocations.size(), 1u);
+
+  rig.rm->KillNode(1);
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_a.lost.size(), 1u);
+  EXPECT_EQ(rig.am_b.lost.size(), 0u);
+  ASSERT_NE(rig.rm->app_stats(rig.app_a), nullptr);
+  EXPECT_EQ(rig.rm->app_stats(rig.app_a)->counters.lost_containers, 1);
+  EXPECT_EQ(rig.rm->app_stats(rig.app_b)->counters.lost_containers, 0);
+}
+
+TEST(YarnMultiAppTest, PerAppCountersAttributeActivity) {
+  MultiRig rig(2, 4, 8192);
+  rig.app_a = rig.Register("a", &rig.am_a);
+  rig.app_b = rig.Register("b", &rig.am_b);
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.engine.Run();
+  rig.rm->ReleaseContainer(rig.am_a.allocations[0].first.id);
+  rig.engine.Run();
+  const TenantStats* a = rig.rm->app_stats(rig.app_a);
+  const TenantStats* b = rig.rm->app_stats(rig.app_b);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->counters.requests, 2);
+  EXPECT_EQ(a->counters.allocations, 3);  // AM + 2 workers
+  EXPECT_EQ(a->counters.releases, 1);
+  EXPECT_EQ(b->counters.requests, 1);
+  EXPECT_EQ(b->counters.allocations, 2);  // AM + 1 worker
+  EXPECT_EQ(b->counters.releases, 0);
+  // Waits are recorded per placement and include the allocation delay.
+  ASSERT_EQ(a->wait_times_s.size(), 2u);
+  EXPECT_GE(a->wait_times_s[0], rig.rm->options().allocation_delay_s);
+  // Per-app stats survive unregistration (post-mortem attribution).
+  rig.rm->UnregisterApplication(rig.app_a);
+  rig.engine.Run();
+  EXPECT_NE(rig.rm->app_stats(rig.app_a), nullptr);
+  EXPECT_EQ(rig.rm->app_stats(rig.app_a)->counters.requests, 2);
+}
+
+TEST(YarnMultiAppTest, CapacitySchedulerServesQueueFurthestBelowGuarantee) {
+  RmQueueConfig qa;
+  qa.name = "qa";
+  qa.guaranteed_share = 0.5;
+  RmQueueConfig qb;
+  qb.name = "qb";
+  qb.guaranteed_share = 0.5;
+  MultiRig rig(1, 5, 16384, "capacity", {qa, qb});
+  rig.app_a = rig.Register("a", &rig.am_a, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  // qa grabs two fillers: usage qa=3/5, qb=1/5, one core stays free.
+  for (int i = 0; i < 2; ++i) {
+    rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  }
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.allocations.size(), 2u);
+  // Both ask for the last core, qa first. FIFO would serve qa; capacity
+  // serves qb, the queue further below its guarantee.
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_b.allocations.size(), 1u);
+  EXPECT_EQ(rig.am_a.allocations.size(), 2u);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_a), 1);
+}
+
+TEST(YarnMultiAppTest, CapacityMaxShareCapsAQueue) {
+  RmQueueConfig qa;
+  qa.name = "qa";
+  qa.guaranteed_share = 0.8;
+  RmQueueConfig qb;
+  qb.name = "qb";
+  qb.guaranteed_share = 0.2;
+  qb.max_share = 0.2;  // hard cap: 1 of 5 cores
+  MultiRig rig(1, 5, 16384, "capacity", {qa, qb});
+  rig.app_a = rig.Register("a", &rig.am_a, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  // qb's AM already uses its whole 20% share; its requests must wait even
+  // though three cores are free.
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.engine.RunUntil(rig.engine.Now() + 10.0);
+  EXPECT_EQ(rig.am_b.allocations.size(), 0u);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_b), 1);
+  // The uncapped queue still gets capacity.
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_a.allocations.size(), 1u);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_b), 1);
+}
+
+TEST(YarnMultiAppTest, FairSchedulerServesAppWithSmallestDominantShare) {
+  MultiRig rig(1, 5, 16384, "fair");
+  rig.app_a = rig.Register("a", &rig.am_a);
+  rig.app_b = rig.Register("b", &rig.am_b);
+  for (int i = 0; i < 2; ++i) {
+    rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  }
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.allocations.size(), 2u);
+  // Last core, app a asks first. DRF picks app b (dominant share 1/5 vs
+  // 3/5).
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_b.allocations.size(), 1u);
+  EXPECT_EQ(rig.rm->pending_requests(rig.app_a), 1);
+}
+
+TEST(YarnMultiAppTest, StrictLocalityAndBlacklistSurviveStrategies) {
+  for (const std::string& scheduler : {"capacity", "fair"}) {
+    MultiRig rig(3, 2, 4096, scheduler);
+    rig.app_a = rig.Register("a", &rig.am_a, "default", 0);
+    // Blacklisting nodes 0 and 1 forces node 2 regardless of strategy.
+    ContainerRequest request;
+    request.blacklist = {0, 1};
+    rig.rm->SubmitRequest(rig.app_a, request);
+    rig.engine.Run();
+    ASSERT_EQ(rig.am_a.allocations.size(), 1u) << scheduler;
+    EXPECT_EQ(rig.am_a.allocations[0].first.node, 2) << scheduler;
+    // A strict request for a full node waits instead of spilling.
+    ContainerRequest strict;
+    strict.vcores = 2;
+    strict.preferred_node = 2;
+    strict.strict_locality = true;
+    rig.rm->SubmitRequest(rig.app_a, strict);
+    rig.engine.RunUntil(rig.engine.Now() + 10.0);
+    EXPECT_EQ(rig.am_a.allocations.size(), 1u) << scheduler;
+    EXPECT_EQ(rig.rm->pending_requests(rig.app_a), 1) << scheduler;
+  }
+}
+
+TEST(YarnMultiAppTest, FairnessIndexReactsToContention) {
+  MultiRig rig(1, 3, 8192);
+  rig.app_a = rig.Register("a", &rig.am_a);
+  // A single tenant is always "fair".
+  EXPECT_DOUBLE_EQ(rig.rm->TimeAveragedFairness(), 1.0);
+  rig.app_b = rig.Register("b", &rig.am_b);
+  // a holds the last core while b starves: instant fairness drops.
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.allocations.size(), 1u);
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.engine.RunUntil(rig.engine.Now() + 20.0);
+  double instant = rig.rm->InstantFairness();
+  EXPECT_LT(instant, 1.0);
+  EXPECT_GT(instant, 0.0);
+  EXPECT_LT(rig.rm->TimeAveragedFairness(), 1.0);
+}
+
+TEST(YarnMultiAppTest, QueueStatsAggregateTheirApplications) {
+  MultiRig rig(2, 4, 8192);
+  rig.app_a = rig.Register("a", &rig.am_a);
+  rig.app_b = rig.Register("b", &rig.am_b);
+  rig.rm->SubmitRequest(rig.app_a, ContainerRequest{});
+  rig.rm->SubmitRequest(rig.app_b, ContainerRequest{});
+  rig.engine.Run();
+  const TenantStats* q = rig.rm->queue_stats("default");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->counters.requests, 2);
+  EXPECT_EQ(q->counters.allocations, 4);  // 2 AMs + 2 workers
+  EXPECT_EQ(q->usage.vcores, 4);
+}
+
+TEST(YarnMultiAppTest, UnknownSchedulerNameIsRejected) {
+  auto result = MakeRmScheduler("shortest-job-first");
+  EXPECT_TRUE(result.status().IsInvalidArgument());
 }
 
 }  // namespace
