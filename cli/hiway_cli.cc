@@ -25,6 +25,7 @@
 #include "src/lang/galaxy_source.h"
 #include "src/lang/trace_source.h"
 #include "src/service/workflow_service.h"
+#include "src/sim/fault_injector.h"
 
 namespace hiway {
 namespace {
@@ -64,7 +65,11 @@ void PrintUsage() {
       "                           configure a queue: guaranteed share G,\n"
       "                           max share M (fractions of the cluster),\n"
       "                           AMS concurrent AMs, BACKLOG waiting\n"
-      "                           submissions (repeatable)\n");
+      "                           submissions (repeatable)\n"
+      "  --faults SPEC            inject failures while the burst runs,\n"
+      "                           e.g. kill-am-node@60,hdfs-error:rate=0.05\n"
+      "                           (see docs/failure-model.md for the\n"
+      "                           grammar; targets are drawn from --seed)\n");
 }
 
 Result<int64_t> ParseSize(std::string_view text) {
@@ -118,6 +123,7 @@ struct CliOptions {
   bool service = false;
   std::string rm_scheduler = "fifo";
   std::vector<ServiceQueueOptions> queue_configs;
+  std::string faults;
 
   const std::string& workflow_path() const { return workflows[0].path; }
 };
@@ -171,6 +177,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       q.max_concurrent_ams = static_cast<int>(ams);
       q.max_backlog = static_cast<int>(backlog);
       options.queue_configs.push_back(std::move(q));
+    } else if (arg == "--faults") {
+      HIWAY_ASSIGN_OR_RETURN(options.faults, need_value(i, "--faults"));
+      // Surface grammar errors at parse time, not mid-run.
+      HIWAY_RETURN_IF_ERROR(ParseFaultSpecs(options.faults).status());
     } else if (arg == "--language") {
       HIWAY_ASSIGN_OR_RETURN(options.language, need_value(i, "--language"));
     } else if (arg == "--policy") {
@@ -217,6 +227,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (options.workflows.size() > 1 && !options.service) {
     return Status::InvalidArgument(
         "multiple --workflow flags require --service");
+  }
+  if (!options.faults.empty() && !options.service) {
+    return Status::InvalidArgument(
+        "--faults requires --service (failover is a service-mode feature)");
   }
   return options;
 }
@@ -300,10 +314,19 @@ Result<int> RunService(const CliOptions& cli) {
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowService> service,
                          WorkflowService::Create(d.get(), service_options));
 
+  FaultInjector injector(&d->engine, cli.seed);
+  if (!cli.faults.empty()) {
+    service->InstallFaultHandlers(&injector);
+    HIWAY_RETURN_IF_ERROR(injector.ArmSpec(cli.faults));
+  }
+
   std::printf(
       "hiway: service mode, %zu workflow(s), rm scheduler '%s', %d nodes\n",
       cli.workflows.size(), cli.rm_scheduler.c_str(),
       d->cluster->num_nodes());
+  if (!injector.armed().empty()) {
+    std::printf("hiway: faults armed: %s\n", cli.faults.c_str());
+  }
   HiWayOptions hiway;
   hiway.container_vcores = cli.vcores;
   hiway.container_memory_mb = cli.memory_mb;
@@ -315,6 +338,11 @@ Result<int> RunService(const CliOptions& cli) {
     SubmissionOptions sub;
     sub.queue = wf.queue;
     sub.hiway = hiway;
+    // A replacement AM attempt rebuilds its source from the same file,
+    // so CLI submissions survive AM failures like staged ones do.
+    sub.source_factory = [d = d.get(), &cli, path = wf.path] {
+      return MakeSourceForFile(d, cli, path);
+    };
     auto id = service->Submit(wf.path, std::move(source), sub);
     if (!id.ok()) {
       if (!id.status().IsResourceExhausted()) return id.status();
@@ -362,6 +390,18 @@ Result<int> RunService(const CliOptions& cli) {
   }
   std::printf("time-averaged Jain fairness: %.3f\n",
               d->rm->TimeAveragedFairness());
+  if (!injector.armed().empty()) {
+    const FaultCounters& f = injector.counters();
+    std::printf("faults injected: %d node kill(s), %d am crash(es), "
+                "%d container kill(s), %lld read fault(s)\n",
+                f.node_kills, f.am_crashes, f.container_kills,
+                static_cast<long long>(f.read_faults));
+    int failovers = 0;
+    for (const SubmissionRecord& rec : service->Records()) {
+      failovers += rec.am_failures;
+    }
+    std::printf("am failovers survived: %d\n", failovers);
+  }
   if (!cli.trace_out.empty()) {
     std::ofstream out(cli.trace_out);
     if (!out) {

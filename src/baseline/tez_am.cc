@@ -124,7 +124,7 @@ void TezAm::OnContainerAllocated(const Container& container, int64_t) {
       });
 }
 
-void TezAm::OnContainerLost(const Container&) {
+void TezAm::OnContainerLost(const Container&, ContainerLossReason) {
   Finish(Status::RuntimeError("Tez baseline does not recover lost containers"));
 }
 

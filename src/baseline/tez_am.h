@@ -60,7 +60,8 @@ class TezAm : public AmCallbacks {
 
   void OnContainerAllocated(const Container& container,
                             int64_t cookie) override;
-  void OnContainerLost(const Container& container) override;
+  void OnContainerLost(const Container& container,
+                       ContainerLossReason reason) override;
 
  private:
   struct VertexTask {

@@ -1,0 +1,47 @@
+// Shared retry/backoff/blacklist policy for failure handling. One
+// struct covers both granularities of the failure model (see
+// docs/failure-model.md): task-attempt retries inside a HiWayAm and
+// AM-attempt retries inside the WorkflowService failover loop.
+
+#ifndef HIWAY_COMMON_RETRY_POLICY_H_
+#define HIWAY_COMMON_RETRY_POLICY_H_
+
+#include <algorithm>
+
+namespace hiway {
+
+struct RetryPolicy {
+  /// Total attempts allowed (first try + retries).
+  int max_attempts = 3;
+  /// Delay before the second attempt; 0 retries immediately.
+  double backoff_base_s = 0.0;
+  /// Multiplier applied per further attempt (exponential backoff).
+  double backoff_factor = 2.0;
+  /// Backoff ceiling.
+  double backoff_max_s = 60.0;
+  /// Failures attributed to one node before it is blacklisted for the
+  /// retried work. Node-loss failures never count (the node is gone and
+  /// the RM stops placing there anyway).
+  int blacklist_after = 1;
+
+  /// True when `attempts` used up the budget (no further retry).
+  bool Exhausted(int attempts) const { return attempts >= max_attempts; }
+
+  /// Delay to wait before launching attempt number `next_attempt`
+  /// (1-based; the first attempt never waits).
+  double BackoffBefore(int next_attempt) const {
+    if (next_attempt <= 1 || backoff_base_s <= 0.0) return 0.0;
+    double delay = backoff_base_s;
+    for (int i = 2; i < next_attempt; ++i) delay *= backoff_factor;
+    return std::min(delay, backoff_max_s);
+  }
+
+  /// True once a node accumulated enough failures to be avoided.
+  bool ShouldBlacklist(int node_failures) const {
+    return blacklist_after > 0 && node_failures >= blacklist_after;
+  }
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_RETRY_POLICY_H_

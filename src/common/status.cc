@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kRuntimeError:
       return "RuntimeError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -29,6 +29,9 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kRuntimeError,
+  /// Transient failure (e.g. a flaky DFS read): retrying the same
+  /// operation may succeed; the resource itself is not at fault.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -68,6 +71,9 @@ class Status {
   static Status RuntimeError(std::string msg) {
     return Status(StatusCode::kRuntimeError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   Status(StatusCode code, std::string msg) {
     if (code != StatusCode::kOk) {
@@ -100,6 +106,7 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

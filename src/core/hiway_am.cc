@@ -30,8 +30,83 @@ HiWayAm::HiWayAm(Cluster* cluster, ResourceManager* rm, Dfs* dfs,
 }
 
 HiWayAm::~HiWayAm() {
-  if (submitted_ && !finished_) {
+  if (heartbeat_event_ != 0) {
+    cluster_->engine()->Cancel(heartbeat_event_);
+    heartbeat_event_ = 0;
+  }
+  if (submitted_ && !finished_ && !crashed_) {
     rm_->UnregisterApplication(app_);
+  }
+}
+
+void HiWayAm::Crash() {
+  if (finished_ || crashed_) return;
+  crashed_ = true;
+  if (heartbeat_event_ != 0) {
+    cluster_->engine()->Cancel(heartbeat_event_);
+    heartbeat_event_ = 0;
+  }
+}
+
+void HiWayAm::HeartbeatLoop() {
+  if (finished_ || crashed_ || options_.am_heartbeat_s <= 0.0) return;
+  rm_->AmHeartbeat(app_);
+  heartbeat_event_ = cluster_->engine()->ScheduleAfter(
+      options_.am_heartbeat_s, [this] {
+        heartbeat_event_ = 0;
+        HeartbeatLoop();
+      });
+}
+
+void HiWayAm::SetRecoveryTrace(const std::vector<ProvenanceEvent>& events) {
+  // Reassemble completed tasks from the prior attempts' records. Events
+  // of one task are keyed by (run, task id) — several runs may appear
+  // when earlier recoveries re-executed work — and entries are memoised
+  // in recorded completion order, so duplicate signatures (identical
+  // invocations, e.g. across iterations) replay in the order they
+  // originally finished.
+  struct Partial {
+    MemoEntry entry;
+    std::string signature;
+    bool succeeded = false;
+    int end_order = -1;
+  };
+  std::map<std::pair<std::string, TaskId>, Partial> partials;
+  int order = 0;
+  for (const ProvenanceEvent& ev : events) {
+    auto key = std::make_pair(ev.run_id, ev.task_id);
+    switch (ev.type) {
+      case ProvenanceEventType::kTaskStart:
+        partials[key].signature = ev.signature;
+        break;
+      case ProvenanceEventType::kTaskEnd:
+        if (ev.success) {
+          Partial& p = partials[key];
+          p.succeeded = true;
+          p.end_order = order++;
+          p.entry.node = ev.node;
+          p.entry.duration = ev.duration;
+          p.entry.stdout_value = ev.stdout_value;
+        }
+        break;
+      case ProvenanceEventType::kFileStageOut:
+        partials[key].entry.outputs.emplace_back(ev.file_path,
+                                                 ev.size_bytes);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<const Partial*> done;
+  for (const auto& [key, p] : partials) {
+    if (p.succeeded && !p.signature.empty()) done.push_back(&p);
+  }
+  std::sort(done.begin(), done.end(),
+            [](const Partial* a, const Partial* b) {
+              return a->end_order < b->end_order;
+            });
+  for (const Partial* p : done) {
+    memo_[p->signature].push_back(p->entry);
   }
 }
 
@@ -71,16 +146,24 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
   source_ = source;
   scheduler_ = scheduler;
 
+  // The YARN application name carries the AM attempt id so failover
+  // attempts of one submission stay distinguishable in RM accounting.
+  std::string app_name = "hiway:" + source->name();
+  if (options_.am_attempt > 1) {
+    app_name += StrFormat("#%d", options_.am_attempt);
+  }
   HIWAY_ASSIGN_OR_RETURN(
-      app_, rm_->RegisterApplication("hiway:" + source->name(), this,
+      app_, rm_->RegisterApplication(app_name, this,
                                      options_.am_vcores, options_.am_memory_mb,
                                      options_.am_node, options_.rm_queue));
   submitted_ = true;
   report_ = WorkflowReport();
   report_.workflow_name = source->name();
+  report_.am_attempt = options_.am_attempt;
   report_.started_at = cluster_->engine()->Now();
   report_.run_id =
       provenance_->BeginWorkflow(source->name(), report_.started_at);
+  HeartbeatLoop();
 
   auto initial = source_->Init();
   if (!initial.ok()) {
@@ -132,6 +215,7 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
   }
 
   Status st = AdmitTasks(std::move(tasks));
+  if (st.ok()) st = DrainMemoised();
   if (!st.ok()) {
     FinishWorkflow(st);
     return st;
@@ -154,6 +238,7 @@ Status HiWayAm::AdmitTasks(std::vector<TaskSpec> tasks) {
     TaskId id = entry.spec.id;
     auto [it, inserted] = tasks_.emplace(id, std::move(entry));
     TaskEntry* e = &it->second;
+    if (TryMemoise(e)) continue;
     for (const std::string& path : e->spec.input_files) {
       if (!dfs_->Exists(path)) {
         e->missing_inputs.insert(path);
@@ -170,6 +255,69 @@ Status HiWayAm::AdmitTasks(std::vector<TaskSpec> tasks) {
   return Status::OK();
 }
 
+bool HiWayAm::TryMemoise(TaskEntry* entry) {
+  auto it = memo_.find(entry->spec.signature);
+  if (it == memo_.end() || it->second.empty()) return false;
+  // Every file output the spec promises must still exist in DFS — a
+  // node kill may have taken replicas with it; then the task simply
+  // re-executes.
+  std::vector<std::pair<std::string, int64_t>> produced;
+  for (const OutputSpec& out : entry->spec.outputs) {
+    if (out.is_value) continue;
+    auto info = dfs_->Stat(out.path);
+    if (!info.ok()) return false;
+    produced.emplace_back(out.path, info->size_bytes);
+  }
+  MemoEntry memo = std::move(it->second.front());
+  it->second.pop_front();
+  entry->state = TaskState::kDone;
+  ++report_.tasks_completed;
+  ++report_.tasks_memoised;
+  double now = cluster_->engine()->Now();
+  TaskResult result;
+  result.id = entry->spec.id;
+  result.signature = entry->spec.signature;
+  result.status = Status::OK();
+  result.node = memo.node;
+  result.started_at = now;
+  result.finished_at = now;  // memoisation is instantaneous
+  result.stdout_value = std::move(memo.stdout_value);
+  result.produced_files = std::move(produced);
+  // Not re-recorded in provenance and not fed to the estimator: the
+  // original attempt's records already cover this completion.
+  memo_completions_.push_back(std::move(result));
+  return true;
+}
+
+Status HiWayAm::DrainMemoised() {
+  if (draining_memo_) return Status::OK();  // outer drain picks it up
+  draining_memo_ = true;
+  while (!memo_completions_.empty()) {
+    TaskResult result = std::move(memo_completions_.front());
+    memo_completions_.pop_front();
+    RegisterProducedFiles(result);
+    auto discovered = source_->OnTaskCompleted(result);
+    if (!discovered.ok()) {
+      draining_memo_ = false;
+      return discovered.status().WithContext("workflow evaluation failed");
+    }
+    if (!discovered->empty()) {
+      if (scheduler_->IsStatic()) {
+        draining_memo_ = false;
+        return Status::FailedPrecondition(
+            "a statically scheduled source discovered new tasks at runtime");
+      }
+      Status st = AdmitTasks(std::move(discovered).value());
+      if (!st.ok()) {
+        draining_memo_ = false;
+        return st;
+      }
+    }
+  }
+  draining_memo_ = false;
+  return Status::OK();
+}
+
 void HiWayAm::MarkReady(TaskEntry* entry) {
   entry->state = TaskState::kReady;
   scheduler_->EnqueueReady(entry->spec);
@@ -181,6 +329,7 @@ void HiWayAm::MarkReady(TaskEntry* entry) {
 
 void HiWayAm::OnContainerAllocated(const Container& container,
                                    int64_t cookie) {
+  if (crashed_) return;  // a dead AM reacts to nothing
   if (finished_) {
     rm_->ReleaseContainer(container.id);
     return;
@@ -234,7 +383,7 @@ void HiWayAm::LaunchTask(TaskEntry* entry, const Container& container) {
   ++entry->attempt_epoch;
   ++running_;
   ++report_.task_attempts;
-  provenance_->RecordTaskStart(entry->spec, container.node,
+  provenance_->RecordTaskStart(report_.run_id, entry->spec, container.node,
                                cluster_->node(container.node).name,
                                cluster_->engine()->Now());
   TaskId id = entry->spec.id;
@@ -253,6 +402,7 @@ void HiWayAm::LaunchTask(TaskEntry* entry, const Container& container) {
 }
 
 void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
+  if (crashed_) return;  // the dead AM's executor flows finish unobserved
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return;
   TaskEntry* entry = &it->second;
@@ -266,19 +416,28 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
   entry->container = kInvalidContainer;
 
   const TaskResult& result = outcome.result;
-  provenance_->RecordTaskEnd(result, cluster_->node(result.node).name);
+  provenance_->RecordTaskEnd(report_.run_id, result,
+                             cluster_->node(result.node).name);
   for (const auto& t : outcome.transfers) {
     if (t.stage_in) {
-      provenance_->RecordFileStageIn(id, t.path, t.size_bytes, t.seconds,
+      provenance_->RecordFileStageIn(report_.run_id, id, t.path,
+                                     t.size_bytes, t.seconds,
                                      cluster_->engine()->Now());
     } else {
-      provenance_->RecordFileStageOut(id, t.path, t.size_bytes, t.seconds,
+      provenance_->RecordFileStageOut(report_.run_id, id, t.path,
+                                      t.size_bytes, t.seconds,
                                       cluster_->engine()->Now());
     }
   }
 
   if (!result.status.ok()) {
-    entry->blacklist.push_back(result.node);
+    // Transient I/O errors (Unavailable) are not the node's fault and
+    // never count toward blacklisting it.
+    if (!result.status.IsUnavailable() &&
+        options_.task_retry.ShouldBlacklist(
+            ++entry->node_failures[result.node])) {
+      entry->blacklist.push_back(result.node);
+    }
     HandleAttemptFailure(entry, result.status);
     return;
   }
@@ -301,6 +460,7 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
       return;
     }
     Status st = AdmitTasks(std::move(discovered).value());
+    if (st.ok()) st = DrainMemoised();
     if (!st.ok()) {
       FinishWorkflow(st);
       return;
@@ -311,7 +471,7 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
 
 void HiWayAm::HandleAttemptFailure(TaskEntry* entry, const Status& failure) {
   ++report_.failed_attempts;
-  if (entry->attempts >= options_.max_task_attempts) {
+  if (options_.task_retry.Exhausted(entry->attempts)) {
     FinishWorkflow(failure.WithContext(StrFormat(
         "task %lld ('%s') failed %d attempts",
         static_cast<long long>(entry->spec.id), entry->spec.signature.c_str(),
@@ -320,9 +480,31 @@ void HiWayAm::HandleAttemptFailure(TaskEntry* entry, const Status& failure) {
   }
   // Retry elsewhere (Sec. 3.1: "re-try failed tasks, requesting YARN to
   // allocate the additional containers on different compute nodes"); the
-  // caller added the failed node to the blacklist, which MarkReady
-  // forwards with the fresh container request.
-  MarkReady(entry);
+  // caller updated the blacklist, which MarkReady forwards with the
+  // fresh container request.
+  RetryLater(entry);
+}
+
+void HiWayAm::RetryLater(TaskEntry* entry) {
+  double delay = options_.task_retry.BackoffBefore(entry->attempts + 1);
+  if (delay <= 0.0) {
+    MarkReady(entry);
+    return;
+  }
+  entry->state = TaskState::kReady;  // awaiting its delayed re-queue
+  TaskId id = entry->spec.id;
+  int epoch = entry->attempt_epoch;
+  ++pending_retries_;
+  cluster_->engine()->ScheduleAfter(delay, [this, id, epoch] {
+    --pending_retries_;
+    if (finished_ || crashed_) return;
+    auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.attempt_epoch != epoch ||
+        it->second.state != TaskState::kReady) {
+      return;
+    }
+    MarkReady(&it->second);
+  });
 }
 
 void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
@@ -347,7 +529,10 @@ void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
 
 void HiWayAm::MaybeFinish() {
   if (finished_) return;
-  if (running_ > 0 || scheduler_->QueuedCount() > 0) return;
+  if (running_ > 0 || scheduler_->QueuedCount() > 0 ||
+      pending_retries_ > 0 || !memo_completions_.empty()) {
+    return;
+  }
   if (waiting_ > 0) {
     // Nothing is running or queued, yet tasks still await inputs: those
     // files will never appear.
@@ -376,32 +561,44 @@ void HiWayAm::MaybeFinish() {
 void HiWayAm::FinishWorkflow(Status status) {
   if (finished_) return;
   finished_ = true;
+  if (heartbeat_event_ != 0) {
+    cluster_->engine()->Cancel(heartbeat_event_);
+    heartbeat_event_ = 0;
+  }
   report_.status = status;
   report_.finished_at = cluster_->engine()->Now();
-  provenance_->EndWorkflow(report_.finished_at, status.ok());
+  provenance_->EndWorkflow(report_.run_id, report_.finished_at, status.ok());
   if (submitted_) {
     rm_->UnregisterApplication(app_);
   }
   if (finish_listener_) finish_listener_(report_);
 }
 
-void HiWayAm::OnContainerLost(const Container& container) {
-  if (finished_) return;
+void HiWayAm::OnContainerLost(const Container& container,
+                              ContainerLossReason reason) {
+  if (finished_ || crashed_) return;
   for (auto& [id, entry] : tasks_) {
     if (entry.state == TaskState::kRunning &&
         entry.container == container.id) {
       --running_;
       entry.container = kInvalidContainer;
       ++entry.attempt_epoch;  // discard the in-flight outcome
-      entry.blacklist.push_back(container.node);
+      if (reason != ContainerLossReason::kNodeLost &&
+          options_.task_retry.ShouldBlacklist(
+              ++entry.node_failures[container.node])) {
+        // A dead node is never blacklisted — the RM already stopped
+        // placing there, and dead-listing it forever would only shrink
+        // the request's candidate set once the node recovers.
+        entry.blacklist.push_back(container.node);
+      }
       ++report_.failed_attempts;
-      if (entry.attempts >= options_.max_task_attempts) {
+      if (options_.task_retry.Exhausted(entry.attempts)) {
         FinishWorkflow(Status::RuntimeError(StrFormat(
             "task %lld lost its container too many times",
             static_cast<long long>(id))));
         return;
       }
-      MarkReady(&entry);
+      RetryLater(&entry);
       return;
     }
   }

@@ -10,6 +10,7 @@
 #ifndef HIWAY_CORE_HIWAY_AM_H_
 #define HIWAY_CORE_HIWAY_AM_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/retry_policy.h"
 #include "src/core/provenance.h"
 #include "src/core/runtime_estimator.h"
 #include "src/core/scheduler.h"
@@ -40,8 +42,16 @@ struct HiWayOptions {
   /// RM scheduler queue this workflow's application is charged to
   /// (multi-tenant service mode; the queue must be configured on the RM).
   std::string rm_queue = "default";
-  /// Attempts per task before the workflow fails (first try + retries).
-  int max_task_attempts = 3;
+  /// Task-attempt retry policy (max attempts, backoff, blacklisting) —
+  /// shared vocabulary with the service's AM-attempt loop. Defaults:
+  /// 3 attempts, immediate retry, blacklist a node after one failure.
+  RetryPolicy task_retry;
+  /// AM -> RM liveness heartbeat period; <= 0 disables heartbeats (the
+  /// RM then never declares this AM dead by timeout).
+  double am_heartbeat_s = 1.0;
+  /// Which AM attempt of its submission this is (1 = first launch);
+  /// informational, stamped into the report and the YARN app name.
+  int am_attempt = 1;
   /// Fixed per-task container launch latency (localisation, JVM start).
   double task_launch_overhead_s = 1.0;
   /// Seed for runtime noise / failure injection.
@@ -62,8 +72,13 @@ struct WorkflowReport {
   double started_at = 0.0;
   double finished_at = 0.0;
   int tasks_completed = 0;
+  /// Of tasks_completed, how many were memoised from a recovery trace
+  /// instead of re-executed (AM failover; 0 outside recovery).
+  int tasks_memoised = 0;
   int task_attempts = 0;
   int failed_attempts = 0;
+  /// AM attempt number this report belongs to (1 = first launch).
+  int am_attempt = 1;
   /// Scheduling decisions taken by the AM (Fig. 6 master-load accounting).
   int64_t scheduler_invocations = 0;
 
@@ -83,6 +98,21 @@ class HiWayAm : public AmCallbacks {
   /// container requests. Rejects static schedulers for iterative sources
   /// (the paper's Cuneiform restriction). Neither pointer is owned.
   Status Submit(WorkflowSource* source, WorkflowScheduler* scheduler);
+
+  /// Provenance-replay recovery (AM failover): call before Submit() with
+  /// the prior attempts' provenance events. Tasks whose signature
+  /// completed successfully in the trace — and whose recorded file
+  /// outputs still exist in DFS — are memoised (completed instantly from
+  /// the record, outputs re-registered, stdout replayed for iterative
+  /// sources) instead of re-executed. The workflow resumes from the
+  /// frontier of incomplete work.
+  void SetRecoveryTrace(const std::vector<ProvenanceEvent>& events);
+
+  /// Simulates the AM process dying: every subsequent callback, executor
+  /// completion, and heartbeat is ignored, so the RM's liveness timeout
+  /// (or a node kill) is what surfaces the failure. Irreversible.
+  void Crash();
+  bool crashed() const { return crashed_; }
 
   /// Drives the engine until the workflow finishes; returns the report.
   /// (Convenience for single-workflow experiments; multi-workflow setups
@@ -106,7 +136,8 @@ class HiWayAm : public AmCallbacks {
   // AmCallbacks:
   void OnContainerAllocated(const Container& container,
                             int64_t cookie) override;
-  void OnContainerLost(const Container& container) override;
+  void OnContainerLost(const Container& container,
+                       ContainerLossReason reason) override;
 
  private:
   enum class TaskState { kWaiting, kReady, kRunning, kDone };
@@ -117,8 +148,20 @@ class HiWayAm : public AmCallbacks {
     int attempts = 0;
     int attempt_epoch = 0;  // invalidates outcomes of superseded attempts
     std::vector<NodeId> blacklist;
+    /// Attributed failures per node (feeds RetryPolicy::ShouldBlacklist;
+    /// node losses and transient I/O errors are not attributed).
+    std::map<NodeId, int> node_failures;
     std::set<std::string> missing_inputs;
     ContainerId container = kInvalidContainer;
+  };
+
+  /// One successfully completed task reconstructed from a recovery
+  /// trace, consumed by signature in recorded completion order.
+  struct MemoEntry {
+    std::vector<std::pair<std::string, int64_t>> outputs;
+    std::string stdout_value;
+    int32_t node = -1;
+    double duration = 0.0;
   };
 
   /// Applies option defaults to a TaskSpec's container sizing.
@@ -129,9 +172,18 @@ class HiWayAm : public AmCallbacks {
   void LaunchTask(TaskEntry* entry, const Container& container);
   void OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome);
   void HandleAttemptFailure(TaskEntry* entry, const Status& failure);
+  /// Re-queues a failed task, honouring the retry policy's backoff.
+  void RetryLater(TaskEntry* entry);
   void RegisterProducedFiles(const TaskResult& result);
   void MaybeFinish();
   void FinishWorkflow(Status status);
+  /// Completes `entry` from the recovery memo if possible (signature
+  /// recorded as successful, file outputs still present in DFS).
+  bool TryMemoise(TaskEntry* entry);
+  /// Delivers queued memoised completions to the source; discovery may
+  /// admit further tasks (which can memoise in turn). Re-entrancy safe.
+  Status DrainMemoised();
+  void HeartbeatLoop();
 
   Cluster* cluster_;
   ResourceManager* rm_;
@@ -149,11 +201,19 @@ class HiWayAm : public AmCallbacks {
   ApplicationId app_ = -1;
   bool submitted_ = false;
   bool finished_ = false;
+  bool crashed_ = false;
   WorkflowReport report_;
   std::function<void(const WorkflowReport&)> finish_listener_;
 
   std::map<TaskId, TaskEntry> tasks_;
   std::map<std::string, std::set<TaskId>> waiting_on_file_;
+  /// Recovery memo: signature -> recorded completions, oldest first.
+  std::map<std::string, std::deque<MemoEntry>> memo_;
+  /// Memoised results awaiting delivery to the source.
+  std::deque<TaskResult> memo_completions_;
+  bool draining_memo_ = false;
+  EventId heartbeat_event_ = 0;
+  int pending_retries_ = 0;
   int running_ = 0;
   int waiting_ = 0;
   TaskId next_task_id_ = 1;

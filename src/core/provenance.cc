@@ -137,8 +137,7 @@ std::string ProvenanceManager::BeginWorkflow(const std::string& workflow_name,
                                              double now) {
   run_id_ = StrFormat("%s-run-%lld", workflow_name.c_str(),
                       static_cast<long long>(run_counter_++));
-  workflow_name_ = workflow_name;
-  run_started_ = now;
+  runs_[run_id_] = RunInfo{workflow_name, now};
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kWorkflowStart;
   ev.run_id = run_id_;
@@ -148,23 +147,28 @@ std::string ProvenanceManager::BeginWorkflow(const std::string& workflow_name,
   return run_id_;
 }
 
-void ProvenanceManager::EndWorkflow(double now, bool success) {
+void ProvenanceManager::EndWorkflow(const std::string& run_id, double now,
+                                    bool success) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kWorkflowEnd;
-  ev.run_id = run_id_;
+  ev.run_id = run_id;
   ev.timestamp = now;
-  ev.workflow_name = workflow_name_;
-  ev.total_runtime = now - run_started_;
+  auto it = runs_.find(run_id);
+  if (it != runs_.end()) {
+    ev.workflow_name = it->second.workflow_name;
+    ev.total_runtime = now - it->second.started;
+  }
   ev.success = success;
   store_->Append(ev);
 }
 
-void ProvenanceManager::RecordTaskStart(const TaskSpec& task, int32_t node,
+void ProvenanceManager::RecordTaskStart(const std::string& run_id,
+                                        const TaskSpec& task, int32_t node,
                                         const std::string& node_name,
                                         double now) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kTaskStart;
-  ev.run_id = run_id_;
+  ev.run_id = run_id;
   ev.timestamp = now;
   ev.task_id = task.id;
   ev.signature = task.signature;
@@ -175,11 +179,12 @@ void ProvenanceManager::RecordTaskStart(const TaskSpec& task, int32_t node,
   store_->Append(ev);
 }
 
-void ProvenanceManager::RecordTaskEnd(const TaskResult& result,
+void ProvenanceManager::RecordTaskEnd(const std::string& run_id,
+                                      const TaskResult& result,
                                       const std::string& node_name) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kTaskEnd;
-  ev.run_id = run_id_;
+  ev.run_id = run_id;
   ev.timestamp = result.finished_at;
   ev.task_id = result.id;
   ev.signature = result.signature;
@@ -191,13 +196,14 @@ void ProvenanceManager::RecordTaskEnd(const TaskResult& result,
   store_->Append(ev);
 }
 
-void ProvenanceManager::RecordFileStageIn(TaskId task, const std::string& path,
+void ProvenanceManager::RecordFileStageIn(const std::string& run_id,
+                                          TaskId task, const std::string& path,
                                           int64_t size_bytes,
                                           double transfer_seconds,
                                           double now) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kFileStageIn;
-  ev.run_id = run_id_;
+  ev.run_id = run_id;
   ev.timestamp = now;
   ev.task_id = task;
   ev.file_path = path;
@@ -206,20 +212,51 @@ void ProvenanceManager::RecordFileStageIn(TaskId task, const std::string& path,
   store_->Append(ev);
 }
 
-void ProvenanceManager::RecordFileStageOut(TaskId task,
+void ProvenanceManager::RecordFileStageOut(const std::string& run_id,
+                                           TaskId task,
                                            const std::string& path,
                                            int64_t size_bytes,
                                            double transfer_seconds,
                                            double now) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kFileStageOut;
-  ev.run_id = run_id_;
+  ev.run_id = run_id;
   ev.timestamp = now;
   ev.task_id = task;
   ev.file_path = path;
   ev.size_bytes = size_bytes;
   ev.transfer_seconds = transfer_seconds;
   store_->Append(ev);
+}
+
+void ProvenanceManager::EndWorkflow(double now, bool success) {
+  EndWorkflow(run_id_, now, success);
+}
+
+void ProvenanceManager::RecordTaskStart(const TaskSpec& task, int32_t node,
+                                        const std::string& node_name,
+                                        double now) {
+  RecordTaskStart(run_id_, task, node, node_name, now);
+}
+
+void ProvenanceManager::RecordTaskEnd(const TaskResult& result,
+                                      const std::string& node_name) {
+  RecordTaskEnd(run_id_, result, node_name);
+}
+
+void ProvenanceManager::RecordFileStageIn(TaskId task, const std::string& path,
+                                          int64_t size_bytes,
+                                          double transfer_seconds,
+                                          double now) {
+  RecordFileStageIn(run_id_, task, path, size_bytes, transfer_seconds, now);
+}
+
+void ProvenanceManager::RecordFileStageOut(TaskId task,
+                                           const std::string& path,
+                                           int64_t size_bytes,
+                                           double transfer_seconds,
+                                           double now) {
+  RecordFileStageOut(run_id_, task, path, size_bytes, transfer_seconds, now);
 }
 
 Result<double> ProvenanceManager::LatestRuntime(const std::string& signature,

@@ -106,10 +106,30 @@ class ProvenanceManager {
   /// Does not take ownership of `store`.
   explicit ProvenanceManager(ProvenanceStore* store) : store_(store) {}
 
-  /// Starts a new run; returns its id.
+  /// Starts a new run; returns its id. Run ids are unique per manager
+  /// for the manager's lifetime (a counter, never reused), so several
+  /// concurrent AMs — and successive failover attempts of one workflow —
+  /// can record interleaved without clobbering each other as long as
+  /// they use the explicit-run-id overloads below.
   std::string BeginWorkflow(const std::string& workflow_name, double now);
-  void EndWorkflow(double now, bool success);
 
+  /// Explicit-run-id recording (concurrency-safe: per-run state is keyed
+  /// by the id, not by "the current run").
+  void EndWorkflow(const std::string& run_id, double now, bool success);
+  void RecordTaskStart(const std::string& run_id, const TaskSpec& task,
+                       int32_t node, const std::string& node_name, double now);
+  void RecordTaskEnd(const std::string& run_id, const TaskResult& result,
+                     const std::string& node_name);
+  void RecordFileStageIn(const std::string& run_id, TaskId task,
+                         const std::string& path, int64_t size_bytes,
+                         double transfer_seconds, double now);
+  void RecordFileStageOut(const std::string& run_id, TaskId task,
+                          const std::string& path, int64_t size_bytes,
+                          double transfer_seconds, double now);
+
+  /// Legacy single-run convenience: records against the most recently
+  /// begun run. Only safe when one workflow runs at a time.
+  void EndWorkflow(double now, bool success);
   void RecordTaskStart(const TaskSpec& task, int32_t node,
                        const std::string& node_name, double now);
   void RecordTaskEnd(const TaskResult& result, const std::string& node_name);
@@ -133,10 +153,14 @@ class ProvenanceManager {
   const std::string& current_run_id() const { return run_id_; }
 
  private:
+  struct RunInfo {
+    std::string workflow_name;
+    double started = 0.0;
+  };
+
   ProvenanceStore* store_;
   std::string run_id_;
-  std::string workflow_name_;
-  double run_started_ = 0.0;
+  std::map<std::string, RunInfo> runs_;
   int64_t run_counter_ = 0;
 };
 

@@ -155,6 +155,12 @@ void Dfs::ReadToNode(const std::string& path, NodeId node,
         0.0, [done = std::move(done), st] { done(st); });
     return;
   }
+  if (read_fault_hook_ && read_fault_hook_(path, node)) {
+    Status st = Status::Unavailable("transient DFS read error: " + path);
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), st] { done(st); });
+    return;
+  }
   const DfsFileInfo& info = it->second;
   // Zero-byte files (and metadata-only sentinels) complete immediately.
   if (info.size_bytes == 0) {

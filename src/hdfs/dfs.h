@@ -127,6 +127,14 @@ class Dfs {
   /// from surviving replicas (metadata-level; instantaneous, counted).
   void ReReplicate();
 
+  /// Fault-injection hook consulted once per ReadToNode of an existing
+  /// file. Returning true fails that read with Unavailable — a transient
+  /// error; a retried attempt may succeed. nullptr disables the hook.
+  void SetReadFaultHook(
+      std::function<bool(const std::string& path, NodeId node)> hook) {
+    read_fault_hook_ = std::move(hook);
+  }
+
   const DfsCounters& counters() const { return counters_; }
   const DfsOptions& options() const { return options_; }
   Cluster* cluster() const { return cluster_; }
@@ -147,6 +155,7 @@ class Dfs {
   Rng rng_;
   std::map<std::string, DfsFileInfo> files_;
   std::set<NodeId> dead_nodes_;
+  std::function<bool(const std::string&, NodeId)> read_fault_hook_;
 };
 
 }  // namespace hiway

@@ -8,14 +8,16 @@
 namespace hiway {
 
 Result<std::unique_ptr<TraceSource>> TraceSource::Parse(
-    std::string_view trace_text, const std::string& run_id) {
+    std::string_view trace_text, const std::string& run_id,
+    bool allow_incomplete) {
   HIWAY_ASSIGN_OR_RETURN(std::vector<ProvenanceEvent> events,
                          ParseTrace(trace_text));
-  return FromEvents(events, run_id);
+  return FromEvents(events, run_id, allow_incomplete);
 }
 
 Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
-    const std::vector<ProvenanceEvent>& events, const std::string& run_id) {
+    const std::vector<ProvenanceEvent>& events, const std::string& run_id,
+    bool allow_incomplete) {
   // Choose the run to replay.
   std::string selected = run_id;
   if (selected.empty()) {
@@ -88,11 +90,13 @@ Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
   std::map<std::string, int64_t> consumed_sizes;
   for (auto& [id, r] : by_task) {
     if (!r.has_start) {
+      if (allow_incomplete) continue;  // crash prefix: drop the fragment
       return Status::ParseError(StrFormat(
           "trace has events for task %lld but no task-start record",
           static_cast<long long>(id)));
     }
     if (!r.succeeded) {
+      if (allow_incomplete) continue;  // crash prefix: task was in flight
       return Status::InvalidArgument(StrFormat(
           "task %lld never succeeded in the recorded run; the trace is "
           "not re-executable",
@@ -116,6 +120,12 @@ Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
       consumed_sizes[in] = r.staged_inputs[in];
     }
     source->tasks_.push_back(r.spec);
+  }
+
+  if (source->tasks_.empty()) {
+    return Status::InvalidArgument(
+        "run '" + selected +
+        "' has no completed tasks; nothing to replay from the prefix");
   }
 
   // Required inputs: consumed but never produced in this run.

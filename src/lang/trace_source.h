@@ -20,14 +20,20 @@ namespace hiway {
 class TraceSource : public WorkflowSource {
  public:
   /// Reconstructs a workflow from a JSON-lines trace. When `run_id` is
-  /// empty the first recorded run in the trace is replayed.
+  /// empty the first recorded run in the trace is replayed. By default
+  /// every recorded task must have completed successfully; with
+  /// `allow_incomplete` the trace may be a crash prefix — tasks that
+  /// never started or never succeeded are dropped and the remaining
+  /// completed prefix is replayed (AM-failover traces are exactly such
+  /// prefixes; see docs/failure-model.md).
   static Result<std::unique_ptr<TraceSource>> Parse(
-      std::string_view trace_text, const std::string& run_id = "");
+      std::string_view trace_text, const std::string& run_id = "",
+      bool allow_incomplete = false);
 
   /// Same, from already-parsed events.
   static Result<std::unique_ptr<TraceSource>> FromEvents(
       const std::vector<ProvenanceEvent>& events,
-      const std::string& run_id = "");
+      const std::string& run_id = "", bool allow_incomplete = false);
 
   std::string name() const override { return name_; }
   bool IsStatic() const override { return true; }

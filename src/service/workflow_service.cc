@@ -1,8 +1,11 @@
 #include "src/service/workflow_service.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/sim/fault_injector.h"
 #include "src/yarn/rm_scheduler.h"
 
 namespace hiway {
@@ -11,6 +14,7 @@ const char* ToString(SubmissionState state) {
   switch (state) {
     case SubmissionState::kQueued: return "queued";
     case SubmissionState::kRunning: return "running";
+    case SubmissionState::kRecovering: return "recovering";
     case SubmissionState::kSucceeded: return "succeeded";
     case SubmissionState::kFailed: return "failed";
     case SubmissionState::kExpired: return "expired";
@@ -48,12 +52,24 @@ Result<std::unique_ptr<WorkflowService>> WorkflowService::Create(
     service->counters_[q.rm.name];
   }
   deployment->rm->SetRmScheduler(std::move(rm_scheduler));
+  // AM failover: the RM tells the service whenever it declares an
+  // application failed (node loss under the AM, heartbeat timeout,
+  // injected kill) so a replacement attempt can be launched.
+  WorkflowService* svc = service.get();
+  deployment->rm->SetAppFailureListener(
+      [svc](ApplicationId app, const std::string& /*name*/,
+            const std::string& reason) { svc->OnAppFailure(app, reason); });
   return service;
 }
 
 WorkflowService::WorkflowService(Deployment* deployment,
                                  WorkflowServiceOptions options)
     : deployment_(deployment), options_(std::move(options)) {}
+
+WorkflowService::~WorkflowService() {
+  // The RM's failure listener captures `this`.
+  deployment_->rm->SetAppFailureListener(nullptr);
+}
 
 uint64_t WorkflowService::SeedFor(SubmissionId id) const {
   // SplitMix64 step over (base_seed, id): deterministic replay without
@@ -128,6 +144,13 @@ Result<SubmissionId> WorkflowService::SubmitStaged(
   HiWayClient client(deployment_);
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
                          client.MakeSource(it->second));
+  if (!options.source_factory) {
+    // Staged workflows are rebuildable from their recipe, which makes
+    // them recoverable after an AM failure.
+    options.source_factory = [dep = deployment_, staged = it->second] {
+      return HiWayClient(dep).MakeSource(staged);
+    };
+  }
   return Submit(staged_name, std::move(source), std::move(options));
 }
 
@@ -189,7 +212,11 @@ bool WorkflowService::TryStart(SubmissionId id) {
   rec.started_at = deployment_->engine.Now();
   ++running_[rec.queue];
   Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());
-  if (st.ok()) return true;
+  if (st.ok()) {
+    rec.am_attempts = 1;
+    if (!rec.Terminal()) app_of_[sub.am->app()] = id;
+    return true;
+  }
   if (records_[id].Terminal()) {
     // The AM registered, then failed (e.g. the workflow does not parse);
     // the finish listener already recorded the outcome.
@@ -220,6 +247,9 @@ bool WorkflowService::TryStart(SubmissionId id) {
 void WorkflowService::OnFinished(SubmissionId id,
                                  const WorkflowReport& report) {
   SubmissionRecord& rec = records_[id];
+  if (auto it = subs_.find(id); it != subs_.end() && it->second.am) {
+    app_of_.erase(it->second.am->app());
+  }
   rec.state = report.status.ok() ? SubmissionState::kSucceeded
                                  : SubmissionState::kFailed;
   rec.report = report;
@@ -259,6 +289,237 @@ void WorkflowService::OnDeadline(SubmissionId id) {
       "s in the admission queue");
   rec.report.workflow_name = rec.name;
   ++counters_[rec.queue].expired;
+}
+
+void WorkflowService::OnAppFailure(ApplicationId app,
+                                   const std::string& reason) {
+  auto map_it = app_of_.find(app);
+  if (map_it == app_of_.end()) return;  // not a service-run AM
+  SubmissionId id = map_it->second;
+  app_of_.erase(map_it);
+  SubmissionRecord& rec = records_[id];
+  Submission& sub = subs_[id];
+  if (rec.Terminal() || sub.am == nullptr) return;
+
+  // The master process is dead: silence the object (its pending engine
+  // events and executor completions become no-ops) and remember what the
+  // attempt accomplished before retiring it.
+  sub.am->Crash();
+  const WorkflowReport& partial = sub.am->report();
+  if (!partial.run_id.empty()) sub.run_ids.push_back(partial.run_id);
+  rec.completed_at_last_failure = partial.tasks_completed;
+  ++rec.am_failures;
+  sub.failed_at = deployment_->engine.Now();
+  retired_.push_back(RetiredAttempt{std::move(sub.source),
+                                    std::move(sub.scheduler),
+                                    std::move(sub.am)});
+
+  if (!sub.options.source_factory) {
+    FailRecovering(id, Status::RuntimeError(StrFormat(
+                           "AM attempt %d failed (%s); submission has no "
+                           "source factory and is not recoverable",
+                           rec.am_attempts, reason.c_str())));
+    return;
+  }
+  if (options_.am_retry.Exhausted(rec.am_attempts)) {
+    FailRecovering(id, Status::RuntimeError(StrFormat(
+                           "AM attempt %d failed (%s); attempts exhausted",
+                           rec.am_attempts, reason.c_str())));
+    return;
+  }
+  rec.state = SubmissionState::kRecovering;
+  double delay = options_.am_retry.BackoffBefore(rec.am_attempts + 1);
+  deployment_->engine.ScheduleAfter(delay, [this, id] { TryRecover(id); });
+}
+
+void WorkflowService::TryRecover(SubmissionId id) {
+  auto rec_it = records_.find(id);
+  if (rec_it == records_.end()) return;
+  SubmissionRecord& rec = rec_it->second;
+  if (rec.state != SubmissionState::kRecovering) return;
+  Submission& sub = subs_[id];
+
+  auto source = sub.options.source_factory();
+  if (!source.ok()) {
+    FailRecovering(id, source.status().WithContext(
+                           "rebuilding the source for AM failover"));
+    return;
+  }
+  auto scheduler = MakeScheduler(rec.policy, deployment_->dfs.get(),
+                                 &deployment_->estimator);
+  if (!scheduler.ok()) {
+    FailRecovering(id, scheduler.status());
+    return;
+  }
+  sub.source = std::move(*source);
+  sub.scheduler = std::move(*scheduler);
+
+  HiWayOptions hiway = sub.options.hiway;
+  hiway.seed = SeedFor(id);
+  hiway.rm_queue = rec.queue;
+  hiway.am_attempt = rec.am_attempts + 1;
+  sub.am = std::make_unique<HiWayAm>(
+      deployment_->cluster.get(), deployment_->rm.get(),
+      deployment_->dfs.get(), &deployment_->tools,
+      deployment_->provenance.get(), &deployment_->estimator, hiway);
+  sub.am->set_finish_listener(
+      [this, id](const WorkflowReport& report) { OnFinished(id, report); });
+
+  // Provenance replay: the new attempt memoises every task the prior
+  // attempts completed (when its recorded outputs survive in DFS).
+  std::set<std::string> runs(sub.run_ids.begin(), sub.run_ids.end());
+  std::vector<ProvenanceEvent> trace;
+  for (const ProvenanceEvent& e :
+       deployment_->provenance->store()->Events()) {
+    if (runs.count(e.run_id) > 0) trace.push_back(e);
+  }
+  sub.am->SetRecoveryTrace(trace);
+
+  double failed_at = sub.failed_at;
+  Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());
+  if (st.ok()) {
+    ++rec.am_attempts;
+    sub.placement_retries = 0;
+    rec.recovery_latency_s.push_back(deployment_->engine.Now() - failed_at);
+    // A fully-memoised recovery can finish inside Submit(); only a
+    // still-running attempt keeps the running state and app mapping.
+    if (!rec.Terminal()) {
+      rec.state = SubmissionState::kRunning;
+      app_of_[sub.am->app()] = id;
+    }
+    return;
+  }
+  if (rec.Terminal()) {
+    // Registered, then failed; the finish listener recorded the outcome.
+    return;
+  }
+  if (st.IsResourceExhausted()) {
+    // AM container placement failed (capacity shrank with the dead
+    // node). The AM never registered and owns no engine events, so it is
+    // safe to discard. Retry once another AM frees capacity — if no
+    // other AM is running, nothing ever will, so fail now.
+    sub.am.reset();
+    sub.scheduler.reset();
+    sub.source.reset();
+    bool any_running_am = false;
+    for (const auto& [other_id, other_rec] : records_) {
+      if (other_id != id && other_rec.state == SubmissionState::kRunning) {
+        any_running_am = true;
+        break;
+      }
+    }
+    if (!any_running_am) {
+      FailRecovering(id,
+                     Status::ResourceExhausted(
+                         "no node can host the replacement AM container of '" +
+                         rec.name + "'"));
+      return;
+    }
+    ++sub.placement_retries;
+    deployment_->engine.ScheduleAfter(options_.start_retry_s,
+                                      [this, id] { TryRecover(id); });
+    return;
+  }
+  FailRecovering(id, st);
+}
+
+void WorkflowService::FailRecovering(SubmissionId id, Status status) {
+  SubmissionRecord& rec = records_[id];
+  rec.state = SubmissionState::kFailed;
+  rec.finished_at = deployment_->engine.Now();
+  rec.report.status = std::move(status);
+  rec.report.workflow_name = rec.name;
+  rec.report.am_attempt = rec.am_attempts;
+  --running_[rec.queue];
+  ++counters_[rec.queue].failed;
+  if (!reap_scheduled_) {
+    reap_scheduled_ = true;
+    deployment_->engine.ScheduleAfter(0.0, [this] {
+      reap_scheduled_ = false;
+      Reap();
+      Pump();
+    });
+  }
+}
+
+Result<NodeId> WorkflowService::AmNode(SubmissionId id) const {
+  auto it = subs_.find(id);
+  if (it == subs_.end() || it->second.am == nullptr ||
+      it->second.am->crashed() || it->second.am->finished()) {
+    return Status::NotFound("submission " + std::to_string(id) +
+                            " has no live AM");
+  }
+  return deployment_->rm->AmNode(it->second.am->app());
+}
+
+Status WorkflowService::InjectAmCrash(SubmissionId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end() || it->second.am == nullptr ||
+      it->second.am->crashed() || it->second.am->finished()) {
+    return Status::NotFound("submission " + std::to_string(id) +
+                            " has no live AM");
+  }
+  // The process dies silently; the RM's heartbeat timeout notices and
+  // drives the failover path.
+  it->second.am->Crash();
+  return Status::OK();
+}
+
+void WorkflowService::InstallFaultHandlers(FaultInjector* injector) {
+  Deployment* dep = deployment_;
+  FaultHandlers h;
+  h.list_nodes = [dep] {
+    std::vector<NodeId> nodes;
+    for (NodeId n = 0; n < dep->cluster->num_nodes(); ++n) {
+      if (dep->rm->IsNodeAlive(n)) nodes.push_back(n);
+    }
+    return nodes;
+  };
+  h.kill_node = [dep](NodeId node) {
+    // NodeManager and DataNode die together; re-replication restores the
+    // redundancy of surviving blocks (including recorded task outputs the
+    // failover memoiser will want to read).
+    dep->rm->KillNode(node);
+    dep->dfs->KillNode(node);
+    dep->dfs->ReReplicate();
+  };
+  h.list_am_nodes = [this] {
+    std::vector<NodeId> nodes;
+    for (const auto& [id, rec] : records_) {
+      if (rec.state != SubmissionState::kRunning) continue;
+      auto node = AmNode(id);
+      if (node.ok()) nodes.push_back(*node);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    return nodes;
+  };
+  h.am_node_of = [this](int64_t id) {
+    auto node = AmNode(id);
+    return node.ok() ? *node : kInvalidNode;
+  };
+  h.list_submissions = [this] {
+    std::vector<int64_t> running;
+    for (const auto& [id, rec] : records_) {
+      if (rec.state == SubmissionState::kRunning) running.push_back(id);
+    }
+    return running;
+  };
+  h.crash_am = [this](int64_t id) { (void)InjectAmCrash(id); };
+  h.list_containers = [dep] {
+    std::vector<int64_t> ids;
+    for (const Container& c : dep->rm->RunningContainers()) {
+      if (!c.is_am) ids.push_back(c.id);
+    }
+    return ids;
+  };
+  h.fail_container = [dep](int64_t id) { dep->rm->KillContainer(id); };
+  h.active = [this] { return !Idle(); };
+  injector->SetHandlers(std::move(h));
+  // Transient-read faults (hdfs-error clauses) flow through the DFS hook.
+  dep->dfs->SetReadFaultHook([injector](const std::string& path, NodeId node) {
+    return injector->ShouldFailRead(path, node);
+  });
 }
 
 void WorkflowService::Reap() {

@@ -23,16 +23,20 @@
 #define HIWAY_SERVICE_WORKFLOW_SERVICE_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/retry_policy.h"
 #include "src/core/client.h"
 #include "src/core/hiway_am.h"
 #include "src/infra/karamel.h"
 
 namespace hiway {
+
+class FaultInjector;
 
 using SubmissionId = int64_t;
 
@@ -60,14 +64,22 @@ struct WorkflowServiceOptions {
   /// Delay before re-trying a submission whose AM container could not be
   /// placed (cluster momentarily full).
   double start_retry_s = 5.0;
+  /// AM failover policy: when the RM declares a submission's AM failed
+  /// (node loss, heartbeat timeout, injected crash), the service launches
+  /// a fresh AM attempt — up to max_attempts total, with exponential
+  /// backoff between attempts — that recovers from the submission's
+  /// provenance trace (completed tasks are memoised, not re-executed).
+  /// Only submissions with a source_factory are recoverable.
+  RetryPolicy am_retry{.max_attempts = 3, .backoff_base_s = 2.0};
 };
 
 enum class SubmissionState {
-  kQueued,     // admitted, waiting for a concurrency slot
-  kRunning,    // AM is live
-  kSucceeded,  // terminal: workflow completed
-  kFailed,     // terminal: workflow or launch failed
-  kExpired,    // terminal: deadline passed while still queued
+  kQueued,      // admitted, waiting for a concurrency slot
+  kRunning,     // AM is live
+  kRecovering,  // AM died; a failover attempt is pending (non-terminal)
+  kSucceeded,   // terminal: workflow completed
+  kFailed,      // terminal: workflow or launch failed
+  kExpired,     // terminal: deadline passed while still queued
 };
 
 const char* ToString(SubmissionState state);
@@ -82,6 +94,11 @@ struct SubmissionOptions {
   /// Container sizing etc. The seed is always overridden by the service
   /// (see WorkflowServiceOptions::base_seed); rm_queue by `queue`.
   HiWayOptions hiway;
+  /// Builds a fresh WorkflowSource for an AM failover attempt (a source
+  /// consumed by a crashed attempt cannot be reused — iterative sources
+  /// carry state). SubmitStaged() installs one automatically; without a
+  /// factory an AM failure is terminal for the submission.
+  std::function<Result<std::unique_ptr<WorkflowSource>>()> source_factory;
 };
 
 struct SubmissionRecord {
@@ -96,6 +113,17 @@ struct SubmissionRecord {
   double deadline_s = 0.0;
   /// Finished after its deadline (deadlines never kill running AMs).
   bool deadline_missed = false;
+  /// AM attempts launched so far (1 after the first start).
+  int am_attempts = 0;
+  /// AM failures the RM reported for this submission.
+  int am_failures = 0;
+  /// Per-failover recovery latency: AM declared dead -> replacement AM
+  /// registered (includes the retry backoff).
+  std::vector<double> recovery_latency_s;
+  /// Tasks the dead attempt had completed when it failed (re-execution
+  /// waste accounting: completed_at_last_failure - tasks_memoised of the
+  /// final report = work redone).
+  int completed_at_last_failure = 0;
   /// Valid once the state is kSucceeded or kFailed.
   WorkflowReport report;
 
@@ -130,6 +158,8 @@ class WorkflowService {
   static Result<std::unique_ptr<WorkflowService>> Create(
       Deployment* deployment, WorkflowServiceOptions options);
 
+  ~WorkflowService();
+
   /// Admits a workflow for execution, or rejects it (ResourceExhausted)
   /// when the target queue's backlog is full; unknown queues are
   /// InvalidArgument. Takes ownership of the source.
@@ -144,6 +174,21 @@ class WorkflowService {
 
   /// Drives the engine until every submission is terminal.
   Status RunToCompletion();
+
+  /// Node currently hosting the submission's AM container (fault
+  /// injection: pick the node to kill). NotFound while not running.
+  Result<NodeId> AmNode(SubmissionId id) const;
+
+  /// Simulates the AM process of a running submission crashing (the node
+  /// stays healthy); the RM's heartbeat timeout detects the death and
+  /// the failover path takes over.
+  Status InjectAmCrash(SubmissionId id);
+
+  /// Wires a FaultInjector's handlers to this service's deployment:
+  /// node kills hit the RM and the DFS (followed by re-replication),
+  /// am-crash targets running submissions, fail-container targets
+  /// running task (non-AM) containers. Call once after Create().
+  void InstallFaultHandlers(FaultInjector* injector);
 
   bool Idle() const;
   int running_ams() const;
@@ -165,6 +210,22 @@ class WorkflowService {
     std::unique_ptr<WorkflowScheduler> scheduler;
     std::unique_ptr<HiWayAm> am;
     SubmissionOptions options;
+    /// Provenance run ids of every AM attempt so far (dead attempts'
+    /// runs feed the next attempt's recovery trace).
+    std::vector<std::string> run_ids;
+    /// When the RM declared the current attempt's AM dead.
+    double failed_at = -1.0;
+    /// Consecutive AM-container placement failures during recovery.
+    int placement_retries = 0;
+  };
+
+  /// A crashed attempt's objects. Kept until service destruction: the
+  /// engine may still hold events capturing the dead AM (all guarded by
+  /// its crashed_ flag), so freeing it early would be use-after-free.
+  struct RetiredAttempt {
+    std::unique_ptr<WorkflowSource> source;
+    std::unique_ptr<WorkflowScheduler> scheduler;
+    std::unique_ptr<HiWayAm> am;
   };
 
   WorkflowService(Deployment* deployment, WorkflowServiceOptions options);
@@ -176,6 +237,14 @@ class WorkflowService {
   bool TryStart(SubmissionId id);
   void OnFinished(SubmissionId id, const WorkflowReport& report);
   void OnDeadline(SubmissionId id);
+  /// RM app-failure listener: retires the dead attempt and either
+  /// schedules a failover attempt or fails the submission terminally.
+  void OnAppFailure(ApplicationId app, const std::string& reason);
+  /// Launches the next AM attempt of a recovering submission, seeding it
+  /// with the provenance trace of all prior attempts.
+  void TryRecover(SubmissionId id);
+  /// Terminal failure of a recovering submission.
+  void FailRecovering(SubmissionId id, Status status);
   /// Destroys AMs of terminal submissions (deferred, never from inside
   /// AM code).
   void Reap();
@@ -189,6 +258,10 @@ class WorkflowService {
   std::map<std::string, ServiceQueueCounters> counters_;
   std::map<SubmissionId, SubmissionRecord> records_;
   std::map<SubmissionId, Submission> subs_;
+  /// Live AM application -> submission (app-failure attribution).
+  std::map<ApplicationId, SubmissionId> app_of_;
+  /// Graveyard of crashed attempts (see RetiredAttempt).
+  std::vector<RetiredAttempt> retired_;
   SubmissionId next_id_ = 1;
   bool retry_scheduled_ = false;
   bool reap_scheduled_ = false;

@@ -1,0 +1,243 @@
+#include "src/sim/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/sim/engine.h"
+
+namespace hiway {
+namespace {
+
+Result<FaultType> FaultTypeFromString(std::string_view token) {
+  if (token == "kill-node") return FaultType::kKillNode;
+  if (token == "kill-am-node") return FaultType::kKillAmNode;
+  if (token == "am-crash") return FaultType::kAmCrash;
+  if (token == "fail-container") return FaultType::kFailContainer;
+  if (token == "hdfs-error") return FaultType::kHdfsError;
+  return Status::InvalidArgument(
+      StrFormat("unknown fault type '%.*s' (expected kill-node, "
+                "kill-am-node, am-crash, fail-container, or hdfs-error)",
+                static_cast<int>(token.size()), token.data()));
+}
+
+Result<FaultSpec> ParseClause(std::string_view clause) {
+  FaultSpec spec;
+  std::vector<std::string> parts = StrSplit(clause, ':');
+  std::string_view head = StrTrim(parts[0]);
+  std::string_view type_token = head;
+  if (size_t at_pos = head.find('@'); at_pos != std::string_view::npos) {
+    type_token = StrTrim(head.substr(0, at_pos));
+    auto at = ParseDouble(StrTrim(head.substr(at_pos + 1)));
+    if (!at.ok()) {
+      return at.status().WithContext(
+          StrFormat("bad @time in fault clause '%.*s'",
+                    static_cast<int>(clause.size()), clause.data()));
+    }
+    spec.at = *at;
+  }
+  auto type = FaultTypeFromString(type_token);
+  if (!type.ok()) return type.status();
+  spec.type = *type;
+
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::string_view kv = StrTrim(parts[i]);
+    size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("fault param '%.*s' is not key=value",
+                    static_cast<int>(kv.size()), kv.data()));
+    }
+    std::string_view key = StrTrim(kv.substr(0, eq));
+    std::string_view value = StrTrim(kv.substr(eq + 1));
+    auto number = ParseDouble(value);
+    if (!number.ok()) {
+      return number.status().WithContext(
+          StrFormat("bad value for fault param '%.*s'",
+                    static_cast<int>(key.size()), key.data()));
+    }
+    if (key == "at") {
+      spec.at = *number;
+    } else if (key == "rate") {
+      spec.rate = *number;
+    } else if (key == "every") {
+      spec.every = *number;
+    } else if (key == "until") {
+      spec.until = *number;
+    } else if (key == "node") {
+      spec.node = static_cast<NodeId>(*number);
+    } else if (key == "sub") {
+      spec.submission = static_cast<int64_t>(*number);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown fault param '%.*s' (expected at, node, sub, "
+                    "rate, every, or until)",
+                    static_cast<int>(key.size()), key.data()));
+    }
+  }
+
+  if (spec.type == FaultType::kHdfsError) {
+    if (spec.rate <= 0.0) {
+      return Status::InvalidArgument(
+          "hdfs-error requires rate=<probability per read>");
+    }
+  } else if (spec.at < 0.0 && spec.rate <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("fault clause '%s' needs @time/at= (one-shot) or rate= "
+                  "(recurring)",
+                  ToString(spec.type)));
+  }
+  if (spec.rate > 0.0 && spec.every <= 0.0) {
+    return Status::InvalidArgument("fault param every= must be > 0");
+  }
+  return spec;
+}
+
+}  // namespace
+
+const char* ToString(FaultType type) {
+  switch (type) {
+    case FaultType::kKillNode:
+      return "kill-node";
+    case FaultType::kKillAmNode:
+      return "kill-am-node";
+    case FaultType::kAmCrash:
+      return "am-crash";
+    case FaultType::kFailContainer:
+      return "fail-container";
+    case FaultType::kHdfsError:
+      return "hdfs-error";
+  }
+  return "unknown";
+}
+
+Result<std::vector<FaultSpec>> ParseFaultSpecs(std::string_view text) {
+  std::vector<FaultSpec> specs;
+  for (const std::string& clause : StrSplit(text, ',')) {
+    if (StrTrim(clause).empty()) continue;
+    auto spec = ParseClause(clause);
+    if (!spec.ok()) return spec.status();
+    specs.push_back(*spec);
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  return specs;
+}
+
+FaultInjector::FaultInjector(SimEngine* engine, uint64_t seed)
+    : engine_(engine), rng_(seed) {}
+
+Status FaultInjector::Arm(std::vector<FaultSpec> specs) {
+  for (const FaultSpec& spec : specs) {
+    armed_.push_back(spec);
+    if (spec.type == FaultType::kHdfsError) {
+      read_fault_specs_.push_back(spec);
+      continue;
+    }
+    if (spec.at >= 0.0) {
+      engine_->ScheduleAt(spec.at, [this, spec] { Fire(spec); });
+    }
+    if (spec.rate > 0.0) {
+      Recur(spec, /*seen_activity=*/false);
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::ArmSpec(std::string_view text) {
+  auto specs = ParseFaultSpecs(text);
+  if (!specs.ok()) return specs.status();
+  return Arm(*std::move(specs));
+}
+
+bool FaultInjector::ShouldFailRead(const std::string& path, NodeId node) {
+  (void)path;
+  (void)node;
+  double now = engine_->Now();
+  for (const FaultSpec& spec : read_fault_specs_) {
+    if (spec.at >= 0.0 && now < spec.at) continue;
+    if (spec.until >= 0.0 && now > spec.until) continue;
+    if (rng_.NextDouble() < spec.rate) {
+      ++counters_.read_faults;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::Fire(const FaultSpec& spec) {
+  switch (spec.type) {
+    case FaultType::kKillNode: {
+      if (!handlers_.kill_node) return;
+      NodeId target = spec.node;
+      if (target == kInvalidNode) {
+        if (!handlers_.list_nodes) return;
+        std::vector<NodeId> nodes = handlers_.list_nodes();
+        if (nodes.empty()) return;
+        target = nodes[rng_.UniformInt(nodes.size())];
+      }
+      handlers_.kill_node(target);
+      ++counters_.node_kills;
+      return;
+    }
+    case FaultType::kKillAmNode: {
+      if (!handlers_.kill_node) return;
+      NodeId target = kInvalidNode;
+      if (spec.submission >= 0) {
+        if (!handlers_.am_node_of) return;
+        target = handlers_.am_node_of(spec.submission);
+      } else {
+        if (!handlers_.list_am_nodes) return;
+        std::vector<NodeId> nodes = handlers_.list_am_nodes();
+        if (nodes.empty()) return;
+        target = nodes[rng_.UniformInt(nodes.size())];
+      }
+      if (target == kInvalidNode) return;
+      handlers_.kill_node(target);
+      ++counters_.node_kills;
+      return;
+    }
+    case FaultType::kAmCrash: {
+      if (!handlers_.crash_am) return;
+      int64_t target = spec.submission;
+      if (target < 0) {
+        if (!handlers_.list_submissions) return;
+        std::vector<int64_t> subs = handlers_.list_submissions();
+        if (subs.empty()) return;
+        target = subs[rng_.UniformInt(subs.size())];
+      }
+      handlers_.crash_am(target);
+      ++counters_.am_crashes;
+      return;
+    }
+    case FaultType::kFailContainer: {
+      if (!handlers_.fail_container || !handlers_.list_containers) return;
+      std::vector<int64_t> containers = handlers_.list_containers();
+      if (containers.empty()) return;
+      handlers_.fail_container(containers[rng_.UniformInt(containers.size())]);
+      ++counters_.container_kills;
+      return;
+    }
+    case FaultType::kHdfsError:
+      return;  // consulted per-read via ShouldFailRead, never fired
+  }
+}
+
+void FaultInjector::Recur(FaultSpec spec, bool seen_activity) {
+  engine_->ScheduleAfter(spec.every, [this, spec, seen_activity] {
+    if (spec.until >= 0.0 && engine_->Now() > spec.until) return;
+    bool active = handlers_.active ? handlers_.active() : true;
+    if (!active) {
+      // Quiesced after having run: the workload is done, stop the chain.
+      // Not yet started: keep polling without firing.
+      if (seen_activity) return;
+      Recur(spec, /*seen_activity=*/false);
+      return;
+    }
+    if (spec.rate >= 1.0 || rng_.NextDouble() < spec.rate) Fire(spec);
+    Recur(spec, /*seen_activity=*/true);
+  });
+}
+
+}  // namespace hiway

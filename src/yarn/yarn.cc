@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/strings.h"
 #include "src/yarn/rm_scheduler.h"
 
 namespace hiway {
+
+const char* ToString(ContainerLossReason reason) {
+  switch (reason) {
+    case ContainerLossReason::kNodeLost: return "node-lost";
+    case ContainerLossReason::kKilled: return "killed";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -151,6 +160,7 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
   ApplicationId app = next_app_++;
   app_stats_[app].queue = queue;
   Container* am = AllocateOn(app, target, am_vcores, am_memory_mb);
+  am->is_am = true;
   AppState state;
   state.name = name;
   state.callbacks = callbacks;
@@ -228,6 +238,40 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
   ScheduleAllocationPass();
 }
 
+void ResourceManager::DropContainer(const Container& c,
+                                    ContainerLossReason reason, bool notify) {
+  auto it = containers_.find(c.id);
+  if (it == containers_.end()) return;
+  NodeState& ns = nodes_[static_cast<size_t>(c.node)];
+  if (ns.alive) {
+    ns.free_vcores += c.vcores;
+    ns.free_memory_mb += c.memory_mb;
+  }
+  bool reclaim = !notify;  // losses of a dead master count as reclaims
+  if (reclaim) {
+    ++counters_.reclaimed_containers;
+  } else {
+    ++counters_.lost_containers;
+  }
+  for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
+    if (reclaim) {
+      ++s->counters.reclaimed_containers;
+    } else {
+      ++s->counters.lost_containers;
+    }
+    s->usage.vcores -= c.vcores;
+    s->usage.memory_mb -= c.memory_mb;
+  }
+  containers_.erase(c.id);
+  if (!notify) return;
+  auto app_it = apps_.find(c.app);
+  if (app_it != apps_.end() && app_it->second.callbacks != nullptr) {
+    // Synchronous delivery: by the time KillNode/KillContainer returns,
+    // every surviving AM has seen its losses and re-queued work.
+    app_it->second.callbacks->OnContainerLost(c, reason);
+  }
+}
+
 void ResourceManager::KillNode(NodeId node) {
   NodeState& ns = nodes_[static_cast<size_t>(node)];
   if (!ns.alive) return;
@@ -237,28 +281,106 @@ void ResourceManager::KillNode(NodeId node) {
   ns.free_memory_mb = 0.0;
   total_vcores_ -= cluster_->node(node).cores;
   total_memory_mb_ -= cluster_->node(node).memory_mb;
-  // Report running containers on the node as lost, each to its own AM.
+  // Applications whose AM container lived on the node die with it.
+  std::vector<ApplicationId> dead_apps;
+  for (const auto& [app, state] : apps_) {
+    auto cit = containers_.find(state.am_container);
+    if (cit != containers_.end() && cit->second.node == node) {
+      dead_apps.push_back(app);
+    }
+  }
+  for (ApplicationId app : dead_apps) {
+    FailApplication(app, StrFormat("AM node %d lost", node));
+  }
+  // Survivors' containers on the node are reported as node losses.
   std::vector<Container> lost;
-  for (auto& [id, c] : containers_) {
+  for (const auto& [id, c] : containers_) {
     if (c.node == node) lost.push_back(c);
   }
   for (const Container& c : lost) {
-    containers_.erase(c.id);
-    ++counters_.lost_containers;
-    for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
-      ++s->counters.lost_containers;
-      s->usage.vcores -= c.vcores;
-      s->usage.memory_mb -= c.memory_mb;
-    }
-    auto app_it = apps_.find(c.app);
-    if (app_it != apps_.end() && app_it->second.callbacks != nullptr) {
-      AmCallbacks* cb = app_it->second.callbacks;
-      Container copy = c;
-      cluster_->engine()->ScheduleAfter(
-          options_.nm_heartbeat_s, [cb, copy] { cb->OnContainerLost(copy); });
-    }
+    DropContainer(c, ContainerLossReason::kNodeLost, /*notify=*/true);
   }
   ScheduleAllocationPass();
+}
+
+void ResourceManager::FailApplication(ApplicationId app,
+                                      const std::string& reason) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return;
+  AccrueFairness();
+  it->second.active = false;
+  // Drop the failed application's pending requests.
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const PendingRequest& p) {
+                                if (p.app != app) return false;
+                                RemovePending(app, p.request);
+                                return true;
+                              }),
+               queue_.end());
+  // Reclaim every container the app still holds (AM and in-flight
+  // tasks). The master is presumed dead: nothing is notified.
+  std::vector<Container> owned;
+  for (const auto& [id, c] : containers_) {
+    if (c.app == app) owned.push_back(c);
+  }
+  for (const Container& c : owned) {
+    DropContainer(c, ContainerLossReason::kNodeLost, /*notify=*/false);
+  }
+  ++counters_.app_failures;
+  ++StatsOf(app).counters.app_failures;
+  ++QueueStatsOf(app).counters.app_failures;
+  std::string name = std::move(it->second.name);
+  apps_.erase(it);
+  ScheduleAllocationPass();
+  if (app_failure_listener_) app_failure_listener_(app, name, reason);
+}
+
+bool ResourceManager::KillContainer(ContainerId id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return false;
+  Container c = it->second;
+  if (c.is_am) {
+    FailApplication(c.app, "AM container killed");
+    return true;
+  }
+  AccrueFairness();
+  DropContainer(c, ContainerLossReason::kKilled, /*notify=*/true);
+  ScheduleAllocationPass();
+  return true;
+}
+
+void ResourceManager::AmHeartbeat(ApplicationId app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return;
+  it->second.last_heartbeat = cluster_->engine()->Now();
+  if (!it->second.liveness_check_scheduled &&
+      options_.am_liveness_timeout_s > 0.0) {
+    it->second.liveness_check_scheduled = true;
+    ScheduleLivenessCheck(
+        app, it->second.last_heartbeat + options_.am_liveness_timeout_s);
+  }
+}
+
+void ResourceManager::ScheduleLivenessCheck(ApplicationId app, double at) {
+  cluster_->engine()->ScheduleAt(at, [this, app] {
+    auto it = apps_.find(app);
+    if (it == apps_.end()) return;  // finished or already failed
+    double deadline =
+        it->second.last_heartbeat + options_.am_liveness_timeout_s;
+    if (cluster_->engine()->Now() + 1e-9 < deadline) {
+      ScheduleLivenessCheck(app, deadline);  // heartbeats kept coming
+      return;
+    }
+    FailApplication(app, StrFormat("AM heartbeat timeout (%.1fs)",
+                                   options_.am_liveness_timeout_s));
+  });
+}
+
+std::vector<Container> ResourceManager::RunningContainers() const {
+  std::vector<Container> out;
+  out.reserve(containers_.size());
+  for (const auto& [id, c] : containers_) out.push_back(c);
+  return out;
 }
 
 bool ResourceManager::IsNodeAlive(NodeId node) const {

@@ -45,7 +45,22 @@ struct Container {
   NodeId node = kInvalidNode;
   int vcores = 1;
   double memory_mb = 1024.0;
+  /// True for the container hosting the application's master process.
+  bool is_am = false;
 };
+
+/// Why a running container was taken away from its application (see
+/// docs/failure-model.md for the full failure taxonomy).
+enum class ContainerLossReason {
+  /// The hosting node died. AMs should NOT blacklist the node for the
+  /// retried task: the RM already stopped placing there.
+  kNodeLost,
+  /// The container process was killed (fault injection, preemption).
+  /// The node itself is healthy.
+  kKilled,
+};
+
+const char* ToString(ContainerLossReason reason);
 
 /// What an application asks the RM for.
 struct ContainerRequest {
@@ -69,8 +84,10 @@ class AmCallbacks {
   /// A previously submitted request has been satisfied.
   virtual void OnContainerAllocated(const Container& container,
                                     int64_t cookie) = 0;
-  /// A running container was lost (its node died).
-  virtual void OnContainerLost(const Container& container) = 0;
+  /// A running container was lost; `reason` says why (node death vs.
+  /// targeted kill) so the AM can decide whether blacklisting is useful.
+  virtual void OnContainerLost(const Container& container,
+                               ContainerLossReason reason) = 0;
 };
 
 /// RM-side counters for master-load accounting (Fig. 6). Kept both
@@ -80,6 +97,12 @@ struct RmCounters {
   int64_t allocations = 0;
   int64_t releases = 0;
   int64_t lost_containers = 0;
+  /// Containers reclaimed from failed applications (orphans of a dead
+  /// AM; the RM frees them without notifying the departed master).
+  int64_t reclaimed_containers = 0;
+  /// Applications the RM declared failed (AM container lost, AM
+  /// heartbeat timeout, or an injected AM kill).
+  int64_t app_failures = 0;
 };
 
 /// A (vcores, memory) pair: allocated resources or aggregate demand.
@@ -122,6 +145,10 @@ struct YarnOptions {
   double nm_heartbeat_s = 1.0;
   /// RM scheduling strategy: "fifo" (default) | "capacity" | "fair".
   std::string scheduler = "fifo";
+  /// An application that has sent at least one AmHeartbeat() and then
+  /// stays silent this long is declared failed (AM liveness tracking).
+  /// Applications that never heartbeat are not monitored.
+  double am_liveness_timeout_s = 10.0;
 };
 
 class ResourceManager {
@@ -169,9 +196,40 @@ class ResourceManager {
   /// Returns a finished container's resources to its node.
   void ReleaseContainer(ContainerId id);
 
-  /// Simulates a NodeManager crash: capacity disappears and running
-  /// containers are reported lost to their owning AMs (and only theirs).
+  /// Simulates a NodeManager crash: capacity disappears, applications
+  /// whose AM container lived on the node are failed (their surviving
+  /// containers reclaimed, the failure listener notified), and the
+  /// remaining lost containers are reported synchronously to their
+  /// owning AMs with reason kNodeLost.
   void KillNode(NodeId node);
+
+  /// Declares an application failed (AM process death): drops its
+  /// pending requests, reclaims every container it still holds (AM and
+  /// tasks) without callbacks to the — presumed dead — master, and
+  /// invokes the app-failure listener. Unknown apps are ignored.
+  void FailApplication(ApplicationId app, const std::string& reason);
+
+  /// Kills one running container (fault injection / preemption). A task
+  /// container is reported lost (kKilled) to its AM; killing an AM
+  /// container fails the whole application. False for unknown ids.
+  bool KillContainer(ContainerId id);
+
+  /// AM liveness signal. The first heartbeat opts the application into
+  /// liveness monitoring: miss `am_liveness_timeout_s` of heartbeats and
+  /// the RM fails the application.
+  void AmHeartbeat(ApplicationId app);
+
+  /// Invoked whenever the RM declares an application failed, with the
+  /// application's registered name and a human-readable reason. The
+  /// dead AM's callbacks are never used again.
+  using AppFailureListener = std::function<void(
+      ApplicationId app, const std::string& name, const std::string& reason)>;
+  void SetAppFailureListener(AppFailureListener listener) {
+    app_failure_listener_ = std::move(listener);
+  }
+
+  /// Snapshot of running containers (diagnostics / fault injection).
+  std::vector<Container> RunningContainers() const;
 
   bool IsNodeAlive(NodeId node) const;
 
@@ -234,6 +292,10 @@ class ResourceManager {
     AmCallbacks* callbacks = nullptr;
     ContainerId am_container = kInvalidContainer;
     bool active = true;
+    /// Last AmHeartbeat() time; < 0 until the first heartbeat (the app
+    /// is then exempt from liveness monitoring).
+    double last_heartbeat = -1.0;
+    bool liveness_check_scheduled = false;
   };
 
   /// Matches pending requests against free capacity in the order chosen
@@ -253,6 +315,14 @@ class ResourceManager {
 
   Container* AllocateOn(ApplicationId app, NodeId node, int vcores,
                         double memory_mb);
+
+  /// Arms/re-arms the liveness timer for `app` to fire at `at`.
+  void ScheduleLivenessCheck(ApplicationId app, double at);
+
+  /// Frees one container's resources and accounting; reports the loss to
+  /// the owning AM only when `notify` (dead masters are never called).
+  void DropContainer(const Container& c, ContainerLossReason reason,
+                     bool notify);
 
   TenantStats& StatsOf(ApplicationId app);
   TenantStats& QueueStatsOf(ApplicationId app);
@@ -290,6 +360,7 @@ class ResourceManager {
   /// app entries include the AM container).
   std::map<ApplicationId, ResourceUsage> app_usage_;
   std::map<std::string, ResourceUsage> queue_usage_;
+  AppFailureListener app_failure_listener_;
   int total_vcores_ = 0;
   double total_memory_mb_ = 0.0;
   double fairness_integral_ = 0.0;

@@ -149,7 +149,7 @@ TEST(HiWayAmTest, RetriesTransientToolFailuresOnOtherNodes) {
   StaticWorkflowSource source("flaky-wf", tasks);
   FcfsScheduler scheduler;
   HiWayOptions options;
-  options.max_task_attempts = 50;  // practically always succeeds eventually
+  options.task_retry.max_attempts = 50;  // practically always succeeds eventually
   HiWayAm am = rig.MakeAm(options);
   ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
   auto report = am.RunToCompletion();

@@ -1,0 +1,171 @@
+// Tests for the fault-injection harness: spec grammar, one-shot and
+// recurring scheduling, seeded-random target choice, and the DFS
+// read-fault hook.
+
+#include "src/sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+
+namespace hiway {
+namespace {
+
+TEST(FaultSpecGrammarTest, ParsesEveryClauseType) {
+  auto specs = ParseFaultSpecs(
+      "kill-node@120, kill-am-node@60:sub=2, am-crash@45, "
+      "fail-container:rate=0.2:every=30:until=600, "
+      "hdfs-error:rate=0.05:until=300");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 5u);
+
+  EXPECT_EQ((*specs)[0].type, FaultType::kKillNode);
+  EXPECT_DOUBLE_EQ((*specs)[0].at, 120.0);
+
+  EXPECT_EQ((*specs)[1].type, FaultType::kKillAmNode);
+  EXPECT_DOUBLE_EQ((*specs)[1].at, 60.0);
+  EXPECT_EQ((*specs)[1].submission, 2);
+
+  EXPECT_EQ((*specs)[2].type, FaultType::kAmCrash);
+  EXPECT_DOUBLE_EQ((*specs)[2].at, 45.0);
+
+  EXPECT_EQ((*specs)[3].type, FaultType::kFailContainer);
+  EXPECT_DOUBLE_EQ((*specs)[3].rate, 0.2);
+  EXPECT_DOUBLE_EQ((*specs)[3].every, 30.0);
+  EXPECT_DOUBLE_EQ((*specs)[3].until, 600.0);
+
+  EXPECT_EQ((*specs)[4].type, FaultType::kHdfsError);
+  EXPECT_DOUBLE_EQ((*specs)[4].rate, 0.05);
+}
+
+TEST(FaultSpecGrammarTest, AtKeyEqualsAtSignSyntax) {
+  auto a = ParseFaultSpecs("kill-node@75");
+  auto b = ParseFaultSpecs("kill-node:at=75");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ((*a)[0].at, (*b)[0].at);
+}
+
+TEST(FaultSpecGrammarTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSpecs("").ok());
+  EXPECT_FALSE(ParseFaultSpecs("melt-cpu@10").ok());
+  EXPECT_FALSE(ParseFaultSpecs("kill-node").ok());  // no at, no rate
+  EXPECT_FALSE(ParseFaultSpecs("kill-node@abc").ok());
+  EXPECT_FALSE(ParseFaultSpecs("kill-node:at").ok());  // not key=value
+  EXPECT_FALSE(ParseFaultSpecs("kill-node:frequency=2").ok());
+  EXPECT_FALSE(ParseFaultSpecs("hdfs-error@10").ok());  // needs rate
+  EXPECT_FALSE(ParseFaultSpecs("fail-container:rate=0.5:every=0").ok());
+}
+
+TEST(FaultInjectorTest, OneShotFiresAtTheScheduledTime) {
+  SimEngine engine;
+  FaultInjector injector(&engine);
+  std::vector<std::pair<double, NodeId>> kills;
+  FaultHandlers handlers;
+  handlers.kill_node = [&](NodeId node) {
+    kills.emplace_back(engine.Now(), node);
+  };
+  injector.SetHandlers(std::move(handlers));
+  ASSERT_TRUE(injector.ArmSpec("kill-node@42:node=3").ok());
+  engine.Run();
+  ASSERT_EQ(kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(kills[0].first, 42.0);
+  EXPECT_EQ(kills[0].second, 3);
+  EXPECT_EQ(injector.counters().node_kills, 1);
+}
+
+TEST(FaultInjectorTest, RandomTargetComesFromTheAliveList) {
+  SimEngine engine;
+  FaultInjector injector(&engine, /*seed=*/7);
+  NodeId killed = kInvalidNode;
+  FaultHandlers handlers;
+  handlers.list_nodes = [] { return std::vector<NodeId>{5}; };
+  handlers.kill_node = [&](NodeId node) { killed = node; };
+  injector.SetHandlers(std::move(handlers));
+  ASSERT_TRUE(injector.ArmSpec("kill-node@1").ok());
+  engine.Run();
+  EXPECT_EQ(killed, 5);
+}
+
+TEST(FaultInjectorTest, RecurringFaultStopsWhenTheWorkloadDrains) {
+  SimEngine engine;
+  FaultInjector injector(&engine);
+  int kills = 0;
+  // Workload is active until t=100.
+  FaultHandlers handlers;
+  handlers.list_containers = [&] { return std::vector<int64_t>{1}; };
+  handlers.fail_container = [&](int64_t) { ++kills; };
+  handlers.active = [&] { return engine.Now() < 100.0; };
+  injector.SetHandlers(std::move(handlers));
+  // rate=1 every 10 s: deterministic, one kill per period while active.
+  ASSERT_TRUE(injector.ArmSpec("fail-container:rate=1:every=10").ok());
+  engine.Run();  // terminates because the chain stops after the drain
+  EXPECT_EQ(kills, 9);  // t=10..90; at t=100 the workload is inactive
+  EXPECT_EQ(injector.counters().container_kills, 9);
+}
+
+TEST(FaultInjectorTest, UntilBoundsARecurringFault) {
+  SimEngine engine;
+  FaultInjector injector(&engine);
+  int kills = 0;
+  FaultHandlers handlers;
+  handlers.list_containers = [&] { return std::vector<int64_t>{1}; };
+  handlers.fail_container = [&](int64_t) { ++kills; };
+  injector.SetHandlers(std::move(handlers));
+  ASSERT_TRUE(injector.ArmSpec("fail-container:rate=1:every=5:until=22").ok());
+  engine.Run();
+  EXPECT_EQ(kills, 4);  // t=5,10,15,20
+}
+
+TEST(FaultInjectorTest, ReadFaultHookHonorsRateAndWindow) {
+  SimEngine engine;
+  FaultInjector always(&engine);
+  ASSERT_TRUE(always.ArmSpec("hdfs-error:rate=1:until=50").ok());
+  EXPECT_TRUE(always.ShouldFailRead("/data/x", 0));
+  EXPECT_EQ(always.counters().read_faults, 1);
+
+  // Outside the window nothing fails.
+  engine.ScheduleAt(60.0, [&] {
+    EXPECT_FALSE(always.ShouldFailRead("/data/x", 0));
+  });
+  engine.Run();
+  EXPECT_EQ(always.counters().read_faults, 1);
+
+  FaultInjector never(&engine);
+  ASSERT_TRUE(never.ArmSpec("hdfs-error:rate=0.0000001").ok());
+  EXPECT_FALSE(never.ShouldFailRead("/data/y", 1));
+}
+
+TEST(FaultInjectorTest, FixedSeedReplaysTheSameFaultSequence) {
+  auto run = [](uint64_t seed) {
+    SimEngine engine;
+    FaultInjector injector(&engine, seed);
+    std::vector<double> kill_times;
+    FaultHandlers handlers;
+    handlers.list_containers = [&] { return std::vector<int64_t>{1}; };
+    handlers.fail_container = [&](int64_t) {
+      kill_times.push_back(engine.Now());
+    };
+    handlers.active = [&] { return engine.Now() < 200.0; };
+    injector.SetHandlers(std::move(handlers));
+    EXPECT_TRUE(injector.ArmSpec("fail-container:rate=0.5:every=10").ok());
+    engine.Run();
+    return kill_times;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(FaultInjectorTest, MissingHandlersMakeFaultsNoOps) {
+  SimEngine engine;
+  FaultInjector injector(&engine);
+  ASSERT_TRUE(injector.ArmSpec("kill-node@1,am-crash@2,fail-container:at=3")
+                  .ok());
+  engine.Run();
+  EXPECT_EQ(injector.counters().node_kills, 0);
+  EXPECT_EQ(injector.counters().am_crashes, 0);
+  EXPECT_EQ(injector.counters().container_kills, 0);
+}
+
+}  // namespace
+}  // namespace hiway

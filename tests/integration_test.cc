@@ -185,7 +185,7 @@ TEST(IntegrationTest, WorkflowFailsCleanlyWhenDataIsLost) {
   dep.dfs->KillNode(holder);
   HiWayClient client(&dep);
   HiWayOptions options;
-  options.max_task_attempts = 2;
+  options.task_retry.max_attempts = 2;
   auto report = client.Run("snv-calling", "fcfs", options);
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->status.ok());

@@ -192,7 +192,7 @@ TEST(ChurnTest, WideFanOutWithFailuresAndNodeLoss) {
   HiWayClient client(&dep);
   FcfsScheduler scheduler;
   HiWayOptions options;
-  options.max_task_attempts = 25;
+  options.task_retry.max_attempts = 25;
   HiWayAm am(dep.cluster.get(), dep.rm.get(), dep.dfs.get(), &dep.tools,
              dep.provenance.get(), &dep.estimator, options);
   ASSERT_TRUE(am.Submit(&source, &scheduler).ok());
@@ -237,7 +237,7 @@ TEST(ChurnTest, IterativeWorkflowSurvivesRetries) {
 
   HiWayClient client(&dep);
   HiWayOptions options;
-  options.max_task_attempts = 30;
+  options.task_retry.max_attempts = 30;
   auto report = client.Run("kmeans", "fcfs", options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->status.ok()) << report->status.ToString();

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/strings.h"
+#include "src/lang/trace_source.h"
+
 namespace hiway {
 namespace {
 
@@ -105,6 +108,66 @@ TEST(ProvenanceManagerTest, TaskAndFileEventsCarryDetail) {
   EXPECT_EQ(events[2].size_bytes, 1024);
   EXPECT_DOUBLE_EQ(events[3].duration, 20.0);
   EXPECT_EQ(events[4].type, ProvenanceEventType::kFileStageOut);
+}
+
+// Satellite: a trace captured up to an ARBITRARY crash point is a valid
+// executable workflow prefix. Record a 3-task chain, truncate after each
+// event in turn, and round-trip the prefix through TraceSource with
+// allow_incomplete: every prefix with at least one completed task must
+// rebuild, replaying exactly the completed tasks.
+TEST(ProvenanceManagerTest, CrashPrefixIsAnExecutableWorkflowPrefix) {
+  InMemoryProvenanceStore store;
+  ProvenanceManager manager(&store);
+  std::string run = manager.BeginWorkflow("chain", 0.0);
+  // t1 -> t2 -> t3, each consuming its predecessor's output.
+  for (TaskId id = 1; id <= 3; ++id) {
+    TaskSpec spec = MakeSpec(id, StrFormat("tool%lld",
+                                           static_cast<long long>(id)));
+    double start = 10.0 * static_cast<double>(id);
+    manager.RecordTaskStart(run, spec, 0, "node-000", start);
+    if (id > 1) {
+      manager.RecordFileStageIn(
+          run, id, StrFormat("/f%lld", static_cast<long long>(id - 1)), 100,
+          0.1, start);
+    }
+    manager.RecordTaskEnd(
+        run, MakeResult(id, spec.signature, 0, start, start + 5.0),
+        "node-000");
+    manager.RecordFileStageOut(run, id,
+                               StrFormat("/f%lld", static_cast<long long>(id)),
+                               100, 0.1, start + 5.0);
+  }
+  manager.EndWorkflow(run, 40.0, true);
+  std::vector<ProvenanceEvent> full = store.Events();
+
+  // Walk every truncation point (a crash can interrupt anywhere) and
+  // count completed tasks in the prefix by hand.
+  for (size_t cut = 1; cut <= full.size(); ++cut) {
+    std::vector<ProvenanceEvent> prefix(full.begin(), full.begin() + cut);
+    size_t completed = 0;
+    for (const ProvenanceEvent& ev : prefix) {
+      if (ev.type == ProvenanceEventType::kTaskEnd && ev.success) ++completed;
+    }
+    auto source =
+        TraceSource::FromEvents(prefix, run, /*allow_incomplete=*/true);
+    if (completed == 0) {
+      EXPECT_FALSE(source.ok()) << "cut=" << cut;
+      continue;
+    }
+    ASSERT_TRUE(source.ok())
+        << "cut=" << cut << ": " << source.status().ToString();
+    EXPECT_EQ((*source)->task_count(), completed) << "cut=" << cut;
+    // Round-trip through the JSON-lines serialisation too.
+    auto reparsed = TraceSource::Parse(SerializeTrace(prefix), run,
+                                       /*allow_incomplete=*/true);
+    ASSERT_TRUE(reparsed.ok()) << "cut=" << cut;
+    EXPECT_EQ((*reparsed)->task_count(), completed);
+  }
+
+  // Without allow_incomplete, a strict parse of a mid-task prefix fails
+  // (the prefix ends right after task 2 started).
+  std::vector<ProvenanceEvent> torn(full.begin(), full.begin() + 5);
+  EXPECT_FALSE(TraceSource::FromEvents(torn, run).ok());
 }
 
 TEST(ProvenanceManagerTest, LatestRuntimeQueriesNewestSuccess) {

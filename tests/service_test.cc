@@ -6,11 +6,25 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/common/strings.h"
 #include "src/core/client.h"
+#include "src/sim/fault_injector.h"
 
 namespace hiway {
 namespace {
+
+/// Snapshot of the DFS namespace: path -> size. Failover must reproduce
+/// the clean run's outputs exactly.
+std::map<std::string, int64_t> DfsSnapshot(Dfs* dfs) {
+  std::map<std::string, int64_t> files;
+  for (const std::string& path : dfs->ListFiles()) {
+    auto info = dfs->Stat(path);
+    if (info.ok()) files[path] = info->size_bytes;
+  }
+  return files;
+}
 
 Result<std::unique_ptr<Deployment>> SmallDeployment(
     int workers = 4, const ChefAttributes& extra = {}) {
@@ -198,7 +212,7 @@ TEST(ServiceTest, ReplayIsDeterministicAcrossFreshDeployments) {
     }
     return outcome;
   };
-  for (const std::string& scheduler : {"fifo", "capacity", "fair"}) {
+  for (const char* scheduler : {"fifo", "capacity", "fair"}) {
     auto first = run(scheduler);
     auto second = run(scheduler);
     EXPECT_EQ(first, second) << scheduler;
@@ -232,6 +246,200 @@ TEST(ServiceTest, SingleSubmissionMatchesClientRun) {
   EXPECT_EQ(rec->state, SubmissionState::kSucceeded);
   EXPECT_EQ(rec->report.tasks_completed, direct->tasks_completed);
   EXPECT_EQ((*service)->deployment()->rm->scheduler_name(), "fifo");
+}
+
+// -- AM failover ----------------------------------------------------------
+
+// Satellite: kill the node hosting a submission's AM mid-run. The
+// service must launch a replacement attempt that memoises completed
+// tasks from the provenance trace, produce byte-identical outputs, and
+// re-execute only the tasks that were not yet done.
+TEST(ServiceFailoverTest, AmNodeKillRecoversWithMemoisation) {
+  // Clean reference run: outputs + task count without any failure.
+  auto d_clean = SmallDeployment(6);
+  ASSERT_TRUE(d_clean.ok());
+  auto clean = WorkflowService::Create(d_clean->get(),
+                                       WorkflowServiceOptions{});
+  ASSERT_TRUE(clean.ok());
+  auto clean_id = (*clean)->SubmitStaged("snv-calling");
+  ASSERT_TRUE(clean_id.ok());
+  ASSERT_TRUE((*clean)->RunToCompletion().ok());
+  const SubmissionRecord* clean_rec = (*clean)->record(*clean_id);
+  ASSERT_EQ(clean_rec->state, SubmissionState::kSucceeded);
+  auto clean_files = DfsSnapshot((*d_clean)->dfs.get());
+
+  // Faulted run: the AM node dies mid-workflow.
+  auto d = SmallDeployment(6);
+  ASSERT_TRUE(d.ok());
+  auto service = WorkflowService::Create(d->get(), WorkflowServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto id = (*service)->SubmitStaged("snv-calling");
+  ASSERT_TRUE(id.ok());
+
+  // Strike past the midpoint of the (measured) clean makespan, so the
+  // dead attempt provably completed work worth memoising.
+  double strike = 0.6 * clean_rec->finished_at;
+  FaultInjector injector(&(*d)->engine);
+  (*service)->InstallFaultHandlers(&injector);
+  ASSERT_TRUE(injector.ArmSpec(StrFormat("kill-am-node:at=%.3f:sub=%lld",
+                                         strike,
+                                         static_cast<long long>(*id)))
+                  .ok());
+
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  EXPECT_EQ(injector.counters().node_kills, 1);
+
+  const SubmissionRecord* rec = (*service)->record(*id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kSucceeded);
+  EXPECT_EQ(rec->am_attempts, 2);
+  EXPECT_EQ(rec->am_failures, 1);
+  ASSERT_EQ(rec->recovery_latency_s.size(), 1u);
+  EXPECT_GT(rec->recovery_latency_s[0], 0.0);
+  EXPECT_EQ(rec->report.am_attempt, 2);
+
+  // Same logical outcome as the clean run...
+  EXPECT_EQ(rec->report.tasks_completed, clean_rec->report.tasks_completed);
+  // ...with byte-identical outputs (every clean-run file exists with the
+  // same size; the faulted namespace is a superset only through lost-node
+  // replica bookkeeping, never through different task outputs).
+  auto files = DfsSnapshot((*d)->dfs.get());
+  for (const auto& [path, size] : clean_files) {
+    auto it = files.find(path);
+    ASSERT_NE(it, files.end()) << path;
+    EXPECT_EQ(it->second, size) << path;
+  }
+
+  // The failure happened mid-run, so the dead attempt had completed some
+  // tasks — and the replacement memoised rather than re-ran them.
+  EXPECT_GT(rec->completed_at_last_failure, 0);
+  EXPECT_GT(rec->report.tasks_memoised, 0);
+  // Wasted work: already-completed tasks that re-executed anyway.
+  int wasted = rec->completed_at_last_failure - rec->report.tasks_memoised;
+  EXPECT_GE(wasted, 0);
+  EXPECT_LT(wasted, rec->completed_at_last_failure)
+      << "recovery re-executed everything; memoisation is not working";
+}
+
+// An AM process crash (node stays healthy) surfaces via the RM's
+// heartbeat timeout and recovers the same way — including for an
+// iterative Cuneiform workflow, whose recovery replays recorded stdout.
+TEST(ServiceFailoverTest, HeartbeatTimeoutRecoversACrashedAm) {
+  auto d = SmallDeployment(6);
+  ASSERT_TRUE(d.ok());
+  auto service = WorkflowService::Create(d->get(), WorkflowServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto id = (*service)->SubmitStaged("kmeans");
+  ASSERT_TRUE(id.ok());
+
+  (*d)->engine.ScheduleAt(15.0, [&] {
+    ASSERT_TRUE((*service)->InjectAmCrash(*id).ok());
+  });
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+
+  const SubmissionRecord* rec = (*service)->record(*id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kSucceeded) << rec->report.status.ToString();
+  EXPECT_EQ(rec->am_attempts, 2);
+  EXPECT_EQ(rec->am_failures, 1);
+  // Detection is the liveness timeout, not instantaneous: the recovery
+  // latency includes it.
+  ASSERT_EQ(rec->recovery_latency_s.size(), 1u);
+  EXPECT_GE((*d)->rm->counters().app_failures, 1);
+}
+
+// Acceptance: failover is deterministic under a fixed seed — two
+// identical faulted runs produce identical outcomes and identical
+// provenance shapes.
+TEST(ServiceFailoverTest, FailoverIsDeterministicUnderFixedSeed) {
+  auto run = [] {
+    std::vector<std::tuple<double, int, int, int>> outcome;
+    size_t provenance_events = 0;
+    auto d = SmallDeployment(6);
+    EXPECT_TRUE(d.ok());
+    auto service =
+        WorkflowService::Create(d->get(), WorkflowServiceOptions{});
+    EXPECT_TRUE(service.ok());
+    auto id = (*service)->SubmitStaged("montage");
+    EXPECT_TRUE(id.ok());
+    FaultInjector injector(&(*d)->engine, /*seed=*/99);
+    (*service)->InstallFaultHandlers(&injector);
+    EXPECT_TRUE(injector.ArmSpec("kill-am-node@12").ok());
+    EXPECT_TRUE((*service)->RunToCompletion().ok());
+    for (const SubmissionRecord& rec : (*service)->Records()) {
+      outcome.emplace_back(rec.finished_at, rec.report.tasks_completed,
+                           rec.report.tasks_memoised, rec.am_attempts);
+    }
+    provenance_events = (*d)->provenance_store->size();
+    return std::make_pair(outcome, provenance_events);
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+}
+
+// When the retry budget is exhausted (or the submission is not
+// recoverable), an AM failure is terminal.
+TEST(ServiceFailoverTest, RetryExhaustionFailsTheSubmission) {
+  auto d = SmallDeployment(6);
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  options.am_retry.max_attempts = 1;  // no failover budget
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok());
+  auto id = (*service)->SubmitStaged("montage");
+  ASSERT_TRUE(id.ok());
+  (*d)->engine.ScheduleAt(10.0, [&] {
+    ASSERT_TRUE((*service)->InjectAmCrash(*id).ok());
+  });
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  const SubmissionRecord* rec = (*service)->record(*id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kFailed);
+  EXPECT_EQ(rec->am_failures, 1);
+  EXPECT_FALSE(rec->report.status.ok());
+  const ServiceQueueCounters* counters =
+      (*service)->queue_counters("default");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->failed, 1);
+}
+
+// Acceptance: an 8-workflow burst with injected AM-node kills completes
+// every submission.
+TEST(ServiceFailoverTest, BurstSurvivesRepeatedAmNodeKills) {
+  auto d = SmallDeployment(10);
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  options.rm_scheduler = "fair";
+  ServiceQueueOptions q;
+  q.rm.name = "default";
+  q.max_concurrent_ams = 8;
+  options.queues = {q};
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok());
+  const char* names[] = {"snv-calling", "montage", "kmeans", "montage",
+                         "snv-calling", "kmeans", "montage", "kmeans"};
+  std::vector<SubmissionId> ids;
+  for (const char* name : names) {
+    auto id = (*service)->SubmitStaged(name);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  FaultInjector injector(&(*d)->engine, /*seed=*/5);
+  (*service)->InstallFaultHandlers(&injector);
+  ASSERT_TRUE(injector.ArmSpec("kill-am-node@15,kill-am-node@40").ok());
+
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+  EXPECT_EQ(injector.counters().node_kills, 2);
+  int recovered = 0;
+  for (SubmissionId id : ids) {
+    const SubmissionRecord* rec = (*service)->record(id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->state, SubmissionState::kSucceeded)
+        << rec->name << ": " << rec->report.status.ToString();
+    recovered += rec->am_failures;
+  }
+  EXPECT_GE(recovered, 2);  // each node kill took down at least one AM
 }
 
 TEST(ServiceTest, CreateRejectsBadConfiguration) {

@@ -19,11 +19,14 @@ class RecordingAm : public AmCallbacks {
                             int64_t cookie) override {
     allocations.push_back({container, cookie});
   }
-  void OnContainerLost(const Container& container) override {
+  void OnContainerLost(const Container& container,
+                       ContainerLossReason reason) override {
     lost.push_back(container);
+    loss_reasons.push_back(reason);
   }
   std::vector<std::pair<Container, int64_t>> allocations;
   std::vector<Container> lost;
+  std::vector<ContainerLossReason> loss_reasons;
 };
 
 struct YarnRig {
@@ -215,6 +218,127 @@ TEST(YarnTest, KillNodeReportsLostContainers) {
   EXPECT_FALSE(rig.rm->IsNodeAlive(1));
   EXPECT_EQ(rig.rm->free_vcores(1), 0);
   EXPECT_EQ(rig.rm->counters().lost_containers, 1);
+}
+
+TEST(YarnTest, NodeLossCarriesTheNodeLostReason) {
+  YarnRig rig(2, 4, 4096);
+  ContainerRequest request;
+  request.preferred_node = 1;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  rig.rm->KillNode(1);
+  // Losses are reported synchronously: no engine turn needed.
+  ASSERT_EQ(rig.am.loss_reasons.size(), 1u);
+  EXPECT_EQ(rig.am.loss_reasons[0], ContainerLossReason::kNodeLost);
+}
+
+TEST(YarnTest, KillTaskContainerReportsKilledReason) {
+  YarnRig rig(2, 4, 4096);
+  rig.rm->SubmitRequest(rig.app, ContainerRequest{});
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+  ContainerId id = rig.am.allocations[0].first.id;
+  EXPECT_TRUE(rig.rm->KillContainer(id));
+  ASSERT_EQ(rig.am.lost.size(), 1u);
+  EXPECT_EQ(rig.am.loss_reasons[0], ContainerLossReason::kKilled);
+  // The node survives and the capacity is back.
+  EXPECT_TRUE(rig.rm->IsNodeAlive(rig.am.lost[0].node));
+  EXPECT_FALSE(rig.rm->KillContainer(999999));
+}
+
+TEST(YarnTest, KillingTheAmNodeFailsTheApplication) {
+  YarnRig rig(2, 4, 4096);
+  // AM sits on node 0; give it a task container on node 1.
+  ContainerRequest request;
+  request.preferred_node = 1;
+  rig.rm->SubmitRequest(rig.app, request);
+  rig.engine.Run();
+  ASSERT_EQ(rig.am.allocations.size(), 1u);
+
+  std::vector<std::string> failures;
+  rig.rm->SetAppFailureListener(
+      [&](ApplicationId app, const std::string& name,
+          const std::string& reason) {
+        EXPECT_EQ(app, rig.app);
+        EXPECT_EQ(name, "test-app");
+        failures.push_back(reason);
+      });
+  rig.rm->KillNode(0);
+  ASSERT_EQ(failures.size(), 1u);
+  // The orphaned task container on node 1 was reclaimed WITHOUT a
+  // callback to the dead master, and its resources freed.
+  EXPECT_TRUE(rig.am.lost.empty());
+  EXPECT_EQ(rig.rm->counters().reclaimed_containers, 2);  // AM + task
+  EXPECT_EQ(rig.rm->counters().app_failures, 1);
+  EXPECT_EQ(rig.rm->running_containers(), 0);
+  EXPECT_EQ(rig.rm->free_vcores(1), 4);
+}
+
+TEST(YarnTest, KillContainerOnTheAmFailsTheApplication) {
+  YarnRig rig(1, 4, 4096);
+  int failures = 0;
+  rig.rm->SetAppFailureListener(
+      [&](ApplicationId, const std::string&, const std::string&) {
+        ++failures;
+      });
+  std::vector<Container> running = rig.rm->RunningContainers();
+  ASSERT_EQ(running.size(), 1u);
+  ASSERT_TRUE(running[0].is_am);
+  EXPECT_TRUE(rig.rm->KillContainer(running[0].id));
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(rig.rm->counters().app_failures, 1);
+  EXPECT_EQ(rig.rm->running_containers(), 0);
+}
+
+TEST(YarnTest, HeartbeatTimeoutFailsASilentAm) {
+  YarnRig rig(1, 4, 4096);
+  std::vector<std::string> reasons;
+  rig.rm->SetAppFailureListener(
+      [&](ApplicationId, const std::string&, const std::string& reason) {
+        reasons.push_back(reason);
+      });
+  // Opt into liveness monitoring, then fall silent.
+  rig.rm->AmHeartbeat(rig.app);
+  rig.engine.Run();
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_NE(reasons[0].find("heartbeat timeout"), std::string::npos);
+  EXPECT_GE(rig.engine.Now(), rig.rm->options().am_liveness_timeout_s);
+}
+
+TEST(YarnTest, AmThatKeepsHeartbeatingIsNotFailed) {
+  YarnRig rig(1, 4, 4096);
+  int failures = 0;
+  rig.rm->SetAppFailureListener(
+      [&](ApplicationId, const std::string&, const std::string&) {
+        ++failures;
+      });
+  // Heartbeat every second for 30 s — well past the 10 s timeout — then
+  // finish (unregister) while still healthy.
+  std::function<void(int)> beat = [&](int remaining) {
+    if (remaining == 0) {
+      rig.rm->UnregisterApplication(rig.app);
+      return;
+    }
+    rig.rm->AmHeartbeat(rig.app);
+    rig.engine.ScheduleAfter(1.0, [&, remaining] { beat(remaining - 1); });
+  };
+  beat(30);
+  rig.engine.Run();
+  EXPECT_EQ(failures, 0);
+  EXPECT_GE(rig.engine.Now(), 30.0);
+}
+
+TEST(YarnTest, NeverHeartbeatingAmIsExemptFromLiveness) {
+  YarnRig rig(1, 4, 4096);
+  int failures = 0;
+  rig.rm->SetAppFailureListener(
+      [&](ApplicationId, const std::string&, const std::string&) {
+        ++failures;
+      });
+  rig.engine.ScheduleAt(100.0, [] {});
+  rig.engine.Run();
+  EXPECT_EQ(failures, 0);
 }
 
 TEST(YarnTest, DeadNodeReceivesNoAllocations) {
@@ -455,7 +579,7 @@ TEST(YarnMultiAppTest, FairSchedulerServesAppWithSmallestDominantShare) {
 }
 
 TEST(YarnMultiAppTest, StrictLocalityAndBlacklistSurviveStrategies) {
-  for (const std::string& scheduler : {"capacity", "fair"}) {
+  for (const char* scheduler : {"capacity", "fair"}) {
     MultiRig rig(3, 2, 4096, scheduler);
     rig.app_a = rig.Register("a", &rig.am_a, "default", 0);
     // Blacklisting nodes 0 and 1 forces node 2 regardless of strategy.
