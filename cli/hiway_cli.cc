@@ -66,6 +66,17 @@ void PrintUsage() {
       "                           max share M (fractions of the cluster),\n"
       "                           AMS concurrent AMs, BACKLOG waiting\n"
       "                           submissions (repeatable)\n"
+      "  --priority N             preemption priority for subsequent\n"
+      "                           --workflow flags (lower = preempted\n"
+      "                           first; default 0)\n"
+      "  --preemption             let the RM preempt task containers of\n"
+      "                           over-guarantee queues when another queue\n"
+      "                           starves (docs/scheduling-model.md)\n"
+      "  --preemption-grace S     starvation grace period before the RM\n"
+      "                           preempts, seconds (default 5)\n"
+      "  --max-preempt-per-round N\n"
+      "                           kill at most N containers per allocation\n"
+      "                           pass (default 2)\n"
       "  --faults SPEC            inject failures while the burst runs,\n"
       "                           e.g. kill-am-node@60,hdfs-error:rate=0.05\n"
       "                           (see docs/failure-model.md for the\n"
@@ -104,6 +115,7 @@ std::string GuessLanguage(const std::string& path) {
 struct CliWorkflow {
   std::string path;
   std::string queue;  // service mode: the queue it is submitted to
+  int priority = 0;   // preemption priority of its task containers
 };
 
 struct CliOptions {
@@ -147,13 +159,31 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     return std::make_pair(kv.substr(0, eq), kv.substr(eq + 1));
   };
   std::string current_queue = "default";
+  int current_priority = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--workflow") {
       HIWAY_ASSIGN_OR_RETURN(std::string path, need_value(i, "--workflow"));
-      options.workflows.push_back(CliWorkflow{std::move(path), current_queue});
+      options.workflows.push_back(
+          CliWorkflow{std::move(path), current_queue, current_priority});
     } else if (arg == "--service") {
       options.service = true;
+    } else if (arg == "--priority") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--priority"));
+      HIWAY_ASSIGN_OR_RETURN(int64_t n, ParseInt64(v));
+      current_priority = static_cast<int>(n);
+    } else if (arg == "--preemption") {
+      options.attributes["yarn/preemption"] = "true";
+    } else if (arg == "--preemption-grace") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v,
+                             need_value(i, "--preemption-grace"));
+      HIWAY_RETURN_IF_ERROR(ParseDouble(v).status());
+      options.attributes["yarn/preemption_grace_s"] = v;
+    } else if (arg == "--max-preempt-per-round") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v,
+                             need_value(i, "--max-preempt-per-round"));
+      HIWAY_RETURN_IF_ERROR(ParseInt64(v).status());
+      options.attributes["yarn/max_preempt_per_round"] = v;
     } else if (arg == "--rm-scheduler") {
       HIWAY_ASSIGN_OR_RETURN(options.rm_scheduler,
                              need_value(i, "--rm-scheduler"));
@@ -338,6 +368,7 @@ Result<int> RunService(const CliOptions& cli) {
     SubmissionOptions sub;
     sub.queue = wf.queue;
     sub.hiway = hiway;
+    sub.hiway.container_priority = wf.priority;
     // A replacement AM attempt rebuilds its source from the same file,
     // so CLI submissions survive AM failures like staged ones do.
     sub.source_factory = [d = d.get(), &cli, path = wf.path] {
@@ -387,6 +418,15 @@ Result<int> RunService(const CliOptions& cli) {
                 static_cast<long long>(q.counters.allocations),
                 HumanDuration(q.mean_wait_s).c_str(),
                 HumanDuration(q.p95_wait_s).c_str());
+    if (q.restoration_episodes > 0 || q.counters.preempted_containers > 0) {
+      std::printf("  %-12s   starved=%s episodes=%d p95-restore=%s "
+                  "preempted=%lld wasted=%.2f\n",
+                  "", HumanDuration(q.time_under_guarantee_s).c_str(),
+                  q.restoration_episodes,
+                  HumanDuration(q.p95_restoration_s).c_str(),
+                  static_cast<long long>(q.counters.preempted_containers),
+                  q.wasted_work_ratio);
+    }
   }
   std::printf("time-averaged Jain fairness: %.3f\n",
               d->rm->TimeAveragedFairness());

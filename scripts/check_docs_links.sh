@@ -1,0 +1,70 @@
+#!/bin/sh
+# Verify that every relative markdown link in the repo's docs resolves to
+# an existing file, and that backticked repo paths (src/..., docs/...,
+# bench/..., scripts/...) still exist. Run from anywhere; CI runs it in
+# the build-and-test job.
+#
+#   scripts/check_docs_links.sh            # check and report
+#
+# Exits non-zero listing every dead link/path found.
+
+set -u
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$root" || exit 1
+
+fail=0
+
+# Markdown files under version control only (skips build trees).
+files=$(git ls-files '*.md')
+
+for f in $files; do
+  dir=$(dirname "$f")
+
+  # --- [text](target) links -------------------------------------------
+  # One link per line; tolerate several links per source line.
+  links=$(grep -o '](\([^)]*\))' "$f" 2>/dev/null | sed 's/^](//; s/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;  # external: not checked
+      '#'*) continue ;;                         # same-file anchor
+    esac
+    target=${link%%#*}                          # strip fragment
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "DEAD LINK  $f: ($link)"
+      fail=1
+    fi
+  done
+
+  # --- backticked repo paths ------------------------------------------
+  # `src/foo/bar.h`, `docs/x.md`, `bench/bench_y.cc`, `scripts/z.sh`.
+  # Wildcard forms like `src/core/metrics.*` must glob-match something.
+  paths=$(grep -o '`\(src\|docs\|bench\|scripts\|cli\|tests\|examples\)/[A-Za-z0-9_./*-]*`' "$f" 2>/dev/null | tr -d '`')
+  for p in $paths; do
+    p=${p%.}                                    # trailing sentence dot
+    case "$p" in
+      *'*'*)
+        # shellcheck disable=SC2086
+        set -- $p
+        if [ ! -e "$1" ]; then
+          echo "DEAD PATH  $f: \`$p\` (glob matches nothing)"
+          fail=1
+        fi
+        ;;
+      *)
+        # Accept `bench/bench_foo` for the binary whose source is
+        # bench/bench_foo.cc — docs refer to bench targets this way.
+        if [ ! -e "$p" ] && [ ! -e "$p.cc" ]; then
+          echo "DEAD PATH  $f: \`$p\`"
+          fail=1
+        fi
+        ;;
+    esac
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs_links: FAILED" >&2
+  exit 1
+fi
+echo "check_docs_links: all markdown links and repo paths resolve"

@@ -2,6 +2,13 @@
 // struct covers both granularities of the failure model (see
 // docs/failure-model.md): task-attempt retries inside a HiWayAm and
 // AM-attempt retries inside the WorkflowService failover loop.
+//
+// Exemptions (docs/failure-model.md has the full table): losses that are
+// not the task's or the node's fault bypass parts of this policy —
+// node-loss (kNodeLost) failures consume an attempt but never blacklist
+// the node, transient I/O errors (Unavailable) never blacklist, and RM
+// preemption (kPreempted) consumes NO attempt and blacklists nothing:
+// the task simply re-queues.
 
 #ifndef HIWAY_COMMON_RETRY_POLICY_H_
 #define HIWAY_COMMON_RETRY_POLICY_H_

@@ -324,6 +324,7 @@ void HiWayAm::MarkReady(TaskEntry* entry) {
   ContainerRequest request = scheduler_->RequestFor(entry->spec);
   request.blacklist = entry->blacklist;
   request.cookie = entry->spec.id;
+  request.priority = options_.container_priority;
   rm_->SubmitRequest(app_, request);
 }
 
@@ -364,6 +365,7 @@ void HiWayAm::OnContainerAllocated(const Container& container,
       request.vcores = options_.container_vcores;
       request.memory_mb = options_.container_memory_mb;
       request.blacklist = blacklist;
+      request.priority = options_.container_priority;
       request.cookie = next_decline_cookie_--;
       decline_chains_[request.cookie] = std::move(blacklist);
       rm_->SubmitRequest(app_, request);
@@ -583,6 +585,15 @@ void HiWayAm::OnContainerLost(const Container& container,
       --running_;
       entry.container = kInvalidContainer;
       ++entry.attempt_epoch;  // discard the in-flight outcome
+      if (reason == ContainerLossReason::kPreempted) {
+        // Scheduler-initiated reclaim, not a fault: restore the attempt
+        // budget, blame no node, and re-queue immediately — the RM will
+        // re-place the task once the guarantees settle.
+        --entry.attempts;
+        ++report_.tasks_preempted;
+        MarkReady(&entry);
+        return;
+      }
       if (reason != ContainerLossReason::kNodeLost &&
           options_.task_retry.ShouldBlacklist(
               ++entry.node_failures[container.node])) {

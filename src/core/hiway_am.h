@@ -42,6 +42,11 @@ struct HiWayOptions {
   /// RM scheduler queue this workflow's application is charged to
   /// (multi-tenant service mode; the queue must be configured on the RM).
   std::string rm_queue = "default";
+  /// Preemption priority stamped on every task-container request: when
+  /// the RM must reclaim capacity for a starved queue it kills
+  /// lower-priority containers first (docs/scheduling-model.md). Batch
+  /// workflows should run below interactive ones.
+  int container_priority = 0;
   /// Task-attempt retry policy (max attempts, backoff, blacklisting) —
   /// shared vocabulary with the service's AM-attempt loop. Defaults:
   /// 3 attempts, immediate retry, blacklist a node after one failure.
@@ -77,6 +82,9 @@ struct WorkflowReport {
   int tasks_memoised = 0;
   int task_attempts = 0;
   int failed_attempts = 0;
+  /// Containers lost to RM preemption (scheduler-initiated reclaims).
+  /// Unlike failed_attempts these never consume the task retry budget.
+  int tasks_preempted = 0;
   /// AM attempt number this report belongs to (1 = first launch).
   int am_attempt = 1;
   /// Scheduling decisions taken by the AM (Fig. 6 master-load accounting).

@@ -122,6 +122,20 @@ QueueLoadSummary SummarizeQueue(const ResourceManager& rm,
     out.p95_wait_s = Percentile(stats->wait_times_s, 95.0);
   }
   out.counters = stats->counters;
+  out.time_under_guarantee_s = stats->time_under_guarantee_s;
+  out.restoration_episodes =
+      static_cast<int>(stats->restoration_latency_s.size());
+  if (!stats->restoration_latency_s.empty()) {
+    double sum = 0.0;
+    for (double r : stats->restoration_latency_s) sum += r;
+    out.mean_restoration_s =
+        sum / static_cast<double>(stats->restoration_latency_s.size());
+    out.p95_restoration_s = Percentile(stats->restoration_latency_s, 95.0);
+  }
+  if (stats->counters.container_work_s > 0.0) {
+    out.wasted_work_ratio =
+        stats->counters.preempted_work_s / stats->counters.container_work_s;
+  }
   return out;
 }
 

@@ -97,6 +97,14 @@ struct QueueLoadSummary {
   double mean_wait_s = 0.0;     // container request queue wait
   double p95_wait_s = 0.0;
   RmCounters counters;          // per-queue protocol counters
+  // -- Guarantee enforcement (docs/scheduling-model.md) ------------------
+  double time_under_guarantee_s = 0.0;  // total starved time
+  int restoration_episodes = 0;         // closed starvation episodes
+  double mean_restoration_s = 0.0;      // guarantee-restoration latency
+  double p95_restoration_s = 0.0;
+  /// Fraction of this queue's consumed container-seconds thrown away by
+  /// preemption: counters.preempted_work_s / counters.container_work_s.
+  double wasted_work_ratio = 0.0;
 };
 
 QueueLoadSummary SummarizeQueue(const ResourceManager& rm,

@@ -114,6 +114,11 @@ Recipe HadoopInstallRecipe() {
     yarn_opts.allocation_delay_s =
         AttrDouble(attrs, "yarn/allocation_delay_s", 0.5);
     yarn_opts.scheduler = Attr(attrs, "yarn/scheduler", "fifo");
+    yarn_opts.preemption = Attr(attrs, "yarn/preemption", "false") == "true";
+    yarn_opts.preemption_grace_s =
+        AttrDouble(attrs, "yarn/preemption_grace_s", 5.0);
+    yarn_opts.max_preempt_per_round =
+        static_cast<int>(AttrInt(attrs, "yarn/max_preempt_per_round", 2));
     d->rm = std::make_unique<ResourceManager>(d->cluster.get(), yarn_opts);
     d->load = std::make_unique<LoadInjector>(d->cluster.get());
     return Status::OK();

@@ -76,6 +76,33 @@ class RmScheduler {
 /// Builds a strategy by name: "fifo" | "capacity" | "fair".
 Result<std::unique_ptr<RmScheduler>> MakeRmScheduler(const std::string& name);
 
+/// One running container offered as a potential preemption victim, with
+/// the queue its application is charged to (resolved by the RM).
+struct PreemptionCandidate {
+  Container container;
+  const std::string* queue = nullptr;
+};
+
+/// Victim selection for container preemption (docs/scheduling-model.md):
+/// picks up to `max_victims` containers to kill so `starved_queue` can
+/// reclaim `needed` (vcores and memory both). Rules, in order:
+///
+///  * AM containers and the starved queue's own containers are exempt.
+///  * Only queues currently ABOVE their guaranteed share donate, and the
+///    donor's bookkept usage shrinks with every pick, so one round never
+///    preempts a queue meaningfully below its guarantee.
+///  * Victims come from the most-over-guarantee donor first; within a
+///    donor, lowest `Container::priority` first, then youngest container
+///    (least work lost), ties broken by descending id.
+///  * Selection stops as soon as the freed resources cover `needed`.
+///
+/// Returns container ids in kill order. Pure function of its inputs —
+/// the RM applies the kills.
+std::vector<ContainerId> SelectPreemptionVictims(
+    const std::vector<PreemptionCandidate>& candidates,
+    const RmTenancyView& view, const std::string& starved_queue,
+    const ResourceUsage& needed, int max_victims);
+
 /// Jain's fairness index over non-negative values: (Σx)² / (n·Σx²).
 /// 1.0 = perfectly fair; 1/n = one tenant holds everything. Returns 1.0
 /// for empty or all-zero input (no contention to be unfair about).

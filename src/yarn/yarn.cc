@@ -1,6 +1,7 @@
 #include "src/yarn/yarn.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -12,6 +13,7 @@ const char* ToString(ContainerLossReason reason) {
   switch (reason) {
     case ContainerLossReason::kNodeLost: return "node-lost";
     case ContainerLossReason::kKilled: return "killed";
+    case ContainerLossReason::kPreempted: return "preempted";
   }
   return "unknown";
 }
@@ -117,6 +119,7 @@ Container* ResourceManager::AllocateOn(ApplicationId app, NodeId node,
   c.node = node;
   c.vcores = vcores;
   c.memory_mb = memory_mb;
+  c.allocated_at = cluster_->engine()->Now();
   auto [it, inserted] = containers_.emplace(c.id, c);
   HIWAY_CHECK(inserted);
   ++counters_.allocations;
@@ -229,8 +232,11 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
     ns.free_memory_mb += c.memory_mb;
   }
   ++counters_.releases;
+  double work = cluster_->engine()->Now() - c.allocated_at;
+  if (!c.is_am) counters_.container_work_s += work;
   for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
     ++s->counters.releases;
+    if (!c.is_am) s->counters.container_work_s += work;
     s->usage.vcores -= c.vcores;
     s->usage.memory_mb -= c.memory_mb;
   }
@@ -248,17 +254,23 @@ void ResourceManager::DropContainer(const Container& c,
     ns.free_memory_mb += c.memory_mb;
   }
   bool reclaim = !notify;  // losses of a dead master count as reclaims
-  if (reclaim) {
-    ++counters_.reclaimed_containers;
-  } else {
-    ++counters_.lost_containers;
+  bool preempted = !reclaim && reason == ContainerLossReason::kPreempted;
+  // Lifetime of the dying container: consumed work always, and — for
+  // preemption victims — wasted work the owning AM must redo.
+  double work = cluster_->engine()->Now() - c.allocated_at;
+  for (RmCounters* k : {&counters_, &StatsOf(c.app).counters,
+                        &QueueStatsOf(c.app).counters}) {
+    if (reclaim) {
+      ++k->reclaimed_containers;
+    } else if (preempted) {
+      ++k->preempted_containers;
+      if (!c.is_am) k->preempted_work_s += work;
+    } else {
+      ++k->lost_containers;
+    }
+    if (!c.is_am) k->container_work_s += work;
   }
   for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
-    if (reclaim) {
-      ++s->counters.reclaimed_containers;
-    } else {
-      ++s->counters.lost_containers;
-    }
     s->usage.vcores -= c.vcores;
     s->usage.memory_mb -= c.memory_mb;
   }
@@ -583,6 +595,7 @@ void ResourceManager::AllocationPass() {
     StatsOf(s.req.app).wait_times_s.push_back(wait);
     QueueStatsOf(s.req.app).wait_times_s.push_back(wait);
     Container* c = AllocateOn(s.req.app, chosen, r.vcores, r.memory_mb);
+    c->priority = r.priority;
     AmCallbacks* cb = apps_.at(s.req.app).callbacks;
     Container copy = *c;
     int64_t cookie = r.cookie;
@@ -593,6 +606,109 @@ void ResourceManager::AllocationPass() {
   for (Slot& s : slots) {
     if (!s.consumed) queue_.push_back(std::move(s.req));
   }
+  UpdateStarvation();
+}
+
+bool ResourceManager::QueueStarved(const std::string& queue) const {
+  auto cfg_it = queue_configs_.find(queue);
+  if (cfg_it == queue_configs_.end()) return false;
+  auto qs_it = queue_stats_.find(queue);
+  if (qs_it == queue_stats_.end()) return false;
+  const TenantStats& qs = qs_it->second;
+  if (qs.pending_requests <= 0) return false;  // no unmet demand
+  return Dominant(qs.usage, total_vcores_, total_memory_mb_) + 1e-9 <
+         cfg_it->second.guaranteed_share;
+}
+
+void ResourceManager::UpdateStarvation() {
+  double now = cluster_->engine()->Now();
+  int budget = options_.max_preempt_per_round;
+  bool preempted_any = false;
+  for (const auto& [qname, cfg] : queue_configs_) {
+    const std::string& queue = qname;
+    QueueStarvation& st = starvation_[queue];
+    bool starved = QueueStarved(queue);
+    if (!starved) {
+      if (st.since >= 0.0) {
+        // Episode closed: the queue climbed back to its guarantee (or its
+        // backlog drained). Record the restoration latency.
+        double dt = now - st.since;
+        TenantStats& qs = queue_stats_[queue];
+        qs.time_under_guarantee_s += dt;
+        qs.restoration_latency_s.push_back(dt);
+        st.since = -1.0;
+      }
+      continue;
+    }
+    if (st.since < 0.0) st.since = now;
+    if (!options_.preemption) continue;
+    double deadline = st.since + options_.preemption_grace_s;
+    if (now + 1e-9 < deadline) {
+      // Within grace: give voluntary releases a chance first, but make
+      // sure a pass (and with it a preemption round) runs at expiry.
+      if (!st.wakeup_scheduled) {
+        st.wakeup_scheduled = true;
+        cluster_->engine()->ScheduleAt(deadline, [this, queue] {
+          auto it = starvation_.find(queue);
+          if (it != starvation_.end()) it->second.wakeup_scheduled = false;
+          AllocationPass();
+        });
+      }
+      continue;
+    }
+    if (budget <= 0) continue;  // this round's kills are spent
+    int killed = PreemptFor(queue, budget);
+    budget -= killed;
+    if (killed > 0) preempted_any = true;
+  }
+  // Freed capacity is matched against the starved backlog on the next
+  // pass (one allocation delay, like any other release).
+  if (preempted_any) ScheduleAllocationPass();
+}
+
+int ResourceManager::PreemptFor(const std::string& starved, int budget) {
+  auto cfg_it = queue_configs_.find(starved);
+  auto qs_it = queue_stats_.find(starved);
+  if (cfg_it == queue_configs_.end() || qs_it == queue_stats_.end()) return 0;
+  const RmQueueConfig& cfg = cfg_it->second;
+  const TenantStats& qs = qs_it->second;
+  // Reclaim no more than the starved queue can actually use: its deficit
+  // against the guarantee, capped by its pending demand.
+  ResourceUsage needed;
+  double deficit_vc = cfg.guaranteed_share * total_vcores_ - qs.usage.vcores;
+  double deficit_mb =
+      cfg.guaranteed_share * total_memory_mb_ - qs.usage.memory_mb;
+  needed.vcores = static_cast<int>(
+      std::ceil(std::max(0.0, std::min(deficit_vc,
+                                       static_cast<double>(qs.pending.vcores)))));
+  needed.memory_mb = std::max(0.0, std::min(deficit_mb, qs.pending.memory_mb));
+  if (needed.vcores <= 0 && needed.memory_mb <= 0.0) return 0;
+
+  std::vector<PreemptionCandidate> candidates;
+  candidates.reserve(containers_.size());
+  for (const auto& [id, c] : containers_) {
+    auto as_it = app_stats_.find(c.app);
+    if (as_it == app_stats_.end()) continue;
+    candidates.push_back(PreemptionCandidate{c, &as_it->second.queue});
+  }
+  RmTenancyView view;
+  view.total_vcores = total_vcores_;
+  view.total_memory_mb = total_memory_mb_;
+  view.app_stats = &app_stats_;
+  view.queue_stats = &queue_stats_;
+  view.queue_configs = &queue_configs_;
+  std::vector<ContainerId> victims =
+      SelectPreemptionVictims(candidates, view, starved, needed, budget);
+  int killed = 0;
+  for (ContainerId id : victims) {
+    auto it = containers_.find(id);
+    if (it == containers_.end()) continue;
+    Container victim = it->second;
+    HIWAY_CHECK(!victim.is_am);  // invariant: AM containers are never preempted
+    DropContainer(victim, ContainerLossReason::kPreempted, /*notify=*/true);
+    ++killed;
+  }
+  return killed;
 }
 
 }  // namespace hiway

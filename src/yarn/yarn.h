@@ -47,6 +47,11 @@ struct Container {
   double memory_mb = 1024.0;
   /// True for the container hosting the application's master process.
   bool is_am = false;
+  /// Preemption priority inherited from the request (lower = preempted
+  /// first); see docs/scheduling-model.md.
+  int priority = 0;
+  /// Virtual time the container was allocated (wasted-work accounting).
+  double allocated_at = 0.0;
 };
 
 /// Why a running container was taken away from its application (see
@@ -55,9 +60,14 @@ enum class ContainerLossReason {
   /// The hosting node died. AMs should NOT blacklist the node for the
   /// retried task: the RM already stopped placing there.
   kNodeLost,
-  /// The container process was killed (fault injection, preemption).
-  /// The node itself is healthy.
+  /// The container process was killed (fault injection). The node itself
+  /// is healthy.
   kKilled,
+  /// The RM reclaimed the container to restore another queue's
+  /// guaranteed share. Like kNodeLost this is not the task's (or the
+  /// node's) fault: AMs must neither charge the retry budget nor
+  /// blacklist the node (docs/scheduling-model.md).
+  kPreempted,
 };
 
 const char* ToString(ContainerLossReason reason);
@@ -75,6 +85,9 @@ struct ContainerRequest {
   std::vector<NodeId> blacklist;
   /// Opaque cookie passed back with the allocation.
   int64_t cookie = 0;
+  /// Preemption priority of the resulting container: when the RM must
+  /// reclaim capacity for a starved queue it kills lower values first.
+  int priority = 0;
 };
 
 /// Callbacks implemented by an application master.
@@ -103,6 +116,15 @@ struct RmCounters {
   /// Applications the RM declared failed (AM container lost, AM
   /// heartbeat timeout, or an injected AM kill).
   int64_t app_failures = 0;
+  /// Containers killed by the RM to restore a starved queue's guarantee
+  /// (kPreempted losses; disjoint from lost_containers).
+  int64_t preempted_containers = 0;
+  /// Container-seconds thrown away by preemption (victim lifetime at
+  /// kill time). wasted-work ratio = preempted_work_s / container_work_s.
+  double preempted_work_s = 0.0;
+  /// Total container-seconds of finished task containers (AM containers
+  /// excluded); denominator of the wasted-work ratio.
+  double container_work_s = 0.0;
 };
 
 /// A (vcores, memory) pair: allocated resources or aggregate demand.
@@ -135,6 +157,15 @@ struct TenantStats {
   std::vector<double> wait_times_s;
   /// Queue the tenant belongs to (apps) or the queue's own name.
   std::string queue;
+  // -- Queue entries only (zero for per-application stats) ---------------
+  /// Total virtual time the queue spent starved: backlogged yet below its
+  /// guaranteed share (integrated over closed starvation episodes).
+  double time_under_guarantee_s = 0.0;
+  /// Duration of each closed starvation episode, in order: how long the
+  /// queue took to climb back to its guarantee (or drain its backlog)
+  /// after dropping below it. The guarantee-restoration latencies
+  /// bench_preemption reports percentiles over.
+  std::vector<double> restoration_latency_s;
 };
 
 struct YarnOptions {
@@ -149,6 +180,16 @@ struct YarnOptions {
   /// stays silent this long is declared failed (AM liveness tracking).
   /// Applications that never heartbeat are not monitored.
   double am_liveness_timeout_s = 10.0;
+  /// Container preemption (docs/scheduling-model.md): when enabled, a
+  /// queue that stays starved (backlogged below its guaranteed share)
+  /// longer than `preemption_grace_s` reclaims capacity by killing task
+  /// containers of over-guarantee queues — lowest priority first, never
+  /// AM containers, at most `max_preempt_per_round` kills per allocation
+  /// pass. Starvation episodes are tracked (and restoration latencies
+  /// recorded) even when preemption itself is disabled.
+  bool preemption = false;
+  double preemption_grace_s = 5.0;
+  int max_preempt_per_round = 2;
 };
 
 class ResourceManager {
@@ -304,6 +345,16 @@ class ResourceManager {
   void AllocationPass();
   void ScheduleAllocationPass();
 
+  /// Updates per-queue starvation episodes after an allocation pass and —
+  /// when preemption is enabled and a queue's grace period has expired —
+  /// runs one bounded preemption round on its behalf.
+  void UpdateStarvation();
+  /// Kills up to `budget` task containers of over-guarantee queues so
+  /// `starved` can reach its guarantee; returns the number killed.
+  int PreemptFor(const std::string& starved, int budget);
+  /// True while `queue` is backlogged below its guaranteed share.
+  bool QueueStarved(const std::string& queue) const;
+
   /// Seed placement logic: preferred node first, then (unless strict) a
   /// rotating scan over non-blacklisted nodes with capacity.
   NodeId TryPlace(const ContainerRequest& r);
@@ -360,6 +411,14 @@ class ResourceManager {
   /// app entries include the AM container).
   std::map<ApplicationId, ResourceUsage> app_usage_;
   std::map<std::string, ResourceUsage> queue_usage_;
+  /// One open starvation episode per queue: `since` < 0 when the queue is
+  /// not starved; `wakeup_scheduled` dedupes the grace-expiry timer that
+  /// re-triggers an allocation pass (and with it a preemption round).
+  struct QueueStarvation {
+    double since = -1.0;
+    bool wakeup_scheduled = false;
+  };
+  std::map<std::string, QueueStarvation> starvation_;
   AppFailureListener app_failure_listener_;
   int total_vcores_ = 0;
   double total_memory_mb_ = 0.0;

@@ -442,6 +442,78 @@ TEST(ServiceFailoverTest, BurstSurvivesRepeatedAmNodeKills) {
   EXPECT_GE(recovered, 2);  // each node kill took down at least one AM
 }
 
+TEST(ServiceTest, PreemptionRestoresGuaranteeAndChargesNoAttempts) {
+  // A batch burst saturates the cluster; a production queue with a 0.7
+  // guarantee arrives mid-flight. With preemption on, the RM must kill
+  // batch task containers until prod reaches its guarantee within the
+  // grace window — and the preempted batch tasks must NOT consume their
+  // retry budget (max_attempts = 1 makes any charged attempt fatal).
+  auto d = SmallDeployment(
+      /*workers=*/4, {{"yarn/preemption", "true"},
+                      {"yarn/preemption_grace_s", "2"},
+                      {"yarn/max_preempt_per_round", "8"},
+                      {"snv/chunks", "8"}});
+  ASSERT_TRUE(d.ok());
+  WorkflowServiceOptions options;
+  options.rm_scheduler = "capacity";
+  ServiceQueueOptions batch;
+  batch.rm = RmQueueConfig{"batch", 0.2, 0.85, 1.0};
+  ServiceQueueOptions prod;
+  prod.rm = RmQueueConfig{"prod", 0.7, 1.0, 1.0};
+  options.queues = {batch, prod};
+  auto service = WorkflowService::Create(d->get(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  SubmissionOptions batch_opts;
+  batch_opts.queue = "batch";
+  batch_opts.hiway.container_priority = 0;
+  batch_opts.hiway.task_retry.max_attempts = 1;  // preemption-exempt proof
+  std::vector<SubmissionId> batch_ids;
+  for (int i = 0; i < 2; ++i) {
+    auto id = (*service)->SubmitStaged("snv-calling", batch_opts);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    batch_ids.push_back(*id);
+  }
+  SubmissionId prod_id = -1;
+  (*d)->engine.ScheduleAt(25.0, [&] {
+    SubmissionOptions prod_opts;
+    prod_opts.queue = "prod";
+    prod_opts.hiway.container_priority = 10;
+    auto id = (*service)->SubmitStaged("snv-calling", prod_opts);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    prod_id = *id;
+  });
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+
+  int preempted_tasks = 0;
+  for (const SubmissionRecord& rec : (*service)->Records()) {
+    EXPECT_EQ(rec.state, SubmissionState::kSucceeded)
+        << rec.name << ": " << rec.report.status.ToString();
+    // No attempt was ever charged for a preempted container (and no node
+    // blacklisted): with max_attempts = 1 a single charge would have
+    // failed the batch workflow outright.
+    EXPECT_EQ(rec.report.failed_attempts, 0) << rec.name;
+    preempted_tasks += rec.report.tasks_preempted;
+  }
+  ASSERT_NE(prod_id, -1);  // batch really was still running at t=25
+  const ResourceManager& rm = *(*d)->rm;
+  EXPECT_GT(rm.counters().preempted_containers, 0);
+  EXPECT_EQ(preempted_tasks, rm.counters().preempted_containers);
+
+  // Prod's starvation episode closed within the grace window (plus the
+  // allocation-pass cadence that delivers the reclaimed capacity).
+  const TenantStats* prod_stats = rm.queue_stats("prod");
+  ASSERT_NE(prod_stats, nullptr);
+  ASSERT_FALSE(prod_stats->restoration_latency_s.empty());
+  double grace = rm.options().preemption_grace_s;
+  EXPECT_LE(prod_stats->restoration_latency_s[0], grace + 3.0);
+  // Kills were bounded by what restoration needed: batch kept its own
+  // guarantee and the run wasted only a small fraction of its work.
+  const RmCounters& counters = rm.counters();
+  ASSERT_GT(counters.container_work_s, 0.0);
+  EXPECT_LT(counters.preempted_work_s / counters.container_work_s, 0.3);
+}
+
 TEST(ServiceTest, CreateRejectsBadConfiguration) {
   auto d = SmallDeployment();
   ASSERT_TRUE(d.ok());

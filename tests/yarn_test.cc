@@ -638,5 +638,290 @@ TEST(YarnMultiAppTest, UnknownSchedulerNameIsRejected) {
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
 
+// -- Container preemption (docs/scheduling-model.md) ------------------------
+
+/// Records each loss with its virtual timestamp (per-round assertions).
+class TimestampingAm : public AmCallbacks {
+ public:
+  explicit TimestampingAm(SimEngine* engine) : engine_(engine) {}
+  void OnContainerAllocated(const Container& container,
+                            int64_t cookie) override {
+    allocations.push_back({container, cookie});
+  }
+  void OnContainerLost(const Container& container,
+                       ContainerLossReason reason) override {
+    lost.push_back(container);
+    loss_reasons.push_back(reason);
+    loss_times.push_back(engine_->Now());
+  }
+  std::vector<std::pair<Container, int64_t>> allocations;
+  std::vector<Container> lost;
+  std::vector<ContainerLossReason> loss_reasons;
+  std::vector<double> loss_times;
+
+ private:
+  SimEngine* engine_;
+};
+
+struct PreemptRig {
+  SimEngine engine;
+  FlowNetwork net{&engine};
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ResourceManager> rm;
+  RecordingAm am_a, am_b, am_c;
+  ApplicationId app_a = -1, app_b = -1, app_c = -1;
+
+  PreemptRig(int nodes, int cores, double memory_mb,
+             const YarnOptions& options,
+             const std::vector<RmQueueConfig>& queues) {
+    NodeSpec node;
+    node.cores = cores;
+    node.memory_mb = memory_mb;
+    cluster = std::make_unique<Cluster>(
+        &engine, &net, ClusterSpec::Uniform(nodes, node, 1000.0));
+    rm = std::make_unique<ResourceManager>(cluster.get(), options);
+    for (const RmQueueConfig& q : queues) rm->ConfigureQueue(q);
+  }
+
+  ApplicationId Register(const std::string& name, AmCallbacks* am,
+                         const std::string& queue) {
+    auto result =
+        rm->RegisterApplication(name, am, 1, 512, kInvalidNode, queue);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : -1;
+  }
+};
+
+YarnOptions PreemptionOptions(int max_per_round = 2) {
+  YarnOptions options;
+  options.scheduler = "capacity";
+  options.preemption = true;
+  options.preemption_grace_s = 1.0;
+  options.max_preempt_per_round = max_per_round;
+  return options;
+}
+
+ContainerRequest TaskRequest(int priority = 0) {
+  ContainerRequest r;
+  r.vcores = 1;
+  r.memory_mb = 1024;
+  r.priority = priority;
+  return r;
+}
+
+TEST(YarnPreemptionTest, RestoresStarvedQueueGuarantee) {
+  PreemptRig rig(1, 6, 8192, PreemptionOptions(),
+                 {RmQueueConfig{"qa", 0.5, 1.0, 1.0},
+                  RmQueueConfig{"qb", 0.5, 1.0, 1.0}});
+  rig.app_a = rig.Register("a", &rig.am_a, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  // Queue qa grabs every free core while qb is idle...
+  for (int i = 0; i < 4; ++i) {
+    rig.rm->SubmitRequest(rig.app_a, TaskRequest());
+  }
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.allocations.size(), 4u);
+  // ...then qb (guaranteed half the cluster) shows up with demand.
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.engine.Run();
+  // The grace period expires, two of qa's task containers are preempted,
+  // and qb climbs back to its guaranteed share.
+  EXPECT_EQ(rig.am_b.allocations.size(), 2u);
+  ASSERT_EQ(rig.am_a.lost.size(), 2u);
+  for (ContainerLossReason reason : rig.am_a.loss_reasons) {
+    EXPECT_EQ(reason, ContainerLossReason::kPreempted);
+  }
+  EXPECT_EQ(rig.rm->counters().preempted_containers, 2);
+  EXPECT_EQ(rig.rm->counters().lost_containers, 0);
+  EXPECT_GT(rig.rm->counters().preempted_work_s, 0.0);
+  // qa's AM container survived the round.
+  EXPECT_TRUE(rig.rm->AmNode(rig.app_a).ok());
+  const TenantStats* qa = rig.rm->queue_stats("qa");
+  ASSERT_NE(qa, nullptr);
+  EXPECT_EQ(qa->counters.preempted_containers, 2);
+  // The starvation episode closed and its restoration latency (>= the
+  // grace period, since preemption had to step in) was recorded.
+  const TenantStats* qb = rig.rm->queue_stats("qb");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->restoration_latency_s.size(), 1u);
+  EXPECT_GE(qb->restoration_latency_s[0],
+            rig.rm->options().preemption_grace_s);
+  EXPECT_GT(qb->time_under_guarantee_s, 0.0);
+}
+
+TEST(YarnPreemptionTest, NeverTouchesAmContainers) {
+  PreemptRig rig(1, 4, 8192, PreemptionOptions(),
+                 {RmQueueConfig{"qa", 0.25, 1.0, 1.0},
+                  RmQueueConfig{"qb", 0.75, 1.0, 1.0}});
+  // qa holds over its guarantee purely with AM containers (2/4 cores).
+  rig.app_a = rig.Register("a", &rig.am_a, "qa");
+  rig.app_c = rig.Register("c", &rig.am_c, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  // qb wants two more cores but only one is free: it stays starved past
+  // the grace period — and the RM must NOT kill anyone's AM for it.
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_b.allocations.size(), 1u);
+  EXPECT_EQ(rig.rm->counters().preempted_containers, 0);
+  EXPECT_EQ(rig.rm->counters().app_failures, 0);
+  EXPECT_TRUE(rig.am_a.lost.empty());
+  EXPECT_TRUE(rig.am_c.lost.empty());
+  EXPECT_TRUE(rig.rm->AmNode(rig.app_a).ok());
+  EXPECT_TRUE(rig.rm->AmNode(rig.app_c).ok());
+  // qb's unmet demand is still pending (no victims existed).
+  const TenantStats* qb = rig.rm->queue_stats("qb");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->pending_requests, 1);
+}
+
+TEST(YarnPreemptionTest, TakesLowestPriorityContainersFirst) {
+  PreemptRig rig(1, 6, 8192, PreemptionOptions(),
+                 {RmQueueConfig{"qa", 0.5, 1.0, 1.0},
+                  RmQueueConfig{"qb", 0.5, 1.0, 1.0}});
+  rig.app_a = rig.Register("a", &rig.am_a, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  // The low-priority containers are OLDER: if selection used age alone
+  // it would kill the high-priority pair instead.
+  rig.rm->SubmitRequest(rig.app_a, TaskRequest(/*priority=*/1));
+  rig.rm->SubmitRequest(rig.app_a, TaskRequest(/*priority=*/1));
+  rig.engine.Run();
+  rig.rm->SubmitRequest(rig.app_a, TaskRequest(/*priority=*/5));
+  rig.rm->SubmitRequest(rig.app_a, TaskRequest(/*priority=*/5));
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.allocations.size(), 4u);
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.engine.Run();
+  ASSERT_EQ(rig.am_a.lost.size(), 2u);
+  for (const Container& victim : rig.am_a.lost) {
+    EXPECT_EQ(victim.priority, 1);
+  }
+  EXPECT_EQ(rig.am_b.allocations.size(), 2u);
+}
+
+TEST(YarnPreemptionTest, HonoursPerRoundBound) {
+  PreemptRig rig(1, 8, 16384, PreemptionOptions(/*max_per_round=*/1),
+                 {RmQueueConfig{"qa", 0.25, 1.0, 1.0},
+                  RmQueueConfig{"qb", 0.5, 1.0, 1.0}});
+  TimestampingAm am_a(&rig.engine);
+  rig.app_a = rig.Register("a", &am_a, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  for (int i = 0; i < 6; ++i) {
+    rig.rm->SubmitRequest(rig.app_a, TaskRequest());
+  }
+  rig.engine.Run();
+  ASSERT_EQ(am_a.allocations.size(), 6u);
+  for (int i = 0; i < 4; ++i) {
+    rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  }
+  rig.engine.Run();
+  // qb's deficit is 3 cores (guarantee 4, AM holds 1): with one kill per
+  // round it takes three separate rounds to restore the guarantee.
+  EXPECT_EQ(rig.rm->counters().preempted_containers, 3);
+  ASSERT_EQ(am_a.loss_times.size(), 3u);
+  EXPECT_LT(am_a.loss_times[0], am_a.loss_times[1]);
+  EXPECT_LT(am_a.loss_times[1], am_a.loss_times[2]);
+  EXPECT_EQ(rig.am_b.allocations.size(), 3u);
+  // At its guarantee, qb stops reclaiming even though demand remains.
+  const TenantStats* qb = rig.rm->queue_stats("qb");
+  ASSERT_NE(qb, nullptr);
+  EXPECT_EQ(qb->pending_requests, 1);
+  EXPECT_EQ(qb->usage.vcores, 4);
+}
+
+TEST(YarnPreemptionTest, DisabledPreemptionStillRecordsStarvation) {
+  YarnOptions options = PreemptionOptions();
+  options.preemption = false;
+  PreemptRig rig(1, 6, 8192, options,
+                 {RmQueueConfig{"qa", 0.5, 1.0, 1.0},
+                  RmQueueConfig{"qb", 0.5, 1.0, 1.0}});
+  rig.app_a = rig.Register("a", &rig.am_a, "qa");
+  rig.app_b = rig.Register("b", &rig.am_b, "qb");
+  for (int i = 0; i < 4; ++i) {
+    rig.rm->SubmitRequest(rig.app_a, TaskRequest());
+  }
+  rig.engine.Run();
+  rig.rm->SubmitRequest(rig.app_b, TaskRequest());
+  rig.engine.Run();
+  // Nothing was killed...
+  EXPECT_EQ(rig.rm->counters().preempted_containers, 0);
+  EXPECT_TRUE(rig.am_a.lost.empty());
+  // ...but once qa releases a container, qb's episode closes and the
+  // restoration latency is recorded (the preemption-off baseline the
+  // bench compares against).
+  rig.rm->ReleaseContainer(rig.am_a.allocations[0].first.id);
+  rig.engine.Run();
+  EXPECT_EQ(rig.am_b.allocations.size(), 1u);
+  const TenantStats* qb = rig.rm->queue_stats("qb");
+  ASSERT_NE(qb, nullptr);
+  ASSERT_EQ(qb->restoration_latency_s.size(), 1u);
+  EXPECT_GT(qb->restoration_latency_s[0], 0.0);
+}
+
+TEST(YarnPreemptionTest, VictimSelectionOrdersAndExemptions) {
+  std::map<ApplicationId, TenantStats> app_stats;
+  std::map<std::string, TenantStats> queue_stats;
+  std::map<std::string, RmQueueConfig> queue_configs;
+  queue_configs["hog"] = RmQueueConfig{"hog", 0.2, 1.0, 1.0};
+  queue_configs["mild"] = RmQueueConfig{"mild", 0.3, 1.0, 1.0};
+  queue_configs["starved"] = RmQueueConfig{"starved", 0.5, 1.0, 1.0};
+  queue_stats["hog"].usage = {6, 6144.0};      // share 0.6, surplus 0.4
+  queue_stats["mild"].usage = {3, 3072.0};     // exactly at guarantee
+  queue_stats["starved"].usage = {1, 1024.0};  // far below guarantee
+  RmTenancyView view;
+  view.total_vcores = 10;
+  view.total_memory_mb = 10240.0;
+  view.app_stats = &app_stats;
+  view.queue_stats = &queue_stats;
+  view.queue_configs = &queue_configs;
+
+  std::string hog = "hog", mild = "mild", starved = "starved";
+  auto cand = [](ContainerId id, const std::string* queue, bool is_am,
+                 int priority, double allocated_at) {
+    PreemptionCandidate c;
+    c.container.id = id;
+    c.container.vcores = 1;
+    c.container.memory_mb = 1024.0;
+    c.container.is_am = is_am;
+    c.container.priority = priority;
+    c.container.allocated_at = allocated_at;
+    c.queue = queue;
+    return c;
+  };
+  std::vector<PreemptionCandidate> candidates = {
+      cand(1, &hog, /*is_am=*/true, 0, 0.0),
+      cand(2, &hog, false, /*priority=*/5, /*allocated_at=*/10.0),
+      cand(3, &hog, false, /*priority=*/1, /*allocated_at=*/5.0),
+      cand(4, &hog, false, /*priority=*/1, /*allocated_at=*/8.0),
+      cand(5, &mild, false, /*priority=*/0, /*allocated_at=*/1.0),
+      cand(6, &starved, false, /*priority=*/0, /*allocated_at=*/1.0),
+  };
+
+  // Lowest priority first within the donor, youngest breaking the tie.
+  ResourceUsage needed{2, 2048.0};
+  std::vector<ContainerId> victims =
+      SelectPreemptionVictims(candidates, view, starved, needed, 10);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], 4);
+  EXPECT_EQ(victims[1], 3);
+
+  // The per-round bound truncates the list.
+  victims = SelectPreemptionVictims(candidates, view, starved, needed, 1);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], 4);
+
+  // Even unbounded demand never claims AM containers, the starved
+  // queue's own containers, or donors at/below their guarantee.
+  victims = SelectPreemptionVictims(candidates, view, starved,
+                                    ResourceUsage{100, 102400.0}, 100);
+  EXPECT_EQ(victims, (std::vector<ContainerId>{4, 3, 2}));
+}
+
+TEST(YarnPreemptionTest, LossReasonToString) {
+  EXPECT_STREQ(ToString(ContainerLossReason::kPreempted), "preempted");
+}
+
 }  // namespace
 }  // namespace hiway
