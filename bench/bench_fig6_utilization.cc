@@ -59,7 +59,7 @@ Result<UtilRow> RunScale(int workers, uint64_t seed) {
       ApplicationId blocker,
       d->rm->RegisterApplication("hadoop-masters", nullptr, 2, 7000, 0));
   (void)blocker;
-  size_t prov_before = d->provenance_store->size();
+  size_t prov_before = d->provenance->size();
   d->net.ResetStats();
   HIWAY_ASSIGN_OR_RETURN(WorkflowReport report,
                          client.Run("snv-calling", "fcfs", options));
@@ -79,7 +79,7 @@ Result<UtilRow> RunScale(int workers, uint64_t seed) {
   inputs.dfs = d->dfs->counters();
   inputs.am_decisions = report.scheduler_invocations;
   inputs.provenance_events =
-      static_cast<int64_t>(d->provenance_store->size() - prov_before);
+      static_cast<int64_t>(d->provenance->size() - prov_before);
   inputs.mean_running_containers = workers;  // 1 container/worker, saturated
   MasterLoad load = ComputeMasterLoad(inputs);
   row.hadoop_master = load.hadoop_master;

@@ -124,7 +124,7 @@ int Main(int argc, char** argv) {
     fcfs_runtimes.push_back(*fcfs);
     // Wipe provenance between the FCFS baseline and the HEFT series
     // ("between iterations however, all provenance data was removed").
-    (*d)->provenance_store->Clear();
+    (*d)->provenance->Clear();
     (*d)->estimator.Clear();
     for (int k = 0; k < heft_runs; ++k) {
       auto heft = RunOnce(d->get(), "heft", seed + static_cast<uint64_t>(k));

@@ -447,7 +447,7 @@ Result<int> RunService(const CliOptions& cli) {
     if (!out) {
       return Status::IoError("cannot write trace file: " + cli.trace_out);
     }
-    out << SerializeTrace(d->provenance_store->Events());
+    out << SerializeTrace(d->provenance->Events());
     std::printf("trace: %s\n", cli.trace_out.c_str());
   }
   return exit_code;
@@ -477,7 +477,7 @@ Result<int> Run(const CliOptions& cli) {
   auto report = client.RunSource(source.get(), cli.policy, options);
   HIWAY_RETURN_IF_ERROR(report.status());
   if (cli.verbose) {
-    for (const ProvenanceEvent& ev : d->provenance_store->Events()) {
+    for (const ProvenanceEvent& ev : d->provenance->Events()) {
       if (ev.type == ProvenanceEventType::kTaskEnd) {
         std::printf("  t=%10.1fs  %-20s %-10s %s (%.1fs)\n", ev.timestamp,
                     ev.signature.c_str(), ev.node_name.c_str(),
@@ -506,7 +506,7 @@ Result<int> Run(const CliOptions& cli) {
     if (!out) {
       return Status::IoError("cannot write trace file: " + cli.trace_out);
     }
-    out << SerializeTrace(d->provenance_store->Events());
+    out << SerializeTrace(d->provenance->Events());
     std::printf("  trace:  %s (re-executable with --language trace)\n",
                 cli.trace_out.c_str());
   }

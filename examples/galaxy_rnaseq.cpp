@@ -43,7 +43,7 @@ Result<int> Run() {
 
   // Serialise the trace (in deployment, this JSON-lines file lives in
   // HDFS) and rebuild a workflow from it.
-  std::string trace = SerializeTrace(d->provenance_store->Events());
+  std::string trace = SerializeTrace(d->provenance->Events());
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<TraceSource> replay,
                          TraceSource::Parse(trace, original.run_id));
   std::printf("trace:          %zu bytes, re-executable with %zu tasks\n",

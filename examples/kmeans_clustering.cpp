@@ -60,7 +60,7 @@ Result<int> Run() {
 
   // Show the iteration structure from provenance.
   std::printf("\niteration trace:\n");
-  for (const ProvenanceEvent& ev : d->provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : d->provenance->Events()) {
     if (ev.type == ProvenanceEventType::kTaskEnd) {
       std::printf("  t=%7.1fs  %-14s on %s%s\n", ev.timestamp,
                   ev.signature.c_str(), ev.node_name.c_str(),

@@ -54,7 +54,7 @@ Result<int> Run() {
               HumanDuration(fcfs.Makespan()).c_str());
 
   // Provenance from the FCFS run is discarded, as in the paper's setup.
-  d->provenance_store->Clear();
+  d->provenance->Clear();
   d->estimator.Clear();
 
   for (int run = 0; run < 6; ++run) {
@@ -71,7 +71,7 @@ Result<int> Run() {
   std::printf("\nmProjectPP placements in the final run:\n");
   std::map<std::string, int> per_node;
   double cutoff = 0.0;
-  for (const ProvenanceEvent& ev : d->provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : d->provenance->Events()) {
     if (ev.type == ProvenanceEventType::kWorkflowStart) {
       cutoff = ev.timestamp;  // keep only the last run
       per_node.clear();

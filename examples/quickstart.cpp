@@ -78,9 +78,9 @@ int main() {
 
   // 6. Every run leaves a re-executable JSON provenance trace.
   std::printf("\nprovenance trace (%zu events), first three:\n",
-              d.provenance_store->size());
+              d.provenance->size());
   int shown = 0;
-  for (const ProvenanceEvent& ev : d.provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : d.provenance->Events()) {
     if (shown++ >= 3) break;
     std::printf("  %s\n", ev.ToJson().Dump().c_str());
   }

@@ -46,6 +46,10 @@ void HiWayAm::Crash() {
     cluster_->engine()->Cancel(heartbeat_event_);
     heartbeat_event_ = 0;
   }
+  // A dead attempt's shard is sealed: in-flight executor callbacks that
+  // race past the crash are dropped (and counted) instead of polluting
+  // the crash-prefix trace that the next attempt replays.
+  if (shard_ != nullptr) shard_->Seal();
 }
 
 void HiWayAm::HeartbeatLoop() {
@@ -163,6 +167,9 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
   report_.started_at = cluster_->engine()->Now();
   report_.run_id =
       provenance_->BeginWorkflow(source->name(), report_.started_at);
+  // The AM appends to its own shard for its whole lifetime — recording
+  // never takes the manager's registry lock (no cross-AM contention).
+  shard_ = provenance_->shard(report_.run_id);
   HeartbeatLoop();
 
   auto initial = source_->Init();
@@ -385,9 +392,11 @@ void HiWayAm::LaunchTask(TaskEntry* entry, const Container& container) {
   ++entry->attempt_epoch;
   ++running_;
   ++report_.task_attempts;
-  provenance_->RecordTaskStart(report_.run_id, entry->spec, container.node,
-                               cluster_->node(container.node).name,
-                               cluster_->engine()->Now());
+  if (shard_ != nullptr) {
+    shard_->RecordTaskStart(entry->spec, container.node,
+                            cluster_->node(container.node).name,
+                            cluster_->engine()->Now());
+  }
   TaskId id = entry->spec.id;
   int epoch = entry->attempt_epoch;
   TaskSpec spec = entry->spec;
@@ -418,17 +427,16 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
   entry->container = kInvalidContainer;
 
   const TaskResult& result = outcome.result;
-  provenance_->RecordTaskEnd(report_.run_id, result,
-                             cluster_->node(result.node).name);
-  for (const auto& t : outcome.transfers) {
-    if (t.stage_in) {
-      provenance_->RecordFileStageIn(report_.run_id, id, t.path,
-                                     t.size_bytes, t.seconds,
-                                     cluster_->engine()->Now());
-    } else {
-      provenance_->RecordFileStageOut(report_.run_id, id, t.path,
-                                      t.size_bytes, t.seconds,
-                                      cluster_->engine()->Now());
+  if (shard_ != nullptr) {
+    shard_->RecordTaskEnd(result, cluster_->node(result.node).name);
+    for (const auto& t : outcome.transfers) {
+      if (t.stage_in) {
+        shard_->RecordFileStageIn(id, t.path, t.size_bytes, t.seconds,
+                                  cluster_->engine()->Now());
+      } else {
+        shard_->RecordFileStageOut(id, t.path, t.size_bytes, t.seconds,
+                                   cluster_->engine()->Now());
+      }
     }
   }
 
@@ -569,7 +577,10 @@ void HiWayAm::FinishWorkflow(Status status) {
   }
   report_.status = status;
   report_.finished_at = cluster_->engine()->Now();
-  provenance_->EndWorkflow(report_.run_id, report_.finished_at, status.ok());
+  // Seals the shard: a terminal run accepts no further events.
+  if (shard_ != nullptr) {
+    shard_->RecordWorkflowEnd(report_.finished_at, status.ok());
+  }
   if (submitted_) {
     rm_->UnregisterApplication(app_);
   }

@@ -198,6 +198,9 @@ class HiWayAm : public AmCallbacks {
   Dfs* dfs_;
   ToolRegistry* tools_;
   ProvenanceManager* provenance_;
+  /// This attempt's own provenance shard (owned by provenance_); set by
+  /// Submit, appended to directly so recording never crosses AMs.
+  ProvenanceShard* shard_ = nullptr;
   RuntimeEstimator* estimator_;
   HiWayOptions options_;
 

@@ -1,5 +1,8 @@
 #include "src/core/provenance.h"
 
+#include <algorithm>
+
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 
 namespace hiway {
@@ -38,6 +41,7 @@ Json ProvenanceEvent::ToJson() const {
   Json obj = Json::MakeObject();
   obj.Set("type", std::string(ProvenanceEventTypeToString(type)));
   obj.Set("run_id", run_id);
+  if (seq >= 0) obj.Set("seq", seq);
   obj.Set("timestamp", timestamp);
   switch (type) {
     case ProvenanceEventType::kWorkflowStart:
@@ -85,6 +89,7 @@ Result<ProvenanceEvent> ProvenanceEvent::FromJson(const Json& json) {
   HIWAY_ASSIGN_OR_RETURN(
       ev.type, ProvenanceEventTypeFromString(json.GetString("type")));
   ev.run_id = json.GetString("run_id");
+  ev.seq = json.GetInt("seq", -1);
   ev.timestamp = json.GetNumber("timestamp");
   ev.workflow_name = json.GetString("workflow");
   ev.total_runtime = json.GetNumber("total_runtime");
@@ -133,42 +138,58 @@ Result<std::vector<ProvenanceEvent>> ParseTrace(std::string_view text) {
   return out;
 }
 
-std::string ProvenanceManager::BeginWorkflow(const std::string& workflow_name,
-                                             double now) {
-  run_id_ = StrFormat("%s-run-%lld", workflow_name.c_str(),
-                      static_cast<long long>(run_counter_++));
-  runs_[run_id_] = RunInfo{workflow_name, now};
+// --------------------------------------------------------- ProvenanceShard --
+
+ProvenanceShard::ProvenanceShard(std::string run_id,
+                                 std::string workflow_name, double started,
+                                 std::unique_ptr<ProvenanceStore> store,
+                                 std::atomic<int64_t>* global_seq)
+    : run_id_(std::move(run_id)),
+      workflow_name_(std::move(workflow_name)),
+      started_(started),
+      global_seq_(global_seq),
+      store_(std::move(store)) {}
+
+void ProvenanceShard::Append(ProvenanceEvent event) {
+  if (event.run_id.empty()) event.run_id = run_id_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_) {
+    ++dropped_after_seal_;
+    return;
+  }
+  // Stamped under the shard lock so seq is ascending within the shard
+  // (the merge relies on per-shard order); different shards only share
+  // the lock-free atomic.
+  if (global_seq_ != nullptr) {
+    event.seq = global_seq_->fetch_add(1, std::memory_order_relaxed);
+  }
+  store_->Append(event);
+}
+
+void ProvenanceShard::RecordWorkflowStart(double now) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kWorkflowStart;
-  ev.run_id = run_id_;
   ev.timestamp = now;
-  ev.workflow_name = workflow_name;
-  store_->Append(ev);
-  return run_id_;
+  ev.workflow_name = workflow_name_;
+  Append(std::move(ev));
 }
 
-void ProvenanceManager::EndWorkflow(const std::string& run_id, double now,
-                                    bool success) {
+void ProvenanceShard::RecordWorkflowEnd(double now, bool success) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kWorkflowEnd;
-  ev.run_id = run_id;
   ev.timestamp = now;
-  auto it = runs_.find(run_id);
-  if (it != runs_.end()) {
-    ev.workflow_name = it->second.workflow_name;
-    ev.total_runtime = now - it->second.started;
-  }
+  ev.workflow_name = workflow_name_;
+  ev.total_runtime = now - started_;
   ev.success = success;
-  store_->Append(ev);
+  Append(std::move(ev));
+  Seal();
 }
 
-void ProvenanceManager::RecordTaskStart(const std::string& run_id,
-                                        const TaskSpec& task, int32_t node,
-                                        const std::string& node_name,
-                                        double now) {
+void ProvenanceShard::RecordTaskStart(const TaskSpec& task, int32_t node,
+                                      const std::string& node_name,
+                                      double now) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kTaskStart;
-  ev.run_id = run_id;
   ev.timestamp = now;
   ev.task_id = task.id;
   ev.signature = task.signature;
@@ -176,15 +197,13 @@ void ProvenanceManager::RecordTaskStart(const std::string& run_id,
   ev.tool = task.ToolName();
   ev.node = node;
   ev.node_name = node_name;
-  store_->Append(ev);
+  Append(std::move(ev));
 }
 
-void ProvenanceManager::RecordTaskEnd(const std::string& run_id,
-                                      const TaskResult& result,
-                                      const std::string& node_name) {
+void ProvenanceShard::RecordTaskEnd(const TaskResult& result,
+                                    const std::string& node_name) {
   ProvenanceEvent ev;
   ev.type = ProvenanceEventType::kTaskEnd;
-  ev.run_id = run_id;
   ev.timestamp = result.finished_at;
   ev.task_id = result.id;
   ev.signature = result.signature;
@@ -193,7 +212,241 @@ void ProvenanceManager::RecordTaskEnd(const std::string& run_id,
   ev.duration = result.Makespan();
   ev.success = result.status.ok();
   ev.stdout_value = result.stdout_value;
-  store_->Append(ev);
+  Append(std::move(ev));
+}
+
+void ProvenanceShard::RecordFileStageIn(TaskId task, const std::string& path,
+                                        int64_t size_bytes,
+                                        double transfer_seconds, double now) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kFileStageIn;
+  ev.timestamp = now;
+  ev.task_id = task;
+  ev.file_path = path;
+  ev.size_bytes = size_bytes;
+  ev.transfer_seconds = transfer_seconds;
+  Append(std::move(ev));
+}
+
+void ProvenanceShard::RecordFileStageOut(TaskId task, const std::string& path,
+                                         int64_t size_bytes,
+                                         double transfer_seconds, double now) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kFileStageOut;
+  ev.timestamp = now;
+  ev.task_id = task;
+  ev.file_path = path;
+  ev.size_bytes = size_bytes;
+  ev.transfer_seconds = transfer_seconds;
+  Append(std::move(ev));
+}
+
+void ProvenanceShard::Seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_ = true;
+}
+
+bool ProvenanceShard::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+int64_t ProvenanceShard::dropped_after_seal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_after_seal_;
+}
+
+std::vector<ProvenanceEvent> ProvenanceShard::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->Events();
+}
+
+size_t ProvenanceShard::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_->size();
+}
+
+// ---------------------------------------------------------- ProvenanceView --
+
+void ProvenanceView::AddShard(const ProvenanceShard* shard) {
+  if (shard != nullptr) shards_.push_back(shard);
+}
+
+std::vector<ProvenanceEvent> ProvenanceView::Events() const {
+  // Snapshot each shard (its lock is taken one at a time, briefly).
+  std::vector<std::vector<ProvenanceEvent>> snapshots;
+  snapshots.reserve(shards_.size());
+  size_t total = 0;
+  bool all_stamped = true;
+  for (const ProvenanceShard* shard : shards_) {
+    snapshots.push_back(shard->Events());
+    total += snapshots.back().size();
+    for (const ProvenanceEvent& ev : snapshots.back()) {
+      if (ev.seq < 0) all_stamped = false;
+    }
+  }
+
+  std::vector<ProvenanceEvent> merged;
+  merged.reserve(total);
+  if (all_stamped) {
+    // K-way merge by seq: every shard snapshot is already ascending in
+    // seq, so this reproduces the exact global append order a single
+    // shared store would hold.
+    std::vector<size_t> next(snapshots.size(), 0);
+    while (merged.size() < total) {
+      int best = -1;
+      int64_t best_seq = 0;
+      for (size_t i = 0; i < snapshots.size(); ++i) {
+        if (next[i] >= snapshots[i].size()) continue;
+        int64_t s = snapshots[i][next[i]].seq;
+        if (best < 0 || s < best_seq) {
+          best = static_cast<int>(i);
+          best_seq = s;
+        }
+      }
+      if (best < 0) break;  // defensive: all cursors exhausted early
+      merged.push_back(
+          std::move(snapshots[static_cast<size_t>(best)]
+                             [next[static_cast<size_t>(best)]++]));
+    }
+    return merged;
+  }
+  // Foreign (unstamped) events present: fall back to timestamp order,
+  // stable across the shard concatenation so the result is deterministic.
+  for (std::vector<ProvenanceEvent>& snapshot : snapshots) {
+    for (ProvenanceEvent& ev : snapshot) merged.push_back(std::move(ev));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ProvenanceEvent& a, const ProvenanceEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return merged;
+}
+
+size_t ProvenanceView::size() const {
+  size_t total = 0;
+  for (const ProvenanceShard* shard : shards_) total += shard->size();
+  return total;
+}
+
+Result<double> ProvenanceView::LatestRuntime(const std::string& signature,
+                                             int32_t node) const {
+  // The paper's strategy is "always use the latest observed runtime" to
+  // adapt quickly to infrastructure changes: take the per-shard latest
+  // match, then the globally newest among those (merged order).
+  bool found = false;
+  int64_t best_seq = -1;
+  double best_ts = 0.0;
+  double best = 0.0;
+  for (const ProvenanceShard* shard : shards_) {
+    std::vector<ProvenanceEvent> events = shard->Events();
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->type == ProvenanceEventType::kTaskEnd && it->success &&
+          it->signature == signature && it->node == node) {
+        bool newer = !found || (it->seq >= 0 && best_seq >= 0
+                                    ? it->seq > best_seq
+                                    : it->timestamp > best_ts);
+        if (newer) {
+          found = true;
+          best_seq = it->seq;
+          best_ts = it->timestamp;
+          best = it->duration;
+        }
+        break;  // within a shard, the first hit from the back is latest
+      }
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no runtime observation for " + signature);
+  }
+  return best;
+}
+
+std::vector<std::pair<int32_t, double>> ProvenanceView::RuntimeObservations(
+    const std::string& signature) const {
+  std::vector<std::pair<int32_t, double>> out;
+  for (const ProvenanceEvent& ev : Events()) {
+    if (ev.type == ProvenanceEventType::kTaskEnd && ev.success &&
+        ev.signature == signature) {
+      out.emplace_back(ev.node, ev.duration);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------- ProvenanceManager --
+
+ProvenanceManager::ProvenanceManager()
+    : factory_([](const std::string&)
+                   -> Result<std::unique_ptr<ProvenanceStore>> {
+        return std::unique_ptr<ProvenanceStore>(
+            std::make_unique<InMemoryProvenanceStore>());
+      }) {}
+
+ProvenanceManager::ProvenanceManager(ShardStoreFactory factory)
+    : factory_(std::move(factory)) {}
+
+std::string ProvenanceManager::BeginWorkflow(const std::string& workflow_name,
+                                             double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string run_id = StrFormat("%s-run-%lld", workflow_name.c_str(),
+                                 static_cast<long long>(run_counter_++));
+  auto store = factory_(run_id);
+  std::unique_ptr<ProvenanceStore> backing;
+  if (store.ok()) {
+    backing = std::move(*store);
+  } else {
+    // Provenance must never take the workflow down: degrade to memory.
+    HIWAY_LOG_ERROR << "provenance shard backend for " << run_id
+                    << " failed (" << store.status()
+                    << "); falling back to in-memory";
+    backing = std::make_unique<InMemoryProvenanceStore>();
+  }
+  auto shard = std::make_unique<ProvenanceShard>(
+      run_id, workflow_name, now, std::move(backing), &seq_);
+  shard->RecordWorkflowStart(now);
+  by_run_[run_id] = shard.get();
+  shards_.push_back(std::move(shard));
+  return run_id;
+}
+
+ProvenanceShard* ProvenanceManager::ShardLocked(
+    const std::string& run_id) const {
+  auto it = by_run_.find(run_id);
+  return it == by_run_.end() ? nullptr : it->second;
+}
+
+ProvenanceShard* ProvenanceManager::shard(const std::string& run_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ShardLocked(run_id);
+}
+
+std::vector<std::string> ProvenanceManager::RunIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->run_id());
+  return out;
+}
+
+void ProvenanceManager::EndWorkflow(const std::string& run_id, double now,
+                                    bool success) {
+  if (ProvenanceShard* s = shard(run_id)) s->RecordWorkflowEnd(now, success);
+}
+
+void ProvenanceManager::RecordTaskStart(const std::string& run_id,
+                                        const TaskSpec& task, int32_t node,
+                                        const std::string& node_name,
+                                        double now) {
+  if (ProvenanceShard* s = shard(run_id)) {
+    s->RecordTaskStart(task, node, node_name, now);
+  }
+}
+
+void ProvenanceManager::RecordTaskEnd(const std::string& run_id,
+                                      const TaskResult& result,
+                                      const std::string& node_name) {
+  if (ProvenanceShard* s = shard(run_id)) s->RecordTaskEnd(result, node_name);
 }
 
 void ProvenanceManager::RecordFileStageIn(const std::string& run_id,
@@ -201,15 +454,9 @@ void ProvenanceManager::RecordFileStageIn(const std::string& run_id,
                                           int64_t size_bytes,
                                           double transfer_seconds,
                                           double now) {
-  ProvenanceEvent ev;
-  ev.type = ProvenanceEventType::kFileStageIn;
-  ev.run_id = run_id;
-  ev.timestamp = now;
-  ev.task_id = task;
-  ev.file_path = path;
-  ev.size_bytes = size_bytes;
-  ev.transfer_seconds = transfer_seconds;
-  store_->Append(ev);
+  if (ProvenanceShard* s = shard(run_id)) {
+    s->RecordFileStageIn(task, path, size_bytes, transfer_seconds, now);
+  }
 }
 
 void ProvenanceManager::RecordFileStageOut(const std::string& run_id,
@@ -218,71 +465,96 @@ void ProvenanceManager::RecordFileStageOut(const std::string& run_id,
                                            int64_t size_bytes,
                                            double transfer_seconds,
                                            double now) {
-  ProvenanceEvent ev;
-  ev.type = ProvenanceEventType::kFileStageOut;
-  ev.run_id = run_id;
-  ev.timestamp = now;
-  ev.task_id = task;
-  ev.file_path = path;
-  ev.size_bytes = size_bytes;
-  ev.transfer_seconds = transfer_seconds;
-  store_->Append(ev);
+  if (ProvenanceShard* s = shard(run_id)) {
+    s->RecordFileStageOut(task, path, size_bytes, transfer_seconds, now);
+  }
 }
 
-void ProvenanceManager::EndWorkflow(double now, bool success) {
-  EndWorkflow(run_id_, now, success);
-}
-
-void ProvenanceManager::RecordTaskStart(const TaskSpec& task, int32_t node,
-                                        const std::string& node_name,
-                                        double now) {
-  RecordTaskStart(run_id_, task, node, node_name, now);
-}
-
-void ProvenanceManager::RecordTaskEnd(const TaskResult& result,
-                                      const std::string& node_name) {
-  RecordTaskEnd(run_id_, result, node_name);
-}
-
-void ProvenanceManager::RecordFileStageIn(TaskId task, const std::string& path,
-                                          int64_t size_bytes,
-                                          double transfer_seconds,
-                                          double now) {
-  RecordFileStageIn(run_id_, task, path, size_bytes, transfer_seconds, now);
-}
-
-void ProvenanceManager::RecordFileStageOut(TaskId task,
-                                           const std::string& path,
-                                           int64_t size_bytes,
-                                           double transfer_seconds,
-                                           double now) {
-  RecordFileStageOut(run_id_, task, path, size_bytes, transfer_seconds, now);
+void ProvenanceManager::SealRun(const std::string& run_id) {
+  if (ProvenanceShard* s = shard(run_id)) s->Seal();
 }
 
 Result<double> ProvenanceManager::LatestRuntime(const std::string& signature,
                                                 int32_t node) const {
-  // Scan newest-to-oldest; the paper's strategy is "always use the latest
-  // observed runtime" to adapt quickly to infrastructure changes.
-  std::vector<ProvenanceEvent> events = store_->Events();
-  for (auto it = events.rbegin(); it != events.rend(); ++it) {
-    if (it->type == ProvenanceEventType::kTaskEnd && it->success &&
-        it->signature == signature && it->node == node) {
-      return it->duration;
-    }
-  }
-  return Status::NotFound("no runtime observation for " + signature);
+  return View().LatestRuntime(signature, node);
 }
 
 std::vector<std::pair<int32_t, double>> ProvenanceManager::RuntimeObservations(
     const std::string& signature) const {
-  std::vector<std::pair<int32_t, double>> out;
-  for (const ProvenanceEvent& ev : store_->Events()) {
-    if (ev.type == ProvenanceEventType::kTaskEnd && ev.success &&
-        ev.signature == signature) {
-      out.emplace_back(ev.node, ev.duration);
+  return View().RuntimeObservations(signature);
+}
+
+ProvenanceView ProvenanceManager::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProvenanceView view;
+  for (const auto& shard : shards_) view.AddShard(shard.get());
+  return view;
+}
+
+ProvenanceView ProvenanceManager::ViewOf(
+    const std::vector<std::string>& run_ids) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ProvenanceView view;
+  for (const std::string& run_id : run_ids) {
+    view.AddShard(ShardLocked(run_id));
+  }
+  return view;
+}
+
+std::vector<ProvenanceEvent> ProvenanceManager::Events() const {
+  return View().Events();
+}
+
+size_t ProvenanceManager::size() const { return View().size(); }
+
+size_t ProvenanceManager::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+Status ProvenanceManager::AdoptShard(const std::string& run_id,
+                                     std::unique_ptr<ProvenanceStore> store) {
+  if (store == nullptr) return Status::InvalidArgument("null shard store");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_run_.count(run_id) > 0) {
+    return Status::InvalidArgument("shard for run '" + run_id +
+                                   "' already exists");
+  }
+  std::string workflow_name;
+  double started = 0.0;
+  for (const ProvenanceEvent& ev : store->Events()) {
+    // Keep id issuance collision-free with the adopted history.
+    if (ev.seq >= 0) {
+      int64_t floor = ev.seq + 1;
+      int64_t cur = seq_.load(std::memory_order_relaxed);
+      while (cur < floor &&
+             !seq_.compare_exchange_weak(cur, floor,
+                                         std::memory_order_relaxed)) {
+      }
+    }
+    if (ev.type == ProvenanceEventType::kWorkflowStart &&
+        workflow_name.empty()) {
+      workflow_name = ev.workflow_name;
+      started = ev.timestamp;
     }
   }
-  return out;
+  size_t pos = run_id.rfind("-run-");
+  if (pos != std::string::npos) {
+    auto n = ParseInt64(run_id.substr(pos + 5));
+    if (n.ok() && *n >= run_counter_) run_counter_ = *n + 1;
+  }
+  auto shard = std::make_unique<ProvenanceShard>(
+      run_id, workflow_name, started, std::move(store), &seq_);
+  shard->Seal();
+  by_run_[run_id] = shard.get();
+  shards_.push_back(std::move(shard));
+  return Status::OK();
+}
+
+void ProvenanceManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_run_.clear();
+  shards_.clear();
 }
 
 }  // namespace hiway

@@ -39,6 +39,11 @@ class RuntimeEstimator {
   /// Bulk-loads observations from a provenance store (one linear scan).
   void LoadFromStore(const ProvenanceStore& store);
 
+  /// Bulk-loads observations from a merged view over provenance shards
+  /// (merged order, so "latest" matches a single-store load of the same
+  /// schedule).
+  void LoadFromView(const ProvenanceView& view);
+
   /// Records a fresh observation (called by the AM on task completion).
   void Observe(const std::string& signature, int32_t node, double runtime);
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/strings.h"
+#include "src/provdb/provdb.h"
 #include "src/tools/standard_tools.h"
 #include "src/workloads/workloads.h"
 
@@ -131,11 +132,23 @@ Recipe HiWayInstallRecipe() {
   r.name = "hiway::install";
   r.dependencies = {"hadoop::install"};
   r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
-    (void)attrs;
     RegisterStandardTools(&d->tools);
-    d->provenance_store = std::make_unique<InMemoryProvenanceStore>();
-    d->provenance =
-        std::make_unique<ProvenanceManager>(d->provenance_store.get());
+    std::string backend = Attr(attrs, "hiway/prov_backend", "memory");
+    if (backend == "provdb") {
+      std::string dir =
+          Attr(attrs, "hiway/prov_dir", "hiway-provenance");
+      auto sharded = OpenShardedProvenance(dir);
+      if (!sharded.ok()) {
+        return sharded.status().WithContext("hiway::install provenance");
+      }
+      d->provdb_dir = std::move(sharded->dir);
+      d->provenance = std::move(sharded->manager);
+    } else if (backend == "memory") {
+      d->provenance = std::make_unique<ProvenanceManager>();
+    } else {
+      return Status::InvalidArgument("unknown hiway/prov_backend: " +
+                                     backend);
+    }
     return Status::OK();
   };
   return r;

@@ -56,7 +56,10 @@ class Deployment {
   std::unique_ptr<ResourceManager> rm;
   std::unique_ptr<LoadInjector> load;
   ToolRegistry tools;
-  std::unique_ptr<ProvenanceStore> provenance_store;
+  /// Durable shard backend when hiway/prov_backend = "provdb"; null for
+  /// the in-memory default. Declared before `provenance` so the manager
+  /// (whose shard factory captures it) is destroyed first.
+  std::shared_ptr<class ProvDbDirectory> provdb_dir;
   std::unique_ptr<ProvenanceManager> provenance;
   RuntimeEstimator estimator;
   std::map<std::string, StagedWorkflow> workflows;
@@ -99,8 +102,11 @@ class Karamel {
 ///   dfs/replication (3), dfs/block_mb (128), yarn/allocation_delay_s (0.5)
 Recipe HadoopInstallRecipe();
 
-/// Installs Hi-WAY: the standard tool profiles and a provenance store
-/// (attribute hiway/prov_backend: "memory" (default)).
+/// Installs Hi-WAY: the standard tool profiles and the sharded
+/// provenance manager. Attributes:
+///   hiway/prov_backend ("memory"; "provdb" gives every run its own log
+///   segment), hiway/prov_dir ("provdb" backend's segment directory,
+///   default "hiway-provenance")
 Recipe HiWayInstallRecipe();
 
 /// Stages the SNV-calling workflow (Sec. 4.1). Attributes:

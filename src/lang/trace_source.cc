@@ -15,6 +15,12 @@ Result<std::unique_ptr<TraceSource>> TraceSource::Parse(
   return FromEvents(events, run_id, allow_incomplete);
 }
 
+Result<std::unique_ptr<TraceSource>> TraceSource::FromView(
+    const ProvenanceView& view, const std::string& run_id,
+    bool allow_incomplete) {
+  return FromEvents(view.Events(), run_id, allow_incomplete);
+}
+
 Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
     const std::vector<ProvenanceEvent>& events, const std::string& run_id,
     bool allow_incomplete) {

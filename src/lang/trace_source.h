@@ -35,6 +35,13 @@ class TraceSource : public WorkflowSource {
       const std::vector<ProvenanceEvent>& events,
       const std::string& run_id = "", bool allow_incomplete = false);
 
+  /// Same, from a merged view over provenance shards — e.g. all prior
+  /// attempts of one submission for failover memoisation, where each
+  /// attempt's crash prefix lives in its own shard.
+  static Result<std::unique_ptr<TraceSource>> FromView(
+      const ProvenanceView& view, const std::string& run_id = "",
+      bool allow_incomplete = false);
+
   std::string name() const override { return name_; }
   bool IsStatic() const override { return true; }
   Result<std::vector<TaskSpec>> Init() override;

@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -287,6 +289,125 @@ void ProvDbProvenanceStore::Clear() {
     (void)db_->Delete(key);
   }
   next_seq_ = 0;
+}
+
+// ------------------------------------------------------- ProvDbDirectory --
+
+constexpr std::string_view kSegmentSuffix = ".provlog";
+
+std::string ProvDbDirectory::SanitizeShardId(std::string_view shard_id) {
+  std::string out(shard_id);
+  for (char& c : out) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!safe) c = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string ProvDbDirectory::SegmentPath(
+    const std::string& sanitized_id) const {
+  return dir_ + "/" + sanitized_id + std::string(kSegmentSuffix);
+}
+
+Result<std::shared_ptr<ProvDbDirectory>> ProvDbDirectory::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create provdb directory " + dir + ": " +
+                           ec.message());
+  }
+  auto out = std::shared_ptr<ProvDbDirectory>(new ProvDbDirectory(dir));
+  // Each segment replays (and crash-recovers) independently: a torn
+  // tail in one shard's log never affects the others.
+  std::vector<std::string> ids;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() <= kSegmentSuffix.size() ||
+        name.compare(name.size() - kSegmentSuffix.size(),
+                     kSegmentSuffix.size(), kSegmentSuffix) != 0) {
+      continue;
+    }
+    ids.push_back(name.substr(0, name.size() - kSegmentSuffix.size()));
+  }
+  if (ec) {
+    return Status::IoError("cannot list provdb directory " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::string& id : ids) {
+    HIWAY_ASSIGN_OR_RETURN(auto db, ProvDb::Open(out->SegmentPath(id)));
+    out->segments_[id] = std::move(db);
+  }
+  return out;
+}
+
+Result<ProvDb*> ProvDbDirectory::OpenSegment(const std::string& shard_id) {
+  std::string id = SanitizeShardId(shard_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(id);
+  if (it != segments_.end()) return it->second.get();
+  HIWAY_ASSIGN_OR_RETURN(auto db, ProvDb::Open(SegmentPath(id)));
+  ProvDb* raw = db.get();
+  segments_[id] = std::move(db);
+  return raw;
+}
+
+ProvDb* ProvDbDirectory::segment(const std::string& shard_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(SanitizeShardId(shard_id));
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ProvDbDirectory::segment_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(segments_.size());
+  for (const auto& [id, db] : segments_) out.push_back(id);
+  return out;
+}
+
+Result<int64_t> ProvDbDirectory::CompactSegment(const std::string& shard_id) {
+  ProvDb* db = segment(shard_id);
+  if (db == nullptr) {
+    return Status::NotFound("no provdb segment for shard: " + shard_id);
+  }
+  // Compaction rewrites only this segment's file; other shards' logs
+  // (and their appenders) are untouched.
+  return db->Compact();
+}
+
+ShardStoreFactory ProvDbShardStoreFactory(
+    std::shared_ptr<ProvDbDirectory> dir) {
+  return [dir](const std::string& run_id)
+             -> Result<std::unique_ptr<ProvenanceStore>> {
+    HIWAY_ASSIGN_OR_RETURN(ProvDb * db, dir->OpenSegment(run_id));
+    return std::unique_ptr<ProvenanceStore>(
+        std::make_unique<ProvDbProvenanceStore>(db));
+  };
+}
+
+Result<ShardedProvenance> OpenShardedProvenance(const std::string& dir) {
+  ShardedProvenance out;
+  HIWAY_ASSIGN_OR_RETURN(out.dir, ProvDbDirectory::Open(dir));
+  out.manager =
+      std::make_unique<ProvenanceManager>(ProvDbShardStoreFactory(out.dir));
+  // Adopt surviving history as sealed shards: failover replay and the
+  // runtime estimator see prior attempts across restarts, and new run
+  // ids / sequence numbers advance past everything on disk.
+  for (const std::string& id : out.dir->segment_ids()) {
+    auto store =
+        std::make_unique<ProvDbProvenanceStore>(out.dir->segment(id));
+    if (store->size() == 0) continue;  // empty leftover segment
+    Status st = out.manager->AdoptShard(id, std::move(store));
+    if (!st.ok()) {
+      return st.WithContext("adopting provenance segment " + id);
+    }
+  }
+  return out;
 }
 
 }  // namespace hiway

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,69 @@ class ProvDbProvenanceStore : public ProvenanceStore {
   ProvDb* db_;
   int64_t next_seq_ = 0;
 };
+
+/// A directory of ProvDb segments, one per provenance shard: shard
+/// `<id>` lives in `<dir>/<sanitized-id>.provlog`. Each segment is an
+/// independent log — a torn tail in one shard's log truncates only that
+/// shard on reopen, and compacting a sealed segment never touches the
+/// segments other shards are appending to. Segment creation/lookup is
+/// mutex-guarded so concurrent AMs can open their shards; the ProvDb
+/// instances themselves are single-writer (each owned by one shard).
+class ProvDbDirectory {
+ public:
+  /// Opens (creating if necessary) the directory and every existing
+  /// `*.provlog` segment in it, each with its own crash recovery.
+  static Result<std::shared_ptr<ProvDbDirectory>> Open(
+      const std::string& dir);
+
+  /// The segment for a shard, creating its log file on first use.
+  /// Stable pointer for the directory's lifetime.
+  Result<ProvDb*> OpenSegment(const std::string& shard_id);
+
+  /// The already-open segment for a shard, or nullptr.
+  ProvDb* segment(const std::string& shard_id) const;
+
+  /// Sanitised ids of every open segment, sorted.
+  std::vector<std::string> segment_ids() const;
+
+  /// Compacts one shard's segment. Safe to call on a sealed shard's
+  /// segment while other shards append to theirs — only `shard_id`'s
+  /// log file is rewritten. Returns bytes reclaimed.
+  Result<int64_t> CompactSegment(const std::string& shard_id);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Maps a shard id onto a filesystem-safe file stem: characters
+  /// outside [A-Za-z0-9._-] become '_'. Run ids produced by
+  /// ProvenanceManager are already safe, so this is normally identity.
+  static std::string SanitizeShardId(std::string_view shard_id);
+
+ private:
+  explicit ProvDbDirectory(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string SegmentPath(const std::string& sanitized_id) const;
+
+  const std::string dir_;
+  mutable std::mutex mu_;  // guards the segment registry
+  std::map<std::string, std::unique_ptr<ProvDb>> segments_;  // by sanitised id
+};
+
+/// ShardStoreFactory giving every shard its own log segment under `dir`
+/// (which must outlive the manager using the factory — keep the
+/// shared_ptr alongside it, as OpenShardedProvenance does).
+ShardStoreFactory ProvDbShardStoreFactory(
+    std::shared_ptr<ProvDbDirectory> dir);
+
+/// A durable sharded provenance setup: the segment directory plus a
+/// manager whose new shards each get their own segment. Existing
+/// segments found on open are adopted as sealed shards, so history
+/// survives restarts and failover replay sees prior attempts.
+struct ShardedProvenance {
+  std::shared_ptr<ProvDbDirectory> dir;
+  std::unique_ptr<ProvenanceManager> manager;
+};
+
+Result<ShardedProvenance> OpenShardedProvenance(const std::string& dir);
 
 }  // namespace hiway
 

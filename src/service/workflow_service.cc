@@ -366,14 +366,11 @@ void WorkflowService::TryRecover(SubmissionId id) {
       [this, id](const WorkflowReport& report) { OnFinished(id, report); });
 
   // Provenance replay: the new attempt memoises every task the prior
-  // attempts completed (when its recorded outputs survive in DFS).
-  std::set<std::string> runs(sub.run_ids.begin(), sub.run_ids.end());
-  std::vector<ProvenanceEvent> trace;
-  for (const ProvenanceEvent& e :
-       deployment_->provenance->store()->Events()) {
-    if (runs.count(e.run_id) > 0) trace.push_back(e);
-  }
-  sub.am->SetRecoveryTrace(trace);
+  // attempts completed (when its recorded outputs survive in DFS). The
+  // merged view covers exactly this submission's prior-attempt shards —
+  // other tenants' runs are invisible by construction.
+  sub.am->SetRecoveryTrace(
+      deployment_->provenance->ViewOf(sub.run_ids).Events());
 
   double failed_at = sub.failed_at;
   Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());

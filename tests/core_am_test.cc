@@ -18,8 +18,7 @@ struct TestRig {
   std::unique_ptr<Dfs> dfs;
   std::unique_ptr<ResourceManager> rm;
   ToolRegistry tools;
-  InMemoryProvenanceStore store;
-  ProvenanceManager provenance{&store};
+  ProvenanceManager provenance;
   RuntimeEstimator estimator;
 
   explicit TestRig(int nodes, int cores = 4) {
@@ -101,7 +100,7 @@ TEST(HiWayAmTest, ParallelFanOutUsesAllNodes) {
   EXPECT_EQ(report->tasks_completed, 8);
   // Provenance recorded tasks on more than one node.
   std::set<int32_t> nodes;
-  for (const auto& ev : rig.store.Events()) {
+  for (const auto& ev : rig.provenance.Events()) {
     if (ev.type == ProvenanceEventType::kTaskEnd) nodes.insert(ev.node);
   }
   EXPECT_GT(nodes.size(), 1u);

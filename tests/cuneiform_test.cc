@@ -313,8 +313,7 @@ TEST(CuneiformEndToEndTest, KmeansIterativeWorkflowOnCluster) {
   ResourceManager rm(&cluster, YarnOptions{});
   ToolRegistry tools;
   RegisterKmeansTools(&tools, /*converge_after=*/3);
-  InMemoryProvenanceStore store;
-  ProvenanceManager provenance(&store);
+  ProvenanceManager provenance;
   RuntimeEstimator estimator;
 
   ASSERT_TRUE(dfs.IngestFile("/in/points.csv", 32 << 20).ok());

@@ -123,7 +123,7 @@ TEST(HiWayRecipeTest, InstallsToolsAndProvenance) {
   EXPECT_TRUE((*d)->tools.Contains("bowtie2"));
   EXPECT_TRUE((*d)->tools.Contains("mAdd"));
   EXPECT_NE((*d)->provenance, nullptr);
-  EXPECT_EQ((*d)->provenance_store->size(), 0u);
+  EXPECT_EQ((*d)->provenance->size(), 0u);
 }
 
 TEST(WorkflowRecipesTest, StageDocumentsAndIngestInputs) {

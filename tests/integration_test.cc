@@ -84,7 +84,7 @@ TEST_P(SchedulerEquivalenceTest, SameOutputsEveryTaskOnce) {
   // happens after that file's stage-out.
   std::map<std::string, double> produced_at;
   std::map<TaskId, int> starts, ends;
-  for (const ProvenanceEvent& ev : (*d)->provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : (*d)->provenance->Events()) {
     switch (ev.type) {
       case ProvenanceEventType::kTaskStart:
         ++starts[ev.task_id];
@@ -102,7 +102,7 @@ TEST_P(SchedulerEquivalenceTest, SameOutputsEveryTaskOnce) {
   EXPECT_EQ(starts.size(), 27u);
   for (const auto& [id, n] : starts) EXPECT_EQ(n, 1);
   for (const auto& [id, n] : ends) EXPECT_EQ(n, 1);
-  for (const ProvenanceEvent& ev : (*d)->provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : (*d)->provenance->Events()) {
     if (ev.type == ProvenanceEventType::kFileStageIn) {
       auto it = produced_at.find(ev.file_path);
       if (it != produced_at.end()) {
@@ -165,7 +165,7 @@ TEST(IntegrationTest, SurvivesNodeCrashMidWorkflow) {
   EXPECT_TRUE(report->status.ok()) << report->status.ToString();
   EXPECT_EQ(report->tasks_completed, 24);
   // No completed task may report the dead node after the crash.
-  for (const ProvenanceEvent& ev : dep.provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : dep.provenance->Events()) {
     if (ev.type == ProvenanceEventType::kTaskEnd && ev.timestamp > 40.0) {
       EXPECT_NE(ev.node, 5);
     }
@@ -201,7 +201,7 @@ TEST(IntegrationTest, TraceReExecutionReproducesOutputs) {
   ASSERT_TRUE(original.ok() && original->status.ok());
 
   std::string trace =
-      SerializeTrace((*d)->provenance_store->Events());
+      SerializeTrace((*d)->provenance->Events());
   auto replay_source = TraceSource::Parse(trace, original->run_id);
   ASSERT_TRUE(replay_source.ok()) << replay_source.status().ToString();
   EXPECT_EQ((*replay_source)->task_count(), 27u);

@@ -8,6 +8,7 @@
 #include "src/common/random.h"
 #include "src/common/strings.h"
 #include "src/core/client.h"
+#include "src/lang/trace_source.h"
 
 namespace hiway {
 namespace {
@@ -148,6 +149,196 @@ TEST(DeterminismTest, DifferentSeedsPerturbOnlyNoise) {
   EXPECT_NEAR(a / b, 1.0, 0.25);   // but not wildly
 }
 
+// ---- Sharded provenance: merge-on-read equivalence ------------------------
+
+// Property: for random event sequences partitioned into random shards,
+//   (a) the merged view reproduces the global append order exactly,
+//   (b) SerializeTrace(merged view) round-trips through ParseTrace,
+//   (c) every LatestRuntime / RuntimeObservations answer matches a
+//       brute-force scan of the unsharded reference sequence.
+class ShardMergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardMergeProperty, MergedViewMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+  ProvenanceManager manager;
+
+  const int kShardCount = 2 + static_cast<int>(rng.UniformInt(6));
+  const int kSignatures = 1 + static_cast<int>(rng.UniformInt(4));
+  const int kNodes = 1 + static_cast<int>(rng.UniformInt(4));
+
+  // The unsharded reference: every event in global append order, exactly
+  // as a single shared store would have recorded it.
+  std::vector<ProvenanceEvent> reference;
+  std::vector<std::string> runs;
+  auto mirror_tail = [&](const std::string& run) {
+    reference.push_back(manager.shard(run)->Events().back());
+  };
+  for (int i = 0; i < kShardCount; ++i) {
+    runs.push_back(
+        manager.BeginWorkflow(StrFormat("wf%d", i), rng.Uniform(0, 10)));
+    mirror_tail(runs.back());
+  }
+
+  const int kEvents = 40 + static_cast<int>(rng.UniformInt(80));
+  double now = 10.0;
+  for (int i = 0; i < kEvents; ++i) {
+    const std::string& run = runs[rng.UniformInt(runs.size())];
+    now += rng.Uniform(0.0, 2.0);
+    TaskResult result;
+    result.id = i + 1;
+    result.signature =
+        StrFormat("sig%d", static_cast<int>(rng.UniformInt(kSignatures)));
+    result.node = static_cast<int32_t>(rng.UniformInt(kNodes));
+    result.started_at = now - rng.Uniform(0.5, 5.0);
+    result.finished_at = now;
+    result.status = rng.NextDouble() < 0.8 ? Status::OK()
+                                           : Status::RuntimeError("fail");
+    manager.RecordTaskEnd(run, result, StrFormat("node-%03d", result.node));
+    mirror_tail(run);
+  }
+  // Some runs end (sealing their shards), some stay open — both kinds
+  // must merge.
+  for (size_t i = 0; i < runs.size(); i += 2) {
+    manager.EndWorkflow(runs[i], now + 1.0, true);
+    mirror_tail(runs[i]);
+  }
+
+  // (a) merged order == reference order, byte for byte.
+  auto merged = manager.View().Events();
+  ASSERT_EQ(merged.size(), reference.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].ToJson().Dump(), reference[i].ToJson().Dump())
+        << "event " << i;
+  }
+
+  // (b) JSON-lines round-trip of the merged view.
+  auto reparsed = ParseTrace(manager.View().ExportTrace());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].ToJson().Dump(), merged[i].ToJson().Dump());
+  }
+
+  // (c) statistics queries vs brute-force scans of the reference.
+  for (int s = 0; s < kSignatures; ++s) {
+    std::string sig = StrFormat("sig%d", s);
+    std::vector<std::pair<int32_t, double>> brute_obs;
+    for (const ProvenanceEvent& ev : reference) {
+      if (ev.type == ProvenanceEventType::kTaskEnd && ev.success &&
+          ev.signature == sig) {
+        brute_obs.emplace_back(ev.node, ev.duration);
+      }
+    }
+    EXPECT_EQ(manager.RuntimeObservations(sig), brute_obs);
+    for (int n = 0; n < kNodes; ++n) {
+      double brute_latest = -1.0;
+      for (const ProvenanceEvent& ev : reference) {
+        if (ev.type == ProvenanceEventType::kTaskEnd && ev.success &&
+            ev.signature == sig && ev.node == n) {
+          brute_latest = ev.duration;
+        }
+      }
+      auto latest = manager.LatestRuntime(sig, n);
+      if (brute_latest < 0) {
+        EXPECT_TRUE(latest.status().IsNotFound()) << sig << " node " << n;
+      } else {
+        ASSERT_TRUE(latest.ok()) << sig << " node " << n;
+        EXPECT_DOUBLE_EQ(*latest, brute_latest);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardMergeProperty, ::testing::Range(1, 9));
+
+// Property: any crash prefix of one shard, read through the merged view
+// scoped to that run, is a valid allow_incomplete trace replaying
+// exactly the completed tasks (the PR 2 failover contract, now against
+// sharded storage).
+class ShardCrashPrefixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardCrashPrefixProperty, CrashPrefixReplaysCompletedTasks) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15485863);
+  ProvenanceManager manager;
+  // A decoy shard interleaved with the victim: its events must never
+  // leak into the victim's recovery trace.
+  std::string victim = manager.BeginWorkflow("victim", 0.0);
+  std::string decoy = manager.BeginWorkflow("decoy", 0.0);
+
+  const int kChain = 2 + static_cast<int>(rng.UniformInt(4));
+  for (TaskId id = 1; id <= kChain; ++id) {
+    TaskSpec spec;
+    spec.id = id;
+    spec.signature = StrFormat("tool%lld", static_cast<long long>(id));
+    spec.tool = spec.signature;
+    spec.command = spec.signature + " --run";
+    double start = 10.0 * static_cast<double>(id);
+    manager.RecordTaskStart(victim, spec, 0, "node-000", start);
+    if (id > 1) {
+      manager.RecordFileStageIn(
+          victim, id, StrFormat("/f%lld", static_cast<long long>(id - 1)),
+          100, 0.1, start);
+    }
+    // Interleave decoy traffic so victim seqs are non-contiguous.
+    TaskResult noise;
+    noise.id = 100 + id;
+    noise.signature = "decoy-tool";
+    noise.node = 1;
+    noise.started_at = start;
+    noise.finished_at = start + 1.0;
+    noise.status = Status::OK();
+    manager.RecordTaskEnd(decoy, noise, "node-001");
+    TaskResult result;
+    result.id = id;
+    result.signature = spec.signature;
+    result.node = 0;
+    result.started_at = start;
+    result.finished_at = start + 5.0;
+    result.status = Status::OK();
+    manager.RecordTaskEnd(victim, result, "node-000");
+    manager.RecordFileStageOut(victim, id,
+                               StrFormat("/f%lld", static_cast<long long>(id)),
+                               100, 0.1, start + 5.0);
+  }
+
+  // Crash at a random point: seal the shard, truncate its history to a
+  // random prefix, and rebuild a source from the merged view of that run
+  // alone.
+  std::vector<ProvenanceEvent> shard_events =
+      manager.shard(victim)->Events();
+  size_t cut = 1 + rng.UniformInt(shard_events.size());
+  std::vector<ProvenanceEvent> prefix(shard_events.begin(),
+                                      shard_events.begin() + cut);
+  size_t completed = 0;
+  for (const ProvenanceEvent& ev : prefix) {
+    if (ev.type == ProvenanceEventType::kTaskEnd && ev.success) ++completed;
+  }
+  auto source = TraceSource::FromEvents(prefix, victim,
+                                        /*allow_incomplete=*/true);
+  if (completed == 0) {
+    EXPECT_FALSE(source.ok());
+  } else {
+    ASSERT_TRUE(source.ok())
+        << "cut=" << cut << ": " << source.status().ToString();
+    EXPECT_EQ((*source)->task_count(), completed);
+  }
+
+  // The full (uncrashed) shard read through ViewOf: same contract via
+  // the merged-view entry point, decoy events excluded by construction.
+  auto full = TraceSource::FromView(manager.ViewOf({victim}), victim,
+                                    /*allow_incomplete=*/true);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ((*full)->task_count(), static_cast<size_t>(kChain));
+  auto tasks = (*full)->Init();
+  ASSERT_TRUE(tasks.ok());
+  for (const TaskSpec& t : *tasks) {
+    EXPECT_NE(t.signature, "decoy-tool");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardCrashPrefixProperty,
+                         ::testing::Range(1, 13));
+
 // ---- Driver robustness under churn -----------------------------------------
 
 // A wide fan-out with flaky tools and a mid-run node loss still completes
@@ -203,7 +394,7 @@ TEST(ChurnTest, WideFanOutWithFailuresAndNodeLoss) {
   EXPECT_GE(report->failed_attempts, 1);  // flakiness actually exercised
   // Every output exists; exactly one successful end per task id.
   std::map<TaskId, int> successes;
-  for (const ProvenanceEvent& ev : dep.provenance_store->Events()) {
+  for (const ProvenanceEvent& ev : dep.provenance->Events()) {
     if (ev.type == ProvenanceEventType::kTaskEnd && ev.success) {
       ++successes[ev.task_id];
     }

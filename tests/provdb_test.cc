@@ -207,9 +207,15 @@ TEST_F(ProvDbTest, RandomOpsMatchReferenceMap) {
 TEST_F(ProvDbTest, ProvenanceStoreAdapterRoundTrips) {
   auto db = ProvDb::Open(path_);
   ASSERT_TRUE(db.ok());
-  ProvDbProvenanceStore store(db->get());
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
+  // A manager whose every shard lives in the one ProvDb (single-segment
+  // legacy layout, still supported through the factory hook).
+  ProvDb* raw = db->get();
+  ProvenanceManager manager(
+      [raw](const std::string&) -> Result<std::unique_ptr<ProvenanceStore>> {
+        return std::unique_ptr<ProvenanceStore>(
+            std::make_unique<ProvDbProvenanceStore>(raw));
+      });
+  std::string run = manager.BeginWorkflow("wf", 0.0);
   TaskResult result;
   result.id = 1;
   result.signature = "align";
@@ -217,8 +223,9 @@ TEST_F(ProvDbTest, ProvenanceStoreAdapterRoundTrips) {
   result.started_at = 1.0;
   result.finished_at = 11.0;
   result.status = Status::OK();
-  manager.RecordTaskEnd(result, "node-002");
-  manager.EndWorkflow(12.0, true);
+  manager.RecordTaskEnd(run, result, "node-002");
+  manager.EndWorkflow(run, 12.0, true);
+  ProvDbProvenanceStore store(raw);
   EXPECT_EQ(store.size(), 3u);
   auto events = store.Events();
   ASSERT_EQ(events.size(), 3u);
@@ -235,6 +242,153 @@ TEST_F(ProvDbTest, ProvenanceStoreAdapterRoundTrips) {
   EXPECT_EQ(store2.Events().size(), 4u);
   store2.Clear();
   EXPECT_EQ(store2.size(), 0u);
+}
+
+// ------------------------------------------- multi-segment directories --
+
+class ProvDbDirectoryTest : public ProvDbTest {
+ protected:
+  std::string SegmentFile(const std::string& id) const {
+    return (dir_ / "segments" / (id + ".provlog")).string();
+  }
+  std::string SegmentsDir() const { return (dir_ / "segments").string(); }
+};
+
+TEST_F(ProvDbDirectoryTest, TornTailTruncatesOnlyThatShard) {
+  {
+    auto dir = ProvDbDirectory::Open(SegmentsDir());
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    auto a = (*dir)->OpenSegment("wf-run-0");
+    auto b = (*dir)->OpenSegment("wf-run-1");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*a)->Put("ev/0", "a0").ok());
+    ASSERT_TRUE((*a)->Put("ev/1", "a1").ok());
+    ASSERT_TRUE((*b)->Put("ev/0", "b0").ok());
+  }
+  {  // Crash mid-append in shard 0's log only.
+    FILE* f = std::fopen(SegmentFile("wf-run-0").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x20\x00\x00\x00partial";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  auto dir = ProvDbDirectory::Open(SegmentsDir());
+  ASSERT_TRUE(dir.ok());
+  ASSERT_EQ((*dir)->segment_ids().size(), 2u);
+  ProvDb* a = (*dir)->segment("wf-run-0");
+  ProvDb* b = (*dir)->segment("wf-run-1");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // The torn shard lost only its tail; the other shard is untouched.
+  EXPECT_EQ(a->corrupt_records_dropped(), 1);
+  EXPECT_EQ(a->size(), 2u);
+  EXPECT_EQ(*a->Get("ev/1"), "a1");
+  EXPECT_EQ(b->corrupt_records_dropped(), 0);
+  EXPECT_EQ(*b->Get("ev/0"), "b0");
+}
+
+TEST_F(ProvDbDirectoryTest, CompactSealedSegmentWhileAnotherAppends) {
+  auto dir = ProvDbDirectory::Open(SegmentsDir());
+  ASSERT_TRUE(dir.ok());
+  auto sealed = (*dir)->OpenSegment("sealed-run");
+  auto active = (*dir)->OpenSegment("active-run");
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(active.ok());
+  // The sealed shard accumulated overwrites worth reclaiming.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*sealed)->Put("hot-key", StrFormat("v%d", i)).ok());
+  }
+  ASSERT_TRUE((*active)->Put("ev/before", "x").ok());
+  auto reclaimed = (*dir)->CompactSegment("sealed-run");
+  ASSERT_TRUE(reclaimed.ok()) << reclaimed.status().ToString();
+  EXPECT_GT(*reclaimed, 0);
+  // The active shard keeps appending through and after the compaction.
+  ASSERT_TRUE((*active)->Put("ev/after", "y").ok());
+  EXPECT_EQ(*(*sealed)->Get("hot-key"), "v49");
+  EXPECT_EQ(*(*active)->Get("ev/after"), "y");
+  EXPECT_TRUE((*dir)->CompactSegment("no-such-run").status().IsNotFound());
+}
+
+TEST_F(ProvDbDirectoryTest, ReopenRecoversAllSegments) {
+  {
+    auto dir = ProvDbDirectory::Open(SegmentsDir());
+    ASSERT_TRUE(dir.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto seg = (*dir)->OpenSegment(StrFormat("wf-run-%d", i));
+      ASSERT_TRUE(seg.ok());
+      ASSERT_TRUE((*seg)->Put("ev/0", StrFormat("payload-%d", i)).ok());
+    }
+  }
+  auto dir = ProvDbDirectory::Open(SegmentsDir());
+  ASSERT_TRUE(dir.ok());
+  auto ids = (*dir)->segment_ids();
+  ASSERT_EQ(ids.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ProvDb* seg = (*dir)->segment(StrFormat("wf-run-%d", i));
+    ASSERT_NE(seg, nullptr);
+    EXPECT_EQ(*seg->Get("ev/0"), StrFormat("payload-%d", i));
+  }
+}
+
+TEST_F(ProvDbDirectoryTest, ShardIdsAreSanitisedForTheFilesystem) {
+  EXPECT_EQ(ProvDbDirectory::SanitizeShardId("wf-run-0"), "wf-run-0");
+  EXPECT_EQ(ProvDbDirectory::SanitizeShardId("a/b c*"), "a_b_c_");
+  EXPECT_EQ(ProvDbDirectory::SanitizeShardId(""), "_");
+  auto dir = ProvDbDirectory::Open(SegmentsDir());
+  ASSERT_TRUE(dir.ok());
+  auto seg = (*dir)->OpenSegment("odd/run id");
+  ASSERT_TRUE(seg.ok());
+  ASSERT_TRUE((*seg)->Put("k", "v").ok());
+  // Lookup by the original id resolves to the same sanitised segment.
+  EXPECT_EQ((*dir)->segment("odd/run id"), *seg);
+  EXPECT_TRUE(std::filesystem::exists(SegmentFile("odd_run_id")));
+}
+
+// End-to-end: a durable sharded manager survives a restart — prior runs
+// come back as sealed shards, queries span old and new history, and new
+// run ids / seqs never collide with the adopted past.
+TEST_F(ProvDbDirectoryTest, ShardedProvenanceSurvivesRestart) {
+  std::string first_run;
+  {
+    auto sharded = OpenShardedProvenance(SegmentsDir());
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    first_run = sharded->manager->BeginWorkflow("wf", 0.0);
+    TaskResult result;
+    result.id = 1;
+    result.signature = "align";
+    result.node = 2;
+    result.started_at = 1.0;
+    result.finished_at = 11.0;
+    result.status = Status::OK();
+    sharded->manager->RecordTaskEnd(first_run, result, "node-002");
+    sharded->manager->EndWorkflow(first_run, 12.0, true);
+  }
+  auto sharded = OpenShardedProvenance(SegmentsDir());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_EQ(sharded->manager->shard_count(), 1u);
+  ProvenanceShard* adopted = sharded->manager->shard(first_run);
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_TRUE(adopted->sealed());
+  EXPECT_DOUBLE_EQ(*sharded->manager->LatestRuntime("align", 2), 10.0);
+
+  std::string second_run = sharded->manager->BeginWorkflow("wf", 100.0);
+  EXPECT_NE(second_run, first_run);
+  TaskResult result;
+  result.id = 2;
+  result.signature = "align";
+  result.node = 2;
+  result.started_at = 100.0;
+  result.finished_at = 103.0;
+  result.status = Status::OK();
+  sharded->manager->RecordTaskEnd(second_run, result, "node-002");
+  // Merged history: adopted events first, new events after (their seqs
+  // resumed past the old ones).
+  auto events = sharded->manager->Events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front().run_id, first_run);
+  EXPECT_EQ(events.back().run_id, second_run);
+  EXPECT_DOUBLE_EQ(*sharded->manager->LatestRuntime("align", 2), 3.0);
 }
 
 TEST(Crc32Test, KnownVectors) {

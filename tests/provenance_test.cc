@@ -69,38 +69,40 @@ TEST(ProvenanceEventTest, JsonRoundTripTaskEnd) {
 }
 
 TEST(ProvenanceManagerTest, RecordsWorkflowLifecycle) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
+  ProvenanceManager manager;
   std::string run_id = manager.BeginWorkflow("snv", 100.0);
   EXPECT_FALSE(run_id.empty());
-  manager.EndWorkflow(250.0, true);
-  auto events = store.Events();
+  manager.EndWorkflow(run_id, 250.0, true);
+  auto events = manager.Events();
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].type, ProvenanceEventType::kWorkflowStart);
   EXPECT_EQ(events[1].type, ProvenanceEventType::kWorkflowEnd);
   EXPECT_DOUBLE_EQ(events[1].total_runtime, 150.0);
   EXPECT_EQ(events[0].run_id, run_id);
+  // The run's shard is sealed by the workflow-end event.
+  ASSERT_NE(manager.shard(run_id), nullptr);
+  EXPECT_TRUE(manager.shard(run_id)->sealed());
 }
 
 TEST(ProvenanceManagerTest, RunIdsAreUniquePerRun) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
+  ProvenanceManager manager;
   std::string a = manager.BeginWorkflow("wf", 0.0);
-  manager.EndWorkflow(1.0, true);
+  manager.EndWorkflow(a, 1.0, true);
   std::string b = manager.BeginWorkflow("wf", 2.0);
   EXPECT_NE(a, b);
+  EXPECT_EQ(manager.shard_count(), 2u);
 }
 
 TEST(ProvenanceManagerTest, TaskAndFileEventsCarryDetail) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
+  ProvenanceManager manager;
+  std::string run = manager.BeginWorkflow("wf", 0.0);
   TaskSpec spec = MakeSpec(7, "varscan");
-  manager.RecordTaskStart(spec, 2, "node-002", 5.0);
-  manager.RecordFileStageIn(7, "/in/a.bam", 1024, 0.5, 5.5);
-  manager.RecordTaskEnd(MakeResult(7, "varscan", 2, 5.0, 25.0), "node-002");
-  manager.RecordFileStageOut(7, "/out/a.vcf", 2048, 0.25, 25.0);
-  auto events = store.Events();
+  manager.RecordTaskStart(run, spec, 2, "node-002", 5.0);
+  manager.RecordFileStageIn(run, 7, "/in/a.bam", 1024, 0.5, 5.5);
+  manager.RecordTaskEnd(run, MakeResult(7, "varscan", 2, 5.0, 25.0),
+                        "node-002");
+  manager.RecordFileStageOut(run, 7, "/out/a.vcf", 2048, 0.25, 25.0);
+  auto events = manager.Events();
   ASSERT_EQ(events.size(), 5u);
   EXPECT_EQ(events[1].command, "varscan --args");
   EXPECT_EQ(events[1].tool, "varscan");
@@ -116,8 +118,7 @@ TEST(ProvenanceManagerTest, TaskAndFileEventsCarryDetail) {
 // allow_incomplete: every prefix with at least one completed task must
 // rebuild, replaying exactly the completed tasks.
 TEST(ProvenanceManagerTest, CrashPrefixIsAnExecutableWorkflowPrefix) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
+  ProvenanceManager manager;
   std::string run = manager.BeginWorkflow("chain", 0.0);
   // t1 -> t2 -> t3, each consuming its predecessor's output.
   for (TaskId id = 1; id <= 3; ++id) {
@@ -138,7 +139,7 @@ TEST(ProvenanceManagerTest, CrashPrefixIsAnExecutableWorkflowPrefix) {
                                100, 0.1, start + 5.0);
   }
   manager.EndWorkflow(run, 40.0, true);
-  std::vector<ProvenanceEvent> full = store.Events();
+  std::vector<ProvenanceEvent> full = manager.Events();
 
   // Walk every truncation point (a crash can interrupt anywhere) and
   // count completed tasks in the prefix by hand.
@@ -171,13 +172,12 @@ TEST(ProvenanceManagerTest, CrashPrefixIsAnExecutableWorkflowPrefix) {
 }
 
 TEST(ProvenanceManagerTest, LatestRuntimeQueriesNewestSuccess) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
-  manager.RecordTaskEnd(MakeResult(1, "align", 0, 0, 30), "node-000");
-  manager.RecordTaskEnd(MakeResult(2, "align", 0, 30, 80), "node-000");
-  manager.RecordTaskEnd(MakeResult(3, "align", 1, 0, 10), "node-001");
-  manager.RecordTaskEnd(MakeResult(4, "align", 0, 80, 200, false),
+  ProvenanceManager manager;
+  std::string run = manager.BeginWorkflow("wf", 0.0);
+  manager.RecordTaskEnd(run, MakeResult(1, "align", 0, 0, 30), "node-000");
+  manager.RecordTaskEnd(run, MakeResult(2, "align", 0, 30, 80), "node-000");
+  manager.RecordTaskEnd(run, MakeResult(3, "align", 1, 0, 10), "node-001");
+  manager.RecordTaskEnd(run, MakeResult(4, "align", 0, 80, 200, false),
                         "node-000");  // failed: ignored
   auto latest = manager.LatestRuntime("align", 0);
   ASSERT_TRUE(latest.ok());
@@ -188,11 +188,10 @@ TEST(ProvenanceManagerTest, LatestRuntimeQueriesNewestSuccess) {
 }
 
 TEST(ProvenanceManagerTest, RuntimeObservationsInOrder) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
-  manager.RecordTaskEnd(MakeResult(1, "align", 0, 0, 30), "node-000");
-  manager.RecordTaskEnd(MakeResult(2, "align", 1, 0, 20), "node-001");
+  ProvenanceManager manager;
+  std::string run = manager.BeginWorkflow("wf", 0.0);
+  manager.RecordTaskEnd(run, MakeResult(1, "align", 0, 0, 30), "node-000");
+  manager.RecordTaskEnd(run, MakeResult(2, "align", 1, 0, 20), "node-001");
   auto obs = manager.RuntimeObservations("align");
   ASSERT_EQ(obs.size(), 2u);
   EXPECT_EQ(obs[0].first, 0);
@@ -201,20 +200,19 @@ TEST(ProvenanceManagerTest, RuntimeObservationsInOrder) {
 }
 
 TEST(TraceSerializationTest, RoundTripThroughJsonLines) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
+  ProvenanceManager manager;
+  std::string run = manager.BeginWorkflow("wf", 0.0);
   TaskSpec spec = MakeSpec(1, "align");
-  manager.RecordTaskStart(spec, 0, "node-000", 1.0);
-  manager.RecordFileStageIn(1, "/in", 100, 0.1, 1.1);
-  manager.RecordTaskEnd(MakeResult(1, "align", 0, 1.0, 9.0), "node-000");
-  manager.EndWorkflow(10.0, true);
-  std::string text = SerializeTrace(store.Events());
+  manager.RecordTaskStart(run, spec, 0, "node-000", 1.0);
+  manager.RecordFileStageIn(run, 1, "/in", 100, 0.1, 1.1);
+  manager.RecordTaskEnd(run, MakeResult(1, "align", 0, 1.0, 9.0), "node-000");
+  manager.EndWorkflow(run, 10.0, true);
+  std::string text = manager.View().ExportTrace();
   EXPECT_EQ(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')),
-            store.size());
+            manager.size());
   auto parsed = ParseTrace(text);
   ASSERT_TRUE(parsed.ok());
-  ASSERT_EQ(parsed->size(), store.size());
+  ASSERT_EQ(parsed->size(), manager.size());
   EXPECT_EQ((*parsed)[2].file_path, "/in");
 }
 

@@ -373,10 +373,9 @@ TEST(RuntimeEstimatorTest, MeanEstimateAcrossNodes) {
   EXPECT_DOUBLE_EQ(estimator.MeanEstimate("t", 3), 10.0);
 }
 
-TEST(RuntimeEstimatorTest, LoadFromStoreIndexesTaskEnds) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
+TEST(RuntimeEstimatorTest, LoadFromViewIndexesTaskEnds) {
+  ProvenanceManager manager;
+  std::string run = manager.BeginWorkflow("wf", 0.0);
   TaskResult result;
   result.id = 1;
   result.signature = "align";
@@ -384,27 +383,26 @@ TEST(RuntimeEstimatorTest, LoadFromStoreIndexesTaskEnds) {
   result.started_at = 0.0;
   result.finished_at = 42.0;
   result.status = Status::OK();
-  manager.RecordTaskEnd(result, "node-003");
+  manager.RecordTaskEnd(run, result, "node-003");
   RuntimeEstimator estimator;
-  estimator.LoadFromStore(store);
+  estimator.LoadFromView(manager.View());
   EXPECT_DOUBLE_EQ(estimator.Estimate("align", 3), 42.0);
   estimator.Clear();
   EXPECT_DOUBLE_EQ(estimator.Estimate("align", 3), 0.0);
 }
 
 TEST(RuntimeEstimatorTest, FailedTasksAreNotObservations) {
-  InMemoryProvenanceStore store;
-  ProvenanceManager manager(&store);
-  manager.BeginWorkflow("wf", 0.0);
+  ProvenanceManager manager;
+  std::string run = manager.BeginWorkflow("wf", 0.0);
   TaskResult result;
   result.id = 1;
   result.signature = "align";
   result.node = 0;
   result.finished_at = 99.0;
   result.status = Status::RuntimeError("crashed");
-  manager.RecordTaskEnd(result, "node-000");
+  manager.RecordTaskEnd(run, result, "node-000");
   RuntimeEstimator estimator;
-  estimator.LoadFromStore(store);
+  estimator.LoadFromView(manager.View());
   EXPECT_FALSE(estimator.HasObservation("align", 0));
 }
 

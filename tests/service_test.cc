@@ -321,6 +321,83 @@ TEST(ServiceFailoverTest, AmNodeKillRecoversWithMemoisation) {
       << "recovery re-executed everything; memoisation is not working";
 }
 
+// Satellite (sharded provenance): with two submissions of the SAME
+// workflow running concurrently — identical task signatures, identical
+// output paths — a killed AM must rebuild its memoised prefix from its
+// own prior-attempt shards only. If the recovery trace leaked the twin's
+// shard, the replacement would memoise tasks its own attempts never
+// completed; scoping caps memoisation at the dead attempt's progress.
+// Outputs stay byte-identical to an unsharded-equivalent clean baseline.
+TEST(ServiceFailoverTest, RecoveryReadsOwnPriorAttemptShardsOnly) {
+  // Clean baseline: the same two submissions, no faults.
+  auto d_clean = SmallDeployment(6);
+  ASSERT_TRUE(d_clean.ok());
+  auto clean = WorkflowService::Create(d_clean->get(),
+                                       WorkflowServiceOptions{});
+  ASSERT_TRUE(clean.ok());
+  auto clean_victim = (*clean)->SubmitStaged("snv-calling");
+  auto clean_twin = (*clean)->SubmitStaged("snv-calling");
+  ASSERT_TRUE(clean_victim.ok());
+  ASSERT_TRUE(clean_twin.ok());
+  ASSERT_TRUE((*clean)->RunToCompletion().ok());
+  const SubmissionRecord* clean_rec = (*clean)->record(*clean_victim);
+  ASSERT_EQ(clean_rec->state, SubmissionState::kSucceeded);
+  auto clean_files = DfsSnapshot((*d_clean)->dfs.get());
+
+  // Faulted run: kill the victim's AM mid-flight; its twin keeps going.
+  auto d = SmallDeployment(6);
+  ASSERT_TRUE(d.ok());
+  auto service = WorkflowService::Create(d->get(), WorkflowServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto victim = (*service)->SubmitStaged("snv-calling");
+  auto twin = (*service)->SubmitStaged("snv-calling");
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(twin.ok());
+
+  FaultInjector injector(&(*d)->engine);
+  (*service)->InstallFaultHandlers(&injector);
+  double strike = 0.5 * clean_rec->finished_at;
+  ASSERT_TRUE(injector.ArmSpec(StrFormat("kill-am-node:at=%.3f:sub=%lld",
+                                         strike,
+                                         static_cast<long long>(*victim)))
+                  .ok());
+  ASSERT_TRUE((*service)->RunToCompletion().ok());
+
+  const SubmissionRecord* rec = (*service)->record(*victim);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SubmissionState::kSucceeded);
+  EXPECT_GE(rec->am_attempts, 2);
+  EXPECT_EQ(rec->report.tasks_completed, clean_rec->report.tasks_completed);
+
+  // The scoping property: memoisation is bounded by what the victim's
+  // OWN dead attempts completed. The twin ran the same signatures and
+  // its outputs exist in DFS, so a leaked merged trace would let the
+  // replacement memoise beyond this bound.
+  EXPECT_LE(rec->report.tasks_memoised, rec->completed_at_last_failure);
+
+  // Every AM attempt got its own shard; the crashed attempts' shards are
+  // sealed, and the victim's recovery view contains only its own runs.
+  ProvenanceManager* prov = (*d)->provenance.get();
+  EXPECT_GE(prov->shard_count(), 3u);
+  for (const std::string& run : prov->RunIds()) {
+    const ProvenanceShard* shard = prov->shard(run);
+    ASSERT_NE(shard, nullptr);
+    EXPECT_TRUE(shard->sealed()) << run;  // every run ended or crashed
+  }
+  for (const ProvenanceEvent& ev :
+       prov->ViewOf({rec->report.run_id}).Events()) {
+    EXPECT_EQ(ev.run_id, rec->report.run_id);
+  }
+
+  // Byte-identical outputs against the clean baseline.
+  auto files = DfsSnapshot((*d)->dfs.get());
+  for (const auto& [path, size] : clean_files) {
+    auto it = files.find(path);
+    ASSERT_NE(it, files.end()) << path;
+    EXPECT_EQ(it->second, size) << path;
+  }
+}
+
 // An AM process crash (node stays healthy) surfaces via the RM's
 // heartbeat timeout and recovers the same way — including for an
 // iterative Cuneiform workflow, whose recovery replays recorded stdout.
@@ -370,7 +447,7 @@ TEST(ServiceFailoverTest, FailoverIsDeterministicUnderFixedSeed) {
       outcome.emplace_back(rec.finished_at, rec.report.tasks_completed,
                            rec.report.tasks_memoised, rec.am_attempts);
     }
-    provenance_events = (*d)->provenance_store->size();
+    provenance_events = (*d)->provenance->size();
     return std::make_pair(outcome, provenance_events);
   };
   auto first = run();
