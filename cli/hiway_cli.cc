@@ -24,6 +24,8 @@
 #include "src/lang/dax_source.h"
 #include "src/lang/galaxy_source.h"
 #include "src/lang/trace_source.h"
+#include "src/obs/exporters.h"
+#include "src/obs/trace_analyzer.h"
 #include "src/service/workflow_service.h"
 #include "src/sim/fault_injector.h"
 
@@ -52,6 +54,12 @@ void PrintUsage() {
       "  --tailor-containers      per-task container sizing (Sec. 5)\n"
       "  --seed N                 simulation seed (default 42)\n"
       "  --trace-out FILE         write the provenance trace (JSON lines)\n"
+      "  --chrome-trace-out FILE  write an execution trace in Chrome\n"
+      "                           trace_event JSON (load in Perfetto) and\n"
+      "                           print the critical-path breakdown\n"
+      "                           (docs/observability.md)\n"
+      "  --metrics-out FILE       write a Prometheus-style text snapshot\n"
+      "                           of per-span counters\n"
       "  --verbose                per-task completion log\n"
       "  --help                   this message\n"
       "\n"
@@ -130,6 +138,8 @@ struct CliOptions {
   bool tailor = false;
   uint64_t seed = 42;
   std::string trace_out;
+  std::string chrome_trace_out;
+  std::string metrics_out;
   bool verbose = false;
   // Service mode.
   bool service = false;
@@ -243,6 +253,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.seed = static_cast<uint64_t>(n);
     } else if (arg == "--trace-out") {
       HIWAY_ASSIGN_OR_RETURN(options.trace_out, need_value(i, "--trace-out"));
+    } else if (arg == "--chrome-trace-out") {
+      HIWAY_ASSIGN_OR_RETURN(options.chrome_trace_out,
+                             need_value(i, "--chrome-trace-out"));
+    } else if (arg == "--metrics-out") {
+      HIWAY_ASSIGN_OR_RETURN(options.metrics_out,
+                             need_value(i, "--metrics-out"));
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -314,10 +330,43 @@ Result<std::unique_ptr<Deployment>> ConvergeDeployment(
   karamel.AddRecipe(HadoopInstallRecipe());
   karamel.AddRecipe(HiWayInstallRecipe());
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
+  if (!cli.chrome_trace_out.empty() || !cli.metrics_out.empty()) {
+    d->tracer.set_enabled(true);
+  }
   for (const auto& [path, size] : cli.inputs) {
     HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
   }
   return d;
+}
+
+/// Drains the execution tracer into the requested exporter files and
+/// prints the critical-path attribution (no-op when neither flag is set).
+Status WriteObsOutputs(Deployment* d, const CliOptions& cli) {
+  if (cli.chrome_trace_out.empty() && cli.metrics_out.empty()) {
+    return Status::OK();
+  }
+  std::vector<TraceEvent> events = d->tracer.Drain();
+  if (!cli.chrome_trace_out.empty()) {
+    std::ofstream out(cli.chrome_trace_out);
+    if (!out) {
+      return Status::IoError("cannot write chrome trace file: " +
+                             cli.chrome_trace_out);
+    }
+    out << ExportChromeTrace(events);
+    std::printf("execution trace: %s (load at https://ui.perfetto.dev)\n",
+                cli.chrome_trace_out.c_str());
+  }
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out);
+    if (!out) {
+      return Status::IoError("cannot write metrics file: " + cli.metrics_out);
+    }
+    out << ExportPrometheusText(events);
+    std::printf("metrics snapshot: %s\n", cli.metrics_out.c_str());
+  }
+  TraceAnalyzer analyzer(std::move(events));
+  std::printf("%s\n", analyzer.CriticalPath().Summary().c_str());
+  return Status::OK();
 }
 
 Result<int> RunService(const CliOptions& cli) {
@@ -450,6 +499,7 @@ Result<int> RunService(const CliOptions& cli) {
     out << SerializeTrace(d->provenance->Events());
     std::printf("trace: %s\n", cli.trace_out.c_str());
   }
+  HIWAY_RETURN_IF_ERROR(WriteObsOutputs(d.get(), cli));
   return exit_code;
 }
 
@@ -510,6 +560,7 @@ Result<int> Run(const CliOptions& cli) {
     std::printf("  trace:  %s (re-executable with --language trace)\n",
                 cli.trace_out.c_str());
   }
+  HIWAY_RETURN_IF_ERROR(WriteObsOutputs(d.get(), cli));
   return 0;
 }
 

@@ -63,6 +63,20 @@ for f in $files; do
   done
 done
 
+# --- required pages ---------------------------------------------------
+# Orientation pages that must exist and be reachable from the README:
+# a PR that deletes or un-links them should fail here, not silently
+# orphan them.
+for page in docs/architecture.md docs/observability.md; do
+  if [ ! -f "$page" ]; then
+    echo "MISSING    required page $page does not exist"
+    fail=1
+  elif ! grep -q "]($page)" README.md; then
+    echo "UNLINKED   README.md does not link to $page"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs_links: FAILED" >&2
   exit 1

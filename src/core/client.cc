@@ -56,6 +56,7 @@ Result<WorkflowReport> HiWayClient::RunSource(WorkflowSource* source,
   HiWayAm am(deployment_->cluster.get(), deployment_->rm.get(),
              deployment_->dfs.get(), &deployment_->tools,
              deployment_->provenance.get(), &deployment_->estimator, options);
+  am.SetTracer(&deployment_->tracer);
   HIWAY_RETURN_IF_ERROR(am.Submit(source, scheduler.get()));
   return am.RunToCompletion();
 }

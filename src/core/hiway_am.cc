@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/tracer.h"
 
 namespace hiway {
 
@@ -170,6 +171,9 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
   // The AM appends to its own shard for its whole lifetime — recording
   // never takes the manager's registry lock (no cross-AM contention).
   shard_ = provenance_->shard(report_.run_id);
+  if (tracer_ != nullptr) {
+    tracer_->Begin(SpanCategory::kWorkflow, "workflow", app_);
+  }
   HeartbeatLoop();
 
   auto initial = source_->Init();
@@ -250,6 +254,15 @@ Status HiWayAm::AdmitTasks(std::vector<TaskSpec> tasks) {
       if (!dfs_->Exists(path)) {
         e->missing_inputs.insert(path);
         waiting_on_file_[path].insert(id);
+      } else if (tracer_ != nullptr) {
+        // Input already present: if one of our tasks produced it, the
+        // dependency edge still matters for the critical path.
+        auto prod = file_producer_.find(path);
+        if (prod != file_producer_.end() && prod->second != id) {
+          tracer_->Instant(SpanCategory::kTask, "task_dep", app_,
+                           /*container=*/-1, id, /*node=*/-1, /*value=*/0.0,
+                           prod->second);
+        }
       }
     }
     if (e->missing_inputs.empty()) {
@@ -280,6 +293,11 @@ bool HiWayAm::TryMemoise(TaskEntry* entry) {
   entry->state = TaskState::kDone;
   ++report_.tasks_completed;
   ++report_.tasks_memoised;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kTask, "task_memoised", app_,
+                     /*container=*/-1, entry->spec.id, memo.node,
+                     memo.duration);
+  }
   double now = cluster_->engine()->Now();
   TaskResult result;
   result.id = entry->spec.id;
@@ -327,6 +345,11 @@ Status HiWayAm::DrainMemoised() {
 
 void HiWayAm::MarkReady(TaskEntry* entry) {
   entry->state = TaskState::kReady;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kTask, "task_ready", app_,
+                     /*container=*/-1, entry->spec.id, /*node=*/-1,
+                     /*value=*/0.0, entry->attempts);
+  }
   scheduler_->EnqueueReady(entry->spec);
   ContainerRequest request = scheduler_->RequestFor(entry->spec);
   request.blacklist = entry->blacklist;
@@ -344,6 +367,10 @@ void HiWayAm::OnContainerAllocated(const Container& container,
   }
   ++report_.scheduler_invocations;
   std::optional<TaskId> picked = scheduler_->SelectTask(container.node);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kScheduler, "am_decision", app_,
+                     container.id, picked.value_or(-1), container.node);
+  }
   if (!picked.has_value()) {
     // No queued task may run here. For static schedulers that simply
     // means the matching strict request is still pending elsewhere. A
@@ -396,15 +423,29 @@ void HiWayAm::LaunchTask(TaskEntry* entry, const Container& container) {
     shard_->RecordTaskStart(entry->spec, container.node,
                             cluster_->node(container.node).name,
                             cluster_->engine()->Now());
+    if (tracer_ != nullptr) {
+      tracer_->Instant(SpanCategory::kProvenance, "prov_append", app_,
+                       /*container=*/-1, entry->spec.id);
+    }
   }
   TaskId id = entry->spec.id;
   int epoch = entry->attempt_epoch;
   TaskSpec spec = entry->spec;
   NodeId node = container.node;
   int vcores = container.vcores;
+  ContainerId cid = container.id;
+  if (tracer_ != nullptr) {
+    tracer_->Begin(SpanCategory::kTask, "localize", app_, cid, id, node);
+  }
   // Container localisation / process start overhead, then execute.
   cluster_->engine()->ScheduleAfter(
-      options_.task_launch_overhead_s, [this, id, epoch, spec, node, vcores] {
+      options_.task_launch_overhead_s,
+      [this, id, epoch, spec, node, vcores, cid] {
+        if (tracer_ != nullptr) {
+          tracer_->End(SpanCategory::kTask, "localize", app_, cid, id, node,
+                       options_.task_launch_overhead_s);
+          tracer_->Begin(SpanCategory::kTask, "execute", app_, cid, id, node);
+        }
         executor_->Execute(spec, node, vcores,
                            [this, id, epoch](TaskAttemptOutcome outcome) {
                              OnAttemptDone(id, epoch, std::move(outcome));
@@ -423,10 +464,20 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
     return;
   }
   --running_;
+  ContainerId cid = entry->container;
   rm_->ReleaseContainer(entry->container);
   entry->container = kInvalidContainer;
 
   const TaskResult& result = outcome.result;
+  if (tracer_ != nullptr) {
+    tracer_->End(SpanCategory::kTask, "execute", app_, cid, id, result.node,
+                 result.Makespan());
+    for (const auto& t : outcome.transfers) {
+      tracer_->Instant(SpanCategory::kTask,
+                       t.stage_in ? "stage_in" : "stage_out", app_, cid, id,
+                       result.node, t.seconds, t.size_bytes);
+    }
+  }
   if (shard_ != nullptr) {
     shard_->RecordTaskEnd(result, cluster_->node(result.node).name);
     for (const auto& t : outcome.transfers) {
@@ -437,6 +488,12 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
         shard_->RecordFileStageOut(id, t.path, t.size_bytes, t.seconds,
                                    cluster_->engine()->Now());
       }
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant(SpanCategory::kProvenance, "prov_append", app_,
+                       /*container=*/-1, id, /*node=*/-1,
+                       /*value=*/0.0,
+                       static_cast<int64_t>(1 + outcome.transfers.size()));
     }
   }
 
@@ -481,6 +538,11 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
 
 void HiWayAm::HandleAttemptFailure(TaskEntry* entry, const Status& failure) {
   ++report_.failed_attempts;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kTask, "task_retry", app_,
+                     /*container=*/-1, entry->spec.id, /*node=*/-1,
+                     /*value=*/0.0, entry->attempts);
+  }
   if (options_.task_retry.Exhausted(entry->attempts)) {
     FinishWorkflow(failure.WithContext(StrFormat(
         "task %lld ('%s') failed %d attempts",
@@ -519,6 +581,7 @@ void HiWayAm::RetryLater(TaskEntry* entry) {
 
 void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
   for (const auto& [path, size] : result.produced_files) {
+    file_producer_[path] = result.id;
     auto waiters = waiting_on_file_.find(path);
     if (waiters == waiting_on_file_.end()) continue;
     std::set<TaskId> ids = std::move(waiters->second);
@@ -527,6 +590,12 @@ void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
       auto it = tasks_.find(id);
       if (it == tasks_.end()) continue;
       TaskEntry* entry = &it->second;
+      if (tracer_ != nullptr) {
+        // Dependency edge: consumer `id` waited on this producer's file.
+        tracer_->Instant(SpanCategory::kTask, "task_dep", app_,
+                         /*container=*/-1, id, /*node=*/-1, /*value=*/0.0,
+                         result.id);
+      }
       entry->missing_inputs.erase(path);
       if (entry->state == TaskState::kWaiting &&
           entry->missing_inputs.empty()) {
@@ -577,6 +646,11 @@ void HiWayAm::FinishWorkflow(Status status) {
   }
   report_.status = status;
   report_.finished_at = cluster_->engine()->Now();
+  if (tracer_ != nullptr) {
+    tracer_->End(SpanCategory::kWorkflow, "workflow", app_,
+                 /*container=*/-1, /*task=*/-1, /*node=*/-1,
+                 report_.Makespan());
+  }
   // Seals the shard: a terminal run accepts no further events.
   if (shard_ != nullptr) {
     shard_->RecordWorkflowEnd(report_.finished_at, status.ok());
@@ -602,6 +676,10 @@ void HiWayAm::OnContainerLost(const Container& container,
         // re-place the task once the guarantees settle.
         --entry.attempts;
         ++report_.tasks_preempted;
+        if (tracer_ != nullptr) {
+          tracer_->Instant(SpanCategory::kTask, "task_preempted", app_,
+                           container.id, id, container.node);
+        }
         MarkReady(&entry);
         return;
       }

@@ -133,6 +133,12 @@ class HiWayAm : public AmCallbacks {
   /// YARN application id once Submit() succeeded (per-tenant metrics).
   ApplicationId app() const { return app_; }
 
+  /// Attaches an execution tracer (src/obs/tracer.h): the AM then
+  /// records workflow/task-attempt span events (ready, localize,
+  /// execute, stage transfers, dependency edges, retries, memoisation)
+  /// feeding the TraceAnalyzer's critical path. Set before Submit().
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Invoked exactly once when the workflow reaches a terminal state
   /// (success or failure), after the report is final. Lets a service run
   /// many AMs concurrently without polling finished(). The listener must
@@ -218,6 +224,9 @@ class HiWayAm : public AmCallbacks {
 
   std::map<TaskId, TaskEntry> tasks_;
   std::map<std::string, std::set<TaskId>> waiting_on_file_;
+  /// Which completed task produced each DFS path (trace dependency
+  /// edges for consumers admitted after their producer finished).
+  std::map<std::string, TaskId> file_producer_;
   /// Recovery memo: signature -> recorded completions, oldest first.
   std::map<std::string, std::deque<MemoEntry>> memo_;
   /// Memoised results awaiting delivery to the source.
@@ -233,6 +242,7 @@ class HiWayAm : public AmCallbacks {
   /// negative cookie) so a request cannot ping-pong between bad nodes.
   std::map<int64_t, std::vector<NodeId>> decline_chains_;
   int64_t next_decline_cookie_ = -1;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hiway

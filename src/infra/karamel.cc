@@ -121,6 +121,10 @@ Recipe HadoopInstallRecipe() {
     yarn_opts.max_preempt_per_round =
         static_cast<int>(AttrInt(attrs, "yarn/max_preempt_per_round", 2));
     d->rm = std::make_unique<ResourceManager>(d->cluster.get(), yarn_opts);
+    d->rm->SetTracer(&d->tracer);
+    if (Attr(attrs, "obs/tracing", "off") == "on") {
+      d->tracer.set_enabled(true);
+    }
     d->load = std::make_unique<LoadInjector>(d->cluster.get());
     return Status::OK();
   };

@@ -19,6 +19,7 @@
 #include "src/core/provenance.h"
 #include "src/core/runtime_estimator.h"
 #include "src/hdfs/dfs.h"
+#include "src/obs/tracer.h"
 #include "src/sim/cluster.h"
 #include "src/sim/load_injector.h"
 #include "src/tools/tool_registry.h"
@@ -45,12 +46,16 @@ struct StagedWorkflow {
 /// every component living inside it.
 class Deployment {
  public:
-  Deployment() : net(&engine) {}
+  Deployment() : net(&engine), tracer(&engine) {}
   Deployment(const Deployment&) = delete;
   Deployment& operator=(const Deployment&) = delete;
 
   SimEngine engine;
   FlowNetwork net;
+  /// Deployment-wide execution tracer (src/obs/tracer.h). Attached to
+  /// the RM by HadoopInstallRecipe; disabled until set_enabled(true)
+  /// (or the obs/tracing = "on" attribute).
+  Tracer tracer;
   std::unique_ptr<Cluster> cluster;
   std::unique_ptr<Dfs> dfs;
   std::unique_ptr<ResourceManager> rm;
@@ -99,7 +104,9 @@ class Karamel {
 ///   cluster/workers (4), cluster/cores (2), cluster/memory_mb (7680),
 ///   cluster/disk_mbps (150), cluster/nic_mbps (125),
 ///   cluster/switch_mbps (1250), cluster/ebs_mbps (0), cluster/s3_mbps (0),
-///   dfs/replication (3), dfs/block_mb (128), yarn/allocation_delay_s (0.5)
+///   dfs/replication (3), dfs/block_mb (128), yarn/allocation_delay_s (0.5),
+///   obs/tracing ("off"; "on" enables the deployment tracer — see
+///   docs/observability.md)
 Recipe HadoopInstallRecipe();
 
 /// Installs Hi-WAY: the standard tool profiles and the sharded

@@ -1,0 +1,124 @@
+#include "src/obs/exporters.h"
+
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "src/common/json.h"
+#include "src/common/strings.h"
+
+namespace hiway {
+
+namespace {
+
+int64_t TidOf(const TraceEvent& ev) {
+  if (ev.task >= 0) return ev.task;
+  if (ev.container >= 0) return ev.container;
+  if (ev.node >= 0) return ev.node;
+  return 0;
+}
+
+Json EventJson(const char* ph, const TraceEvent& ev, double dur_us) {
+  Json j = Json::MakeObject();
+  j.Set("name", Json(std::string(ev.name)));
+  j.Set("cat", Json(std::string(ToString(ev.category))));
+  j.Set("ph", Json(std::string(ph)));
+  j.Set("ts", Json(ev.timestamp * 1e6));
+  if (std::strcmp(ph, "X") == 0) j.Set("dur", Json(dur_us));
+  j.Set("pid", Json(static_cast<double>(ev.app >= 0 ? ev.app : 0)));
+  j.Set("tid", Json(static_cast<double>(TidOf(ev))));
+  Json args = Json::MakeObject();
+  if (ev.container >= 0) {
+    args.Set("container", Json(static_cast<double>(ev.container)));
+  }
+  if (ev.node >= 0) args.Set("node", Json(static_cast<double>(ev.node)));
+  if (ev.value != 0.0) args.Set("value", Json(ev.value));
+  if (ev.aux >= 0) args.Set("aux", Json(static_cast<double>(ev.aux)));
+  j.Set("args", args);
+  return j;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  Json list = Json::MakeArray();
+  // Open Begin events keyed by (category, name, app, tid): matched with
+  // the next End of the same key into one complete "X" event.
+  using SpanKey = std::tuple<int, std::string, int64_t, int64_t>;
+  std::map<SpanKey, std::vector<TraceEvent>> open;
+  auto key_of = [](const TraceEvent& ev) {
+    return SpanKey{static_cast<int>(ev.category), std::string(ev.name), ev.app,
+                   TidOf(ev)};
+  };
+  for (const TraceEvent& ev : events) {
+    switch (ev.phase) {
+      case SpanPhase::kInstant:
+        list.Append(EventJson("i", ev, 0.0));
+        break;
+      case SpanPhase::kBegin:
+        open[key_of(ev)].push_back(ev);
+        break;
+      case SpanPhase::kEnd: {
+        auto it = open.find(key_of(ev));
+        if (it != open.end() && !it->second.empty()) {
+          TraceEvent begin = it->second.back();
+          it->second.pop_back();
+          double dur_us = (ev.timestamp - begin.timestamp) * 1e6;
+          if (dur_us < 0.0) dur_us = 0.0;
+          begin.value = ev.value;  // End carries the payload
+          if (begin.node < 0) begin.node = ev.node;
+          list.Append(EventJson("X", begin, dur_us));
+        } else {
+          list.Append(EventJson("i", ev, 0.0));
+        }
+        break;
+      }
+    }
+  }
+  // Unmatched Begins degrade to instants so the file stays loadable.
+  for (const auto& [key, begins] : open) {
+    for (const TraceEvent& ev : begins) list.Append(EventJson("i", ev, 0.0));
+  }
+  Json root = Json::MakeObject();
+  root.Set("traceEvents", list);
+  root.Set("displayTimeUnit", Json(std::string("ms")));
+  return root.Dump();
+}
+
+std::string ExportPrometheusText(const std::vector<TraceEvent>& events) {
+  struct Agg {
+    int64_t count = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> by_span;
+  for (const TraceEvent& ev : events) {
+    Agg& a = by_span[{ToString(ev.category), ev.name}];
+    ++a.count;
+    if (ev.phase == SpanPhase::kEnd || ev.phase == SpanPhase::kInstant) {
+      a.seconds += ev.value;
+    }
+  }
+  std::string out;
+  out += "# HELP hiway_trace_events_total Trace events drained.\n";
+  out += "# TYPE hiway_trace_events_total counter\n";
+  out += StrFormat("hiway_trace_events_total %lld\n",
+                   static_cast<long long>(events.size()));
+  out += "# HELP hiway_span_total Events per span category and name.\n";
+  out += "# TYPE hiway_span_total counter\n";
+  for (const auto& [key, agg] : by_span) {
+    out += StrFormat("hiway_span_total{category=\"%s\",name=\"%s\"} %lld\n",
+                     key.first.c_str(), key.second.c_str(),
+                     static_cast<long long>(agg.count));
+  }
+  out += "# HELP hiway_span_seconds_total Summed span value payloads "
+         "(durations, transfer seconds) per category and name.\n";
+  out += "# TYPE hiway_span_seconds_total counter\n";
+  for (const auto& [key, agg] : by_span) {
+    out += StrFormat(
+        "hiway_span_seconds_total{category=\"%s\",name=\"%s\"} %.6f\n",
+        key.first.c_str(), key.second.c_str(), agg.seconds);
+  }
+  return out;
+}
+
+}  // namespace hiway

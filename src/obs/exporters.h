@@ -1,0 +1,34 @@
+// Trace exporters: a drained event list (Tracer::Drain()) rendered for
+// external tools. ExportChromeTrace emits Chrome trace_event JSON —
+// load the file at https://ui.perfetto.dev or chrome://tracing to see
+// the container/task timelines the paper's Fig. 6 draws by hand.
+// ExportPrometheusText renders a Prometheus text-exposition snapshot of
+// per-span counters for scrape-style consumption. Formats are detailed
+// in docs/observability.md.
+
+#ifndef HIWAY_OBS_EXPORTERS_H_
+#define HIWAY_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/tracer.h"
+
+namespace hiway {
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}). Begin/End pairs
+/// are matched by (category, name, app, task-or-container id) into
+/// complete ("ph":"X") events with microsecond timestamps; instants
+/// become "ph":"i". pid = app id, tid = task id (falling back to
+/// container, then node). Always structurally valid JSON, even for a
+/// trace with unmatched Begins (they are emitted as instants).
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+
+/// Prometheus text exposition: hiway_span_total{category,name} event
+/// counts and hiway_span_seconds_total{category,name} duration sums
+/// (from End/instant `value` payloads), plus hiway_trace_events_total.
+std::string ExportPrometheusText(const std::vector<TraceEvent>& events);
+
+}  // namespace hiway
+
+#endif  // HIWAY_OBS_EXPORTERS_H_

@@ -206,6 +206,7 @@ bool WorkflowService::TryStart(SubmissionId id) {
       deployment_->cluster.get(), deployment_->rm.get(),
       deployment_->dfs.get(), &deployment_->tools,
       deployment_->provenance.get(), &deployment_->estimator, hiway);
+  sub.am->SetTracer(&deployment_->tracer);
   sub.am->set_finish_listener(
       [this, id](const WorkflowReport& report) { OnFinished(id, report); });
   rec.state = SubmissionState::kRunning;
@@ -305,6 +306,10 @@ void WorkflowService::OnAppFailure(ApplicationId app,
   // events and executor completions become no-ops) and remember what the
   // attempt accomplished before retiring it.
   sub.am->Crash();
+  deployment_->tracer.Instant(SpanCategory::kFailover, "am_failure", app,
+                              /*container=*/-1, /*task=*/-1, /*node=*/-1,
+                              /*value=*/static_cast<double>(rec.am_attempts),
+                              /*aux=*/id);
   const WorkflowReport& partial = sub.am->report();
   if (!partial.run_id.empty()) sub.run_ids.push_back(partial.run_id);
   rec.completed_at_last_failure = partial.tasks_completed;
@@ -362,8 +367,14 @@ void WorkflowService::TryRecover(SubmissionId id) {
       deployment_->cluster.get(), deployment_->rm.get(),
       deployment_->dfs.get(), &deployment_->tools,
       deployment_->provenance.get(), &deployment_->estimator, hiway);
+  sub.am->SetTracer(&deployment_->tracer);
   sub.am->set_finish_listener(
       [this, id](const WorkflowReport& report) { OnFinished(id, report); });
+  deployment_->tracer.Instant(SpanCategory::kFailover, "am_recovery",
+                              /*app=*/-1, /*container=*/-1,
+                              /*task=*/-1, /*node=*/-1,
+                              /*value=*/static_cast<double>(hiway.am_attempt),
+                              /*aux=*/id);
 
   // Provenance replay: the new attempt memoises every task the prior
   // attempts completed (when its recorded outputs survive in DFS). The

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/obs/tracer.h"
 #include "src/yarn/rm_scheduler.h"
 
 namespace hiway {
@@ -164,6 +165,10 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
   app_stats_[app].queue = queue;
   Container* am = AllocateOn(app, target, am_vcores, am_memory_mb);
   am->is_am = true;
+  if (tracer_ != nullptr) {
+    tracer_->Begin(SpanCategory::kContainer, "container", app, am->id,
+                   /*task=*/-1, target);
+  }
   AppState state;
   state.name = name;
   state.callbacks = callbacks;
@@ -201,6 +206,11 @@ void ResourceManager::SubmitRequest(ApplicationId app,
   AddPending(app, request);
   queue_.push_back(
       PendingRequest{app, request, cluster_->engine()->Now()});
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kContainer, "container_requested", app,
+                     /*container=*/-1, /*task=*/request.cookie,
+                     request.preferred_node);
+  }
   ScheduleAllocationPass();
 }
 
@@ -233,6 +243,10 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
   }
   ++counters_.releases;
   double work = cluster_->engine()->Now() - c.allocated_at;
+  if (tracer_ != nullptr) {
+    tracer_->End(SpanCategory::kContainer, "container", c.app, c.id,
+                 /*task=*/-1, c.node, work);
+  }
   if (!c.is_am) counters_.container_work_s += work;
   for (TenantStats* s : {&StatsOf(c.app), &QueueStatsOf(c.app)}) {
     ++s->counters.releases;
@@ -258,6 +272,18 @@ void ResourceManager::DropContainer(const Container& c,
   // Lifetime of the dying container: consumed work always, and — for
   // preemption victims — wasted work the owning AM must redo.
   double work = cluster_->engine()->Now() - c.allocated_at;
+  if (tracer_ != nullptr) {
+    tracer_->End(SpanCategory::kContainer, "container", c.app, c.id,
+                 /*task=*/-1, c.node, work);
+    if (preempted) {
+      tracer_->Instant(SpanCategory::kPreemption, "preempt_kill", c.app, c.id,
+                       /*task=*/-1, c.node, work, c.priority);
+    } else {
+      tracer_->Instant(SpanCategory::kFailover, "container_lost", c.app, c.id,
+                       /*task=*/-1, c.node, work,
+                       static_cast<int64_t>(reason));
+    }
+  }
   for (RmCounters* k : {&counters_, &StatsOf(c.app).counters,
                         &QueueStatsOf(c.app).counters}) {
     if (reclaim) {
@@ -288,6 +314,10 @@ void ResourceManager::KillNode(NodeId node) {
   NodeState& ns = nodes_[static_cast<size_t>(node)];
   if (!ns.alive) return;
   AccrueFairness();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kFailover, "node_lost", /*app=*/-1,
+                     /*container=*/-1, /*task=*/-1, node);
+  }
   ns.alive = false;
   ns.free_vcores = 0;
   ns.free_memory_mb = 0.0;
@@ -341,6 +371,9 @@ void ResourceManager::FailApplication(ApplicationId app,
   ++counters_.app_failures;
   ++StatsOf(app).counters.app_failures;
   ++QueueStatsOf(app).counters.app_failures;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kFailover, "app_failed", app);
+  }
   std::string name = std::move(it->second.name);
   apps_.erase(it);
   ScheduleAllocationPass();
@@ -565,6 +598,7 @@ void ResourceManager::AllocationPass() {
   view.queue_stats = &queue_stats_;
   view.queue_configs = &queue_configs_;
 
+  int pass_allocations = 0;
   std::vector<RmCandidate> eligible;
   while (true) {
     eligible.clear();
@@ -590,12 +624,19 @@ void ResourceManager::AllocationPass() {
       continue;
     }
     s.consumed = true;
+    ++pass_allocations;
     RemovePending(s.req.app, r);
     double wait = cluster_->engine()->Now() - s.req.submitted_at;
     StatsOf(s.req.app).wait_times_s.push_back(wait);
     QueueStatsOf(s.req.app).wait_times_s.push_back(wait);
     Container* c = AllocateOn(s.req.app, chosen, r.vcores, r.memory_mb);
     c->priority = r.priority;
+    if (tracer_ != nullptr) {
+      tracer_->Begin(SpanCategory::kContainer, "container", s.req.app, c->id,
+                     /*task=*/-1, chosen);
+      tracer_->Instant(SpanCategory::kContainer, "container_allocated",
+                       s.req.app, c->id, /*task=*/r.cookie, chosen, wait);
+    }
     AmCallbacks* cb = apps_.at(s.req.app).callbacks;
     Container copy = *c;
     int64_t cookie = r.cookie;
@@ -605,6 +646,12 @@ void ResourceManager::AllocationPass() {
   }
   for (Slot& s : slots) {
     if (!s.consumed) queue_.push_back(std::move(s.req));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kScheduler, "allocation_pass", /*app=*/-1,
+                     /*container=*/-1, /*task=*/-1, /*node=*/-1,
+                     static_cast<double>(pass_allocations),
+                     static_cast<int64_t>(queue_.size()));
   }
   UpdateStarvation();
 }

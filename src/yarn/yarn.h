@@ -32,6 +32,8 @@
 
 namespace hiway {
 
+class Tracer;
+
 using ApplicationId = int32_t;
 using ContainerId = int64_t;
 constexpr ContainerId kInvalidContainer = -1;
@@ -317,6 +319,12 @@ class ResourceManager {
   const YarnOptions& options() const { return options_; }
   Cluster* cluster() const { return cluster_; }
 
+  /// Attaches an execution tracer (src/obs/tracer.h); the RM then
+  /// records container lifecycle, allocation-pass, preemption, node-loss
+  /// and app-failure span events. nullptr detaches.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   struct NodeState {
     int free_vcores = 0;
@@ -425,6 +433,7 @@ class ResourceManager {
   double fairness_integral_ = 0.0;
   double fairness_time_ = 0.0;
   double fairness_last_ = 0.0;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hiway
