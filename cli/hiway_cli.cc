@@ -53,6 +53,15 @@ void PrintUsage() {
       "  --memory MB              container memory (default 1024)\n"
       "  --tailor-containers      per-task container sizing (Sec. 5)\n"
       "  --seed N                 simulation seed (default 42)\n"
+      "  --result-cache           enable the cluster-wide result cache:\n"
+      "                           tasks whose signature and input contents\n"
+      "                           match a sealed prior run are served\n"
+      "                           without a container (docs/data-cache.md)\n"
+      "  --staging-cache-mb N     per-node staging cache budget in MiB\n"
+      "                           (0 = unbounded; omit to disable)\n"
+      "  --cache-verify           spot-check result-cache hits by\n"
+      "                           re-reading their outputs from DFS and\n"
+      "                           fail the hit loudly on a mismatch\n"
       "  --trace-out FILE         write the provenance trace (JSON lines)\n"
       "  --chrome-trace-out FILE  write an execution trace in Chrome\n"
       "                           trace_event JSON (load in Perfetto) and\n"
@@ -247,6 +256,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       HIWAY_ASSIGN_OR_RETURN(options.memory_mb, ParseDouble(v));
     } else if (arg == "--tailor-containers") {
       options.tailor = true;
+    } else if (arg == "--result-cache") {
+      options.attributes["hiway/cache_results"] = "on";
+    } else if (arg == "--staging-cache-mb") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v,
+                             need_value(i, "--staging-cache-mb"));
+      HIWAY_RETURN_IF_ERROR(ParseInt64(v).status());
+      options.attributes["hiway/cache_staging_mb"] = v;
+    } else if (arg == "--cache-verify") {
+      options.attributes["hiway/cache_verify"] = "on";
     } else if (arg == "--seed") {
       HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--seed"));
       HIWAY_ASSIGN_OR_RETURN(int64_t n, ParseInt64(v));
@@ -337,6 +355,41 @@ Result<std::unique_ptr<Deployment>> ConvergeDeployment(
     HIWAY_RETURN_IF_ERROR(d->dfs->IngestFile(path, size));
   }
   return d;
+}
+
+/// Prints the cross-submission cache summary (no-op when neither cache
+/// is deployed).
+void PrintCacheSummary(const Deployment* d) {
+  if (d->result_cache == nullptr && d->staging_cache == nullptr) return;
+  CacheLoadSummary c =
+      SummarizeCache(d->result_cache.get(), d->staging_cache.get());
+  if (d->result_cache != nullptr) {
+    std::printf("result cache: %lld hit(s) / %lld miss(es) (ratio %.2f), "
+                "%lld entrie(s), saved %s compute\n",
+                static_cast<long long>(c.result_hits),
+                static_cast<long long>(c.result_misses), c.result_hit_ratio,
+                static_cast<long long>(c.result_entries),
+                HumanDuration(c.compute_saved_s).c_str());
+    if (c.tenant_denied > 0 || c.stale_evictions > 0 ||
+        c.verify_mismatches > 0) {
+      std::printf("result cache: %lld cross-tenant denial(s), "
+                  "%lld stale eviction(s), %lld verify mismatch(es)\n",
+                  static_cast<long long>(c.tenant_denied),
+                  static_cast<long long>(c.stale_evictions),
+                  static_cast<long long>(c.verify_mismatches));
+    }
+  }
+  if (d->staging_cache != nullptr) {
+    std::printf("staging cache: %lld hit(s) / %lld miss(es), %s served "
+                "locally, %s resident, %lld eviction(s)\n",
+                static_cast<long long>(c.staging_hits),
+                static_cast<long long>(c.staging_misses),
+                HumanBytes(static_cast<double>(c.staging_bytes_served))
+                    .c_str(),
+                HumanBytes(static_cast<double>(c.staging_resident_bytes))
+                    .c_str(),
+                static_cast<long long>(c.staging_evictions));
+  }
 }
 
 /// Drains the execution tracer into the requested exporter files and
@@ -479,6 +532,7 @@ Result<int> RunService(const CliOptions& cli) {
   }
   std::printf("time-averaged Jain fairness: %.3f\n",
               d->rm->TimeAveragedFairness());
+  PrintCacheSummary(d.get());
   if (!injector.armed().empty()) {
     const FaultCounters& f = injector.counters();
     std::printf("faults injected: %d node kill(s), %d am crash(es), "
@@ -544,6 +598,11 @@ Result<int> Run(const CliOptions& cli) {
       "finished: %d task(s) in %s virtual time (%d attempt(s), %d failed)\n",
       report->tasks_completed, HumanDuration(report->Makespan()).c_str(),
       report->task_attempts, report->failed_attempts);
+  if (report->tasks_cached > 0) {
+    std::printf("  %d task(s) served from the result cache\n",
+                report->tasks_cached);
+  }
+  PrintCacheSummary(d.get());
   for (const std::string& target : source->Targets()) {
     auto info = d->dfs->Stat(target);
     std::printf("  output: %s (%s)\n", target.c_str(),

@@ -36,6 +36,19 @@ Result<double> ParseDouble(std::string_view s);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// 64-bit FNV-1a hash. Stable across processes and platforms, so content
+/// fingerprints and cache keys persisted by one service instance resolve
+/// identically after a restart. `seed` chains multi-field hashes.
+inline uint64_t Fnv1a64(std::string_view s,
+                        uint64_t seed = 14695981039346656037ull) {
+  uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 /// Formats a byte count with binary units, e.g. "1.07 GB".
 std::string HumanBytes(double bytes);
 

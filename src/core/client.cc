@@ -52,11 +52,19 @@ Result<WorkflowReport> HiWayClient::RunSource(WorkflowSource* source,
                                               const HiWayOptions& options) {
   HIWAY_ASSIGN_OR_RETURN(
       std::unique_ptr<WorkflowScheduler> scheduler,
-      MakeScheduler(policy, deployment_->dfs.get(), &deployment_->estimator));
+      MakeScheduler(policy, deployment_->dfs.get(), &deployment_->estimator,
+                    deployment_->staging_cache.get()));
   HiWayAm am(deployment_->cluster.get(), deployment_->rm.get(),
              deployment_->dfs.get(), &deployment_->tools,
              deployment_->provenance.get(), &deployment_->estimator, options);
   am.SetTracer(&deployment_->tracer);
+  if (deployment_->result_cache != nullptr) {
+    // Single-shot client runs share the deployment's default namespace.
+    am.SetResultCache(deployment_->result_cache.get(), "default");
+  }
+  if (deployment_->staging_cache != nullptr) {
+    am.SetStagingCache(deployment_->staging_cache.get());
+  }
   HIWAY_RETURN_IF_ERROR(am.Submit(source, scheduler.get()));
   return am.RunToCompletion();
 }

@@ -30,6 +30,10 @@ HiWayAm::HiWayAm(Cluster* cluster, ResourceManager* rm, Dfs* dfs,
                                              options_.seed);
 }
 
+void HiWayAm::SetStagingCache(StagingCache* staging) {
+  storage_->SetStagingCache(staging);
+}
+
 HiWayAm::~HiWayAm() {
   if (heartbeat_event_ != 0) {
     cluster_->engine()->Cancel(heartbeat_event_);
@@ -171,6 +175,11 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
   // The AM appends to its own shard for its whole lifetime — recording
   // never takes the manager's registry lock (no cross-AM contention).
   shard_ = provenance_->shard(report_.run_id);
+  if (result_cache_ != nullptr) {
+    // Bind this run to its tenant namespace: entries the run publishes
+    // are only ever served back to workflows of the same tenant.
+    result_cache_->BindRun(report_.run_id, cache_tenant_);
+  }
   if (tracer_ != nullptr) {
     tracer_->Begin(SpanCategory::kWorkflow, "workflow", app_);
   }
@@ -266,7 +275,7 @@ Status HiWayAm::AdmitTasks(std::vector<TaskSpec> tasks) {
       }
     }
     if (e->missing_inputs.empty()) {
-      MarkReady(e);
+      MarkReadyOrServe(e);
     } else {
       e->state = TaskState::kWaiting;
       ++waiting_;
@@ -341,6 +350,72 @@ Status HiWayAm::DrainMemoised() {
   }
   draining_memo_ = false;
   return Status::OK();
+}
+
+void HiWayAm::MarkReadyOrServe(TaskEntry* entry) {
+  if (TryCacheHit(entry)) return;
+  MarkReady(entry);
+}
+
+bool HiWayAm::TryCacheHit(TaskEntry* entry) {
+  if (result_cache_ == nullptr) return false;
+  auto lookup = result_cache_->Lookup(entry->spec, cache_tenant_);
+  if (!lookup.ok()) {
+    if (lookup.status().IsIoError()) {
+      // Spot-check verification caught cached outputs that no longer
+      // match DFS; the cache evicted the entry, we recompute.
+      HIWAY_LOG_WARN << "cache verification failed for task "
+                     << entry->spec.id << " (" << entry->spec.signature
+                     << "): " << lookup.status().ToString()
+                     << "; re-executing";
+      if (tracer_ != nullptr) {
+        tracer_->Instant(SpanCategory::kCache, "cache_verify_mismatch", app_,
+                         /*container=*/-1, entry->spec.id);
+      }
+    }
+    return false;
+  }
+  CacheHit hit = std::move(lookup).value();
+  entry->state = TaskState::kDone;
+  ++report_.tasks_completed;
+  ++report_.tasks_cached;
+  int64_t output_bytes = 0;
+  std::vector<std::pair<std::string, int64_t>> produced;
+  for (const CachedOutput& out : hit.outputs) {
+    if (out.is_value) continue;
+    produced.emplace_back(out.path, out.size_bytes);
+    output_bytes += out.size_bytes;
+  }
+  double now = cluster_->engine()->Now();
+  if (tracer_ != nullptr) {
+    // value = compute seconds saved, aux = output bytes reused.
+    tracer_->Instant(SpanCategory::kCache, "cache_hit", app_,
+                     /*container=*/-1, entry->spec.id, hit.node, hit.duration,
+                     output_bytes);
+  }
+  if (shard_ != nullptr) {
+    // Recorded as its own event type: replay must not mistake a reused
+    // result for an execution, and the analyzer attributes saved time.
+    shard_->RecordTaskCacheHit(entry->spec.id, entry->spec.signature,
+                               hit.run_id, hit.duration, now);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(SpanCategory::kProvenance, "prov_append", app_,
+                       /*container=*/-1, entry->spec.id);
+    }
+  }
+  TaskResult result;
+  result.id = entry->spec.id;
+  result.signature = entry->spec.signature;
+  result.status = Status::OK();
+  result.node = hit.node;
+  result.started_at = now;
+  result.finished_at = now;  // a cache hit is instantaneous
+  result.stdout_value = hit.stdout_value;
+  result.produced_files = std::move(produced);
+  // Delivered through the memo queue (same instant-completion plumbing
+  // as recovery memoisation); not fed to the estimator — nothing ran.
+  memo_completions_.push_back(std::move(result));
+  return true;
 }
 
 void HiWayAm::MarkReady(TaskEntry* entry) {
@@ -512,6 +587,14 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
   entry->state = TaskState::kDone;
   ++report_.tasks_completed;
   estimator_->Observe(result.signature, result.node, result.Makespan());
+  if (result_cache_ != nullptr) {
+    // Seal only now — after stage-out put every output durably in DFS
+    // (Publish independently re-stats them and refuses otherwise). A
+    // crashed AM never reaches this point, so a crash window cannot
+    // leave a cache entry pointing at unreplicated outputs.
+    result_cache_->Publish(entry->spec, result, report_.run_id,
+                           cluster_->node(result.node).name);
+  }
   RegisterProducedFiles(result);
 
   auto discovered = source_->OnTaskCompleted(result);
@@ -520,18 +603,23 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
         discovered.status().WithContext("workflow evaluation failed"));
     return;
   }
+  Status st = Status::OK();
   if (!discovered->empty()) {
     if (scheduler_->IsStatic()) {
       FinishWorkflow(Status::FailedPrecondition(
           "a statically scheduled source discovered new tasks at runtime"));
       return;
     }
-    Status st = AdmitTasks(std::move(discovered).value());
-    if (st.ok()) st = DrainMemoised();
-    if (!st.ok()) {
-      FinishWorkflow(st);
-      return;
-    }
+    st = AdmitTasks(std::move(discovered).value());
+  }
+  // Drain unconditionally: RegisterProducedFiles above may have served a
+  // newly unblocked task straight from the result cache even when the
+  // source discovered nothing, and MaybeFinish refuses to finish while
+  // memoised completions are undelivered.
+  if (st.ok()) st = DrainMemoised();
+  if (!st.ok()) {
+    FinishWorkflow(st);
+    return;
   }
   MaybeFinish();
 }
@@ -600,7 +688,10 @@ void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
       if (entry->state == TaskState::kWaiting &&
           entry->missing_inputs.empty()) {
         --waiting_;
-        MarkReady(entry);
+        // Now that all inputs exist their content ids are final, so the
+        // cache key is computable: a downstream task whose upstream was
+        // itself a hit can cascade into a hit too.
+        MarkReadyOrServe(entry);
       }
     }
   }

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/result_cache.h"
+#include "src/cache/staging_cache.h"
 #include "src/common/retry_policy.h"
 #include "src/core/provenance.h"
 #include "src/core/runtime_estimator.h"
@@ -80,6 +82,9 @@ struct WorkflowReport {
   /// Of tasks_completed, how many were memoised from a recovery trace
   /// instead of re-executed (AM failover; 0 outside recovery).
   int tasks_memoised = 0;
+  /// Of tasks_completed, how many were served from the cluster-wide
+  /// result cache (prior submissions' sealed outputs) without running.
+  int tasks_cached = 0;
   int task_attempts = 0;
   int failed_attempts = 0;
   /// Containers lost to RM preemption (scheduler-initiated reclaims).
@@ -133,6 +138,23 @@ class HiWayAm : public AmCallbacks {
   /// YARN application id once Submit() succeeded (per-tenant metrics).
   ApplicationId app() const { return app_; }
 
+  /// Attaches the cluster-wide result cache (docs/data-cache.md): before
+  /// scheduling a ready task the AM asks the cache for a sealed result of
+  /// the same invocation (tenant-scoped); a hit completes the task
+  /// instantly, and every successful attempt is published back. `tenant`
+  /// scopes both lookups and publishes (empty = the shared default
+  /// namespace). Set before Submit(); the cache is not owned.
+  void SetResultCache(ResultCache* cache, std::string tenant) {
+    result_cache_ = cache;
+    cache_tenant_ = std::move(tenant);
+  }
+
+  /// Attaches the per-NodeManager staging cache: stage-in of an input
+  /// already resident on the chosen node is served locally instead of
+  /// re-reading from DFS. Forwarded to the storage adapter; set before
+  /// Submit(). Not owned; shared across AMs and workflows.
+  void SetStagingCache(StagingCache* staging);
+
   /// Attaches an execution tracer (src/obs/tracer.h): the AM then
   /// records workflow/task-attempt span events (ready, localize,
   /// execute, stage transfers, dependency edges, retries, memoisation)
@@ -183,6 +205,13 @@ class HiWayAm : public AmCallbacks {
 
   Status AdmitTasks(std::vector<TaskSpec> tasks);
   void MarkReady(TaskEntry* entry);
+  /// MarkReady unless the result cache already holds this invocation's
+  /// sealed outputs for our tenant — then the task completes instantly
+  /// (queued on memo_completions_, like a recovery memoisation).
+  void MarkReadyOrServe(TaskEntry* entry);
+  /// Attempts to complete `entry` from the result cache. False = miss
+  /// (or verification evicted the entry); the task must execute.
+  bool TryCacheHit(TaskEntry* entry);
   void LaunchTask(TaskEntry* entry, const Container& container);
   void OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome);
   void HandleAttemptFailure(TaskEntry* entry, const Status& failure);
@@ -243,6 +272,10 @@ class HiWayAm : public AmCallbacks {
   std::map<int64_t, std::vector<NodeId>> decline_chains_;
   int64_t next_decline_cookie_ = -1;
   Tracer* tracer_ = nullptr;
+  /// Cluster-wide result cache (nullptr = caching off) and the tenant
+  /// namespace this workflow reads from / publishes into.
+  ResultCache* result_cache_ = nullptr;
+  std::string cache_tenant_;
 };
 
 }  // namespace hiway

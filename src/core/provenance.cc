@@ -21,6 +21,8 @@ std::string_view ProvenanceEventTypeToString(ProvenanceEventType type) {
       return "file-stage-in";
     case ProvenanceEventType::kFileStageOut:
       return "file-stage-out";
+    case ProvenanceEventType::kTaskCacheHit:
+      return "task-cache-hit";
   }
   return "unknown";
 }
@@ -33,6 +35,7 @@ Result<ProvenanceEventType> ProvenanceEventTypeFromString(
   if (s == "task-end") return ProvenanceEventType::kTaskEnd;
   if (s == "file-stage-in") return ProvenanceEventType::kFileStageIn;
   if (s == "file-stage-out") return ProvenanceEventType::kFileStageOut;
+  if (s == "task-cache-hit") return ProvenanceEventType::kTaskCacheHit;
   return Status::ParseError("unknown provenance event type: " +
                             std::string(s));
 }
@@ -77,6 +80,12 @@ Json ProvenanceEvent::ToJson() const {
       obj.Set("size_bytes", size_bytes);
       obj.Set("transfer_seconds", transfer_seconds);
       break;
+    case ProvenanceEventType::kTaskCacheHit:
+      obj.Set("task_id", task_id);
+      obj.Set("signature", signature);
+      obj.Set("source_run", source_run_id);
+      obj.Set("duration", duration);
+      break;
   }
   return obj;
 }
@@ -105,6 +114,7 @@ Result<ProvenanceEvent> ProvenanceEvent::FromJson(const Json& json) {
   ev.file_path = json.GetString("file");
   ev.size_bytes = json.GetInt("size_bytes");
   ev.transfer_seconds = json.GetNumber("transfer_seconds");
+  ev.source_run_id = json.GetString("source_run");
   return ev;
 }
 
@@ -238,6 +248,20 @@ void ProvenanceShard::RecordFileStageOut(TaskId task, const std::string& path,
   ev.file_path = path;
   ev.size_bytes = size_bytes;
   ev.transfer_seconds = transfer_seconds;
+  Append(std::move(ev));
+}
+
+void ProvenanceShard::RecordTaskCacheHit(TaskId task,
+                                         const std::string& signature,
+                                         const std::string& source_run_id,
+                                         double saved_seconds, double now) {
+  ProvenanceEvent ev;
+  ev.type = ProvenanceEventType::kTaskCacheHit;
+  ev.timestamp = now;
+  ev.task_id = task;
+  ev.signature = signature;
+  ev.source_run_id = source_run_id;
+  ev.duration = saved_seconds;
   Append(std::move(ev));
 }
 

@@ -39,6 +39,12 @@ enum class ProvenanceEventType {
   kTaskEnd,
   kFileStageIn,
   kFileStageOut,
+  /// A task satisfied from the cluster-wide result cache: no container
+  /// ran. `signature`/`task_id` name the satisfied task, `source_run_id`
+  /// the run that produced the reused entry, and `duration` the original
+  /// attempt's makespan (the time the hit saved). Replay and the runtime
+  /// estimator ignore these — a hit is not a runtime observation.
+  kTaskCacheHit,
 };
 
 std::string_view ProvenanceEventTypeToString(ProvenanceEventType type);
@@ -77,6 +83,10 @@ struct ProvenanceEvent {
   std::string file_path;
   int64_t size_bytes = 0;
   double transfer_seconds = 0.0;
+
+  // Cache-hit fields (kTaskCacheHit): the run whose execution the cache
+  // served this task from.
+  std::string source_run_id;
 
   Json ToJson() const;
   static Result<ProvenanceEvent> FromJson(const Json& json);
@@ -154,6 +164,12 @@ class ProvenanceShard {
   void RecordFileStageOut(TaskId task, const std::string& path,
                           int64_t size_bytes, double transfer_seconds,
                           double now);
+  /// Records a result-cache hit: `task` (with `signature`) was satisfied
+  /// from the entry `source_run_id` produced, saving `saved_seconds` of
+  /// the original attempt's makespan.
+  void RecordTaskCacheHit(TaskId task, const std::string& signature,
+                          const std::string& source_run_id,
+                          double saved_seconds, double now);
 
   /// No further appends (terminal run, or its AM was declared dead).
   /// Idempotent. Sealed shards stay readable forever.

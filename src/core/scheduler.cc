@@ -39,6 +39,19 @@ void DataAwareScheduler::EnqueueReady(const TaskSpec& task) {
   queue_.push_back(task);
 }
 
+int64_t DataAwareScheduler::EffectiveLocalBytes(const std::string& path,
+                                                NodeId node) const {
+  int64_t local = dfs_->LocalBytes(path, node);
+  if (staging_ != nullptr) {
+    // A staged copy only counts while it matches the file's current
+    // content; CachedBytes checks the fingerprint and never perturbs
+    // the cache's LRU order.
+    local = std::max(
+        local, staging_->CachedBytes(path, dfs_->ContentId(path), node));
+  }
+  return local;
+}
+
 ContainerRequest DataAwareScheduler::RequestFor(const TaskSpec& task) {
   ContainerRequest r;
   r.vcores = task.vcores;
@@ -51,7 +64,7 @@ ContainerRequest DataAwareScheduler::RequestFor(const TaskSpec& task) {
   for (NodeId n = 0; n < dfs_->cluster()->num_nodes(); ++n) {
     int64_t local = 0;
     for (const std::string& path : task.input_files) {
-      local += dfs_->LocalBytes(path, n);
+      local += EffectiveLocalBytes(path, n);
     }
     if (local > best_bytes) {
       best_bytes = local;
@@ -76,7 +89,7 @@ std::optional<TaskId> DataAwareScheduler::SelectTask(NodeId node) {
     for (const std::string& path : task.input_files) {
       auto info = dfs_->Stat(path);
       if (info.ok()) total += info->size_bytes;
-      local += dfs_->LocalBytes(path, node);
+      local += EffectiveLocalBytes(path, node);
     }
     double fraction =
         total > 0 ? static_cast<double>(local) / static_cast<double>(total)
@@ -415,7 +428,8 @@ void OnlineMctScheduler::RemoveTask(TaskId id) {
 // -------------------------------------------------------------- factory ---
 
 Result<std::unique_ptr<WorkflowScheduler>> MakeScheduler(
-    const std::string& policy, Dfs* dfs, const RuntimeEstimator* estimator) {
+    const std::string& policy, Dfs* dfs, const RuntimeEstimator* estimator,
+    const StagingCache* staging) {
   if (policy == "fcfs") {
     return std::unique_ptr<WorkflowScheduler>(new FcfsScheduler());
   }
@@ -423,7 +437,8 @@ Result<std::unique_ptr<WorkflowScheduler>> MakeScheduler(
     if (dfs == nullptr) {
       return Status::InvalidArgument("data-aware scheduling requires a DFS");
     }
-    return std::unique_ptr<WorkflowScheduler>(new DataAwareScheduler(dfs));
+    return std::unique_ptr<WorkflowScheduler>(
+        new DataAwareScheduler(dfs, staging));
   }
   if (policy == "round-robin") {
     return std::unique_ptr<WorkflowScheduler>(new RoundRobinScheduler());

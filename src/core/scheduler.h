@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/staging_cache.h"
 #include "src/core/runtime_estimator.h"
 #include "src/hdfs/dfs.h"
 #include "src/lang/workflow.h"
@@ -91,10 +92,15 @@ class FcfsScheduler : public WorkflowScheduler {
 
 /// Hi-WAY's default policy for I/O-intensive workflows: selects the task
 /// with the highest fraction of input bytes already on the container's
-/// node, minimising transfer over the switch.
+/// node, minimising transfer over the switch. With a staging cache
+/// attached, bytes a node retained from earlier stage-ins count as local
+/// too — a cached copy is as cheap as an HDFS block replica, so warm
+/// nodes attract the tasks whose inputs they already hold.
 class DataAwareScheduler : public WorkflowScheduler {
  public:
-  explicit DataAwareScheduler(Dfs* dfs) : dfs_(dfs) {}
+  explicit DataAwareScheduler(Dfs* dfs,
+                              const StagingCache* staging = nullptr)
+      : dfs_(dfs), staging_(staging) {}
   std::string name() const override { return "data-aware"; }
   void EnqueueReady(const TaskSpec& task) override;
   ContainerRequest RequestFor(const TaskSpec& task) override;
@@ -103,7 +109,12 @@ class DataAwareScheduler : public WorkflowScheduler {
   size_t QueuedCount() const override { return queue_.size(); }
 
  private:
+  /// Bytes of `path` effectively local to `node`: HDFS block replicas or
+  /// a fresh staging-cache copy, whichever is larger.
+  int64_t EffectiveLocalBytes(const std::string& path, NodeId node) const;
+
   Dfs* dfs_;
+  const StagingCache* staging_;
   std::deque<TaskSpec> queue_;  // FIFO among locality ties
 };
 
@@ -199,8 +210,11 @@ class OnlineMctScheduler : public WorkflowScheduler {
 };
 
 /// Factory: "fcfs", "data-aware", "round-robin", "heft", "online-mct".
+/// `staging` (optional) lets the data-aware policy rank staging-cache
+/// copies alongside HDFS block locality.
 Result<std::unique_ptr<WorkflowScheduler>> MakeScheduler(
-    const std::string& policy, Dfs* dfs, const RuntimeEstimator* estimator);
+    const std::string& policy, Dfs* dfs, const RuntimeEstimator* estimator,
+    const StagingCache* staging = nullptr);
 
 }  // namespace hiway
 

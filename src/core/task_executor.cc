@@ -30,12 +30,37 @@ void DfsStorageAdapter::StageIn(
     return;
   }
   int64_t bytes = info->size_bytes;
-  double started = dfs_->cluster()->engine()->Now();
+  uint64_t content = info->content_id;
   SimEngine* engine = dfs_->cluster()->engine();
+  if (staging_ != nullptr && staging_->HitAndPin(node, path, content)) {
+    // The node already holds this exact content from an earlier task or
+    // workflow: no DFS read, the stage-in is free. Pinned until the
+    // attempt releases its inputs.
+    engine->ScheduleAfter(0.0, [done = std::move(done), bytes] {
+      done(Status::OK(), bytes, 0.0);
+    });
+    return;
+  }
+  double started = engine->Now();
+  StagingCache* staging = staging_;
   dfs_->ReadToNode(path, node,
-                   [done = std::move(done), bytes, started, engine](Status st) {
+                   [done = std::move(done), path, node, bytes, content,
+                    started, engine, staging](Status st) {
+                     if (st.ok() && staging != nullptr) {
+                       // Keep the fresh local copy for later attempts on
+                       // this node (pinned: the reader uses it now).
+                       staging->InsertPinned(node, path, content, bytes);
+                     }
                      done(st, bytes, engine->Now() - started);
                    });
+}
+
+void DfsStorageAdapter::ReleaseInputs(const std::vector<std::string>& paths,
+                                      NodeId node) {
+  if (staging_ == nullptr) return;
+  for (const std::string& path : paths) {
+    staging_->Unpin(node, path);
+  }
 }
 
 void DfsStorageAdapter::StageOut(const std::string& path, int64_t size_bytes,
@@ -327,6 +352,9 @@ void TaskExecutor::StartStageOut(std::shared_ptr<Attempt> attempt) {
 void TaskExecutor::Finish(std::shared_ptr<Attempt> attempt, Status status) {
   if (attempt->delivered) return;
   attempt->delivered = true;
+  // The attempt is done with its localized inputs either way; a staging
+  // cache may now evict them under pressure.
+  storage_->ReleaseInputs(attempt->task.input_files, attempt->node);
   attempt->outcome.result.status = status;
   attempt->outcome.result.finished_at = cluster_->engine()->Now();
   // Deliver asynchronously so AM state updates never nest inside flow

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/staging_cache.h"
 #include "src/common/random.h"
 #include "src/hdfs/dfs.h"
 #include "src/lang/workflow.h"
@@ -42,6 +43,15 @@ class StorageAdapter {
   /// spill files); where those bytes go is the adapter's choice.
   virtual void ScratchIo(double scratch_mb, NodeId node,
                          std::function<void(Status)> done) = 0;
+
+  /// Signals that a finished attempt no longer needs its staged inputs
+  /// on `node` (adapters with a staging cache unpin them so they become
+  /// evictable). Default: nothing to release.
+  virtual void ReleaseInputs(const std::vector<std::string>& paths,
+                             NodeId node) {
+    (void)paths;
+    (void)node;
+  }
 };
 
 /// HDFS-backed storage (Hi-WAY's mode): local replicas read from local
@@ -57,9 +67,18 @@ class DfsStorageAdapter : public StorageAdapter {
                 std::function<void(Status)> done) override;
   void ScratchIo(double scratch_mb, NodeId node,
                  std::function<void(Status)> done) override;
+  void ReleaseInputs(const std::vector<std::string>& paths,
+                     NodeId node) override;
+
+  /// Attaches the node-local staging cache (nullptr = off): StageIn of a
+  /// path whose current content already sits on the target node becomes
+  /// free, and successful reads populate the cache (pinned until
+  /// ReleaseInputs). Not owned; shared across adapters and workflows.
+  void SetStagingCache(StagingCache* staging) { staging_ = staging; }
 
  private:
   Dfs* dfs_;
+  StagingCache* staging_ = nullptr;
 };
 
 /// Shared-network-volume storage (the CloudMan baseline): every byte —

@@ -88,6 +88,7 @@ Status Dfs::IngestFile(const std::string& path, int64_t size_bytes,
   DfsFileInfo info;
   info.path = path;
   info.size_bytes = size_bytes;
+  info.content_id = NextContentId(path, size_bytes);
   int64_t remaining = size_bytes;
   int rep = EffectiveReplication();
   do {
@@ -115,8 +116,25 @@ Status Dfs::RegisterExternalFile(const std::string& path,
   info.path = path;
   info.size_bytes = size_bytes;
   info.external = true;
+  info.content_id = NextContentId(path, size_bytes);
   files_.emplace(path, std::move(info));
   return Status::OK();
+}
+
+uint64_t Dfs::ContentId(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return 0;
+  return it->second.content_id;
+}
+
+uint64_t Dfs::NextContentId(const std::string& path, int64_t size_bytes) {
+  uint64_t gen = ++generation_[path];
+  uint64_t h = Fnv1a64(path);
+  h = Fnv1a64(StrFormat("|%lld|%llu", static_cast<long long>(size_bytes),
+                        static_cast<unsigned long long>(gen)),
+              h);
+  // 0 is reserved for "no such file".
+  return h == 0 ? 1 : h;
 }
 
 int64_t Dfs::LocalBytes(const std::string& path, NodeId node) const {
@@ -252,6 +270,7 @@ void Dfs::WriteFromNode(const std::string& path, int64_t size_bytes,
   DfsFileInfo info;
   info.path = path;
   info.size_bytes = size_bytes;
+  info.content_id = NextContentId(path, size_bytes);
   int rep = EffectiveReplication();
   int64_t remaining = size_bytes;
   struct WriteState {

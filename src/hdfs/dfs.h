@@ -53,6 +53,14 @@ struct DfsFileInfo {
   /// External objects (e.g. the 1000-Genomes S3 bucket in Sec. 4.1) have
   /// no HDFS replicas; reads stream through the cluster's S3 uplink.
   bool external = false;
+  /// Content fingerprint standing in for a checksum of the bytes. The
+  /// simulator stores sizes, not data, so the fingerprint is derived from
+  /// (path, size, per-path write generation): re-writing a path — even with
+  /// the same size — yields a new fingerprint, which is the conservative
+  /// choice for result-cache keys. Deterministic across process restarts
+  /// (same ingest sequence -> same ids), so a persisted cache index stays
+  /// resolvable.
+  uint64_t content_id = 0;
 };
 
 /// Cumulative counters, used for master-load accounting (Fig. 6) and for
@@ -96,6 +104,11 @@ class Dfs {
   /// Bytes of `path` that have a replica on `node` — the quantity the
   /// data-aware scheduler maximises.
   int64_t LocalBytes(const std::string& path, NodeId node) const;
+
+  /// Content fingerprint of `path` (see DfsFileInfo::content_id);
+  /// 0 when the file does not exist. Not counted as a metadata op: every
+  /// caller pairs it with a Stat/Exists that already is.
+  uint64_t ContentId(const std::string& path) const;
 
   /// All file paths currently in the namespace, sorted.
   std::vector<std::string> ListFiles() const;
@@ -149,11 +162,18 @@ class Dfs {
 
   int EffectiveReplication() const;
 
+  /// Bumps the path's write generation and returns the fingerprint for a
+  /// file of `size_bytes` being created now.
+  uint64_t NextContentId(const std::string& path, int64_t size_bytes);
+
   Cluster* cluster_;
   DfsOptions options_;
   mutable DfsCounters counters_;
   Rng rng_;
   std::map<std::string, DfsFileInfo> files_;
+  /// Write generation per path. Survives Delete(): a deleted-then-
+  /// rewritten path must not reuse an old fingerprint.
+  std::map<std::string, uint64_t> generation_;
   std::set<NodeId> dead_nodes_;
   std::function<bool(const std::string&, NodeId)> read_fault_hook_;
 };

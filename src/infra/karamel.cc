@@ -153,6 +153,30 @@ Recipe HiWayInstallRecipe() {
       return Status::InvalidArgument("unknown hiway/prov_backend: " +
                                      backend);
     }
+    if (Attr(attrs, "hiway/cache_results", "off") == "on") {
+      ResultCacheOptions copts;
+      copts.max_entries = AttrInt(attrs, "hiway/cache_max_entries", 0);
+      copts.verify = Attr(attrs, "hiway/cache_verify", "off") == "on";
+      copts.verify_rate = AttrDouble(attrs, "hiway/cache_verify_rate", 0.25);
+      copts.seed = static_cast<uint64_t>(AttrInt(attrs, "seed", 7));
+      d->result_cache = std::make_unique<ResultCache>(
+          d->dfs.get(), d->provenance.get(), copts);
+      d->result_cache->SetTracer(&d->tracer);
+      std::string cache_dir = Attr(attrs, "hiway/cache_dir", "");
+      if (!cache_dir.empty()) {
+        // Persistent index: a restarted deployment pointed at the same
+        // directory restores its sealed entries.
+        HIWAY_RETURN_IF_ERROR(d->result_cache->OpenIndex(cache_dir)
+                                  .WithContext("hiway::install cache index"));
+      }
+    }
+    int64_t staging_mb = AttrInt(attrs, "hiway/cache_staging_mb", -1);
+    if (staging_mb >= 0) {
+      StagingCacheOptions sopts;
+      sopts.node_budget_bytes = staging_mb > 0 ? staging_mb << 20 : 0;
+      d->staging_cache = std::make_unique<StagingCache>(sopts);
+      d->staging_cache->SetTracer(&d->tracer);
+    }
     return Status::OK();
   };
   return r;

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/result_cache.h"
+#include "src/cache/staging_cache.h"
 #include "src/common/result.h"
 #include "src/core/provenance.h"
 #include "src/core/runtime_estimator.h"
@@ -66,6 +68,12 @@ class Deployment {
   /// (whose shard factory captures it) is destroyed first.
   std::shared_ptr<class ProvDbDirectory> provdb_dir;
   std::unique_ptr<ProvenanceManager> provenance;
+  /// Cluster-wide result cache and per-node staging cache
+  /// (docs/data-cache.md); null unless the hiway/cache_* attributes
+  /// enable them. Declared after `provenance` (destroyed first): the
+  /// result cache resolves hits through provenance views.
+  std::unique_ptr<ResultCache> result_cache;
+  std::unique_ptr<StagingCache> staging_cache;
   RuntimeEstimator estimator;
   std::map<std::string, StagedWorkflow> workflows;
 };
@@ -113,7 +121,14 @@ Recipe HadoopInstallRecipe();
 /// provenance manager. Attributes:
 ///   hiway/prov_backend ("memory"; "provdb" gives every run its own log
 ///   segment), hiway/prov_dir ("provdb" backend's segment directory,
-///   default "hiway-provenance")
+///   default "hiway-provenance"),
+///   hiway/cache_results ("off"; "on" builds the cluster-wide result
+///   cache), hiway/cache_max_entries (0 = unbounded),
+///   hiway/cache_verify ("off"; "on" spot-checks hits against DFS),
+///   hiway/cache_verify_rate (0.25), hiway/cache_dir ("" = volatile;
+///   a path persists the cache index in a provdb log there),
+///   hiway/cache_staging_mb (-1 = no staging cache; 0 = unbounded
+///   per-node budget; N > 0 = N MiB per node)
 Recipe HiWayInstallRecipe();
 
 /// Stages the SNV-calling workflow (Sec. 4.1). Attributes:

@@ -378,7 +378,6 @@ Result<CuneiformValue> CuneiformSource::InvokeCombination(
   // New concrete application: synthesise a TaskSpec.
   AppEntry entry;
   entry.task_id = next_task_id_++;
-  int64_t seq = next_invocation_seq_++;
   TaskSpec spec;
   spec.id = entry.task_id;
   spec.signature = def.name;
@@ -421,8 +420,16 @@ Result<CuneiformValue> CuneiformSource::InvokeCombination(
     o.param = out.name;
     o.is_value = out.is_value;
     if (!out.is_value) {
-      o.path = StrFormat("%s/%s-%lld/%s.dat", options_.output_dir.c_str(),
-                         def.name.c_str(), static_cast<long long>(seq),
+      // Content-addressed scratch path: the memo key canonically encodes
+      // the definition and its concrete arguments, so the same
+      // application writes to the same place in every run, regardless of
+      // completion order. Cross-run result-cache keys depend on this
+      // (an order-dependent invocation counter would make every repeat
+      // submission a miss); re-executions after an input change land in
+      // a fresh directory instead of clobbering the previous cone.
+      o.path = StrFormat("%s/%s-%016llx/%s.dat", options_.output_dir.c_str(),
+                         def.name.c_str(),
+                         static_cast<unsigned long long>(Fnv1a64(key)),
                          out.name.c_str());
     }
     spec.outputs.push_back(std::move(o));

@@ -139,7 +139,6 @@ class CuneiformSource : public WorkflowSource {
   std::map<std::string, AppEntry> memo_;      // app key -> entry
   std::map<TaskId, std::string> key_by_task_;
   TaskId next_task_id_ = 1;
-  int64_t next_invocation_seq_ = 0;
   bool done_ = false;
   std::vector<CuneiformValue> target_values_;
 };

@@ -84,6 +84,10 @@ Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
         break;
       case ProvenanceEventType::kWorkflowEnd:
         break;
+      case ProvenanceEventType::kTaskCacheHit:
+        // A cache hit is not an execution: replay re-resolves it against
+        // the live cache instead of memoising a task that never ran here.
+        break;
     }
   }
   if (by_task.empty()) {

@@ -13,6 +13,7 @@ const char* ToString(SpanCategory category) {
     case SpanCategory::kPreemption: return "preemption";
     case SpanCategory::kFailover: return "failover";
     case SpanCategory::kProvenance: return "provenance";
+    case SpanCategory::kCache: return "cache";
   }
   return "unknown";
 }

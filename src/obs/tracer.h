@@ -37,6 +37,7 @@ enum class SpanCategory : uint8_t {
   kPreemption,  // guarantee-restoring container kills
   kFailover,    // AM death, node loss, recovery attempts
   kProvenance,  // shard appends
+  kCache,       // result-cache hits/seals, staging-cache hits/evictions
 };
 
 const char* ToString(SpanCategory category);

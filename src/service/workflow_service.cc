@@ -154,6 +154,20 @@ Result<SubmissionId> WorkflowService::SubmitStaged(
   return Submit(staged_name, std::move(source), std::move(options));
 }
 
+void WorkflowService::AttachCaches(Submission* sub) {
+  if (deployment_->result_cache != nullptr) {
+    // Tenant defaults to the RM queue so queue isolation extends to
+    // cached results unless the submitter chose a namespace explicitly.
+    std::string tenant = sub->options.tenant.empty() ? sub->options.queue
+                                                     : sub->options.tenant;
+    sub->am->SetResultCache(deployment_->result_cache.get(),
+                            std::move(tenant));
+  }
+  if (deployment_->staging_cache != nullptr) {
+    sub->am->SetStagingCache(deployment_->staging_cache.get());
+  }
+}
+
 void WorkflowService::Pump() {
   for (auto& [queue, backlog] : backlog_) {
     const ServiceQueueOptions& limits = queues_.at(queue);
@@ -190,7 +204,8 @@ bool WorkflowService::TryStart(SubmissionId id) {
   SubmissionRecord& rec = records_[id];
   Submission& sub = subs_[id];
   auto scheduler = MakeScheduler(rec.policy, deployment_->dfs.get(),
-                                 &deployment_->estimator);
+                                 &deployment_->estimator,
+                                 deployment_->staging_cache.get());
   if (!scheduler.ok()) {
     rec.state = SubmissionState::kFailed;
     rec.finished_at = deployment_->engine.Now();
@@ -207,6 +222,7 @@ bool WorkflowService::TryStart(SubmissionId id) {
       deployment_->dfs.get(), &deployment_->tools,
       deployment_->provenance.get(), &deployment_->estimator, hiway);
   sub.am->SetTracer(&deployment_->tracer);
+  AttachCaches(&sub);
   sub.am->set_finish_listener(
       [this, id](const WorkflowReport& report) { OnFinished(id, report); });
   rec.state = SubmissionState::kRunning;
@@ -351,7 +367,8 @@ void WorkflowService::TryRecover(SubmissionId id) {
     return;
   }
   auto scheduler = MakeScheduler(rec.policy, deployment_->dfs.get(),
-                                 &deployment_->estimator);
+                                 &deployment_->estimator,
+                                 deployment_->staging_cache.get());
   if (!scheduler.ok()) {
     FailRecovering(id, scheduler.status());
     return;
@@ -368,6 +385,7 @@ void WorkflowService::TryRecover(SubmissionId id) {
       deployment_->dfs.get(), &deployment_->tools,
       deployment_->provenance.get(), &deployment_->estimator, hiway);
   sub.am->SetTracer(&deployment_->tracer);
+  AttachCaches(&sub);
   sub.am->set_finish_listener(
       [this, id](const WorkflowReport& report) { OnFinished(id, report); });
   deployment_->tracer.Instant(SpanCategory::kFailover, "am_recovery",
@@ -490,6 +508,10 @@ void WorkflowService::InstallFaultHandlers(FaultInjector* injector) {
     dep->rm->KillNode(node);
     dep->dfs->KillNode(node);
     dep->dfs->ReReplicate();
+    if (dep->staging_cache != nullptr) {
+      // The node's scratch disk is gone with it.
+      dep->staging_cache->InvalidateNode(node);
+    }
   };
   h.list_am_nodes = [this] {
     std::vector<NodeId> nodes;
@@ -528,6 +550,15 @@ void WorkflowService::InstallFaultHandlers(FaultInjector* injector) {
   dep->dfs->SetReadFaultHook([injector](const std::string& path, NodeId node) {
     return injector->ShouldFailRead(path, node);
   });
+  if (dep->result_cache != nullptr) {
+    // --cache-verify spot-checks re-read hit outputs; hdfs-error faults
+    // make those reads fail too (counted as verify transients, the hit
+    // downgrades to a miss).
+    dep->result_cache->SetVerifyReadHook(
+        [injector](const std::string& path, NodeId node) {
+          return injector->ShouldFailRead(path, node);
+        });
+  }
 }
 
 void WorkflowService::Reap() {

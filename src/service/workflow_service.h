@@ -89,6 +89,10 @@ struct SubmissionOptions {
   /// Workflow scheduling policy ("fcfs" | "data-aware" | ...); empty =
   /// service default.
   std::string policy;
+  /// Result-cache tenant namespace: hits only ever come from runs of the
+  /// same tenant (docs/data-cache.md). Empty = the submission's queue
+  /// name, so queue isolation extends to cached results by default.
+  std::string tenant;
   /// Wall-clock (virtual) deadline relative to submission; 0 = none.
   double deadline_s = 0.0;
   /// Container sizing etc. The seed is always overridden by the service
@@ -235,6 +239,8 @@ class WorkflowService {
   /// Attempts to start one submission; returns false when the cluster
   /// currently cannot host its AM container (submission re-queued).
   bool TryStart(SubmissionId id);
+  /// Wires the deployment's result/staging caches into a fresh AM.
+  void AttachCaches(Submission* sub);
   void OnFinished(SubmissionId id, const WorkflowReport& report);
   void OnDeadline(SubmissionId id);
   /// RM app-failure listener: retires the dead attempt and either
