@@ -97,7 +97,21 @@ void PrintUsage() {
       "  --faults SPEC            inject failures while the burst runs,\n"
       "                           e.g. kill-am-node@60,hdfs-error:rate=0.05\n"
       "                           (see docs/failure-model.md for the\n"
-      "                           grammar; targets are drawn from --seed)\n");
+      "                           grammar; targets are drawn from --seed)\n"
+      "\n"
+      "elastic cluster membership (docs/elastic-cluster.md):\n"
+      "  --autoscaler NAME        off | reactive | aggressive |\n"
+      "                           conservative — grow the fleet on\n"
+      "                           sustained backlog, retire idle workers\n"
+      "                           (default off; combine with\n"
+      "                           -a elastic/min_nodes=N and\n"
+      "                           -a elastic/max_nodes=N)\n"
+      "  --spot-fraction F        treat the highest F fraction of workers\n"
+      "                           as spot instances: spot-revoke faults\n"
+      "                           only target those (default: any node)\n"
+      "  --revoke-warning-s S     default revocation warning for\n"
+      "                           spot-revoke clauses without warn=\n"
+      "                           (default 120, the EC2 notice)\n");
 }
 
 Result<int64_t> ParseSize(std::string_view text) {
@@ -155,6 +169,9 @@ struct CliOptions {
   std::string rm_scheduler = "fifo";
   std::vector<ServiceQueueOptions> queue_configs;
   std::string faults;
+  // Elastic membership.
+  double spot_fraction = -1.0;
+  double revoke_warning_s = -1.0;
 
   const std::string& workflow_path() const { return workflows[0].path; }
 };
@@ -230,6 +247,27 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       HIWAY_ASSIGN_OR_RETURN(options.faults, need_value(i, "--faults"));
       // Surface grammar errors at parse time, not mid-run.
       HIWAY_RETURN_IF_ERROR(ParseFaultSpecs(options.faults).status());
+    } else if (arg == "--autoscaler") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--autoscaler"));
+      // Fail on unknown policy names now, not after convergence.
+      HIWAY_RETURN_IF_ERROR(AutoscalerPolicyByName(v).status());
+      options.attributes["elastic/autoscaler"] = v;
+    } else if (arg == "--spot-fraction") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--spot-fraction"));
+      HIWAY_ASSIGN_OR_RETURN(options.spot_fraction, ParseDouble(v));
+      if (options.spot_fraction <= 0.0 || options.spot_fraction > 1.0) {
+        return Status::InvalidArgument(
+            "--spot-fraction expects a fraction in (0, 1], got '" + v + "'");
+      }
+    } else if (arg == "--revoke-warning-s") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v,
+                             need_value(i, "--revoke-warning-s"));
+      HIWAY_ASSIGN_OR_RETURN(options.revoke_warning_s, ParseDouble(v));
+      if (options.revoke_warning_s < 0.0) {
+        return Status::InvalidArgument(
+            "--revoke-warning-s expects a non-negative duration, got '" + v +
+            "'");
+      }
     } else if (arg == "--language") {
       HIWAY_ASSIGN_OR_RETURN(options.language, need_value(i, "--language"));
     } else if (arg == "--policy") {
@@ -347,6 +385,7 @@ Result<std::unique_ptr<Deployment>> ConvergeDeployment(
                                          (unsigned long long)cli.seed));
   karamel.AddRecipe(HadoopInstallRecipe());
   karamel.AddRecipe(HiWayInstallRecipe());
+  karamel.AddRecipe(ElasticInstallRecipe());
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> d, karamel.Converge());
   if (!cli.chrome_trace_out.empty() || !cli.metrics_out.empty()) {
     d->tracer.set_enabled(true);
@@ -447,6 +486,10 @@ Result<int> RunService(const CliOptions& cli) {
                          WorkflowService::Create(d.get(), service_options));
 
   FaultInjector injector(&d->engine, cli.seed);
+  if (cli.revoke_warning_s >= 0.0) {
+    injector.SetDefaultRevokeWarning(cli.revoke_warning_s);
+  }
+  if (cli.spot_fraction > 0.0) service->SetSpotFraction(cli.spot_fraction);
   if (!cli.faults.empty()) {
     service->InstallFaultHandlers(&injector);
     HIWAY_RETURN_IF_ERROR(injector.ArmSpec(cli.faults));
@@ -533,12 +576,25 @@ Result<int> RunService(const CliOptions& cli) {
   std::printf("time-averaged Jain fairness: %.3f\n",
               d->rm->TimeAveragedFairness());
   PrintCacheSummary(d.get());
+  if (d->elastic != nullptr &&
+      (d->elastic->options().policy.enabled ||
+       d->elastic->stats().nodes_revoked > 0)) {
+    const ElasticStats& e = d->elastic->stats();
+    std::printf("elastic ('%s'): %d scale-out(s) (+%d node(s)), "
+                "%d scale-in(s), %d decommission(s), %d revocation(s), "
+                "%.2f node-hour(s)\n",
+                d->elastic->options().policy.name.c_str(),
+                e.scale_out_actions, e.nodes_added, e.scale_in_actions,
+                e.nodes_decommissioned, e.nodes_revoked,
+                e.node_seconds / 3600.0);
+  }
   if (!injector.armed().empty()) {
     const FaultCounters& f = injector.counters();
     std::printf("faults injected: %d node kill(s), %d am crash(es), "
-                "%d container kill(s), %lld read fault(s)\n",
+                "%d container kill(s), %d spot revocation(s), "
+                "%lld read fault(s)\n",
                 f.node_kills, f.am_crashes, f.container_kills,
-                static_cast<long long>(f.read_faults));
+                f.spot_revocations, static_cast<long long>(f.read_faults));
     int failovers = 0;
     for (const SubmissionRecord& rec : service->Records()) {
       failovers += rec.am_failures;

@@ -111,6 +111,9 @@ bool ResultCache::OutputsFresh(const Entry& entry) const {
     if (!stat.ok()) return false;
     if (stat->size_bytes != out.size_bytes) return false;
     if (stat->content_id != out.content_id) return false;
+    // Metadata may survive a node loss that took every replica of some
+    // block with it: an unreadable output must never be served.
+    if (!dfs_->FileReadable(out.path)) return false;
   }
   return true;
 }
@@ -454,7 +457,10 @@ int64_t ResultCache::AuditAgainstDfs() const {
     for (const auto& [tenant, entry] : by_tenant) {
       for (const CachedOutput& out : entry.outputs) {
         if (out.is_value) continue;
-        if (!dfs_->Exists(out.path)) {
+        // An output whose metadata vanished — or whose only replicas
+        // vanished with their nodes (churn) — is equally dangling: the
+        // sealed bytes cannot be produced any more.
+        if (!dfs_->Exists(out.path) || !dfs_->FileReadable(out.path)) {
           ++dangling;
           break;
         }
@@ -462,6 +468,43 @@ int64_t ResultCache::AuditAgainstDfs() const {
     }
   }
   return dangling;
+}
+
+int64_t ResultCache::EvictUnreadable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    for (auto tit = it->second.begin(); tit != it->second.end();) {
+      bool readable = true;
+      for (const CachedOutput& out : tit->second.outputs) {
+        if (out.is_value) continue;
+        if (!dfs_->Exists(out.path) || !dfs_->FileReadable(out.path)) {
+          readable = false;
+          break;
+        }
+      }
+      if (readable) {
+        ++tit;
+        continue;
+      }
+      if (index_) {
+        index_
+            ->Delete(StrFormat("%s%s/%s", kIndexPrefix, it->first.c_str(),
+                               HexU64(Fnv1a64(tit->first)).c_str()))
+            .ok();
+      }
+      if (tracer_) tracer_->Instant(SpanCategory::kCache, "cache_evict");
+      tit = it->second.erase(tit);
+      ++evicted;
+      ++stats_.churn_evictions;
+    }
+    if (it->second.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 size_t ResultCache::size() const {

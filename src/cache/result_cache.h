@@ -79,6 +79,9 @@ struct ResultCacheStats {
   int64_t stale_evictions = 0;
   /// Entries dropped by the max_entries LRU bound.
   int64_t capacity_evictions = 0;
+  /// Entries dropped by EvictUnreadable because cluster churn left an
+  /// output with zero live replicas.
+  int64_t churn_evictions = 0;
   /// Lookups refused because the entry belongs to another tenant.
   int64_t tenant_denied = 0;
   /// Lookups refused because no provenance view vouches for the entry.
@@ -173,6 +176,14 @@ class ResultCache {
   /// outputs are present but *drifted* (superseded by a re-execution or
   /// rewrite) are not dangling — Lookup evicts those lazily as stale.
   int64_t AuditAgainstDfs() const;
+
+  /// Churn sweep: evicts sealed entries referencing an output that no
+  /// longer exists or has lost every replica (unwarned node deaths can
+  /// destroy all copies of a block before re-replication runs). Called
+  /// by the elastic layer after each membership change so no sealed
+  /// entry ever references a vanished-only replica. Returns the number
+  /// of entries evicted (counted as churn_evictions).
+  int64_t EvictUnreadable();
 
   size_t size() const;
   ResultCacheStats stats() const;

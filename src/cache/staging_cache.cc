@@ -126,6 +126,62 @@ void StagingCache::InvalidateNode(NodeId node) {
   nodes_.erase(nit);
 }
 
+int StagingCache::MigrateNode(NodeId from, const std::vector<NodeId>& targets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto nit = nodes_.find(from);
+  if (nit == nodes_.end() || targets.empty()) return 0;
+  NodeBucket& source = nit->second;
+  int moved = 0;
+  size_t next_target = 0;
+  std::vector<std::string> drop;
+  for (auto& [path, entry] : source.entries) {
+    if (entry.pins > 0) continue;  // in use on the draining node
+    // Round-robin placement, first target with room after LRU eviction.
+    bool placed = false;
+    for (size_t attempt = 0; attempt < targets.size(); ++attempt) {
+      NodeId dst = targets[(next_target + attempt) % targets.size()];
+      if (dst == from) continue;
+      NodeBucket& sink = nodes_[dst];
+      // Same path already there: keep the fresher copy (ours — the
+      // drain is the most recent observation of the content).
+      auto existing = sink.entries.find(path);
+      if (existing != sink.entries.end()) {
+        if (existing->second.pins > 0) continue;  // don't fight a pin
+        sink.bytes -= existing->second.bytes;
+        sink.entries.erase(existing);
+      }
+      if (!EvictToFit(&sink, dst, entry.bytes)) continue;
+      Entry e = entry;
+      e.pins = 0;
+      e.tick = ++tick_;
+      sink.entries.emplace(path, e);
+      sink.bytes += e.bytes;
+      next_target = (next_target + attempt + 1) % targets.size();
+      placed = true;
+      break;
+    }
+    drop.push_back(path);
+    if (placed) {
+      ++moved;
+      ++stats_.migrated;
+      if (tracer_) {
+        tracer_->Instant(SpanCategory::kCache, "staging_migrate", -1, -1, -1,
+                         from, 0.0, entry.bytes);
+      }
+    } else {
+      ++stats_.invalidated;
+    }
+  }
+  for (const std::string& path : drop) {
+    auto eit = source.entries.find(path);
+    if (eit == source.entries.end()) continue;
+    source.bytes -= eit->second.bytes;
+    source.entries.erase(eit);
+  }
+  if (source.entries.empty()) nodes_.erase(from);
+  return moved;
+}
+
 int64_t StagingCache::NodeBytes(NodeId node) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto nit = nodes_.find(node);

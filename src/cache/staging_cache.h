@@ -27,6 +27,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/sim/cluster.h"
 
@@ -48,6 +49,9 @@ struct StagingCacheStats {
   int64_t rejected = 0;
   /// Entries dropped by InvalidateNode (node loss).
   int64_t invalidated = 0;
+  /// Entries moved off a draining node by MigrateNode (elastic scale-in
+  /// / warned spot revocation — the bytes survive the node).
+  int64_t migrated = 0;
   /// Bytes whose stage-in transfer was skipped thanks to a hit.
   int64_t bytes_served = 0;
 };
@@ -85,6 +89,14 @@ class StagingCache {
 
   /// Drops everything cached on `node` (NodeManager/disk loss).
   void InvalidateNode(NodeId node);
+
+  /// Graceful drain: moves `from`'s unpinned entries round-robin onto
+  /// `targets` (evicting LRU entries there to fit; counted as migrated),
+  /// drops the ones no target can hold (counted as invalidated), and
+  /// leaves pinned entries in place — their attempts are still running
+  /// on the draining node and the bucket dies with the node. Returns the
+  /// number of entries migrated. No-op when `targets` is empty.
+  int MigrateNode(NodeId from, const std::vector<NodeId>& targets);
 
   int64_t NodeBytes(NodeId node) const;
   int64_t TotalBytes() const;

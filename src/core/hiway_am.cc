@@ -490,6 +490,7 @@ void HiWayAm::OnContainerAllocated(const Container& container,
 void HiWayAm::LaunchTask(TaskEntry* entry, const Container& container) {
   entry->state = TaskState::kRunning;
   entry->container = container.id;
+  entry->launched_at = cluster_->engine()->Now();
   ++entry->attempts;
   ++entry->attempt_epoch;
   ++running_;
@@ -774,6 +775,20 @@ void HiWayAm::OnContainerLost(const Container& container,
         MarkReady(&entry);
         return;
       }
+      if (reason == ContainerLossReason::kDrained) {
+        // Vacated off a draining node — same exemption as preemption:
+        // restore the budget, blame no node, requeue immediately (the
+        // draining node takes no placements, so the retry lands on the
+        // surviving fleet).
+        --entry.attempts;
+        ++report_.tasks_drained;
+        if (tracer_ != nullptr) {
+          tracer_->Instant(SpanCategory::kTask, "task_drained", app_,
+                           container.id, id, container.node);
+        }
+        MarkReady(&entry);
+        return;
+      }
       if (reason != ContainerLossReason::kNodeLost &&
           options_.task_retry.ShouldBlacklist(
               ++entry.node_failures[container.node])) {
@@ -792,6 +807,53 @@ void HiWayAm::OnContainerLost(const Container& container,
       RetryLater(&entry);
       return;
     }
+  }
+}
+
+void HiWayAm::OnNodeDraining(NodeId node, double deadline) {
+  if (finished_ || crashed_) return;
+  double now = cluster_->engine()->Now();
+  // Margin absorbing runtime-estimate noise: a task must be projected to
+  // finish comfortably before the node disappears to be worth keeping.
+  constexpr double kSafetyMarginS = 5.0;
+  // Snapshot the victims first — DrainContainer re-enters
+  // OnContainerLost, which mutates tasks_.
+  std::vector<ContainerId> vacate;
+  std::vector<Container> running = rm_->RunningContainers();
+  for (const Container& c : running) {
+    if (c.node != node || c.app != app_ || c.is_am) continue;
+    const TaskEntry* owner = nullptr;
+    for (const auto& [id, entry] : tasks_) {
+      if (entry.state == TaskState::kRunning && entry.container == c.id) {
+        owner = &entry;
+        break;
+      }
+    }
+    if (owner == nullptr) continue;
+    double estimate = estimator_ != nullptr
+                          ? estimator_->Estimate(owner->spec.signature, node)
+                          : 0.0;
+    if (estimate <= 0.0 && estimator_ != nullptr) {
+      estimate = estimator_->MeanEstimate(owner->spec.signature,
+                                          cluster_->num_nodes());
+    }
+    double projected_finish = owner->launched_at +
+                              options_.task_launch_overhead_s + estimate;
+    // Requeue only tasks the estimator says CANNOT finish in the window.
+    // With no estimate (a signature that has never completed), keeping is
+    // the right bet: if the task finishes, all its progress is saved; if
+    // it does not, it dies at the deadline — exactly what an unwarned
+    // kill would have done anyway, so the warning costs nothing.
+    bool vacate_it = estimate > 0.0 &&
+                     projected_finish + kSafetyMarginS > deadline;
+    if (vacate_it) vacate.push_back(c.id);
+  }
+  for (ContainerId cid : vacate) {
+    if (tracer_ != nullptr) {
+      tracer_->Instant(SpanCategory::kMembership, "drain_requeue", app_, cid,
+                       /*task=*/-1, node, deadline - now);
+    }
+    rm_->DrainContainer(cid);
   }
 }
 

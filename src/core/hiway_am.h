@@ -90,6 +90,10 @@ struct WorkflowReport {
   /// Containers lost to RM preemption (scheduler-initiated reclaims).
   /// Unlike failed_attempts these never consume the task retry budget.
   int tasks_preempted = 0;
+  /// Containers vacated off draining nodes (spot revocation warnings,
+  /// autoscaler decommissions). Same retry-budget exemption as
+  /// preemption — the node, not the task, is at fault.
+  int tasks_drained = 0;
   /// AM attempt number this report belongs to (1 = first launch).
   int am_attempt = 1;
   /// Scheduling decisions taken by the AM (Fig. 6 master-load accounting).
@@ -174,6 +178,14 @@ class HiWayAm : public AmCallbacks {
                             int64_t cookie) override;
   void OnContainerLost(const Container& container,
                        ContainerLossReason reason) override;
+  /// Drain triage: tasks on the doomed node that the runtime estimator
+  /// projects CANNOT finish before `deadline` are proactively vacated
+  /// (ResourceManager::DrainContainer) so they requeue on the surviving
+  /// fleet instead of dying at the deadline. Everything else — including
+  /// tasks with no estimate yet — keeps running: a kept task that
+  /// finishes saves all its progress, and one that overstays loses no
+  /// more than an unwarned kill would have taken.
+  void OnNodeDraining(NodeId node, double deadline) override;
 
  private:
   enum class TaskState { kWaiting, kReady, kRunning, kDone };
@@ -189,6 +201,10 @@ class HiWayAm : public AmCallbacks {
     std::map<NodeId, int> node_failures;
     std::set<std::string> missing_inputs;
     ContainerId container = kInvalidContainer;
+    /// Virtual time the current attempt's container was handed to
+    /// LaunchTask (drain triage: projected finish = launched_at +
+    /// overhead + estimate).
+    double launched_at = 0.0;
   };
 
   /// One successfully completed task reconstructed from a recovery

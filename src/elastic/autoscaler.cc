@@ -1,0 +1,57 @@
+#include "src/elastic/autoscaler.h"
+
+#include "src/common/strings.h"
+
+namespace hiway {
+
+Result<AutoscalerPolicy> AutoscalerPolicyByName(std::string_view name) {
+  AutoscalerPolicy p;
+  if (name == "off" || name == "fixed" || name.empty()) {
+    p.name = "off";
+    p.enabled = false;
+    return p;
+  }
+  if (name == "reactive") {
+    // Balanced default: reacts within a few poll periods, retires idle
+    // workers one at a time.
+    p.name = "reactive";
+    p.enabled = true;
+    p.poll_s = 5.0;
+    p.scale_out_after_s = 15.0;
+    p.scale_out_step = 2;
+    p.scale_in_after_s = 45.0;
+    p.scale_in_step = 1;
+    p.cooldown_s = 30.0;
+    return p;
+  }
+  if (name == "aggressive") {
+    // Chases the backlog hard; cheap on makespan, spendy on churn.
+    p.name = "aggressive";
+    p.enabled = true;
+    p.poll_s = 5.0;
+    p.scale_out_after_s = 5.0;
+    p.scale_out_step = 4;
+    p.scale_in_after_s = 20.0;
+    p.scale_in_step = 2;
+    p.cooldown_s = 10.0;
+    return p;
+  }
+  if (name == "conservative") {
+    // Slow in both directions; minimises churn at some makespan cost.
+    p.name = "conservative";
+    p.enabled = true;
+    p.poll_s = 10.0;
+    p.scale_out_after_s = 45.0;
+    p.scale_out_step = 1;
+    p.scale_in_after_s = 120.0;
+    p.scale_in_step = 1;
+    p.cooldown_s = 60.0;
+    return p;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown autoscaler policy '%.*s' (expected off, fixed, reactive, "
+      "aggressive, or conservative)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+}  // namespace hiway

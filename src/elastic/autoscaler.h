@@ -1,0 +1,58 @@
+// Autoscaler policy vocabulary (docs/elastic-cluster.md): pure data +
+// presets, no simulation dependencies. A policy describes *when* the
+// elastic control loop (src/elastic/elastic_cluster.h) adds or retires
+// worker nodes; the loop itself owns the mechanics (RM onboarding,
+// graceful decommission, data-service migration).
+//
+// Triggers are deliberately simple sustained-signal thresholds — the
+// shape cloud autoscalers (EC2 target tracking, work_queue_factory's
+// min/max workers) actually use: scale out when the RM container
+// backlog has been non-empty for `scale_out_after_s`, scale in when at
+// least one worker has sat empty for `scale_in_after_s`, and after any
+// action hold still for `cooldown_s` so the previous step's effect is
+// observable before the next decision.
+
+#ifndef HIWAY_ELASTIC_AUTOSCALER_H_
+#define HIWAY_ELASTIC_AUTOSCALER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace hiway {
+
+struct AutoscalerPolicy {
+  /// Preset name ("off", "reactive", "aggressive", "conservative").
+  std::string name = "off";
+  /// Disabled policies never scale; the elastic layer still tracks
+  /// node-hours and serves revocations.
+  bool enabled = false;
+  /// Fleet bounds. The loop never decommissions below min_nodes and
+  /// never grows past max_nodes (0 = "whatever the deployment started
+  /// with" — the caller fills it in).
+  int min_nodes = 1;
+  int max_nodes = 0;
+  /// Control-loop period, seconds.
+  double poll_s = 5.0;
+  /// Backlog must be continuously non-empty this long before scaling
+  /// out (absorbs the RM's allocation delay and momentary bursts).
+  double scale_out_after_s = 15.0;
+  /// Nodes added per scale-out action.
+  int scale_out_step = 2;
+  /// An empty worker must stay empty this long before scale-in.
+  double scale_in_after_s = 45.0;
+  /// Nodes retired per scale-in action.
+  int scale_in_step = 1;
+  /// Quiet period after any action before the next one.
+  double cooldown_s = 30.0;
+};
+
+/// Resolves a preset by name (see AutoscalerPolicy::name); "fixed" is
+/// accepted as an alias of "off". InvalidArgument for unknown names,
+/// listing the valid ones.
+Result<AutoscalerPolicy> AutoscalerPolicyByName(std::string_view name);
+
+}  // namespace hiway
+
+#endif  // HIWAY_ELASTIC_AUTOSCALER_H_

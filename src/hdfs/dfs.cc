@@ -334,6 +334,29 @@ void Dfs::KillNode(NodeId node) {
   }
 }
 
+void Dfs::DecommissionNode(NodeId node) {
+  if (dead_nodes_.find(node) != dead_nodes_.end()) return;
+  // Rescue pass: every block whose only replica lives on the retiring
+  // node gets a copy elsewhere before the replicas are dropped.
+  for (auto& [path, info] : files_) {
+    for (DfsBlock& block : info.blocks) {
+      if (block.replicas.size() != 1 || block.replicas[0] != node) continue;
+      std::vector<NodeId> pool;
+      for (NodeId n = options_.first_datanode; n < cluster_->num_nodes();
+           ++n) {
+        if (n == node) continue;
+        if (dead_nodes_.find(n) == dead_nodes_.end()) pool.push_back(n);
+      }
+      if (pool.empty()) break;  // nowhere to rescue to
+      NodeId dst = pool[static_cast<size_t>(rng_.UniformInt(pool.size()))];
+      block.replicas.push_back(dst);
+      ++counters_.blocks_re_replicated;
+      ++counters_.metadata_ops;
+    }
+  }
+  KillNode(node);
+}
+
 bool Dfs::AllFilesReadable() const {
   for (const auto& [path, info] : files_) {
     if (info.size_bytes == 0) continue;
@@ -344,15 +367,28 @@ bool Dfs::AllFilesReadable() const {
   return true;
 }
 
+bool Dfs::FileReadable(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  const DfsFileInfo& info = it->second;
+  if (info.external || info.size_bytes == 0) return true;
+  for (const DfsBlock& block : info.blocks) {
+    if (block.replicas.empty()) return false;
+  }
+  return true;
+}
+
 void Dfs::ReReplicate() {
   int rep = EffectiveReplication();
   for (auto& [path, info] : files_) {
     for (DfsBlock& block : info.blocks) {
       if (block.replicas.empty()) continue;  // unrecoverable
       while (static_cast<int>(block.replicas.size()) < rep) {
-        // Choose a new home distinct from current replicas.
+        // Choose a new home distinct from current replicas (DataNodes
+        // only — master VMs below first_datanode store no blocks).
         std::vector<NodeId> pool;
-        for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+        for (NodeId n = options_.first_datanode; n < cluster_->num_nodes();
+             ++n) {
           if (dead_nodes_.find(n) != dead_nodes_.end()) continue;
           if (std::find(block.replicas.begin(), block.replicas.end(), n) ==
               block.replicas.end()) {

@@ -133,8 +133,21 @@ class Dfs {
   /// Files that lose all replicas of some block become unreadable.
   void KillNode(NodeId node);
 
+  /// Gracefully retires `node`'s DataNode: blocks for which it holds the
+  /// SOLE replica are first copied to another live node (counted as
+  /// re-replications), then the node's replicas are dropped as in
+  /// KillNode. Guarantees zero data loss — follow with ReReplicate() to
+  /// restore full target replication. Elastic scale-in and warned spot
+  /// revocations use this path (docs/elastic-cluster.md).
+  void DecommissionNode(NodeId node);
+
   /// True if every block of every file still has >= 1 replica.
   bool AllFilesReadable() const;
+
+  /// True if `path` exists and every block has >= 1 replica (external
+  /// files are always readable). Not counted as a metadata op; the
+  /// result cache calls this per audit sweep.
+  bool FileReadable(const std::string& path) const;
 
   /// Restores the target replication of under-replicated blocks by copying
   /// from surviving replicas (metadata-level; instantaneous, counted).

@@ -182,6 +182,43 @@ Recipe HiWayInstallRecipe() {
   return r;
 }
 
+Recipe ElasticInstallRecipe() {
+  Recipe r;
+  r.name = "elastic::install";
+  // Depends on hiway::install so the staging/result caches exist (when
+  // enabled) by the time the control plane captures them.
+  r.dependencies = {"hadoop::install", "hiway::install"};
+  r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
+    auto policy = AutoscalerPolicyByName(Attr(attrs, "elastic/autoscaler",
+                                              "off"));
+    if (!policy.ok()) {
+      return policy.status().WithContext("elastic::install");
+    }
+    ElasticOptions opts;
+    opts.policy = *policy;
+    opts.policy.min_nodes =
+        static_cast<int>(AttrInt(attrs, "elastic/min_nodes", 1));
+    opts.policy.max_nodes =
+        static_cast<int>(AttrInt(attrs, "elastic/max_nodes", 0));
+    opts.join_delay_s = AttrDouble(attrs, "elastic/join_delay_s", 5.0);
+    // Joiners match the fleet's worker hardware.
+    opts.node_template.cores =
+        static_cast<int>(AttrInt(attrs, "cluster/cores", 2));
+    opts.node_template.memory_mb =
+        AttrDouble(attrs, "cluster/memory_mb", 7680.0);
+    opts.node_template.disk_bw_mbps =
+        AttrDouble(attrs, "cluster/disk_mbps", 150.0);
+    opts.node_template.nic_bw_mbps =
+        AttrDouble(attrs, "cluster/nic_mbps", 125.0);
+    d->elastic = std::make_unique<ElasticCluster>(
+        &d->engine, d->cluster.get(), d->rm.get(), d->dfs.get(),
+        d->staging_cache.get(), d->result_cache.get(), &d->tracer,
+        std::move(opts));
+    return Status::OK();
+  };
+  return r;
+}
+
 Recipe SnvWorkflowRecipe() {
   Recipe r;
   r.name = "workflow::snv-calling";

@@ -20,6 +20,7 @@
 #include "src/common/result.h"
 #include "src/core/provenance.h"
 #include "src/core/runtime_estimator.h"
+#include "src/elastic/elastic_cluster.h"
 #include "src/hdfs/dfs.h"
 #include "src/obs/tracer.h"
 #include "src/sim/cluster.h"
@@ -74,6 +75,10 @@ class Deployment {
   /// result cache resolves hits through provenance views.
   std::unique_ptr<ResultCache> result_cache;
   std::unique_ptr<StagingCache> staging_cache;
+  /// Elastic membership control plane (docs/elastic-cluster.md); built
+  /// by ElasticInstallRecipe. Declared after the cluster/RM/DFS/caches
+  /// it points into (destroyed first).
+  std::unique_ptr<ElasticCluster> elastic;
   RuntimeEstimator estimator;
   std::map<std::string, StagedWorkflow> workflows;
 };
@@ -130,6 +135,17 @@ Recipe HadoopInstallRecipe();
 ///   hiway/cache_staging_mb (-1 = no staging cache; 0 = unbounded
 ///   per-node budget; N > 0 = N MiB per node)
 Recipe HiWayInstallRecipe();
+
+/// Builds the elastic membership control plane (docs/elastic-cluster.md)
+/// over the converged cluster/RM/DFS/caches. Always creates
+/// Deployment::elastic (revocations work even with autoscaling off); the
+/// poll loop only runs for enabled policies, and only once the service
+/// (or a test) calls Start(). Attributes:
+///   elastic/autoscaler ("off"; "reactive", "aggressive", or
+///   "conservative" enable scaling), elastic/min_nodes (1),
+///   elastic/max_nodes (0 = the converged cluster size),
+///   elastic/join_delay_s (5)
+Recipe ElasticInstallRecipe();
 
 /// Stages the SNV-calling workflow (Sec. 4.1). Attributes:
 ///   snv/chunks (8), snv/chunk_mb (1024), snv/cram (0), snv/ingest ("dfs":

@@ -14,6 +14,7 @@ const char* ToString(SpanCategory category) {
     case SpanCategory::kFailover: return "failover";
     case SpanCategory::kProvenance: return "provenance";
     case SpanCategory::kCache: return "cache";
+    case SpanCategory::kMembership: return "membership";
   }
   return "unknown";
 }

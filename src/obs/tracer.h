@@ -38,6 +38,7 @@ enum class SpanCategory : uint8_t {
   kFailover,    // AM death, node loss, recovery attempts
   kProvenance,  // shard appends
   kCache,       // result-cache hits/seals, staging-cache hits/evictions
+  kMembership,  // node join/drain/decommission, autoscaling, spot revokes
 };
 
 const char* ToString(SpanCategory category);

@@ -1,6 +1,7 @@
 #include "src/service/workflow_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "src/common/logging.h"
@@ -59,6 +60,13 @@ Result<std::unique_ptr<WorkflowService>> WorkflowService::Create(
   deployment->rm->SetAppFailureListener(
       [svc](ApplicationId app, const std::string& /*name*/,
             const std::string& reason) { svc->OnAppFailure(app, reason); });
+  // Elastic membership: the autoscaler's poll loop quiesces alongside
+  // the workload (same contract as FaultInjector::Recur). Start() is a
+  // no-op for disabled policies.
+  if (deployment->elastic != nullptr) {
+    deployment->elastic->SetActiveCheck([svc] { return !svc->Idle(); });
+    deployment->elastic->Start();
+  }
   return service;
 }
 
@@ -544,6 +552,38 @@ void WorkflowService::InstallFaultHandlers(FaultInjector* injector) {
     return ids;
   };
   h.fail_container = [dep](int64_t id) { dep->rm->KillContainer(id); };
+  h.revoke_node = [dep](NodeId node, double warn_s) {
+    if (dep->elastic != nullptr) {
+      dep->elastic->RevokeNode(node, warn_s);
+      return;
+    }
+    // No elastic control plane: a revocation degrades to the unwarned
+    // kill (same consequences, no drain window).
+    dep->rm->KillNode(node);
+    dep->dfs->KillNode(node);
+    dep->dfs->ReReplicate();
+    if (dep->staging_cache != nullptr) dep->staging_cache->InvalidateNode(node);
+  };
+  if (spot_fraction_ > 0.0) {
+    double f = spot_fraction_;
+    h.list_spot_nodes = [dep, f] {
+      // The highest ⌈f·workers⌉ worker ids are the spot slice — the same
+      // end of the fleet the autoscaler grows and shrinks, so elastic
+      // joiners are spot too.
+      NodeId first = dep->dfs->options().first_datanode;
+      int workers = dep->cluster->num_nodes() - first;
+      int spot = static_cast<int>(
+          std::ceil(f * static_cast<double>(std::max(workers, 0))));
+      std::vector<NodeId> nodes;
+      for (NodeId n = dep->cluster->num_nodes() - 1;
+           n >= first && static_cast<int>(nodes.size()) < spot; --n) {
+        if (dep->rm->IsNodeAlive(n) && !dep->rm->IsNodeDraining(n)) {
+          nodes.push_back(n);
+        }
+      }
+      return nodes;
+    };
+  }
   h.active = [this] { return !Idle(); };
   injector->SetHandlers(std::move(h));
   // Transient-read faults (hdfs-error clauses) flow through the DFS hook.

@@ -191,8 +191,15 @@ class WorkflowService {
   /// Wires a FaultInjector's handlers to this service's deployment:
   /// node kills hit the RM and the DFS (followed by re-replication),
   /// am-crash targets running submissions, fail-container targets
-  /// running task (non-AM) containers. Call once after Create().
+  /// running task (non-AM) containers, spot-revoke drains through the
+  /// elastic control plane (falling back to an unwarned kill when the
+  /// deployment has none). Call once after Create().
   void InstallFaultHandlers(FaultInjector* injector);
+
+  /// Marks the highest ⌈f·workers⌉ worker nodes as spot instances:
+  /// spot-revoke faults then only ever target those. Unset (or f <= 0)
+  /// leaves the injector's fallback — any alive node is fair game.
+  void SetSpotFraction(double f) { spot_fraction_ = f; }
 
   bool Idle() const;
   int running_ams() const;
@@ -271,6 +278,8 @@ class WorkflowService {
   SubmissionId next_id_ = 1;
   bool retry_scheduled_ = false;
   bool reap_scheduled_ = false;
+  /// Fraction of the worker fleet that is spot capacity; < 0 = unset.
+  double spot_fraction_ = -1.0;
 };
 
 }  // namespace hiway

@@ -36,6 +36,17 @@ Cluster::Cluster(SimEngine* engine, FlowNetwork* net, ClusterSpec spec)
   }
 }
 
+NodeId Cluster::AddNode(NodeSpec node) {
+  NodeId id = static_cast<NodeId>(spec_.nodes.size());
+  if (node.name.empty()) node.name = StrFormat("node-%03d", id);
+  cpu_.push_back(
+      net_->AddResource(node.name + "/cpu", static_cast<double>(node.cores)));
+  disk_.push_back(net_->AddResource(node.name + "/disk", node.disk_bw_mbps));
+  nic_.push_back(net_->AddResource(node.name + "/nic", node.nic_bw_mbps));
+  spec_.nodes.push_back(std::move(node));
+  return id;
+}
+
 std::vector<ResourceId> Cluster::RemoteTransferPath(NodeId src,
                                                     NodeId dst) const {
   HIWAY_CHECK(src != dst);

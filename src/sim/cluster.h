@@ -55,6 +55,14 @@ class Cluster {
   Cluster(SimEngine* engine, FlowNetwork* net, ClusterSpec spec);
 
   int num_nodes() const { return static_cast<int>(spec_.nodes.size()); }
+
+  /// Appends a node to the topology at runtime (elastic scale-out): the
+  /// node's cpu/disk/nic resources are created in the FlowNetwork and its
+  /// id — always the next consecutive NodeId — is returned. Node ids are
+  /// stable for the lifetime of the cluster; departed nodes keep their id
+  /// (the RM marks them dead rather than compacting).
+  NodeId AddNode(NodeSpec node);
+
   const ClusterSpec& spec() const { return spec_; }
   const NodeSpec& node(NodeId id) const {
     return spec_.nodes[static_cast<size_t>(id)];

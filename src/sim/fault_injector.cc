@@ -15,14 +15,17 @@ Result<FaultType> FaultTypeFromString(std::string_view token) {
   if (token == "am-crash") return FaultType::kAmCrash;
   if (token == "fail-container") return FaultType::kFailContainer;
   if (token == "hdfs-error") return FaultType::kHdfsError;
+  if (token == "spot-revoke") return FaultType::kSpotRevoke;
   return Status::InvalidArgument(
       StrFormat("unknown fault type '%.*s' (expected kill-node, "
-                "kill-am-node, am-crash, fail-container, or hdfs-error)",
+                "kill-am-node, am-crash, fail-container, hdfs-error, or "
+                "spot-revoke)",
                 static_cast<int>(token.size()), token.data()));
 }
 
 Result<FaultSpec> ParseClause(std::string_view clause) {
   FaultSpec spec;
+  bool has_warn = false;
   std::vector<std::string> parts = StrSplit(clause, ':');
   std::string_view head = StrTrim(parts[0]);
   std::string_view type_token = head;
@@ -68,14 +71,25 @@ Result<FaultSpec> ParseClause(std::string_view clause) {
       spec.node = static_cast<NodeId>(*number);
     } else if (key == "sub") {
       spec.submission = static_cast<int64_t>(*number);
+    } else if (key == "warn") {
+      spec.warn = *number;
+      has_warn = true;
     } else {
       return Status::InvalidArgument(
           StrFormat("unknown fault param '%.*s' (expected at, node, sub, "
-                    "rate, every, or until)",
+                    "rate, every, until, or warn)",
                     static_cast<int>(key.size()), key.data()));
     }
   }
 
+  if (has_warn && spec.type != FaultType::kSpotRevoke) {
+    return Status::InvalidArgument(StrFormat(
+        "fault param warn= only applies to spot-revoke, not '%s'",
+        ToString(spec.type)));
+  }
+  if (has_warn && spec.warn < 0.0) {
+    return Status::InvalidArgument("fault param warn= must be >= 0");
+  }
   if (spec.type == FaultType::kHdfsError) {
     if (spec.rate <= 0.0) {
       return Status::InvalidArgument(
@@ -86,6 +100,11 @@ Result<FaultSpec> ParseClause(std::string_view clause) {
         StrFormat("fault clause '%s' needs @time/at= (one-shot) or rate= "
                   "(recurring)",
                   ToString(spec.type)));
+  }
+  if (spec.rate > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("fault param rate=%g is not a probability (must be <= 1)",
+                  spec.rate));
   }
   if (spec.rate > 0.0 && spec.every <= 0.0) {
     return Status::InvalidArgument("fault param every= must be > 0");
@@ -107,6 +126,8 @@ const char* ToString(FaultType type) {
       return "fail-container";
     case FaultType::kHdfsError:
       return "hdfs-error";
+    case FaultType::kSpotRevoke:
+      return "spot-revoke";
   }
   return "unknown";
 }
@@ -217,6 +238,26 @@ void FaultInjector::Fire(const FaultSpec& spec) {
       if (containers.empty()) return;
       handlers_.fail_container(containers[rng_.UniformInt(containers.size())]);
       ++counters_.container_kills;
+      return;
+    }
+    case FaultType::kSpotRevoke: {
+      if (!handlers_.revoke_node) return;
+      NodeId target = spec.node;
+      if (target == kInvalidNode) {
+        // Prefer the fleet's spot partition; any worker is revocable
+        // when no partition is declared.
+        std::vector<NodeId> nodes = handlers_.list_spot_nodes
+                                        ? handlers_.list_spot_nodes()
+                                        : std::vector<NodeId>{};
+        if (nodes.empty() && handlers_.list_nodes) {
+          nodes = handlers_.list_nodes();
+        }
+        if (nodes.empty()) return;
+        target = nodes[rng_.UniformInt(nodes.size())];
+      }
+      double warn = spec.warn >= 0.0 ? spec.warn : default_revoke_warning_s_;
+      handlers_.revoke_node(target, warn);
+      ++counters_.spot_revocations;
       return;
     }
     case FaultType::kHdfsError:

@@ -11,17 +11,21 @@
 //   spec    := clause (',' clause)*
 //   clause  := type ('@' time)? (':' key '=' value)*
 //   type    := kill-node | kill-am-node | am-crash | fail-container
-//            | hdfs-error
-//   key     := at | node | sub | rate | every | until
+//            | hdfs-error | spot-revoke
+//   key     := at | node | sub | rate | every | until | warn
 //
 // A clause with `at` (or `@time`) fires once at that virtual time; a
 // clause with `rate` recurs every `every` seconds (default 10), firing
 // with probability `rate` per period while the workload is active, until
 // `until` (if given). `hdfs-error` is always rate-based: each DFS read
-// between `at` and `until` fails with probability `rate`. Targets
+// between `at` and `until` fails with probability `rate`. `spot-revoke`
+// announces a node's revocation with a `warn`-second warning window
+// (default 120, the EC2 spot notice): the node drains, then dies at the
+// deadline. `warn` is only valid on spot-revoke clauses. Targets
 // (`node`, `sub`) are optional; omitted targets are drawn from the
 // injector's seeded RNG, so a fixed seed replays the same fault
-// sequence.
+// sequence. Malformed specs fail loudly at parse time with the
+// offending token — never silently ignored.
 //
 // Examples:
 //   kill-node@120                  one node, picked at random, dies at t=120
@@ -29,6 +33,7 @@
 //   am-crash@45                    a random running AM process crashes
 //   fail-container:rate=0.2:every=30:until=600
 //   hdfs-error:rate=0.05:until=300
+//   spot-revoke@300:warn=120       a spot node is warned at t=300, gone at 420
 
 #ifndef HIWAY_SIM_FAULT_INJECTOR_H_
 #define HIWAY_SIM_FAULT_INJECTOR_H_
@@ -51,6 +56,7 @@ enum class FaultType {
   kAmCrash,        // the AM process dies; its node stays healthy
   kFailContainer,  // one running task container is killed
   kHdfsError,      // transient DFS read errors at a configurable rate
+  kSpotRevoke,     // spot-instance revocation: warn, drain, then kill
 };
 
 const char* ToString(FaultType type);
@@ -72,6 +78,9 @@ struct FaultSpec {
   NodeId node = kInvalidNode;
   /// Explicit submission target (am-crash, kill-am-node); -1 = random.
   int64_t submission = -1;
+  /// Warning window of a spot-revoke, seconds between the revocation
+  /// notice and the node's death; < 0 = the injector's default (120).
+  double warn = -1.0;
 };
 
 /// Parses the grammar above. Returns every clause or the first error.
@@ -93,6 +102,12 @@ struct FaultHandlers {
   /// Running non-AM task containers.
   std::function<std::vector<int64_t>()> list_containers;
   std::function<void(int64_t container)> fail_container;
+  /// Nodes eligible for spot-revoke (the spot partition of the fleet);
+  /// unset falls back to list_nodes — every worker is then revocable.
+  std::function<std::vector<NodeId>()> list_spot_nodes;
+  /// Announces a revocation: `node` drains for `warn_s` seconds, then
+  /// dies (the handler owns the drain + deferred kill sequence).
+  std::function<void(NodeId node, double warn_s)> revoke_node;
   /// True while the workload is still running; recurring faults stop
   /// once this turns false after having been true.
   std::function<bool()> active;
@@ -103,6 +118,7 @@ struct FaultCounters {
   int am_crashes = 0;
   int container_kills = 0;
   int64_t read_faults = 0;
+  int spot_revocations = 0;
 };
 
 class FaultInjector {
@@ -112,6 +128,13 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   void SetHandlers(FaultHandlers handlers) { handlers_ = std::move(handlers); }
+
+  /// Warning window applied to spot-revoke clauses that carry no warn=
+  /// of their own (CLI --revoke-warning-s). Must be >= 0.
+  void SetDefaultRevokeWarning(double seconds) {
+    default_revoke_warning_s_ = seconds;
+  }
+  double default_revoke_warning_s() const { return default_revoke_warning_s_; }
 
   /// Schedules the given faults on the engine. May be called repeatedly;
   /// each call adds to the armed set.
@@ -136,6 +159,8 @@ class FaultInjector {
   SimEngine* engine_;
   Rng rng_;
   FaultHandlers handlers_;
+  /// EC2-style two-minute spot notice (docs/elastic-cluster.md).
+  double default_revoke_warning_s_ = 120.0;
   FaultCounters counters_;
   std::vector<FaultSpec> armed_;
   std::vector<FaultSpec> read_fault_specs_;

@@ -15,6 +15,7 @@ const char* ToString(ContainerLossReason reason) {
     case ContainerLossReason::kNodeLost: return "node-lost";
     case ContainerLossReason::kKilled: return "killed";
     case ContainerLossReason::kPreempted: return "preempted";
+    case ContainerLossReason::kDrained: return "drained";
   }
   return "unknown";
 }
@@ -143,7 +144,7 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
   if (target == kInvalidNode) {
     for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
       const NodeState& ns = nodes_[static_cast<size_t>(n)];
-      if (ns.alive && ns.free_vcores >= am_vcores &&
+      if (ns.alive && !ns.draining && ns.free_vcores >= am_vcores &&
           ns.free_memory_mb >= am_memory_mb) {
         target = n;
         break;
@@ -155,7 +156,7 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
     }
   } else {
     const NodeState& ns = nodes_[static_cast<size_t>(target)];
-    if (!ns.alive || ns.free_vcores < am_vcores ||
+    if (!ns.alive || ns.draining || ns.free_vcores < am_vcores ||
         ns.free_memory_mb < am_memory_mb) {
       return Status::ResourceExhausted("requested AM node lacks capacity");
     }
@@ -269,8 +270,9 @@ void ResourceManager::DropContainer(const Container& c,
   }
   bool reclaim = !notify;  // losses of a dead master count as reclaims
   bool preempted = !reclaim && reason == ContainerLossReason::kPreempted;
+  bool drained = !reclaim && reason == ContainerLossReason::kDrained;
   // Lifetime of the dying container: consumed work always, and — for
-  // preemption victims — wasted work the owning AM must redo.
+  // preemption/drain victims — wasted work the owning AM must redo.
   double work = cluster_->engine()->Now() - c.allocated_at;
   if (tracer_ != nullptr) {
     tracer_->End(SpanCategory::kContainer, "container", c.app, c.id,
@@ -278,6 +280,9 @@ void ResourceManager::DropContainer(const Container& c,
     if (preempted) {
       tracer_->Instant(SpanCategory::kPreemption, "preempt_kill", c.app, c.id,
                        /*task=*/-1, c.node, work, c.priority);
+    } else if (drained) {
+      tracer_->Instant(SpanCategory::kMembership, "drain_vacate", c.app, c.id,
+                       /*task=*/-1, c.node, work);
     } else {
       tracer_->Instant(SpanCategory::kFailover, "container_lost", c.app, c.id,
                        /*task=*/-1, c.node, work,
@@ -291,8 +296,12 @@ void ResourceManager::DropContainer(const Container& c,
     } else if (preempted) {
       ++k->preempted_containers;
       if (!c.is_am) k->preempted_work_s += work;
+    } else if (drained) {
+      ++k->drained_containers;
+      if (!c.is_am) k->drained_work_s += work;
     } else {
       ++k->lost_containers;
+      if (!c.is_am) k->lost_work_s += work;
     }
     if (!c.is_am) k->container_work_s += work;
   }
@@ -319,6 +328,7 @@ void ResourceManager::KillNode(NodeId node) {
                      /*container=*/-1, /*task=*/-1, node);
   }
   ns.alive = false;
+  ns.draining = false;
   ns.free_vcores = 0;
   ns.free_memory_mb = 0.0;
   total_vcores_ -= cluster_->node(node).cores;
@@ -343,6 +353,101 @@ void ResourceManager::KillNode(NodeId node) {
     DropContainer(c, ContainerLossReason::kNodeLost, /*notify=*/true);
   }
   ScheduleAllocationPass();
+}
+
+void ResourceManager::AddNode(NodeId node) {
+  HIWAY_CHECK(node == static_cast<NodeId>(nodes_.size()));
+  HIWAY_CHECK(node < cluster_->num_nodes());
+  AccrueFairness();
+  NodeState ns;
+  ns.free_vcores = cluster_->node(node).cores;
+  ns.free_memory_mb = cluster_->node(node).memory_mb;
+  nodes_.push_back(ns);
+  total_vcores_ += cluster_->node(node).cores;
+  total_memory_mb_ += cluster_->node(node).memory_mb;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kMembership, "node_joined", /*app=*/-1,
+                     /*container=*/-1, /*task=*/-1, node,
+                     static_cast<double>(ns.free_vcores));
+  }
+  // The new capacity is matched against the backlog like any release.
+  ScheduleAllocationPass();
+}
+
+void ResourceManager::BeginDrain(NodeId node, double deadline) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  if (!ns.alive || ns.draining) return;
+  AccrueFairness();
+  ns.draining = true;
+  ns.drain_deadline = deadline;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kMembership, "node_draining", /*app=*/-1,
+                     /*container=*/-1, /*task=*/-1, node, deadline);
+  }
+  // Tell every live master so it can triage its containers on the node.
+  // DropContainer (the reaction AMs typically take) never mutates apps_,
+  // so iterating a snapshot of the registry is safe.
+  std::vector<AmCallbacks*> masters;
+  for (const auto& [app, state] : apps_) {
+    if (state.active && state.callbacks != nullptr) {
+      masters.push_back(state.callbacks);
+    }
+  }
+  for (AmCallbacks* cb : masters) cb->OnNodeDraining(node, deadline);
+}
+
+bool ResourceManager::DecommissionNode(NodeId node) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  if (!ns.alive) return false;
+  for (const auto& [id, c] : containers_) {
+    if (c.node == node && c.is_am) return false;
+  }
+  AccrueFairness();
+  // Vacate remaining task containers (kDrained: requeued, uncharged).
+  std::vector<Container> vacated;
+  for (const auto& [id, c] : containers_) {
+    if (c.node == node) vacated.push_back(c);
+  }
+  for (const Container& c : vacated) {
+    DropContainer(c, ContainerLossReason::kDrained, /*notify=*/true);
+  }
+  ns.alive = false;
+  ns.draining = false;
+  ns.free_vcores = 0;
+  ns.free_memory_mb = 0.0;
+  total_vcores_ -= cluster_->node(node).cores;
+  total_memory_mb_ -= cluster_->node(node).memory_mb;
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanCategory::kMembership, "node_decommissioned",
+                     /*app=*/-1, /*container=*/-1, /*task=*/-1, node,
+                     static_cast<double>(vacated.size()));
+  }
+  ScheduleAllocationPass();
+  return true;
+}
+
+bool ResourceManager::DrainContainer(ContainerId id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return false;
+  Container c = it->second;
+  if (c.is_am) return false;
+  AccrueFairness();
+  DropContainer(c, ContainerLossReason::kDrained, /*notify=*/true);
+  ScheduleAllocationPass();
+  return true;
+}
+
+bool ResourceManager::IsNodeDraining(NodeId node) const {
+  const NodeState& ns = nodes_[static_cast<size_t>(node)];
+  return ns.alive && ns.draining;
+}
+
+int ResourceManager::containers_on(NodeId node) const {
+  int count = 0;
+  for (const auto& [id, c] : containers_) {
+    if (c.node == node) ++count;
+  }
+  return count;
 }
 
 void ResourceManager::FailApplication(ApplicationId app,

@@ -70,6 +70,12 @@ enum class ContainerLossReason {
   /// node's) fault: AMs must neither charge the retry budget nor
   /// blacklist the node (docs/scheduling-model.md).
   kPreempted,
+  /// The container was vacated because its node is draining (spot
+  /// revocation warning or autoscaler decommission). Exactly the
+  /// kPreempted exemption applies: no retry charge, no blacklist, the
+  /// task re-queues immediately on the remaining fleet
+  /// (docs/elastic-cluster.md).
+  kDrained,
 };
 
 const char* ToString(ContainerLossReason reason);
@@ -103,6 +109,16 @@ class AmCallbacks {
   /// targeted kill) so the AM can decide whether blacklisting is useful.
   virtual void OnContainerLost(const Container& container,
                                ContainerLossReason reason) = 0;
+  /// `node` entered the draining state (spot revocation warning or
+  /// decommission) and disappears at virtual time `deadline`. The RM has
+  /// already stopped placing new containers there; the AM should let
+  /// work that finishes before the deadline run and proactively vacate
+  /// (ResourceManager::DrainContainer) the rest. Default: do nothing —
+  /// running containers are then lost at the deadline with kNodeLost.
+  virtual void OnNodeDraining(NodeId node, double deadline) {
+    (void)node;
+    (void)deadline;
+  }
 };
 
 /// RM-side counters for master-load accounting (Fig. 6). Kept both
@@ -124,6 +140,15 @@ struct RmCounters {
   /// Container-seconds thrown away by preemption (victim lifetime at
   /// kill time). wasted-work ratio = preempted_work_s / container_work_s.
   double preempted_work_s = 0.0;
+  /// Containers vacated because their node was draining (kDrained;
+  /// disjoint from both lost_containers and preempted_containers), and
+  /// the container-seconds those vacations threw away.
+  int64_t drained_containers = 0;
+  double drained_work_s = 0.0;
+  /// Container-seconds thrown away by genuine losses (kNodeLost/kKilled
+  /// drops of live masters' containers) — the unwarned-kill counterpart
+  /// of drained_work_s that bench_elastic's drain gate compares against.
+  double lost_work_s = 0.0;
   /// Total container-seconds of finished task containers (AM containers
   /// excluded); denominator of the wasted-work ratio.
   double container_work_s = 0.0;
@@ -246,6 +271,40 @@ class ResourceManager {
   /// owning AMs with reason kNodeLost.
   void KillNode(NodeId node);
 
+  // ---- Elastic membership (docs/elastic-cluster.md) ---------------------
+
+  /// Onboards a node freshly appended to the cluster topology
+  /// (Cluster::AddNode): its capacity joins the live pool and an
+  /// allocation pass is scheduled, modelling the NodeManager's
+  /// registration heartbeat. `node` must be the id Cluster::AddNode
+  /// returned (nodes onboard in id order).
+  void AddNode(NodeId node);
+
+  /// Puts a live node into the draining state (active -> draining): no
+  /// new containers are placed there, and every registered AM is told
+  /// via OnNodeDraining(node, deadline) so it can let short tasks finish
+  /// and vacate the rest. Idempotent; no-op for dead nodes. The RM does
+  /// NOT act at the deadline itself — the caller follows up with
+  /// KillNode (spot revocation) or DecommissionNode (graceful).
+  void BeginDrain(NodeId node, double deadline);
+
+  /// Gracefully retires a node (draining -> gone): remaining task
+  /// containers are vacated with kDrained (no attempt charge), then the
+  /// node's capacity leaves the pool. Refuses (returns false) when an AM
+  /// container still lives there — drain it away first or use KillNode.
+  bool DecommissionNode(NodeId node);
+
+  /// Vacates one running task container with reason kDrained: the owning
+  /// AM re-queues the task with no retry charge or blacklist entry (the
+  /// proactive-requeue half of checkpoint-or-requeue during a drain).
+  /// False for unknown ids; AM containers are refused.
+  bool DrainContainer(ContainerId id);
+
+  bool IsNodeDraining(NodeId node) const;
+
+  /// Containers (tasks + AMs) currently hosted on `node`.
+  int containers_on(NodeId node) const;
+
   /// Declares an application failed (AM process death): drops its
   /// pending requests, reclaims every container it still holds (AM and
   /// tasks) without callbacks to the — presumed dead — master, and
@@ -330,6 +389,12 @@ class ResourceManager {
     int free_vcores = 0;
     double free_memory_mb = 0.0;
     bool alive = true;
+    /// Decommission state machine: active (alive, !draining) ->
+    /// draining (alive, draining) -> gone (!alive). Draining nodes keep
+    /// their running containers but receive no new placements.
+    bool draining = false;
+    /// Virtual time the draining node disappears (spot deadline).
+    double drain_deadline = 0.0;
   };
   struct PendingRequest {
     ApplicationId app;
@@ -368,7 +433,7 @@ class ResourceManager {
   NodeId TryPlace(const ContainerRequest& r);
 
   bool Fits(const NodeState& ns, const ContainerRequest& r) const {
-    return ns.alive && ns.free_vcores >= r.vcores &&
+    return ns.alive && !ns.draining && ns.free_vcores >= r.vcores &&
            ns.free_memory_mb >= r.memory_mb;
   }
 

@@ -46,6 +46,17 @@ TEST(FaultSpecGrammarTest, AtKeyEqualsAtSignSyntax) {
   EXPECT_DOUBLE_EQ((*a)[0].at, (*b)[0].at);
 }
 
+TEST(FaultSpecGrammarTest, ParsesSpotRevoke) {
+  auto specs = ParseFaultSpecs("spot-revoke@300:warn=120, spot-revoke@500");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].type, FaultType::kSpotRevoke);
+  EXPECT_DOUBLE_EQ((*specs)[0].at, 300.0);
+  EXPECT_DOUBLE_EQ((*specs)[0].warn, 120.0);
+  // Without warn= the injector's default warning applies later.
+  EXPECT_DOUBLE_EQ((*specs)[1].warn, -1.0);
+}
+
 TEST(FaultSpecGrammarTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(ParseFaultSpecs("").ok());
   EXPECT_FALSE(ParseFaultSpecs("melt-cpu@10").ok());
@@ -55,6 +66,39 @@ TEST(FaultSpecGrammarTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(ParseFaultSpecs("kill-node:frequency=2").ok());
   EXPECT_FALSE(ParseFaultSpecs("hdfs-error@10").ok());  // needs rate
   EXPECT_FALSE(ParseFaultSpecs("fail-container:rate=0.5:every=0").ok());
+}
+
+TEST(FaultSpecGrammarTest, ErrorsNameTheOffendingToken) {
+  // Unknown clause types, unknown parameters, and out-of-range values
+  // all fail loudly with the offending token in the message.
+  auto unknown_type = ParseFaultSpecs("kill-node@10, melt-cpu@20");
+  ASSERT_FALSE(unknown_type.ok());
+  EXPECT_NE(unknown_type.status().ToString().find("melt-cpu"),
+            std::string::npos)
+      << unknown_type.status().ToString();
+
+  auto unknown_key = ParseFaultSpecs("kill-node@10:grace=5");
+  ASSERT_FALSE(unknown_key.ok());
+  EXPECT_NE(unknown_key.status().ToString().find("grace"), std::string::npos)
+      << unknown_key.status().ToString();
+
+  auto bad_value = ParseFaultSpecs("hdfs-error:rate=banana");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().ToString().find("banana"), std::string::npos)
+      << bad_value.status().ToString();
+}
+
+TEST(FaultSpecGrammarTest, RejectsMisusedWarnAndBadRates) {
+  // warn= is spot-revoke-only.
+  EXPECT_FALSE(ParseFaultSpecs("kill-node@10:warn=120").ok());
+  EXPECT_FALSE(ParseFaultSpecs("am-crash@10:warn=0").ok());
+  // Negative warning windows are nonsense.
+  EXPECT_FALSE(ParseFaultSpecs("spot-revoke@10:warn=-5").ok());
+  // A rate is a probability.
+  EXPECT_FALSE(ParseFaultSpecs("hdfs-error:rate=1.5").ok());
+  // Valid uses still parse.
+  EXPECT_TRUE(ParseFaultSpecs("spot-revoke@10:warn=0").ok());
+  EXPECT_TRUE(ParseFaultSpecs("spot-revoke:rate=0.1:every=60").ok());
 }
 
 TEST(FaultInjectorTest, OneShotFiresAtTheScheduledTime) {
@@ -154,6 +198,47 @@ TEST(FaultInjectorTest, FixedSeedReplaysTheSameFaultSequence) {
   };
   EXPECT_EQ(run(11), run(11));
   EXPECT_NE(run(11), run(12));
+}
+
+TEST(FaultInjectorTest, SpotRevokeUsesSpotListAndDefaultWarning) {
+  SimEngine engine;
+  FaultInjector injector(&engine, /*seed=*/3);
+  std::vector<std::pair<NodeId, double>> revocations;
+  FaultHandlers handlers;
+  handlers.list_nodes = [] { return std::vector<NodeId>{1, 2, 3}; };
+  handlers.list_spot_nodes = [] { return std::vector<NodeId>{7}; };
+  handlers.revoke_node = [&](NodeId node, double warn_s) {
+    revocations.emplace_back(node, warn_s);
+  };
+  injector.SetHandlers(std::move(handlers));
+  ASSERT_TRUE(injector.ArmSpec("spot-revoke@30, spot-revoke@60:warn=45").ok());
+  engine.Run();
+  ASSERT_EQ(revocations.size(), 2u);
+  // Targets come from the spot list, not the full node list.
+  EXPECT_EQ(revocations[0].first, 7);
+  EXPECT_EQ(revocations[1].first, 7);
+  // No warn= -> the injector default (the 120 s EC2 notice).
+  EXPECT_DOUBLE_EQ(revocations[0].second, 120.0);
+  EXPECT_DOUBLE_EQ(revocations[1].second, 45.0);
+  EXPECT_EQ(injector.counters().spot_revocations, 2);
+}
+
+TEST(FaultInjectorTest, SpotRevokeFallsBackToAliveListAndCliDefault) {
+  SimEngine engine;
+  FaultInjector injector(&engine, /*seed=*/3);
+  injector.SetDefaultRevokeWarning(15.0);
+  std::vector<std::pair<NodeId, double>> revocations;
+  FaultHandlers handlers;
+  handlers.list_nodes = [] { return std::vector<NodeId>{4}; };
+  handlers.revoke_node = [&](NodeId node, double warn_s) {
+    revocations.emplace_back(node, warn_s);
+  };
+  injector.SetHandlers(std::move(handlers));
+  ASSERT_TRUE(injector.ArmSpec("spot-revoke@10").ok());
+  engine.Run();
+  ASSERT_EQ(revocations.size(), 1u);
+  EXPECT_EQ(revocations[0].first, 4);
+  EXPECT_DOUBLE_EQ(revocations[0].second, 15.0);
 }
 
 TEST(FaultInjectorTest, MissingHandlersMakeFaultsNoOps) {
