@@ -67,7 +67,8 @@ done
 # Orientation pages that must exist and be reachable from the README:
 # a PR that deletes or un-links them should fail here, not silently
 # orphan them.
-for page in docs/architecture.md docs/observability.md docs/data-cache.md; do
+for page in docs/architecture.md docs/observability.md docs/data-cache.md \
+            docs/scaling.md; do
   if [ ! -f "$page" ]; then
     echo "MISSING    required page $page does not exist"
     fail=1

@@ -1,0 +1,226 @@
+// Open-addressing hash map with stable value addresses.
+//
+// The RM's per-event hot path (src/yarn/yarn.h) looks up applications,
+// containers, and tenant stats on every heartbeat, allocation, and
+// release. `std::map` made each of those an O(log n) pointer chase;
+// at thousands of concurrent workflows the tree walks dominated the
+// allocation pass. FlatHashMap replaces them with an open-addressing
+// index (a flat vector of slot indices probed linearly — one cache
+// line per probe) over *stable* entry storage: entries live in a
+// `std::deque`, so a reference obtained from `operator[]`/`find` is
+// never invalidated by later inserts. That stability is load-bearing —
+// call sites hold `TenantStats*` across further map operations.
+//
+// Erased slots go on a free list and are reused by later inserts, so
+// memory is bounded by the peak live size, not total insertions.
+// Iteration order is unspecified (insertion-slot order, with reuse):
+// any call site whose behaviour depends on order must collect keys and
+// sort, exactly as it would for `std::unordered_map`.
+
+#ifndef HIWAY_COMMON_FLAT_HASH_H_
+#define HIWAY_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hiway {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Owner = std::conditional_t<Const, const FlatHashMap, FlatHashMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter() = default;
+    Iter(Owner* owner, size_t slot) : owner_(owner), slot_(slot) { Skip(); }
+    // Const iterators are constructible from mutable ones (begin() on a
+    // const ref, mixed comparisons).
+    template <bool C = Const, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& o) : owner_(o.owner_), slot_(o.slot_) {}
+
+    Ref operator*() const { return *owner_->entries_[slot_]; }
+    Ptr operator->() const { return &*owner_->entries_[slot_]; }
+    Iter& operator++() {
+      ++slot_;
+      Skip();
+      return *this;
+    }
+    template <bool C>
+    bool operator==(const Iter<C>& o) const { return slot_ == o.slot_; }
+    template <bool C>
+    bool operator!=(const Iter<C>& o) const { return slot_ != o.slot_; }
+
+   private:
+    friend class FlatHashMap;
+    template <bool>
+    friend class Iter;
+    void Skip() {
+      while (owner_ && slot_ < owner_->entries_.size() &&
+             !owner_->entries_[slot_].has_value()) {
+        ++slot_;
+      }
+    }
+    Owner* owner_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatHashMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, entries_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, entries_.size()); }
+
+  void reserve(size_t n) { RehashFor(n); }
+
+  void clear() {
+    entries_.clear();
+    buckets_.clear();
+    free_slots_.clear();
+    size_ = 0;
+  }
+
+  V& operator[](const K& key) {
+    size_t b = FindBucket(key);
+    if (buckets_.empty() || buckets_[b] < 0) {
+      return Insert(key, V{})->second;
+    }
+    return entries_[buckets_[b]]->second;
+  }
+
+  iterator find(const K& key) {
+    size_t b = FindBucket(key);
+    if (buckets_.empty() || buckets_[b] < 0) return end();
+    return iterator(this, static_cast<size_t>(buckets_[b]));
+  }
+  const_iterator find(const K& key) const {
+    size_t b = FindBucket(key);
+    if (buckets_.empty() || buckets_[b] < 0) return end();
+    return const_iterator(this, static_cast<size_t>(buckets_[b]));
+  }
+
+  size_t count(const K& key) const { return find(key) == end() ? 0 : 1; }
+  bool contains(const K& key) const { return count(key) > 0; }
+
+  V& at(const K& key) { return find(key)->second; }
+  const V& at(const K& key) const { return find(key)->second; }
+
+  std::pair<iterator, bool> emplace(const K& key, V value) {
+    size_t b = FindBucket(key);
+    if (!buckets_.empty() && buckets_[b] >= 0) {
+      return {iterator(this, static_cast<size_t>(buckets_[b])), false};
+    }
+    return {Insert(key, std::move(value)), true};
+  }
+
+  size_t erase(const K& key) {
+    if (buckets_.empty()) return 0;
+    size_t b = FindBucket(key);
+    if (buckets_[b] < 0) return 0;
+    size_t slot = static_cast<size_t>(buckets_[b]);
+    entries_[slot].reset();
+    free_slots_.push_back(slot);
+    buckets_[b] = kTombstone;
+    --size_;
+    ++tombstones_;
+    // A tombstone-heavy table degrades probe lengths; rebuild in place.
+    if (tombstones_ * 4 > buckets_.size()) Rehash(buckets_.size());
+    return 1;
+  }
+
+  void erase(const_iterator it) { erase(it->first); }
+
+ private:
+  static constexpr int64_t kEmpty = -1;
+  static constexpr int64_t kTombstone = -2;
+
+  // Returns the bucket holding `key`, or the first insertable bucket
+  // (empty or tombstone) on its probe path if absent.
+  size_t FindBucket(const K& key) const {
+    if (buckets_.empty()) return 0;
+    size_t mask = buckets_.size() - 1;
+    size_t b = Hash{}(key)&mask;
+    size_t first_free = buckets_.size();
+    while (true) {
+      int64_t s = buckets_[b];
+      if (s == kEmpty) {
+        return first_free < buckets_.size() ? first_free : b;
+      }
+      if (s == kTombstone) {
+        if (first_free == buckets_.size()) first_free = b;
+      } else if (entries_[s]->first == key) {
+        return b;
+      }
+      b = (b + 1) & mask;
+    }
+  }
+
+  iterator Insert(const K& key, V value) {
+    RehashFor(size_ + 1);
+    size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      entries_[slot].emplace(key, std::move(value));
+    } else {
+      slot = entries_.size();
+      entries_.emplace_back(std::in_place, key, std::move(value));
+    }
+    size_t b = FindBucket(key);
+    if (buckets_[b] == kTombstone) --tombstones_;
+    buckets_[b] = static_cast<int64_t>(slot);
+    ++size_;
+    return iterator(this, slot);
+  }
+
+  void RehashFor(size_t n) {
+    // Grow when the table would exceed ~70% load (live + tombstones).
+    size_t needed = (n + tombstones_) * 10 / 7 + 1;
+    if (needed <= buckets_.size()) return;
+    size_t cap = 16;
+    while (cap < needed) cap <<= 1;
+    Rehash(cap);
+  }
+
+  void Rehash(size_t cap) {
+    buckets_.assign(cap, kEmpty);
+    tombstones_ = 0;
+    size_t mask = cap - 1;
+    for (size_t slot = 0; slot < entries_.size(); ++slot) {
+      if (!entries_[slot].has_value()) continue;
+      size_t b = Hash{}(entries_[slot]->first) & mask;
+      while (buckets_[b] != kEmpty) b = (b + 1) & mask;
+      buckets_[b] = static_cast<int64_t>(slot);
+    }
+  }
+
+  // Entry storage: a deque never moves elements, so value addresses are
+  // stable for the map's lifetime (erase + reuse recycles the slot).
+  std::deque<std::optional<value_type>> entries_;
+  std::vector<int64_t> buckets_;
+  std::vector<size_t> free_slots_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace hiway
+
+#endif  // HIWAY_COMMON_FLAT_HASH_H_

@@ -115,6 +115,8 @@ Recipe HadoopInstallRecipe() {
     yarn_opts.allocation_delay_s =
         AttrDouble(attrs, "yarn/allocation_delay_s", 0.5);
     yarn_opts.scheduler = Attr(attrs, "yarn/scheduler", "fifo");
+    yarn_opts.allocation_mode =
+        Attr(attrs, "yarn/allocation_mode", "incremental");
     yarn_opts.preemption = Attr(attrs, "yarn/preemption", "false") == "true";
     yarn_opts.preemption_grace_s =
         AttrDouble(attrs, "yarn/preemption_grace_s", 5.0);

@@ -118,6 +118,8 @@ class Karamel {
 ///   cluster/disk_mbps (150), cluster/nic_mbps (125),
 ///   cluster/switch_mbps (1250), cluster/ebs_mbps (0), cluster/s3_mbps (0),
 ///   dfs/replication (3), dfs/block_mb (128), yarn/allocation_delay_s (0.5),
+///   yarn/scheduler ("fifo"), yarn/allocation_mode ("incremental";
+///   "full-scan" selects the pre-refactor pass — see docs/scaling.md),
 ///   obs/tracing ("off"; "on" enables the deployment tracer — see
 ///   docs/observability.md)
 Recipe HadoopInstallRecipe();

@@ -133,6 +133,8 @@ Result<SubmissionId> WorkflowService::Submit(
   sub.options = std::move(options);
   subs_[id] = std::move(sub);
   backlog.push_back(id);
+  ++live_submissions_;
+  MarkPumpable(records_[id].queue);
 
   if (records_[id].deadline_s > 0.0) {
     deployment_->engine.ScheduleAfter(records_[id].deadline_s,
@@ -177,34 +179,45 @@ void WorkflowService::AttachCaches(Submission* sub) {
 }
 
 void WorkflowService::Pump() {
-  for (auto& [queue, backlog] : backlog_) {
-    const ServiceQueueOptions& limits = queues_.at(queue);
-    while (running_[queue] < limits.max_concurrent_ams && !backlog.empty()) {
-      SubmissionId id = backlog.front();
-      backlog.pop_front();
-      if (TryStart(id)) continue;
-      // The cluster cannot host this AM container right now.
-      if (running_ams() == 0) {
-        // No service-run AM will ever release capacity: the cluster is
-        // statically too full. Fail instead of spinning forever.
-        SubmissionRecord& rec = records_[id];
-        rec.state = SubmissionState::kFailed;
-        rec.finished_at = deployment_->engine.Now();
-        rec.report.status = Status::ResourceExhausted(
-            "no node can host the AM container of '" + rec.name + "'");
-        ++counters_[queue].failed;
-        continue;
-      }
-      backlog.push_front(id);
-      if (!retry_scheduled_) {
-        retry_scheduled_ = true;
-        deployment_->engine.ScheduleAfter(options_.start_retry_s, [this] {
-          retry_scheduled_ = false;
-          Pump();
-        });
-      }
-      break;
+  // Snapshot-and-clear: PumpQueue may re-mark its queue (placement
+  // retry), which must wait for the retry timer, not loop here. The
+  // snapshot is sorted (std::set), matching the former full iteration
+  // over backlog_ restricted to queues where anything changed.
+  std::vector<std::string> dirty(pumpable_.begin(), pumpable_.end());
+  pumpable_.clear();
+  for (const std::string& queue : dirty) PumpQueue(queue);
+}
+
+void WorkflowService::PumpQueue(const std::string& queue) {
+  std::deque<SubmissionId>& backlog = backlog_[queue];
+  const ServiceQueueOptions& limits = queues_.at(queue);
+  while (running_[queue] < limits.max_concurrent_ams && !backlog.empty()) {
+    SubmissionId id = backlog.front();
+    backlog.pop_front();
+    if (TryStart(id)) continue;
+    // The cluster cannot host this AM container right now.
+    if (running_ams() == 0) {
+      // No service-run AM will ever release capacity: the cluster is
+      // statically too full. Fail instead of spinning forever.
+      SubmissionRecord& rec = records_[id];
+      rec.state = SubmissionState::kFailed;
+      rec.finished_at = deployment_->engine.Now();
+      rec.report.status = Status::ResourceExhausted(
+          "no node can host the AM container of '" + rec.name + "'");
+      ++counters_[queue].failed;
+      --live_submissions_;
+      continue;
     }
+    backlog.push_front(id);
+    MarkPumpable(queue);
+    if (!retry_scheduled_) {
+      retry_scheduled_ = true;
+      deployment_->engine.ScheduleAfter(options_.start_retry_s, [this] {
+        retry_scheduled_ = false;
+        Pump();
+      });
+    }
+    break;
   }
 }
 
@@ -219,12 +232,14 @@ bool WorkflowService::TryStart(SubmissionId id) {
     rec.finished_at = deployment_->engine.Now();
     rec.report.status = scheduler.status();
     ++counters_[rec.queue].failed;
+    --live_submissions_;
     return true;  // consumed: a bad policy never becomes startable
   }
   sub.scheduler = std::move(*scheduler);
   HiWayOptions hiway = sub.options.hiway;
   hiway.seed = SeedFor(id);
   hiway.rm_queue = rec.queue;
+  if (options_.heartbeat_batch > 0.0) hiway.am_heartbeat_s = 0.0;
   sub.am = std::make_unique<HiWayAm>(
       deployment_->cluster.get(), deployment_->rm.get(),
       deployment_->dfs.get(), &deployment_->tools,
@@ -239,7 +254,10 @@ bool WorkflowService::TryStart(SubmissionId id) {
   Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());
   if (st.ok()) {
     rec.am_attempts = 1;
-    if (!rec.Terminal()) app_of_[sub.am->app()] = id;
+    if (!rec.Terminal()) {
+      app_of_[sub.am->app()] = id;
+      ScheduleHeartbeatBatch();
+    }
     return true;
   }
   if (records_[id].Terminal()) {
@@ -264,6 +282,7 @@ bool WorkflowService::TryStart(SubmissionId id) {
   rec.report.status = st;
   rec.report.workflow_name = rec.name;
   ++counters_[rec.queue].failed;
+  --live_submissions_;
   sub.am.reset();
   sub.scheduler.reset();
   return true;
@@ -284,6 +303,9 @@ void WorkflowService::OnFinished(SubmissionId id,
     rec.deadline_missed = true;
   }
   --running_[rec.queue];
+  --live_submissions_;
+  MarkPumpable(rec.queue);
+  reap_list_.push_back(id);
   ServiceQueueCounters& counters = counters_[rec.queue];
   if (report.status.ok()) {
     ++counters.succeeded;
@@ -309,6 +331,7 @@ void WorkflowService::OnDeadline(SubmissionId id) {
   if (it != backlog.end()) backlog.erase(it);
   rec.state = SubmissionState::kExpired;
   rec.finished_at = deployment_->engine.Now();
+  --live_submissions_;
   rec.report.status = Status::FailedPrecondition(
       "submission expired after " + std::to_string(rec.deadline_s) +
       "s in the admission queue");
@@ -388,6 +411,7 @@ void WorkflowService::TryRecover(SubmissionId id) {
   hiway.seed = SeedFor(id);
   hiway.rm_queue = rec.queue;
   hiway.am_attempt = rec.am_attempts + 1;
+  if (options_.heartbeat_batch > 0.0) hiway.am_heartbeat_s = 0.0;
   sub.am = std::make_unique<HiWayAm>(
       deployment_->cluster.get(), deployment_->rm.get(),
       deployment_->dfs.get(), &deployment_->tools,
@@ -420,6 +444,7 @@ void WorkflowService::TryRecover(SubmissionId id) {
     if (!rec.Terminal()) {
       rec.state = SubmissionState::kRunning;
       app_of_[sub.am->app()] = id;
+      ScheduleHeartbeatBatch();
     }
     return;
   }
@@ -465,6 +490,9 @@ void WorkflowService::FailRecovering(SubmissionId id, Status status) {
   rec.report.workflow_name = rec.name;
   rec.report.am_attempt = rec.am_attempts;
   --running_[rec.queue];
+  --live_submissions_;
+  MarkPumpable(rec.queue);
+  reap_list_.push_back(id);
   ++counters_[rec.queue].failed;
   if (!reap_scheduled_) {
     reap_scheduled_ = true;
@@ -602,36 +630,47 @@ void WorkflowService::InstallFaultHandlers(FaultInjector* injector) {
 }
 
 void WorkflowService::Reap() {
-  for (auto it = subs_.begin(); it != subs_.end();) {
-    if (records_[it->first].Terminal()) {
-      it = subs_.erase(it);
-    } else {
-      ++it;
-    }
+  for (SubmissionId id : reap_list_) {
+    auto rec_it = records_.find(id);
+    if (rec_it == records_.end() || !rec_it->second.Terminal()) continue;
+    subs_.erase(id);
   }
+  reap_list_.clear();
+}
+
+void WorkflowService::ScheduleHeartbeatBatch() {
+  if (options_.heartbeat_batch <= 0.0 || heartbeat_scheduled_) return;
+  if (app_of_.empty()) return;
+  heartbeat_scheduled_ = true;
+  deployment_->engine.ScheduleAfter(options_.heartbeat_batch, [this] {
+    heartbeat_scheduled_ = false;
+    // One sweep over the live AMs, ascending application id. Crashed
+    // attempts stay mapped until the RM declares them failed, and a
+    // crashed AM's process is exactly what must NOT heartbeat — skip it
+    // so the RM's liveness timeout still fires.
+    for (const auto& [app, id] : app_of_) {
+      auto it = subs_.find(id);
+      if (it == subs_.end() || it->second.am == nullptr ||
+          it->second.am->crashed()) {
+        continue;
+      }
+      deployment_->rm->AmHeartbeat(app);
+    }
+    ScheduleHeartbeatBatch();
+  });
 }
 
 Status WorkflowService::RunToCompletion() {
-  auto all_terminal = [this] {
-    for (const auto& [id, rec] : records_) {
-      if (!rec.Terminal()) return false;
-    }
-    return true;
-  };
-  deployment_->engine.RunUntilPredicate(all_terminal);
-  if (!all_terminal()) {
+  deployment_->engine.RunUntilPredicate(
+      [this] { return live_submissions_ == 0; });
+  if (live_submissions_ != 0) {
     return Status::RuntimeError(
         "engine ran out of events before all submissions finished");
   }
   return Status::OK();
 }
 
-bool WorkflowService::Idle() const {
-  for (const auto& [id, rec] : records_) {
-    if (!rec.Terminal()) return false;
-  }
-  return true;
-}
+bool WorkflowService::Idle() const { return live_submissions_ == 0; }
 
 int WorkflowService::running_ams() const {
   int total = 0;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,14 @@ struct WorkflowServiceOptions {
   /// provenance trace (completed tasks are memoised, not re-executed).
   /// Only submissions with a source_factory are recoverable.
   RetryPolicy am_retry{.max_attempts = 3, .backoff_base_s = 2.0};
+  /// > 0: batched AM liveness heartbeats (docs/scaling.md). Per-AM
+  /// heartbeat timers are disabled (am_heartbeat_s forced to 0 on every
+  /// AM the service launches) and one periodic service event this many
+  /// seconds apart forwards AmHeartbeat for every live AM — thousands of
+  /// re-arming engine events collapse into one O(live AMs) sweep. Off
+  /// (0) by default: batching shifts heartbeat timestamps, so seed-scale
+  /// runs stay byte-identical only without it.
+  double heartbeat_batch = 0.0;
 };
 
 enum class SubmissionState {
@@ -242,7 +251,13 @@ class WorkflowService {
   WorkflowService(Deployment* deployment, WorkflowServiceOptions options);
 
   /// Launches backlogged submissions while concurrency slots are free.
+  /// Only queues marked dirty since the last pump are visited (a queue
+  /// is marked when its backlog grows or a concurrency slot frees), so
+  /// a pump is O(affected queues), not O(all queues).
   void Pump();
+  void PumpQueue(const std::string& queue);
+  /// Marks `queue` so the next Pump() visits it.
+  void MarkPumpable(const std::string& queue) { pumpable_.insert(queue); }
   /// Attempts to start one submission; returns false when the cluster
   /// currently cannot host its AM container (submission re-queued).
   bool TryStart(SubmissionId id);
@@ -258,9 +273,13 @@ class WorkflowService {
   void TryRecover(SubmissionId id);
   /// Terminal failure of a recovering submission.
   void FailRecovering(SubmissionId id, Status status);
-  /// Destroys AMs of terminal submissions (deferred, never from inside
-  /// AM code).
+  /// Destroys AMs of submissions queued for reaping (deferred, never
+  /// from inside AM code). Targeted: only ids on the reap list are
+  /// visited, not the whole submission table.
   void Reap();
+  /// Re-arms the batched-heartbeat sweep while any AM is live (no-op
+  /// when heartbeat_batch is off or a sweep is already scheduled).
+  void ScheduleHeartbeatBatch();
   uint64_t SeedFor(SubmissionId id) const;
 
   Deployment* deployment_;
@@ -278,6 +297,16 @@ class WorkflowService {
   SubmissionId next_id_ = 1;
   bool retry_scheduled_ = false;
   bool reap_scheduled_ = false;
+  bool heartbeat_scheduled_ = false;
+  /// Queues with new backlog or freed slots since the last Pump().
+  std::set<std::string> pumpable_;
+  /// Terminal submissions awaiting their deferred Reap().
+  std::vector<SubmissionId> reap_list_;
+  /// Non-terminal submissions. Idle() and the RunToCompletion predicate
+  /// are O(1) checks of this counter instead of scans over records_ —
+  /// at thousands of submissions the per-event predicate scan dominated
+  /// the run (docs/scaling.md).
+  int live_submissions_ = 0;
   /// Fraction of the worker fleet that is spot capacity; < 0 = unset.
   double spot_fraction_ = -1.0;
 };

@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -7,27 +8,48 @@
 
 namespace hiway {
 
+namespace {
+// Compact only when the cancel set is both large in absolute terms and
+// makes up at least half the heap: the sweep is O(heap), so amortising
+// it against the cancels keeps total work linear in events scheduled.
+constexpr size_t kCompactMinCancelled = 1024;
+}  // namespace
+
 EventId SimEngine::ScheduleAt(SimTime at, std::function<void()> fn) {
   if (at < now_) at = now_;
   EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Event{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
   return id;
 }
 
-void SimEngine::Cancel(EventId id) { cancelled_.insert(id); }
+void SimEngine::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+  if (cancelled_.size() >= kCompactMinCancelled &&
+      cancelled_.size() * 2 >= heap_.size()) {
+    Compact();
+  }
+}
+
+void SimEngine::Compact() {
+  auto dead = [this](const Event& e) { return cancelled_.count(e.id) > 0; };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  // Every live event sits in the heap, so any id still in the cancel set
+  // after the sweep referred to an already-fired event; drop them all.
+  cancelled_.clear();
+  ++compactions_;
+}
 
 bool SimEngine::PopAndRunNext(SimTime limit) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > limit) return false;
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
-      continue;
-    }
-    // Move out before popping; fn may schedule more events.
-    Event ev{top.time, top.seq, top.id,
-             std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
+  while (!heap_.empty()) {
+    if (heap_.front().time > limit) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (!cancelled_.empty() && cancelled_.erase(ev.id) > 0) continue;
     HIWAY_CHECK(ev.time >= now_);
     now_ = ev.time;
     ++events_executed_;

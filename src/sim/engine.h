@@ -4,13 +4,22 @@
 // inside one SimEngine: they schedule callbacks at virtual timestamps and
 // the engine executes them in time order. Ties are broken by insertion
 // order, which makes runs fully deterministic.
+//
+// The pending-event store is an explicit binary heap over a contiguous
+// vector (O(log n) push/pop, no per-event allocation beyond the closure),
+// sized for millions of pending events. Cancellation is lazy: Cancel()
+// only records the id, and a cancelled event is discarded when it
+// surfaces at the heap top — except that once cancelled entries make up
+// a large fraction of the heap, the engine compacts: it filters them out
+// in one O(n) sweep and re-heapifies, so a cancel-heavy workload (e.g.
+// thousands of AMs re-arming heartbeat timers) cannot grow the heap
+// without bound. docs/scaling.md describes the scale model.
 
 #ifndef HIWAY_SIM_ENGINE_H_
 #define HIWAY_SIM_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -45,6 +54,10 @@ class SimEngine {
   /// is a no-op.
   void Cancel(EventId id);
 
+  /// Pre-sizes the heap for `n` pending events (avoids growth reallocs in
+  /// large sweeps; purely an optimisation).
+  void Reserve(size_t n) { heap_.reserve(n); }
+
   /// Runs events until the queue is empty.
   void Run();
 
@@ -58,8 +71,19 @@ class SimEngine {
   /// Number of events executed so far (for diagnostics / benchmarks).
   uint64_t events_executed() const { return events_executed_; }
 
-  /// Number of events currently pending.
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently pending (cancelled-but-not-yet-discarded
+  /// events excluded).
+  size_t pending_events() const {
+    size_t dead = cancelled_.size() < heap_.size() ? cancelled_.size()
+                                                   : heap_.size();
+    return heap_.size() - dead;
+  }
+
+  /// Lazy-cancellation compactions performed so far (diagnostics).
+  uint64_t compactions() const { return compactions_; }
+
+  /// High-water mark of the pending-event heap (diagnostics).
+  size_t peak_pending() const { return peak_pending_; }
 
  private:
   struct Event {
@@ -68,6 +92,7 @@ class SimEngine {
     EventId id;
     std::function<void()> fn;
   };
+  /// Max-heap comparator that surfaces the *earliest* (time, seq).
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -77,11 +102,18 @@ class SimEngine {
 
   bool PopAndRunNext(SimTime limit);
 
+  /// Filters cancelled entries out of the heap in one sweep and
+  /// re-heapifies. Every cancelled id is either discarded here or was
+  /// never pending (already fired), so the cancel set is cleared too.
+  void Compact();
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t compactions_ = 0;
+  size_t peak_pending_ = 0;
+  std::vector<Event> heap_;
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -35,6 +35,7 @@ namespace {
 class FifoRmScheduler : public RmScheduler {
  public:
   std::string name() const override { return "fifo"; }
+  RmStrategyKind kind() const override { return RmStrategyKind::kFifo; }
   int SelectNext(const std::vector<RmCandidate>& eligible,
                  const RmTenancyView& view) override {
     (void)view;
@@ -48,6 +49,7 @@ class FifoRmScheduler : public RmScheduler {
 class CapacityRmScheduler : public RmScheduler {
  public:
   std::string name() const override { return "capacity"; }
+  RmStrategyKind kind() const override { return RmStrategyKind::kCapacity; }
   int SelectNext(const std::vector<RmCandidate>& eligible,
                  const RmTenancyView& view) override {
     int best = -1;
@@ -88,6 +90,7 @@ class CapacityRmScheduler : public RmScheduler {
 class FairRmScheduler : public RmScheduler {
  public:
   std::string name() const override { return "fair"; }
+  RmStrategyKind kind() const override { return RmStrategyKind::kFair; }
   int SelectNext(const std::vector<RmCandidate>& eligible,
                  const RmTenancyView& view) override {
     int best = -1;

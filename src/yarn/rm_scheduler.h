@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/result.h"
 #include "src/yarn/yarn.h"
 
@@ -43,11 +44,15 @@ struct RmCandidate {
 
 /// Read-only multi-tenancy state the RM exposes to strategies. All maps
 /// are owned by the RM and live for the duration of the SelectNext call.
+/// The per-tenant stats are flat-hash maps (unordered iteration, stable
+/// references; see src/common/flat_hash.h) — strategies that need a
+/// deterministic order over them must sort, as SelectPreemptionVictims
+/// does via its std::map working copy.
 struct RmTenancyView {
   int total_vcores = 0;
   double total_memory_mb = 0.0;
-  const std::map<ApplicationId, TenantStats>* app_stats = nullptr;
-  const std::map<std::string, TenantStats>* queue_stats = nullptr;
+  const FlatHashMap<ApplicationId, TenantStats>* app_stats = nullptr;
+  const FlatHashMap<std::string, TenantStats>* queue_stats = nullptr;
   const std::map<std::string, RmQueueConfig>* queue_configs = nullptr;
 
   /// Dominant share of `u` relative to live cluster capacity (DRF's
@@ -60,10 +65,23 @@ struct RmTenancyView {
                       const ContainerRequest& r) const;
 };
 
+/// Which built-in policy a strategy implements. The RM's allocation pass
+/// uses this to dispatch to an incremental engine that reproduces the
+/// strategy's SelectNext order without materialising and re-scoring the
+/// full candidate list per pick (docs/scaling.md). kCustom — the default
+/// for out-of-tree strategies — falls back to the generic SelectNext
+/// loop, which stays correct at any scale, just O(pending²) per pass.
+enum class RmStrategyKind { kFifo, kCapacity, kFair, kCustom };
+
 class RmScheduler {
  public:
   virtual ~RmScheduler() = default;
   virtual std::string name() const = 0;
+
+  /// Declares which built-in policy this strategy implements so the RM
+  /// may run its incremental equivalent. Only override when SelectNext
+  /// is order-identical to that built-in.
+  virtual RmStrategyKind kind() const { return RmStrategyKind::kCustom; }
 
   /// Returns the index into `eligible` of the request the RM should try
   /// to place next, or -1 to end the pass. The RM removes the chosen

@@ -1,7 +1,10 @@
 #include "src/yarn/yarn.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <queue>
+#include <type_traits>
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
@@ -43,6 +46,7 @@ ResourceManager::ResourceManager(Cluster* cluster, YarnOptions options)
         cluster_->node(n).memory_mb;
     total_vcores_ += cluster_->node(n).cores;
     total_memory_mb_ += cluster_->node(n).memory_mb;
+    IndexNode(n);
   }
   queue_configs_["default"] = RmQueueConfig{};
   auto scheduler = MakeRmScheduler(options_.scheduler);
@@ -78,6 +82,31 @@ std::vector<std::string> ResourceManager::ConfiguredQueues() const {
   return names;
 }
 
+// ---- Placement index ----------------------------------------------------
+
+void ResourceManager::IndexNode(NodeId node) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  if (ns.indexed || !ns.alive || ns.draining) return;
+  // A node with nothing free can only satisfy a zero-size request, and
+  // those take the full-fleet scan path.
+  if (ns.free_vcores <= 0 && ns.free_memory_mb <= 0.0) return;
+  ns.indexed = true;
+  open_nodes_.insert(node);
+  open_vcores_.insert(ns.free_vcores);
+  open_memory_.insert(ns.free_memory_mb);
+}
+
+void ResourceManager::UnindexNode(NodeId node) {
+  NodeState& ns = nodes_[static_cast<size_t>(node)];
+  if (!ns.indexed) return;
+  ns.indexed = false;
+  open_nodes_.erase(node);
+  open_vcores_.erase(open_vcores_.find(ns.free_vcores));
+  open_memory_.erase(open_memory_.find(ns.free_memory_mb));
+}
+
+// ---- Tenant accounting --------------------------------------------------
+
 TenantStats& ResourceManager::StatsOf(ApplicationId app) {
   TenantStats& stats = app_stats_[app];
   if (stats.queue.empty()) stats.queue = "default";
@@ -97,6 +126,7 @@ void ResourceManager::AddPending(ApplicationId app,
     s->pending.memory_mb += r.memory_mb;
     ++s->pending_requests;
   }
+  FairnessTouch(app);
 }
 
 void ResourceManager::RemovePending(ApplicationId app,
@@ -106,6 +136,7 @@ void ResourceManager::RemovePending(ApplicationId app,
     s->pending.memory_mb -= r.memory_mb;
     --s->pending_requests;
   }
+  FairnessTouch(app);
 }
 
 Container* ResourceManager::AllocateOn(ApplicationId app, NodeId node,
@@ -113,8 +144,10 @@ Container* ResourceManager::AllocateOn(ApplicationId app, NodeId node,
   NodeState& ns = nodes_[static_cast<size_t>(node)];
   HIWAY_CHECK(ns.alive);
   HIWAY_CHECK(ns.free_vcores >= vcores && ns.free_memory_mb >= memory_mb);
+  UnindexNode(node);
   ns.free_vcores -= vcores;
   ns.free_memory_mb -= memory_mb;
+  IndexNode(node);
   Container c;
   c.id = next_container_++;
   c.app = app;
@@ -130,6 +163,7 @@ Container* ResourceManager::AllocateOn(ApplicationId app, NodeId node,
     s->usage.vcores += vcores;
     s->usage.memory_mb += memory_mb;
   }
+  FairnessTouch(app);
   return &it->second;
 }
 
@@ -142,12 +176,25 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
   }
   NodeId target = am_node;
   if (target == kInvalidNode) {
-    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
-      const NodeState& ns = nodes_[static_cast<size_t>(n)];
-      if (ns.alive && !ns.draining && ns.free_vcores >= am_vcores &&
-          ns.free_memory_mb >= am_memory_mb) {
-        target = n;
-        break;
+    if (am_vcores > 0 || am_memory_mb > 0.0) {
+      // Open nodes are alive and not draining by construction, and any
+      // node that fits a positive-size AM has free capacity, so the
+      // ascending open set visits exactly the fleet scan's hits.
+      for (NodeId n : open_nodes_) {
+        const NodeState& ns = nodes_[static_cast<size_t>(n)];
+        if (ns.free_vcores >= am_vcores && ns.free_memory_mb >= am_memory_mb) {
+          target = n;
+          break;
+        }
+      }
+    } else {
+      for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+        const NodeState& ns = nodes_[static_cast<size_t>(n)];
+        if (ns.alive && !ns.draining && ns.free_vcores >= am_vcores &&
+            ns.free_memory_mb >= am_memory_mb) {
+          target = n;
+          break;
+        }
       }
     }
     if (target == kInvalidNode) {
@@ -175,6 +222,9 @@ Result<ApplicationId> ResourceManager::RegisterApplication(
   state.callbacks = callbacks;
   state.am_container = am->id;
   apps_.emplace(app, std::move(state));
+  // The app entered the registry after its AM allocation; fold its cell
+  // into the fairness aggregates now.
+  FairnessTouch(app);
   return app;
 }
 
@@ -183,6 +233,7 @@ void ResourceManager::UnregisterApplication(ApplicationId app) {
   if (it == apps_.end()) return;
   AccrueFairness();
   it->second.active = false;
+  FairnessDrop(app);
   // Drop pending requests (this application's only).
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                               [&](const PendingRequest& p) {
@@ -194,7 +245,7 @@ void ResourceManager::UnregisterApplication(ApplicationId app) {
   if (it->second.am_container != kInvalidContainer) {
     ReleaseContainer(it->second.am_container);
   }
-  apps_.erase(it);
+  apps_.erase(app);
 }
 
 void ResourceManager::SubmitRequest(ApplicationId app,
@@ -239,8 +290,10 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
   const Container& c = it->second;
   NodeState& ns = nodes_[static_cast<size_t>(c.node)];
   if (ns.alive) {
+    UnindexNode(c.node);
     ns.free_vcores += c.vcores;
     ns.free_memory_mb += c.memory_mb;
+    IndexNode(c.node);
   }
   ++counters_.releases;
   double work = cluster_->engine()->Now() - c.allocated_at;
@@ -255,7 +308,8 @@ void ResourceManager::ReleaseContainer(ContainerId id) {
     s->usage.vcores -= c.vcores;
     s->usage.memory_mb -= c.memory_mb;
   }
-  containers_.erase(it);
+  FairnessTouch(c.app);
+  containers_.erase(id);
   ScheduleAllocationPass();
 }
 
@@ -265,8 +319,10 @@ void ResourceManager::DropContainer(const Container& c,
   if (it == containers_.end()) return;
   NodeState& ns = nodes_[static_cast<size_t>(c.node)];
   if (ns.alive) {
+    UnindexNode(c.node);
     ns.free_vcores += c.vcores;
     ns.free_memory_mb += c.memory_mb;
+    IndexNode(c.node);
   }
   bool reclaim = !notify;  // losses of a dead master count as reclaims
   bool preempted = !reclaim && reason == ContainerLossReason::kPreempted;
@@ -309,6 +365,7 @@ void ResourceManager::DropContainer(const Container& c,
     s->usage.vcores -= c.vcores;
     s->usage.memory_mb -= c.memory_mb;
   }
+  FairnessTouch(c.app);
   containers_.erase(c.id);
   if (!notify) return;
   auto app_it = apps_.find(c.app);
@@ -327,13 +384,17 @@ void ResourceManager::KillNode(NodeId node) {
     tracer_->Instant(SpanCategory::kFailover, "node_lost", /*app=*/-1,
                      /*container=*/-1, /*task=*/-1, node);
   }
+  UnindexNode(node);
   ns.alive = false;
   ns.draining = false;
   ns.free_vcores = 0;
   ns.free_memory_mb = 0.0;
   total_vcores_ -= cluster_->node(node).cores;
   total_memory_mb_ -= cluster_->node(node).memory_mb;
-  // Applications whose AM container lived on the node die with it.
+  // Every demand-satisfaction share moved with the capacity.
+  FairnessRebuild();
+  // Applications whose AM container lived on the node die with it
+  // (ascending id, matching the registry's former sorted iteration).
   std::vector<ApplicationId> dead_apps;
   for (const auto& [app, state] : apps_) {
     auto cit = containers_.find(state.am_container);
@@ -341,14 +402,18 @@ void ResourceManager::KillNode(NodeId node) {
       dead_apps.push_back(app);
     }
   }
+  std::sort(dead_apps.begin(), dead_apps.end());
   for (ApplicationId app : dead_apps) {
     FailApplication(app, StrFormat("AM node %d lost", node));
   }
-  // Survivors' containers on the node are reported as node losses.
+  // Survivors' containers on the node are reported as node losses, in
+  // ascending container id.
   std::vector<Container> lost;
   for (const auto& [id, c] : containers_) {
     if (c.node == node) lost.push_back(c);
   }
+  std::sort(lost.begin(), lost.end(),
+            [](const Container& a, const Container& b) { return a.id < b.id; });
   for (const Container& c : lost) {
     DropContainer(c, ContainerLossReason::kNodeLost, /*notify=*/true);
   }
@@ -363,8 +428,10 @@ void ResourceManager::AddNode(NodeId node) {
   ns.free_vcores = cluster_->node(node).cores;
   ns.free_memory_mb = cluster_->node(node).memory_mb;
   nodes_.push_back(ns);
+  IndexNode(node);
   total_vcores_ += cluster_->node(node).cores;
   total_memory_mb_ += cluster_->node(node).memory_mb;
+  FairnessRebuild();
   if (tracer_ != nullptr) {
     tracer_->Instant(SpanCategory::kMembership, "node_joined", /*app=*/-1,
                      /*container=*/-1, /*task=*/-1, node,
@@ -378,6 +445,7 @@ void ResourceManager::BeginDrain(NodeId node, double deadline) {
   NodeState& ns = nodes_[static_cast<size_t>(node)];
   if (!ns.alive || ns.draining) return;
   AccrueFairness();
+  UnindexNode(node);
   ns.draining = true;
   ns.drain_deadline = deadline;
   if (tracer_ != nullptr) {
@@ -386,14 +454,15 @@ void ResourceManager::BeginDrain(NodeId node, double deadline) {
   }
   // Tell every live master so it can triage its containers on the node.
   // DropContainer (the reaction AMs typically take) never mutates apps_,
-  // so iterating a snapshot of the registry is safe.
-  std::vector<AmCallbacks*> masters;
+  // so iterating a snapshot of the registry is safe. Ascending app id.
+  std::vector<std::pair<ApplicationId, AmCallbacks*>> masters;
   for (const auto& [app, state] : apps_) {
     if (state.active && state.callbacks != nullptr) {
-      masters.push_back(state.callbacks);
+      masters.emplace_back(app, state.callbacks);
     }
   }
-  for (AmCallbacks* cb : masters) cb->OnNodeDraining(node, deadline);
+  std::sort(masters.begin(), masters.end());
+  for (const auto& [app, cb] : masters) cb->OnNodeDraining(node, deadline);
 }
 
 bool ResourceManager::DecommissionNode(NodeId node) {
@@ -403,20 +472,25 @@ bool ResourceManager::DecommissionNode(NodeId node) {
     if (c.node == node && c.is_am) return false;
   }
   AccrueFairness();
-  // Vacate remaining task containers (kDrained: requeued, uncharged).
+  // Vacate remaining task containers (kDrained: requeued, uncharged), in
+  // ascending container id.
   std::vector<Container> vacated;
   for (const auto& [id, c] : containers_) {
     if (c.node == node) vacated.push_back(c);
   }
+  std::sort(vacated.begin(), vacated.end(),
+            [](const Container& a, const Container& b) { return a.id < b.id; });
   for (const Container& c : vacated) {
     DropContainer(c, ContainerLossReason::kDrained, /*notify=*/true);
   }
+  UnindexNode(node);
   ns.alive = false;
   ns.draining = false;
   ns.free_vcores = 0;
   ns.free_memory_mb = 0.0;
   total_vcores_ -= cluster_->node(node).cores;
   total_memory_mb_ -= cluster_->node(node).memory_mb;
+  FairnessRebuild();
   if (tracer_ != nullptr) {
     tracer_->Instant(SpanCategory::kMembership, "node_decommissioned",
                      /*app=*/-1, /*container=*/-1, /*task=*/-1, node,
@@ -456,6 +530,7 @@ void ResourceManager::FailApplication(ApplicationId app,
   if (it == apps_.end()) return;
   AccrueFairness();
   it->second.active = false;
+  FairnessDrop(app);
   // Drop the failed application's pending requests.
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                               [&](const PendingRequest& p) {
@@ -465,11 +540,14 @@ void ResourceManager::FailApplication(ApplicationId app,
                               }),
                queue_.end());
   // Reclaim every container the app still holds (AM and in-flight
-  // tasks). The master is presumed dead: nothing is notified.
+  // tasks), ascending container id. The master is presumed dead: nothing
+  // is notified.
   std::vector<Container> owned;
   for (const auto& [id, c] : containers_) {
     if (c.app == app) owned.push_back(c);
   }
+  std::sort(owned.begin(), owned.end(),
+            [](const Container& a, const Container& b) { return a.id < b.id; });
   for (const Container& c : owned) {
     DropContainer(c, ContainerLossReason::kNodeLost, /*notify=*/false);
   }
@@ -480,7 +558,7 @@ void ResourceManager::FailApplication(ApplicationId app,
     tracer_->Instant(SpanCategory::kFailover, "app_failed", app);
   }
   std::string name = std::move(it->second.name);
-  apps_.erase(it);
+  apps_.erase(app);
   ScheduleAllocationPass();
   if (app_failure_listener_) app_failure_listener_(app, name, reason);
 }
@@ -530,6 +608,8 @@ std::vector<Container> ResourceManager::RunningContainers() const {
   std::vector<Container> out;
   out.reserve(containers_.size());
   for (const auto& [id, c] : containers_) out.push_back(c);
+  std::sort(out.begin(), out.end(),
+            [](const Container& a, const Container& b) { return a.id < b.id; });
   return out;
 }
 
@@ -582,18 +662,28 @@ std::vector<ApplicationId> ResourceManager::KnownApplications() const {
   std::vector<ApplicationId> apps;
   apps.reserve(app_stats_.size());
   for (const auto& [app, stats] : app_stats_) apps.push_back(app);
+  std::sort(apps.begin(), apps.end());
   return apps;
 }
+
+// ---- Fairness accounting ------------------------------------------------
 
 bool ResourceManager::ContendedFairness(double* jain) const {
   // Demand-satisfaction ratio per active application: how much of its
   // demanded dominant share (allocated + queued) the app actually holds.
   // Fairness is only meaningful while >= 2 applications have demand and
-  // at least one of them is backlogged.
+  // at least one of them is backlogged. Computed from scratch, in
+  // ascending app id (the exact arithmetic the incremental aggregates
+  // are rebuilt to and tested against).
+  std::vector<ApplicationId> ids;
+  ids.reserve(apps_.size());
+  for (const auto& [app, state] : apps_) {
+    if (state.active) ids.push_back(app);
+  }
+  std::sort(ids.begin(), ids.end());
   std::vector<double> xs;
   bool backlogged = false;
-  for (const auto& [app, state] : apps_) {
-    if (!state.active) continue;
+  for (ApplicationId app : ids) {
     auto it = app_stats_.find(app);
     if (it == app_stats_.end()) continue;
     double alloc = Dominant(it->second.usage, total_vcores_,
@@ -614,16 +704,102 @@ double ResourceManager::InstantFairness() const {
   return ContendedFairness(&jain) ? jain : 1.0;
 }
 
+void ResourceManager::FairnessTouch(ApplicationId app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end() || !it->second.active) return;
+  AppState& st = it->second;
+  if (st.fair_included) {
+    fairness_agg_.sum_x -= st.fair_x;
+    fairness_agg_.sum_x2 -= st.fair_x2;
+    --fairness_agg_.n;
+    if (st.fair_backlogged) --fairness_agg_.backlogged;
+  }
+  st.fair_x = 0.0;
+  st.fair_x2 = 0.0;
+  st.fair_included = false;
+  st.fair_backlogged = false;
+  auto as = app_stats_.find(app);
+  if (as != app_stats_.end()) {
+    double alloc = Dominant(as->second.usage, total_vcores_,
+                            total_memory_mb_);
+    double pend = Dominant(as->second.pending, total_vcores_,
+                           total_memory_mb_);
+    if (alloc + pend > 0.0) {
+      st.fair_x = alloc / (alloc + pend);
+      st.fair_x2 = st.fair_x * st.fair_x;
+      st.fair_included = true;
+      st.fair_backlogged = as->second.pending_requests > 0;
+      fairness_agg_.sum_x += st.fair_x;
+      fairness_agg_.sum_x2 += st.fair_x2;
+      ++fairness_agg_.n;
+      if (st.fair_backlogged) ++fairness_agg_.backlogged;
+    }
+  }
+  // The +=/-= running sums accumulate rounding error; periodically snap
+  // them back to the from-scratch values.
+  if (++fairness_touches_ % 4096 == 0) FairnessRebuild();
+}
+
+void ResourceManager::FairnessDrop(ApplicationId app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return;
+  AppState& st = it->second;
+  if (!st.fair_included) return;
+  fairness_agg_.sum_x -= st.fair_x;
+  fairness_agg_.sum_x2 -= st.fair_x2;
+  --fairness_agg_.n;
+  if (st.fair_backlogged) --fairness_agg_.backlogged;
+  st.fair_x = 0.0;
+  st.fair_x2 = 0.0;
+  st.fair_included = false;
+  st.fair_backlogged = false;
+}
+
+void ResourceManager::FairnessRebuild() {
+  fairness_agg_ = FairnessAgg{};
+  std::vector<ApplicationId> ids;
+  ids.reserve(apps_.size());
+  for (const auto& [app, state] : apps_) {
+    if (state.active) ids.push_back(app);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (ApplicationId app : ids) {
+    AppState& st = apps_.at(app);
+    st.fair_x = 0.0;
+    st.fair_x2 = 0.0;
+    st.fair_included = false;
+    st.fair_backlogged = false;
+    auto as = app_stats_.find(app);
+    if (as == app_stats_.end()) continue;
+    double alloc = Dominant(as->second.usage, total_vcores_,
+                            total_memory_mb_);
+    double pend = Dominant(as->second.pending, total_vcores_,
+                           total_memory_mb_);
+    if (alloc + pend <= 0.0) continue;
+    st.fair_x = alloc / (alloc + pend);
+    st.fair_x2 = st.fair_x * st.fair_x;
+    st.fair_included = true;
+    st.fair_backlogged = as->second.pending_requests > 0;
+    fairness_agg_.sum_x += st.fair_x;
+    fairness_agg_.sum_x2 += st.fair_x2;
+    ++fairness_agg_.n;
+    if (st.fair_backlogged) ++fairness_agg_.backlogged;
+  }
+}
+
 void ResourceManager::AccrueFairness() {
   double now = cluster_->engine()->Now();
   double dt = now - fairness_last_;
   fairness_last_ = now;
   if (dt <= 0.0) return;
-  double jain = 1.0;
-  if (ContendedFairness(&jain)) {
-    fairness_integral_ += jain * dt;
-    fairness_time_ += dt;
-  }
+  if (fairness_agg_.n < 2 || fairness_agg_.backlogged <= 0) return;
+  double jain =
+      fairness_agg_.sum_x2 <= 0.0
+          ? 1.0
+          : (fairness_agg_.sum_x * fairness_agg_.sum_x) /
+                (static_cast<double>(fairness_agg_.n) * fairness_agg_.sum_x2);
+  fairness_integral_ += jain * dt;
+  fairness_time_ += dt;
 }
 
 double ResourceManager::TimeAveragedFairness() const {
@@ -631,13 +807,20 @@ double ResourceManager::TimeAveragedFairness() const {
   double integral = fairness_integral_;
   double time = fairness_time_;
   double dt = cluster_->engine()->Now() - fairness_last_;
-  double jain = 1.0;
-  if (dt > 0.0 && ContendedFairness(&jain)) {
+  if (dt > 0.0 && fairness_agg_.n >= 2 && fairness_agg_.backlogged > 0) {
+    double jain =
+        fairness_agg_.sum_x2 <= 0.0
+            ? 1.0
+            : (fairness_agg_.sum_x * fairness_agg_.sum_x) /
+                  (static_cast<double>(fairness_agg_.n) *
+                   fairness_agg_.sum_x2);
     integral += jain * dt;
     time += dt;
   }
   return time > 0.0 ? integral / time : 1.0;
 }
+
+// ---- Allocation ---------------------------------------------------------
 
 void ResourceManager::ScheduleAllocationPass() {
   if (pass_scheduled_) return;
@@ -648,10 +831,11 @@ void ResourceManager::ScheduleAllocationPass() {
   });
 }
 
-NodeId ResourceManager::TryPlace(const ContainerRequest& r) {
-  // Shared placement semantics across all RM schedulers: the preferred
-  // node first, then (unless strict) a rotating scan over nodes with
-  // capacity that are not blacklisted. Deferred strict requests wait.
+NodeId ResourceManager::TryPlaceScan(const ContainerRequest& r) {
+  // Seed placement semantics, shared across all RM schedulers: the
+  // preferred node first, then (unless strict) a rotating scan over
+  // nodes with capacity that are not blacklisted. Deferred strict
+  // requests wait.
   if (r.preferred_node != kInvalidNode &&
       Fits(nodes_[static_cast<size_t>(r.preferred_node)], r)) {
     return r.preferred_node;
@@ -671,7 +855,247 @@ NodeId ResourceManager::TryPlace(const ContainerRequest& r) {
   return kInvalidNode;
 }
 
+NodeId ResourceManager::TryPlace(const ContainerRequest& r) {
+  if (r.preferred_node != kInvalidNode &&
+      Fits(nodes_[static_cast<size_t>(r.preferred_node)], r)) {
+    return r.preferred_node;
+  }
+  if (r.strict_locality) return kInvalidNode;
+  // A request needing nothing fits on full nodes too, which the open set
+  // excludes by design; take the fleet scan (rare: tests only).
+  if (r.vcores <= 0 && r.memory_mb <= 0.0) return TryPlaceScan(r);
+  if (open_nodes_.empty()) return kInvalidNode;
+  // O(1) infeasibility: every node that could fit the request has free
+  // capacity (hence is indexed), so if even the best open node falls
+  // short in either dimension, no node fits.
+  if ((r.vcores > 0 && *open_vcores_.rbegin() < r.vcores) ||
+      (r.memory_mb > 0.0 && *open_memory_.rbegin() < r.memory_mb)) {
+    return kInvalidNode;
+  }
+  // Rotating scan restricted to open nodes: visits candidates in exactly
+  // the order the full-fleet scan would (ascending id from
+  // next_alloc_node_, wrapping), skipping only nodes that scan would
+  // have rejected anyway.
+  int total = cluster_->num_nodes();
+  auto it = open_nodes_.lower_bound(next_alloc_node_);
+  for (size_t visited = 0, n_open = open_nodes_.size(); visited < n_open;
+       ++visited) {
+    if (it == open_nodes_.end()) it = open_nodes_.begin();
+    NodeId n = *it;
+    ++it;
+    if (!Fits(nodes_[static_cast<size_t>(n)], r)) continue;
+    if (std::find(r.blacklist.begin(), r.blacklist.end(), n) !=
+        r.blacklist.end()) {
+      continue;
+    }
+    next_alloc_node_ = (n + 1) % total;
+    return n;
+  }
+  return kInvalidNode;
+}
+
+void ResourceManager::CommitAllocation(PassSlot& s, NodeId chosen,
+                                       int* pass_allocations) {
+  const ContainerRequest& r = s.req.request;
+  s.consumed = true;
+  ++*pass_allocations;
+  RemovePending(s.req.app, r);
+  double wait = cluster_->engine()->Now() - s.req.submitted_at;
+  StatsOf(s.req.app).wait_times_s.push_back(wait);
+  QueueStatsOf(s.req.app).wait_times_s.push_back(wait);
+  Container* c = AllocateOn(s.req.app, chosen, r.vcores, r.memory_mb);
+  c->priority = r.priority;
+  if (tracer_ != nullptr) {
+    tracer_->Begin(SpanCategory::kContainer, "container", s.req.app, c->id,
+                   /*task=*/-1, chosen);
+    tracer_->Instant(SpanCategory::kContainer, "container_allocated",
+                     s.req.app, c->id, /*task=*/r.cookie, chosen, wait);
+  }
+  AmCallbacks* cb = apps_.at(s.req.app).callbacks;
+  Container copy = *c;
+  int64_t cookie = r.cookie;
+  // Deliver the allocation asynchronously (AM heartbeat).
+  cluster_->engine()->ScheduleAfter(
+      0.0, [cb, copy, cookie] { cb->OnContainerAllocated(copy, cookie); });
+}
+
+void ResourceManager::FullScanPass(std::vector<PassSlot>& slots,
+                                   const RmTenancyView& view,
+                                   bool scan_placement,
+                                   int* pass_allocations) {
+  // The generic strategy loop: rebuild the eligible candidate list and
+  // let SelectNext re-score it for every pick. O(pending²) per pass —
+  // correct for arbitrary strategies, and (with scan placement) the
+  // pre-refactor baseline the incremental engines are gated against.
+  std::vector<RmCandidate> eligible;
+  while (true) {
+    eligible.clear();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const PassSlot& s = slots[i];
+      if (s.consumed || !s.eligible) continue;
+      RmCandidate c;
+      c.slot = i;
+      c.app = s.req.app;
+      c.queue = &app_stats_.at(s.req.app).queue;
+      c.request = &s.req.request;
+      c.submitted_at = s.req.submitted_at;
+      eligible.push_back(c);
+    }
+    if (eligible.empty()) break;
+    int pick = scheduler_->SelectNext(eligible, view);
+    if (pick < 0 || pick >= static_cast<int>(eligible.size())) break;
+    PassSlot& s = slots[eligible[static_cast<size_t>(pick)].slot];
+    NodeId chosen = scan_placement ? TryPlaceScan(s.req.request)
+                                   : TryPlace(s.req.request);
+    if (chosen == kInvalidNode) {
+      s.eligible = false;
+      continue;
+    }
+    CommitAllocation(s, chosen, pass_allocations);
+  }
+}
+
+void ResourceManager::FifoPass(std::vector<PassSlot>& slots,
+                               int* pass_allocations) {
+  // FIFO always picks the first live slot, and a slot leaves the live
+  // set whether placement succeeds or fails — so one forward sweep makes
+  // exactly the legacy loop's decisions without rebuilding anything.
+  for (PassSlot& s : slots) {
+    if (s.consumed || !s.eligible) continue;
+    NodeId chosen = TryPlace(s.req.request);
+    if (chosen == kInvalidNode) {
+      s.eligible = false;
+      continue;
+    }
+    CommitAllocation(s, chosen, pass_allocations);
+  }
+}
+
+template <typename Key>
+void ResourceManager::GroupedPass(std::vector<PassSlot>& slots,
+                                  const RmTenancyView& view,
+                                  int* pass_allocations) {
+  // Capacity (Key = queue name) and fair (Key = app id) both reduce to:
+  // within a group, candidates go in FIFO order; across groups, the
+  // group with the smallest (score, key) wins, where the score depends
+  // only on the group's own usage. So instead of re-scoring every
+  // pending request per pick (the FullScanPass), keep one cursor per
+  // group and a heap over group heads. Two facts keep this exact:
+  //
+  //  * usage only grows within a pass, so a candidate that fails
+  //    WithinMaxShare now fails for the rest of the pass — cursor skips
+  //    over max-share failures are permanent;
+  //  * a group's score changes only when the group itself allocates
+  //    (capacity: its queue's usage; fair: the app's own usage), and the
+  //    group's heap entry is out of the heap while it is being
+  //    processed, so heap entries never carry stale scores. Heads can go
+  //    stale (a same-queue sibling's allocation can push later
+  //    candidates over the max share), hence the re-advance on pop.
+  constexpr bool by_queue = std::is_same_v<Key, std::string>;
+  struct Group {
+    std::vector<size_t> slots;
+    size_t cursor = 0;
+    const std::string* queue = nullptr;
+  };
+  std::map<Key, Group> groups;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const PassSlot& s = slots[i];
+    if (s.consumed) continue;
+    const std::string* q = &app_stats_.at(s.req.app).queue;
+    Key key;
+    if constexpr (by_queue) {
+      key = *q;
+    } else {
+      key = s.req.app;
+    }
+    Group& g = groups[key];
+    g.slots.push_back(i);
+    g.queue = q;
+  }
+  // Head of a group: its first slot (FIFO) that is still live and would
+  // stay within the queue's max share. -1 when exhausted.
+  auto advance = [&](Group& g) -> ptrdiff_t {
+    while (g.cursor < g.slots.size()) {
+      size_t idx = g.slots[g.cursor];
+      const PassSlot& s = slots[idx];
+      if (s.consumed || !s.eligible) {
+        ++g.cursor;
+        continue;
+      }
+      if (!view.WithinMaxShare(*g.queue, s.req.request)) {
+        ++g.cursor;  // permanent: usage is monotone within the pass
+        continue;
+      }
+      return static_cast<ptrdiff_t>(idx);
+    }
+    return -1;
+  };
+  auto score_of = [&](const Key& key, const Group& g) -> double {
+    if constexpr (by_queue) {
+      // CapacityRmScheduler's pressure: queue dominant share over its
+      // guaranteed share.
+      ResourceUsage used;
+      auto qs_it = queue_stats_.find(*g.queue);
+      if (qs_it != queue_stats_.end()) used = qs_it->second.usage;
+      double guaranteed = 1.0;
+      auto cfg_it = queue_configs_.find(*g.queue);
+      if (cfg_it != queue_configs_.end()) {
+        guaranteed = cfg_it->second.guaranteed_share;
+      }
+      if (guaranteed <= 0.0) guaranteed = 1e-9;
+      return view.DominantShare(used) / guaranteed;
+    } else {
+      // FairRmScheduler's share: app dominant share over its queue's
+      // weight.
+      ResourceUsage used;
+      auto as_it = app_stats_.find(key);
+      if (as_it != app_stats_.end()) used = as_it->second.usage;
+      double weight = 1.0;
+      auto cfg_it = queue_configs_.find(*g.queue);
+      if (cfg_it != queue_configs_.end()) weight = cfg_it->second.weight;
+      if (weight <= 0.0) weight = 1e-9;
+      return view.DominantShare(used) / weight;
+    }
+  };
+  struct HeapEnt {
+    double score;
+    const Key* key;
+    Group* group;
+  };
+  // Min-heap on (score, key): ties go to the smaller key, matching the
+  // strategies' "< best_queue" / "< best_app" tie-breaks.
+  struct Worse {
+    bool operator()(const HeapEnt& a, const HeapEnt& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return *a.key > *b.key;
+    }
+  };
+  std::priority_queue<HeapEnt, std::vector<HeapEnt>, Worse> heap;
+  for (auto& [key, g] : groups) {
+    if (advance(g) >= 0) heap.push(HeapEnt{score_of(key, g), &key, &g});
+  }
+  while (!heap.empty()) {
+    HeapEnt e = heap.top();
+    heap.pop();
+    Group& g = *e.group;
+    ptrdiff_t idx = advance(g);
+    if (idx < 0) continue;  // exhausted since pushed
+    PassSlot& s = slots[static_cast<size_t>(idx)];
+    NodeId chosen = TryPlace(s.req.request);
+    if (chosen == kInvalidNode) {
+      // Same as the legacy loop: the slot leaves the pass, the group's
+      // next candidate competes at the unchanged score.
+      s.eligible = false;
+      heap.push(e);
+      continue;
+    }
+    CommitAllocation(s, chosen, pass_allocations);
+    if (advance(g) >= 0) heap.push(HeapEnt{score_of(*e.key, g), e.key, &g});
+  }
+}
+
 void ResourceManager::AllocationPass() {
+  auto wall_start = std::chrono::steady_clock::now();
   AccrueFairness();
   // Snapshot the queue into a slot table. Each pass, the strategy picks
   // the next slot to try; a slot is consumed on success or becomes
@@ -679,16 +1103,11 @@ void ResourceManager::AllocationPass() {
   // terminates. Un-consumed requests return to the queue in their
   // original order (FIFO therefore reproduces the original single-queue
   // behaviour decision for decision).
-  struct Slot {
-    PendingRequest req;
-    bool consumed = false;
-    bool eligible = true;
-  };
-  std::vector<Slot> slots;
+  std::vector<PassSlot> slots;
   slots.reserve(queue_.size());
-  for (PendingRequest& p : queue_) slots.push_back(Slot{std::move(p)});
+  for (PendingRequest& p : queue_) slots.push_back(PassSlot{std::move(p)});
   queue_.clear();
-  for (Slot& s : slots) {
+  for (PassSlot& s : slots) {
     auto it = apps_.find(s.req.app);
     if (it == apps_.end() || !it->second.active) {
       s.consumed = true;  // drop requests of departed applications
@@ -704,52 +1123,28 @@ void ResourceManager::AllocationPass() {
   view.queue_configs = &queue_configs_;
 
   int pass_allocations = 0;
-  std::vector<RmCandidate> eligible;
-  while (true) {
-    eligible.clear();
-    for (size_t i = 0; i < slots.size(); ++i) {
-      const Slot& s = slots[i];
-      if (s.consumed || !s.eligible) continue;
-      RmCandidate c;
-      c.slot = i;
-      c.app = s.req.app;
-      c.queue = &app_stats_.at(s.req.app).queue;
-      c.request = &s.req.request;
-      c.submitted_at = s.req.submitted_at;
-      eligible.push_back(c);
+  if (options_.allocation_mode == "full-scan") {
+    FullScanPass(slots, view, /*scan_placement=*/true, &pass_allocations);
+  } else {
+    switch (scheduler_->kind()) {
+      case RmStrategyKind::kFifo:
+        FifoPass(slots, &pass_allocations);
+        break;
+      case RmStrategyKind::kCapacity:
+        GroupedPass<std::string>(slots, view, &pass_allocations);
+        break;
+      case RmStrategyKind::kFair:
+        GroupedPass<ApplicationId>(slots, view, &pass_allocations);
+        break;
+      case RmStrategyKind::kCustom:
+        // Unknown strategy: generic loop, but still indexed placement.
+        FullScanPass(slots, view, /*scan_placement=*/false,
+                     &pass_allocations);
+        break;
     }
-    if (eligible.empty()) break;
-    int pick = scheduler_->SelectNext(eligible, view);
-    if (pick < 0 || pick >= static_cast<int>(eligible.size())) break;
-    Slot& s = slots[eligible[static_cast<size_t>(pick)].slot];
-    const ContainerRequest& r = s.req.request;
-    NodeId chosen = TryPlace(r);
-    if (chosen == kInvalidNode) {
-      s.eligible = false;
-      continue;
-    }
-    s.consumed = true;
-    ++pass_allocations;
-    RemovePending(s.req.app, r);
-    double wait = cluster_->engine()->Now() - s.req.submitted_at;
-    StatsOf(s.req.app).wait_times_s.push_back(wait);
-    QueueStatsOf(s.req.app).wait_times_s.push_back(wait);
-    Container* c = AllocateOn(s.req.app, chosen, r.vcores, r.memory_mb);
-    c->priority = r.priority;
-    if (tracer_ != nullptr) {
-      tracer_->Begin(SpanCategory::kContainer, "container", s.req.app, c->id,
-                     /*task=*/-1, chosen);
-      tracer_->Instant(SpanCategory::kContainer, "container_allocated",
-                       s.req.app, c->id, /*task=*/r.cookie, chosen, wait);
-    }
-    AmCallbacks* cb = apps_.at(s.req.app).callbacks;
-    Container copy = *c;
-    int64_t cookie = r.cookie;
-    // Deliver the allocation asynchronously (AM heartbeat).
-    cluster_->engine()->ScheduleAfter(
-        0.0, [cb, copy, cookie] { cb->OnContainerAllocated(copy, cookie); });
   }
-  for (Slot& s : slots) {
+
+  for (PassSlot& s : slots) {
     if (!s.consumed) queue_.push_back(std::move(s.req));
   }
   if (tracer_ != nullptr) {
@@ -759,6 +1154,11 @@ void ResourceManager::AllocationPass() {
                      static_cast<int64_t>(queue_.size()));
   }
   UpdateStarvation();
+  ++passes_;
+  pass_wall_ns_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
 }
 
 bool ResourceManager::QueueStarved(const std::string& queue) const {
@@ -836,6 +1236,8 @@ int ResourceManager::PreemptFor(const std::string& starved, int budget) {
   needed.memory_mb = std::max(0.0, std::min(deficit_mb, qs.pending.memory_mb));
   if (needed.vcores <= 0 && needed.memory_mb <= 0.0) return 0;
 
+  // Candidates ascending by container id: the victim comparator's
+  // surplus leg is epsilon-banded, so scan order is behaviour-visible.
   std::vector<PreemptionCandidate> candidates;
   candidates.reserve(containers_.size());
   for (const auto& [id, c] : containers_) {
@@ -843,6 +1245,10 @@ int ResourceManager::PreemptFor(const std::string& starved, int budget) {
     if (as_it == app_stats_.end()) continue;
     candidates.push_back(PreemptionCandidate{c, &as_it->second.queue});
   }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PreemptionCandidate& a, const PreemptionCandidate& b) {
+              return a.container.id < b.container.id;
+            });
   RmTenancyView view;
   view.total_vcores = total_vcores_;
   view.total_memory_mb = total_memory_mb_;

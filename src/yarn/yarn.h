@@ -14,6 +14,18 @@
 // dominant-resource fairness. The RM additionally keeps per-application
 // and per-queue accounting (counters, allocated shares, request wait
 // times, a time-averaged Jain fairness index) for multi-tenant metrics.
+//
+// The hot path is built for thousands of concurrent applications on
+// thousands of nodes (docs/scaling.md): per-event lookups go through
+// open-addressing FlatHashMaps instead of std::map, placement consults
+// an ordered index of nodes with free capacity instead of scanning the
+// fleet, the allocation pass keeps per-queue/per-app candidate groups in
+// a heap instead of re-scoring every pending request per pick, and the
+// Jain fairness accounting maintains incremental aggregates instead of
+// recomputing per-app shares on every state change. The pre-refactor
+// full-scan pass survives behind YarnOptions::allocation_mode so tests
+// and bench_scale can prove the incremental path schedule-identical and
+// measure the speedup.
 
 #ifndef HIWAY_YARN_YARN_H_
 #define HIWAY_YARN_YARN_H_
@@ -27,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/result.h"
 #include "src/sim/cluster.h"
 
@@ -39,6 +52,7 @@ using ContainerId = int64_t;
 constexpr ContainerId kInvalidContainer = -1;
 
 class RmScheduler;
+struct RmTenancyView;
 
 /// A leased slice of one node.
 struct Container {
@@ -203,6 +217,12 @@ struct YarnOptions {
   double nm_heartbeat_s = 1.0;
   /// RM scheduling strategy: "fifo" (default) | "capacity" | "fair".
   std::string scheduler = "fifo";
+  /// Allocation-pass engine (docs/scaling.md): "incremental" (default)
+  /// uses indexed placement, per-group candidate heaps, and single-sweep
+  /// FIFO; "full-scan" is the pre-refactor O(pending²·nodes) pass kept
+  /// for equivalence tests and as bench_scale's speedup baseline. Both
+  /// produce identical schedules.
+  std::string allocation_mode = "incremental";
   /// An application that has sent at least one AmHeartbeat() and then
   /// stays silent this long is declared failed (AM liveness tracking).
   /// Applications that never heartbeat are not monitored.
@@ -330,7 +350,8 @@ class ResourceManager {
     app_failure_listener_ = std::move(listener);
   }
 
-  /// Snapshot of running containers (diagnostics / fault injection).
+  /// Snapshot of running containers (diagnostics / fault injection),
+  /// ascending container id.
   std::vector<Container> RunningContainers() const;
 
   bool IsNodeAlive(NodeId node) const;
@@ -370,10 +391,21 @@ class ResourceManager {
   /// integrated over intervals where >= 2 applications had unmet or met
   /// demand and at least one was backlogged. 1.0 when no such interval
   /// occurred. This is the fairness number Fig.-style multi-tenant
-  /// benches report.
+  /// benches report. Maintained incrementally (O(1) per state change)
+  /// with periodic exact rebuilds to bound floating-point drift.
   double TimeAveragedFairness() const;
   /// The instantaneous index over the current state (diagnostics/tests).
+  /// Always computed from scratch — the reference the incremental
+  /// aggregates are checked against in tests.
   double InstantFairness() const;
+
+  /// Allocation passes executed so far, and the total host wall-clock
+  /// time spent inside them (bench_scale's per-pass cost metric; the
+  /// host clock never feeds back into the simulation).
+  uint64_t allocation_passes() const { return passes_; }
+  double allocation_pass_wall_s() const {
+    return static_cast<double>(pass_wall_ns_) * 1e-9;
+  }
 
   const YarnOptions& options() const { return options_; }
   Cluster* cluster() const { return cluster_; }
@@ -393,6 +425,11 @@ class ResourceManager {
     /// draining (alive, draining) -> gone (!alive). Draining nodes keep
     /// their running containers but receive no new placements.
     bool draining = false;
+    /// True while the node is in the placement index (open_nodes_ and
+    /// the free-capacity multisets). Invariant: a node's free capacity
+    /// is only mutated while unindexed, so the multiset entries always
+    /// equal the current free values.
+    bool indexed = false;
     /// Virtual time the draining node disappears (spot deadline).
     double drain_deadline = 0.0;
   };
@@ -410,13 +447,47 @@ class ResourceManager {
     /// is then exempt from liveness monitoring).
     double last_heartbeat = -1.0;
     bool liveness_check_scheduled = false;
+    // -- Incremental fairness cell (this app's contribution to the
+    //    aggregate Jain sums; see FairnessTouch) --------------------------
+    double fair_x = 0.0;
+    double fair_x2 = 0.0;
+    bool fair_included = false;
+    bool fair_backlogged = false;
+  };
+  /// One queued request inside an allocation pass's slot table. A slot is
+  /// consumed on successful placement or marked ineligible for the rest
+  /// of the pass on failure; un-consumed slots return to the queue in
+  /// their original order.
+  struct PassSlot {
+    PendingRequest req;
+    bool consumed = false;
+    bool eligible = true;
   };
 
   /// Matches pending requests against free capacity in the order chosen
   /// by the RmScheduler strategy; placement itself (locality preference,
-  /// strict placement, blacklists) is strategy-independent.
+  /// strict placement, blacklists) is strategy-independent. Dispatches
+  /// to the incremental per-strategy engines, or to the legacy full-scan
+  /// loop (allocation_mode == "full-scan" or a custom strategy).
   void AllocationPass();
   void ScheduleAllocationPass();
+
+  /// Pre-refactor pass: re-builds the eligible candidate list and asks
+  /// the strategy to re-score it for every single pick. O(pending²) per
+  /// pass — kept as the equivalence baseline.
+  void FullScanPass(std::vector<PassSlot>& slots, const RmTenancyView& view,
+                    bool scan_placement, int* pass_allocations);
+  /// FIFO in one forward sweep (provably pick-identical to FullScanPass
+  /// with the fifo strategy).
+  void FifoPass(std::vector<PassSlot>& slots, int* pass_allocations);
+  /// Capacity (Key = queue name) / fair (Key = application id) pass over
+  /// per-group candidate lists with a lazy min-heap of group heads.
+  template <typename Key>
+  void GroupedPass(std::vector<PassSlot>& slots, const RmTenancyView& view,
+                   int* pass_allocations);
+  /// Shared success bookkeeping: consume the slot, allocate on `chosen`,
+  /// record waits, notify the AM asynchronously.
+  void CommitAllocation(PassSlot& s, NodeId chosen, int* pass_allocations);
 
   /// Updates per-queue starvation episodes after an allocation pass and —
   /// when preemption is enabled and a queue's grace period has expired —
@@ -428,14 +499,24 @@ class ResourceManager {
   /// True while `queue` is backlogged below its guaranteed share.
   bool QueueStarved(const std::string& queue) const;
 
-  /// Seed placement logic: preferred node first, then (unless strict) a
-  /// rotating scan over non-blacklisted nodes with capacity.
+  /// Indexed placement: preferred node first, then (unless strict) a
+  /// rotating scan over the ordered open-node set, with O(1) rejection
+  /// of requests no node can hold. Pick-identical to TryPlaceScan.
   NodeId TryPlace(const ContainerRequest& r);
+  /// Seed placement logic: rotating scan over the whole fleet.
+  NodeId TryPlaceScan(const ContainerRequest& r);
 
   bool Fits(const NodeState& ns, const ContainerRequest& r) const {
     return ns.alive && !ns.draining && ns.free_vcores >= r.vcores &&
            ns.free_memory_mb >= r.memory_mb;
   }
+
+  /// Inserts `node` into the placement index iff it is alive and not
+  /// draining (no-op otherwise / when already indexed).
+  void IndexNode(NodeId node);
+  /// Removes `node` from the placement index (no-op when not indexed).
+  /// Must be called BEFORE mutating the node's free capacity or state.
+  void UnindexNode(NodeId node);
 
   Container* AllocateOn(ApplicationId app, NodeId node, int vcores,
                         double memory_mb);
@@ -453,18 +534,29 @@ class ResourceManager {
   void AddPending(ApplicationId app, const ContainerRequest& r);
   void RemovePending(ApplicationId app, const ContainerRequest& r);
   /// Computes the instantaneous Jain index over demand-satisfaction
-  /// ratios; returns false when the current state is uncontended.
+  /// ratios from scratch; returns false when the state is uncontended.
   bool ContendedFairness(double* jain) const;
-  /// Integrates the fairness index up to Now(); call before any state
-  /// change that affects shares or demand.
+  /// Integrates the fairness index up to Now() from the incremental
+  /// aggregates; call before any state change that affects shares or
+  /// demand.
   void AccrueFairness();
+  /// Re-derives one application's fairness cell after its usage or
+  /// demand changed and folds the delta into the aggregates. No-op for
+  /// departed/inactive applications.
+  void FairnessTouch(ApplicationId app);
+  /// Removes an application's fairness contribution (app deactivation).
+  void FairnessDrop(ApplicationId app);
+  /// Recomputes every cell and the aggregates from scratch: on cluster
+  /// capacity changes (all shares move) and periodically to bound
+  /// floating-point drift of the incremental +=/-= sums.
+  void FairnessRebuild();
 
   Cluster* cluster_;
   YarnOptions options_;
   RmCounters counters_;
   std::vector<NodeState> nodes_;
-  std::map<ApplicationId, AppState> apps_;
-  std::map<ContainerId, Container> containers_;
+  FlatHashMap<ApplicationId, AppState> apps_;
+  FlatHashMap<ContainerId, Container> containers_;
   std::deque<PendingRequest> queue_;
   ApplicationId next_app_ = 1;
   ContainerId next_container_ = 1;
@@ -474,16 +566,21 @@ class ResourceManager {
   /// across nodes instead of packing the lowest node ids.
   NodeId next_alloc_node_ = 0;
 
+  // -- Placement index ----------------------------------------------------
+  /// Alive, non-draining nodes with any free capacity, ordered by id so
+  /// the rotating scan visits them exactly as the full fleet scan would.
+  std::set<NodeId> open_nodes_;
+  /// Free capacity of the indexed nodes; the maxima give O(1) "no node
+  /// can hold this request" rejection.
+  std::multiset<int> open_vcores_;
+  std::multiset<double> open_memory_;
+
   // -- Multi-tenancy state ------------------------------------------------
   std::unique_ptr<RmScheduler> scheduler_;
   std::string scheduler_name_ = "fifo";
   std::map<std::string, RmQueueConfig> queue_configs_;
-  std::map<ApplicationId, TenantStats> app_stats_;
-  std::map<std::string, TenantStats> queue_stats_;
-  /// Allocated usage views handed to the strategy (kept incrementally;
-  /// app entries include the AM container).
-  std::map<ApplicationId, ResourceUsage> app_usage_;
-  std::map<std::string, ResourceUsage> queue_usage_;
+  FlatHashMap<ApplicationId, TenantStats> app_stats_;
+  FlatHashMap<std::string, TenantStats> queue_stats_;
   /// One open starvation episode per queue: `since` < 0 when the queue is
   /// not starved; `wakeup_scheduled` dedupes the grace-expiry timer that
   /// re-triggers an allocation pass (and with it a preemption round).
@@ -498,6 +595,19 @@ class ResourceManager {
   double fairness_integral_ = 0.0;
   double fairness_time_ = 0.0;
   double fairness_last_ = 0.0;
+  /// Incremental fairness aggregates over the active applications' cells:
+  /// Jain = (Σx)² / (n·Σx²), contended iff n >= 2 and someone is
+  /// backlogged (see docs/scaling.md).
+  struct FairnessAgg {
+    double sum_x = 0.0;
+    double sum_x2 = 0.0;
+    int n = 0;
+    int backlogged = 0;
+  };
+  FairnessAgg fairness_agg_;
+  uint64_t fairness_touches_ = 0;
+  uint64_t passes_ = 0;
+  uint64_t pass_wall_ns_ = 0;
   Tracer* tracer_ = nullptr;
 };
 

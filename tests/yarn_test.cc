@@ -861,8 +861,8 @@ TEST(YarnPreemptionTest, DisabledPreemptionStillRecordsStarvation) {
 }
 
 TEST(YarnPreemptionTest, VictimSelectionOrdersAndExemptions) {
-  std::map<ApplicationId, TenantStats> app_stats;
-  std::map<std::string, TenantStats> queue_stats;
+  FlatHashMap<ApplicationId, TenantStats> app_stats;
+  FlatHashMap<std::string, TenantStats> queue_stats;
   std::map<std::string, RmQueueConfig> queue_configs;
   queue_configs["hog"] = RmQueueConfig{"hog", 0.2, 1.0, 1.0};
   queue_configs["mild"] = RmQueueConfig{"mild", 0.3, 1.0, 1.0};
