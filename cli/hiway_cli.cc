@@ -22,6 +22,7 @@
 #include "src/core/client.h"
 #include "src/core/metrics.h"
 #include "src/lang/dax_source.h"
+#include "src/lang/cwl_source.h"
 #include "src/lang/galaxy_source.h"
 #include "src/lang/trace_source.h"
 #include "src/obs/exporters.h"
@@ -38,10 +39,12 @@ void PrintUsage() {
       "\n"
       "  --workflow FILE          workflow document to execute (repeatable\n"
       "                           in --service mode)\n"
-      "  --language LANG          cuneiform | dax | galaxy | trace\n"
+      "  --cwl FILE               shorthand for --workflow FILE with the\n"
+      "                           CWL front-end forced for that file\n"
+      "  --language LANG          cuneiform | dax | galaxy | trace | cwl\n"
       "                           (default: guessed from the extension:\n"
       "                            .cf/.cuneiform, .xml/.dax, .ga/.json,\n"
-      "                            .jsonl/.trace)\n"
+      "                            .jsonl/.trace, .cwl/.cwl.json)\n"
       "  --policy POLICY          fcfs | data-aware | round-robin | heft |\n"
       "                           online-mct (default: data-aware)\n"
       "  -a KEY=VALUE             Chef-style deployment attribute, e.g.\n"
@@ -146,6 +149,8 @@ std::string GuessLanguage(const std::string& path) {
     return "cuneiform";
   }
   if (EndsWith(path, ".dax") || EndsWith(path, ".xml")) return "dax";
+  // .cwl.json before the bare .json (galaxy) rule.
+  if (EndsWith(path, ".cwl") || EndsWith(path, ".cwl.json")) return "cwl";
   if (EndsWith(path, ".ga") || EndsWith(path, ".json")) return "galaxy";
   if (EndsWith(path, ".jsonl") || EndsWith(path, ".trace")) return "trace";
   return "cuneiform";
@@ -155,6 +160,8 @@ struct CliWorkflow {
   std::string path;
   std::string queue;  // service mode: the queue it is submitted to
   int priority = 0;   // preemption priority of its task containers
+  /// Per-file language override (--cwl); wins over --language / guessing.
+  std::string language;
 };
 
 struct CliOptions {
@@ -209,8 +216,12 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--workflow") {
       HIWAY_ASSIGN_OR_RETURN(std::string path, need_value(i, "--workflow"));
-      options.workflows.push_back(
-          CliWorkflow{std::move(path), current_queue, current_priority});
+      options.workflows.push_back(CliWorkflow{std::move(path), current_queue,
+                                              current_priority, ""});
+    } else if (arg == "--cwl") {
+      HIWAY_ASSIGN_OR_RETURN(std::string path, need_value(i, "--cwl"));
+      options.workflows.push_back(CliWorkflow{std::move(path), current_queue,
+                                              current_priority, "cwl"});
     } else if (arg == "--service") {
       options.service = true;
     } else if (arg == "--priority") {
@@ -358,10 +369,19 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   return options;
 }
 
+/// Resolution order: per-file override (--cwl) > --language > extension.
+std::string LanguageForFile(const CliOptions& cli, const CliWorkflow& wf) {
+  if (!wf.language.empty()) return wf.language;
+  if (!cli.language.empty()) return cli.language;
+  return GuessLanguage(wf.path);
+}
+
 /// Reads a workflow document, builds its source, and stages any inputs
-/// the document itself declares (DAX / trace) that are not yet in DFS.
+/// the document itself declares (DAX / trace / CWL) that are not yet in
+/// DFS.
 Result<std::unique_ptr<WorkflowSource>> MakeSourceForFile(
-    Deployment* d, const CliOptions& cli, const std::string& path) {
+    Deployment* d, const CliOptions& cli, const CliWorkflow& wf) {
+  const std::string& path = wf.path;
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot read workflow file: " + path);
@@ -370,8 +390,7 @@ Result<std::unique_ptr<WorkflowSource>> MakeSourceForFile(
   buffer << in.rdbuf();
 
   StagedWorkflow staged;
-  staged.language =
-      cli.language.empty() ? GuessLanguage(path) : cli.language;
+  staged.language = LanguageForFile(cli, wf);
   staged.document = buffer.str();
   staged.galaxy_inputs = cli.galaxy_inputs;
   HiWayClient client(d);
@@ -394,6 +413,9 @@ Result<std::unique_ptr<WorkflowSource>> MakeSourceForFile(
   }
   if (auto* trace = dynamic_cast<TraceSource*>(source.get())) {
     HIWAY_RETURN_IF_ERROR(stage_required(trace->required_inputs()));
+  }
+  if (auto* cwl = dynamic_cast<CwlSource*>(source.get())) {
+    HIWAY_RETURN_IF_ERROR(stage_required(cwl->required_inputs()));
   }
   return source;
 }
@@ -531,15 +553,15 @@ Result<int> RunService(const CliOptions& cli) {
   int rejected = 0;
   for (const CliWorkflow& wf : cli.workflows) {
     HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
-                           MakeSourceForFile(d.get(), cli, wf.path));
+                           MakeSourceForFile(d.get(), cli, wf));
     SubmissionOptions sub;
     sub.queue = wf.queue;
     sub.hiway = hiway;
     sub.hiway.container_priority = wf.priority;
     // A replacement AM attempt rebuilds its source from the same file,
     // so CLI submissions survive AM failures like staged ones do.
-    sub.source_factory = [d = d.get(), &cli, path = wf.path] {
-      return MakeSourceForFile(d, cli, path);
+    sub.source_factory = [d = d.get(), &cli, wf] {
+      return MakeSourceForFile(d, cli, wf);
     };
     auto id = service->Submit(wf.path, std::move(source), sub);
     if (!id.ok()) {
@@ -642,7 +664,7 @@ Result<int> Run(const CliOptions& cli) {
                          ConvergeDeployment(cli));
   HiWayClient client(d.get());
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
-                         MakeSourceForFile(d.get(), cli, cli.workflow_path()));
+                         MakeSourceForFile(d.get(), cli, cli.workflows[0]));
 
   HiWayOptions options;
   options.container_vcores = cli.vcores;
@@ -650,9 +672,7 @@ Result<int> Run(const CliOptions& cli) {
   options.tailor_containers = cli.tailor;
   options.seed = cli.seed;
 
-  std::string language = cli.language.empty()
-                             ? GuessLanguage(cli.workflow_path())
-                             : cli.language;
+  std::string language = LanguageForFile(cli, cli.workflows[0]);
   std::printf("hiway: executing '%s' (%s) under %s scheduling on %d nodes\n",
               cli.workflow_path().c_str(), language.c_str(),
               cli.policy.c_str(), d->cluster->num_nodes());

@@ -68,7 +68,7 @@ done
 # a PR that deletes or un-links them should fail here, not silently
 # orphan them.
 for page in docs/architecture.md docs/observability.md docs/data-cache.md \
-            docs/scaling.md; do
+            docs/scaling.md docs/fuzzing.md; do
   if [ ! -f "$page" ]; then
     echo "MISSING    required page $page does not exist"
     fail=1

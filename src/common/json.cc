@@ -32,6 +32,15 @@ int64_t Json::GetInt(std::string_view key, int64_t def) const {
   return (v != nullptr && v->is_number()) ? v->as_int() : def;
 }
 
+int64_t Json::as_int() const {
+  // A plain static_cast is UB when the double lies outside int64 range
+  // (fuzz-found via Galaxy step ids like 1e300); saturate instead.
+  if (std::isnan(num_)) return 0;
+  if (num_ >= 9223372036854775808.0) return INT64_MAX;
+  if (num_ < -9223372036854775808.0) return INT64_MIN;
+  return static_cast<int64_t>(num_);
+}
+
 bool Json::GetBool(std::string_view key, bool def) const {
   const Json* v = Find(key);
   return (v != nullptr && v->is_bool()) ? v->as_bool() : def;
@@ -185,6 +194,12 @@ class JsonParser {
   explicit JsonParser(std::string_view text) : text_(text) {}
 
   Result<Json> ParseDocument() {
+    if (text_.size() > Json::kMaxInputBytes) {
+      return Status::ParseError(
+          StrFormat("JSON input of %zu bytes exceeds the %zu-byte limit "
+                    "(Json::kMaxInputBytes)",
+                    text_.size(), Json::kMaxInputBytes));
+    }
     SkipWs();
     HIWAY_ASSIGN_OR_RETURN(Json v, ParseValue(0));
     SkipWs();
@@ -195,7 +210,9 @@ class JsonParser {
   }
 
  private:
-  static constexpr int kMaxDepth = 256;
+  static bool IsDigit(char c) {
+    return c >= '0' && c <= '9';  // isdigit(char) is UB for high-bit bytes
+  }
 
   Status Error(const std::string& msg) const {
     // Compute 1-based line/column for the diagnostic.
@@ -208,8 +225,8 @@ class JsonParser {
         ++col;
       }
     }
-    return Status::ParseError(
-        StrFormat("JSON error at line %d col %d: %s", line, col, msg.c_str()));
+    return Status::ParseError(StrFormat("JSON error at line %d col %d (offset %zu): %s",
+                                        line, col, pos_, msg.c_str()));
   }
 
   void SkipWs() {
@@ -231,7 +248,10 @@ class JsonParser {
   }
 
   Result<Json> ParseValue(int depth) {
-    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (depth > Json::kMaxDepth) {
+      return Error(StrFormat("nesting depth %d exceeds the limit of %d (Json::kMaxDepth)",
+                             depth, Json::kMaxDepth));
+    }
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     char c = text_[pos_];
     switch (c) {
@@ -271,28 +291,33 @@ class JsonParser {
     if (text_[pos_] == '0') {
       ++pos_;
     } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
-      while (pos_ < text_.size() && isdigit(text_[pos_])) ++pos_;
+      while (pos_ < text_.size() && IsDigit(text_[pos_])) ++pos_;
     } else {
       return Error("invalid number");
     }
     if (Consume('.')) {
-      if (pos_ >= text_.size() || !isdigit(text_[pos_])) {
+      if (pos_ >= text_.size() || !IsDigit(text_[pos_])) {
         return Error("digit expected after decimal point");
       }
-      while (pos_ < text_.size() && isdigit(text_[pos_])) ++pos_;
+      while (pos_ < text_.size() && IsDigit(text_[pos_])) ++pos_;
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
         ++pos_;
       }
-      if (pos_ >= text_.size() || !isdigit(text_[pos_])) {
+      if (pos_ >= text_.size() || !IsDigit(text_[pos_])) {
         return Error("digit expected in exponent");
       }
-      while (pos_ < text_.size() && isdigit(text_[pos_])) ++pos_;
+      while (pos_ < text_.size() && IsDigit(text_[pos_])) ++pos_;
     }
     std::string buf(text_.substr(start, pos_ - start));
-    return Json(std::strtod(buf.c_str(), nullptr));
+    double d = std::strtod(buf.c_str(), nullptr);
+    if (!std::isfinite(d)) {
+      // 1e999 etc. would serialize as "inf" and break round-tripping.
+      return Error(StrFormat("number '%s' overflows double range", buf.c_str()));
+    }
+    return Json(d);
   }
 
   Result<std::string> ParseString() {

@@ -63,7 +63,8 @@ class Json {
 
   bool as_bool() const { return bool_; }
   double as_number() const { return num_; }
-  int64_t as_int() const { return static_cast<int64_t>(num_); }
+  /// Saturating conversion: values beyond int64 range clamp, NaN maps to 0.
+  int64_t as_int() const;
   const std::string& as_string() const { return str_; }
   const JsonArray& as_array() const { return arr_; }
   JsonArray& as_array() { return arr_; }
@@ -89,7 +90,13 @@ class Json {
   std::string Dump(int indent = -1) const;
 
   /// Parses a complete JSON document (rejects trailing garbage).
+  /// Inputs larger than kMaxInputBytes or nested deeper than kMaxDepth are
+  /// rejected with a ParseError naming the limit and the offending offset.
   static Result<Json> Parse(std::string_view text);
+
+  /// Hard limits enforced by Parse.
+  static constexpr size_t kMaxInputBytes = 64u << 20;
+  static constexpr int kMaxDepth = 256;
 
   friend bool operator==(const Json& a, const Json& b);
 

@@ -67,6 +67,38 @@ std::string XmlEscape(std::string_view s) {
 
 namespace {
 
+void SerializeTo(const XmlElement& e, std::string* out) {
+  *out += '<';
+  *out += e.name;
+  for (const auto& [k, v] : e.attributes) {
+    *out += ' ';
+    *out += k;
+    *out += "=\"";
+    *out += XmlEscape(v);
+    *out += '"';
+  }
+  if (e.text.empty() && e.children.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  *out += XmlEscape(e.text);
+  for (const auto& c : e.children) SerializeTo(*c, out);
+  *out += "</";
+  *out += e.name;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string XmlSerialize(const XmlElement& root) {
+  std::string out;
+  SerializeTo(root, &out);
+  return out;
+}
+
+namespace {
+
 bool IsNameStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
 }
@@ -81,6 +113,12 @@ class XmlParser {
   explicit XmlParser(std::string_view text) : text_(text) {}
 
   Result<std::unique_ptr<XmlElement>> ParseDocument() {
+    if (text_.size() > kXmlMaxInputBytes) {
+      return Status::ParseError(
+          StrFormat("XML input of %zu bytes exceeds the %zu-byte limit "
+                    "(kXmlMaxInputBytes)",
+                    text_.size(), kXmlMaxInputBytes));
+    }
     HIWAY_RETURN_IF_ERROR(SkipProlog());
     HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement(0));
     SkipMisc();
@@ -91,15 +129,13 @@ class XmlParser {
   }
 
  private:
-  static constexpr int kMaxDepth = 256;
-
   Status Error(const std::string& msg) const {
     int line = 1;
     for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
       if (text_[i] == '\n') ++line;
     }
-    return Status::ParseError(
-        StrFormat("XML error at line %d: %s", line, msg.c_str()));
+    return Status::ParseError(StrFormat("XML error at line %d (offset %zu): %s",
+                                        line, pos_, msg.c_str()));
   }
 
   void SkipWs() {
@@ -218,7 +254,10 @@ class XmlParser {
   }
 
   Result<std::unique_ptr<XmlElement>> ParseElement(int depth) {
-    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (depth > kXmlMaxDepth) {
+      return Error(StrFormat("nesting depth %d exceeds the limit of %d (kXmlMaxDepth)",
+                             depth, kXmlMaxDepth));
+    }
     if (pos_ >= text_.size() || text_[pos_] != '<') {
       return Error("'<' expected");
     }

@@ -38,7 +38,18 @@ struct XmlElement {
 };
 
 /// Parses a complete XML document and returns its root element.
+/// Inputs larger than kXmlMaxInputBytes or nested deeper than kXmlMaxDepth
+/// are rejected with a ParseError naming the limit and offending offset.
 Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view text);
+
+/// Hard limits enforced by ParseXml.
+inline constexpr size_t kXmlMaxInputBytes = 64u << 20;
+inline constexpr int kXmlMaxDepth = 256;
+
+/// Serialises an element tree back to markup. Canonical form: attributes in
+/// stored order, element text (if any) before child elements. Feeding the
+/// output back through ParseXml yields an equal tree (round-trip fixpoint).
+std::string XmlSerialize(const XmlElement& root);
 
 /// Escapes text for inclusion in XML character data / attribute values.
 std::string XmlEscape(std::string_view s);

@@ -1,6 +1,7 @@
 #include "src/core/client.h"
 
 #include "src/lang/cuneiform.h"
+#include "src/lang/cwl_source.h"
 #include "src/lang/dax_source.h"
 #include "src/lang/galaxy_source.h"
 #include "src/lang/trace_source.h"
@@ -28,6 +29,11 @@ Result<std::unique_ptr<WorkflowSource>> HiWayClient::MakeSource(
   if (staged.language == "trace") {
     HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<TraceSource> source,
                            TraceSource::Parse(staged.document));
+    return std::unique_ptr<WorkflowSource>(std::move(source));
+  }
+  if (staged.language == "cwl") {
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<CwlSource> source,
+                           CwlSource::Parse(staged.document));
     return std::unique_ptr<WorkflowSource>(std::move(source));
   }
   return Status::InvalidArgument("unknown workflow language: " +

@@ -1,0 +1,72 @@
+// Fuzz-target registry for every untrusted-input parser in the repo.
+//
+// Each target is a deterministic `void(const uint8_t*, size_t)` entry point
+// with libFuzzer-compatible semantics: it must return normally (possibly
+// after the parser rejects the input with a Status) for *any* byte string,
+// within a small time budget, and without crashing or violating a target
+// invariant (valid Workflow / parse→serialize→parse fixpoint).
+//
+// The same entry points serve two harnesses (docs/fuzzing.md):
+//  - tests/fuzz/fuzz_runner_main.cc: the seeded-corpus runner registered as
+//    `ctest -L fuzz`, which replays the seed corpus plus deterministic
+//    mutation rounds (src/common/random.h) on a wall-clock budget;
+//  - -DHIWAY_LIBFUZZER=ON: per-target `LLVMFuzzerTestOneInput` binaries for
+//    coverage-guided runs under ASan/UBSan.
+
+#ifndef HIWAY_FUZZ_FUZZ_TARGETS_H_
+#define HIWAY_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hiway {
+namespace fuzz {
+
+using FuzzTargetFn = void (*)(const uint8_t* data, size_t size);
+
+struct FuzzTarget {
+  const char* name;
+  /// One-line description shown by the corpus runner.
+  const char* description;
+  FuzzTargetFn fn;
+};
+
+/// All registered targets, in stable order.
+const std::vector<FuzzTarget>& AllFuzzTargets();
+
+/// Lookup by name; nullptr when unknown.
+const FuzzTarget* FindFuzzTarget(std::string_view name);
+
+/// Thrown by HIWAY_FUZZ_INVARIANT in throw mode (the corpus runner), so the
+/// harness can save the offending input and fail the test instead of
+/// aborting the whole process.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// In throw mode invariant failures raise InvariantViolation; otherwise
+/// (the default, used by the libFuzzer build) they abort so the fuzzing
+/// engine records a crash. Returns the previous mode.
+bool SetInvariantThrowMode(bool throw_mode);
+
+/// Reports an invariant failure according to the current mode.
+void InvariantFailure(const char* file, int line, const std::string& msg);
+
+}  // namespace fuzz
+}  // namespace hiway
+
+/// Asserts a per-target invariant inside a fuzz target body.
+#define HIWAY_FUZZ_INVARIANT(cond, msg)                            \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::hiway::fuzz::InvariantFailure(__FILE__, __LINE__, (msg));  \
+    }                                                              \
+  } while (false)
+
+#endif  // HIWAY_FUZZ_FUZZ_TARGETS_H_

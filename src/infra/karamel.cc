@@ -1,6 +1,8 @@
 #include "src/infra/karamel.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <deque>
 #include <set>
 
@@ -19,20 +21,44 @@ std::string Attr(const ChefAttributes& attrs, const std::string& key,
   return it == attrs.end() ? def : it->second;
 }
 
-int64_t AttrInt(const ChefAttributes& attrs, const std::string& key,
-                int64_t def) {
+/// Parses attrs[key] as an integer in [min, max]; absent means `def`.
+/// Unparseable or out-of-range values are loud errors naming the key and
+/// the offending token — recipes never silently fall back to defaults.
+Result<int64_t> AttrInt(const ChefAttributes& attrs, const std::string& key,
+                        int64_t def, int64_t min, int64_t max) {
   auto it = attrs.find(key);
   if (it == attrs.end()) return def;
   auto parsed = ParseInt64(it->second);
-  return parsed.ok() ? *parsed : def;
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute %s: '%s' is not an integer", key.c_str(),
+                  it->second.c_str()));
+  }
+  if (*parsed < min || *parsed > max) {
+    return Status::InvalidArgument(StrFormat(
+        "attribute %s: %lld is outside the allowed range [%lld, %lld]",
+        key.c_str(), static_cast<long long>(*parsed),
+        static_cast<long long>(min), static_cast<long long>(max)));
+  }
+  return *parsed;
 }
 
-double AttrDouble(const ChefAttributes& attrs, const std::string& key,
-                  double def) {
+Result<double> AttrDouble(const ChefAttributes& attrs, const std::string& key,
+                          double def, double min, double max) {
   auto it = attrs.find(key);
   if (it == attrs.end()) return def;
   auto parsed = ParseDouble(it->second);
-  return parsed.ok() ? *parsed : def;
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute %s: '%s' is not a number", key.c_str(),
+                  it->second.c_str()));
+  }
+  if (!std::isfinite(*parsed) || *parsed < min || *parsed > max) {
+    return Status::InvalidArgument(
+        StrFormat("attribute %s: %s is outside the allowed range [%g, %g]",
+                  key.c_str(), it->second.c_str(), min, max));
+  }
+  return *parsed;
 }
 
 }  // namespace
@@ -90,38 +116,60 @@ Recipe HadoopInstallRecipe() {
   r.name = "hadoop::install";
   r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
     NodeSpec node;
-    node.cores = static_cast<int>(AttrInt(attrs, "cluster/cores", 2));
-    node.memory_mb = AttrDouble(attrs, "cluster/memory_mb", 7680.0);
-    node.disk_bw_mbps = AttrDouble(attrs, "cluster/disk_mbps", 150.0);
-    node.nic_bw_mbps = AttrDouble(attrs, "cluster/nic_mbps", 125.0);
-    int workers = static_cast<int>(AttrInt(attrs, "cluster/workers", 4));
-    if (workers < 1) {
-      return Status::InvalidArgument("cluster/workers must be >= 1");
-    }
-    ClusterSpec spec = ClusterSpec::Uniform(
-        workers, node, AttrDouble(attrs, "cluster/switch_mbps", 1250.0));
-    spec.ebs_bw_mbps = AttrDouble(attrs, "cluster/ebs_mbps", 0.0);
-    spec.s3_bw_mbps = AttrDouble(attrs, "cluster/s3_mbps", 0.0);
+    HIWAY_ASSIGN_OR_RETURN(int64_t cores,
+                           AttrInt(attrs, "cluster/cores", 2, 1, 4096));
+    node.cores = static_cast<int>(cores);
+    HIWAY_ASSIGN_OR_RETURN(
+        node.memory_mb, AttrDouble(attrs, "cluster/memory_mb", 7680.0,
+                                   1.0, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        node.disk_bw_mbps, AttrDouble(attrs, "cluster/disk_mbps", 150.0,
+                                      0.001, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        node.nic_bw_mbps, AttrDouble(attrs, "cluster/nic_mbps", 125.0,
+                                     0.001, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        int64_t workers, AttrInt(attrs, "cluster/workers", 4, 1, 1000000));
+    HIWAY_ASSIGN_OR_RETURN(
+        double switch_mbps, AttrDouble(attrs, "cluster/switch_mbps", 1250.0,
+                                       0.001, 1e9));
+    ClusterSpec spec =
+        ClusterSpec::Uniform(static_cast<int>(workers), node, switch_mbps);
+    HIWAY_ASSIGN_OR_RETURN(
+        spec.ebs_bw_mbps, AttrDouble(attrs, "cluster/ebs_mbps", 0.0, 0.0, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        spec.s3_bw_mbps, AttrDouble(attrs, "cluster/s3_mbps", 0.0, 0.0, 1e9));
     d->cluster = std::make_unique<Cluster>(&d->engine, &d->net, spec);
     DfsOptions dfs_opts;
-    dfs_opts.replication =
-        static_cast<int>(AttrInt(attrs, "dfs/replication", 3));
-    dfs_opts.block_size_bytes = AttrInt(attrs, "dfs/block_mb", 128) << 20;
-    dfs_opts.first_datanode =
-        static_cast<NodeId>(AttrInt(attrs, "dfs/first_datanode", 0));
-    dfs_opts.seed = static_cast<uint64_t>(AttrInt(attrs, "seed", 7));
+    HIWAY_ASSIGN_OR_RETURN(int64_t replication,
+                           AttrInt(attrs, "dfs/replication", 3, 1, 64));
+    dfs_opts.replication = static_cast<int>(replication);
+    HIWAY_ASSIGN_OR_RETURN(int64_t block_mb,
+                           AttrInt(attrs, "dfs/block_mb", 128, 1, 1 << 20));
+    dfs_opts.block_size_bytes = block_mb << 20;
+    HIWAY_ASSIGN_OR_RETURN(
+        int64_t first_dn,
+        AttrInt(attrs, "dfs/first_datanode", 0, 0, 2147483647));
+    dfs_opts.first_datanode = static_cast<NodeId>(first_dn);
+    HIWAY_ASSIGN_OR_RETURN(int64_t seed,
+                           AttrInt(attrs, "seed", 7, INT64_MIN, INT64_MAX));
+    dfs_opts.seed = static_cast<uint64_t>(seed);
     d->dfs = std::make_unique<Dfs>(d->cluster.get(), dfs_opts);
     YarnOptions yarn_opts;
-    yarn_opts.allocation_delay_s =
-        AttrDouble(attrs, "yarn/allocation_delay_s", 0.5);
+    HIWAY_ASSIGN_OR_RETURN(
+        yarn_opts.allocation_delay_s,
+        AttrDouble(attrs, "yarn/allocation_delay_s", 0.5, 0.0, 1e9));
     yarn_opts.scheduler = Attr(attrs, "yarn/scheduler", "fifo");
     yarn_opts.allocation_mode =
         Attr(attrs, "yarn/allocation_mode", "incremental");
     yarn_opts.preemption = Attr(attrs, "yarn/preemption", "false") == "true";
-    yarn_opts.preemption_grace_s =
-        AttrDouble(attrs, "yarn/preemption_grace_s", 5.0);
-    yarn_opts.max_preempt_per_round =
-        static_cast<int>(AttrInt(attrs, "yarn/max_preempt_per_round", 2));
+    HIWAY_ASSIGN_OR_RETURN(
+        yarn_opts.preemption_grace_s,
+        AttrDouble(attrs, "yarn/preemption_grace_s", 5.0, 0.0, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        int64_t max_preempt,
+        AttrInt(attrs, "yarn/max_preempt_per_round", 2, 0, 1000000));
+    yarn_opts.max_preempt_per_round = static_cast<int>(max_preempt);
     d->rm = std::make_unique<ResourceManager>(d->cluster.get(), yarn_opts);
     d->rm->SetTracer(&d->tracer);
     if (Attr(attrs, "obs/tracing", "off") == "on") {
@@ -157,10 +205,16 @@ Recipe HiWayInstallRecipe() {
     }
     if (Attr(attrs, "hiway/cache_results", "off") == "on") {
       ResultCacheOptions copts;
-      copts.max_entries = AttrInt(attrs, "hiway/cache_max_entries", 0);
+      HIWAY_ASSIGN_OR_RETURN(
+          copts.max_entries,
+          AttrInt(attrs, "hiway/cache_max_entries", 0, 0, int64_t{1} << 40));
       copts.verify = Attr(attrs, "hiway/cache_verify", "off") == "on";
-      copts.verify_rate = AttrDouble(attrs, "hiway/cache_verify_rate", 0.25);
-      copts.seed = static_cast<uint64_t>(AttrInt(attrs, "seed", 7));
+      HIWAY_ASSIGN_OR_RETURN(
+          copts.verify_rate,
+          AttrDouble(attrs, "hiway/cache_verify_rate", 0.25, 0.0, 1.0));
+      HIWAY_ASSIGN_OR_RETURN(
+          int64_t seed, AttrInt(attrs, "seed", 7, INT64_MIN, INT64_MAX));
+      copts.seed = static_cast<uint64_t>(seed);
       d->result_cache = std::make_unique<ResultCache>(
           d->dfs.get(), d->provenance.get(), copts);
       d->result_cache->SetTracer(&d->tracer);
@@ -172,7 +226,9 @@ Recipe HiWayInstallRecipe() {
                                   .WithContext("hiway::install cache index"));
       }
     }
-    int64_t staging_mb = AttrInt(attrs, "hiway/cache_staging_mb", -1);
+    HIWAY_ASSIGN_OR_RETURN(
+        int64_t staging_mb,
+        AttrInt(attrs, "hiway/cache_staging_mb", -1, -1, 1 << 20));
     if (staging_mb >= 0) {
       StagingCacheOptions sopts;
       sopts.node_budget_bytes = staging_mb > 0 ? staging_mb << 20 : 0;
@@ -198,20 +254,28 @@ Recipe ElasticInstallRecipe() {
     }
     ElasticOptions opts;
     opts.policy = *policy;
-    opts.policy.min_nodes =
-        static_cast<int>(AttrInt(attrs, "elastic/min_nodes", 1));
-    opts.policy.max_nodes =
-        static_cast<int>(AttrInt(attrs, "elastic/max_nodes", 0));
-    opts.join_delay_s = AttrDouble(attrs, "elastic/join_delay_s", 5.0);
+    HIWAY_ASSIGN_OR_RETURN(int64_t min_nodes,
+                           AttrInt(attrs, "elastic/min_nodes", 1, 0, 1000000));
+    opts.policy.min_nodes = static_cast<int>(min_nodes);
+    HIWAY_ASSIGN_OR_RETURN(int64_t max_nodes,
+                           AttrInt(attrs, "elastic/max_nodes", 0, 0, 1000000));
+    opts.policy.max_nodes = static_cast<int>(max_nodes);
+    HIWAY_ASSIGN_OR_RETURN(
+        opts.join_delay_s,
+        AttrDouble(attrs, "elastic/join_delay_s", 5.0, 0.0, 1e9));
     // Joiners match the fleet's worker hardware.
-    opts.node_template.cores =
-        static_cast<int>(AttrInt(attrs, "cluster/cores", 2));
-    opts.node_template.memory_mb =
-        AttrDouble(attrs, "cluster/memory_mb", 7680.0);
-    opts.node_template.disk_bw_mbps =
-        AttrDouble(attrs, "cluster/disk_mbps", 150.0);
-    opts.node_template.nic_bw_mbps =
-        AttrDouble(attrs, "cluster/nic_mbps", 125.0);
+    HIWAY_ASSIGN_OR_RETURN(int64_t cores,
+                           AttrInt(attrs, "cluster/cores", 2, 1, 4096));
+    opts.node_template.cores = static_cast<int>(cores);
+    HIWAY_ASSIGN_OR_RETURN(
+        opts.node_template.memory_mb,
+        AttrDouble(attrs, "cluster/memory_mb", 7680.0, 1.0, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        opts.node_template.disk_bw_mbps,
+        AttrDouble(attrs, "cluster/disk_mbps", 150.0, 0.001, 1e9));
+    HIWAY_ASSIGN_OR_RETURN(
+        opts.node_template.nic_bw_mbps,
+        AttrDouble(attrs, "cluster/nic_mbps", 125.0, 0.001, 1e9));
     d->elastic = std::make_unique<ElasticCluster>(
         &d->engine, d->cluster.get(), d->rm.get(), d->dfs.get(),
         d->staging_cache.get(), d->result_cache.get(), &d->tracer,
@@ -227,9 +291,14 @@ Recipe SnvWorkflowRecipe() {
   r.dependencies = {"hiway::install"};
   r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
     SnvWorkloadOptions options;
-    options.num_chunks = static_cast<int>(AttrInt(attrs, "snv/chunks", 8));
-    options.chunk_bytes = AttrInt(attrs, "snv/chunk_mb", 1024) << 20;
-    options.cram_compression = AttrInt(attrs, "snv/cram", 0) != 0;
+    HIWAY_ASSIGN_OR_RETURN(int64_t chunks,
+                           AttrInt(attrs, "snv/chunks", 8, 1, 100000));
+    options.num_chunks = static_cast<int>(chunks);
+    HIWAY_ASSIGN_OR_RETURN(int64_t chunk_mb,
+                           AttrInt(attrs, "snv/chunk_mb", 1024, 1, 1 << 20));
+    options.chunk_bytes = chunk_mb << 20;
+    HIWAY_ASSIGN_OR_RETURN(int64_t cram, AttrInt(attrs, "snv/cram", 0, 0, 1));
+    options.cram_compression = cram != 0;
     GeneratedWorkload workload = MakeSnvCallingWorkflow(options);
     StagedWorkflow staged;
     staged.language = "cuneiform";
@@ -262,9 +331,13 @@ Recipe TraplineWorkflowRecipe() {
   r.dependencies = {"hiway::install"};
   r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
     RnaSeqWorkloadOptions options;
-    options.replicates_per_condition =
-        static_cast<int>(AttrInt(attrs, "rnaseq/replicates", 3));
-    options.sample_bytes = AttrInt(attrs, "rnaseq/sample_mb", 1740) << 20;
+    HIWAY_ASSIGN_OR_RETURN(int64_t replicates,
+                           AttrInt(attrs, "rnaseq/replicates", 3, 1, 10000));
+    options.replicates_per_condition = static_cast<int>(replicates);
+    HIWAY_ASSIGN_OR_RETURN(
+        int64_t sample_mb,
+        AttrInt(attrs, "rnaseq/sample_mb", 1740, 1, 1 << 20));
+    options.sample_bytes = sample_mb << 20;
     GeneratedWorkload workload = MakeTraplineWorkflow(options);
     StagedWorkflow staged;
     staged.language = "galaxy";
@@ -288,9 +361,12 @@ Recipe MontageWorkflowRecipe() {
   r.dependencies = {"hiway::install"};
   r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
     MontageWorkloadOptions options;
-    options.num_images =
-        static_cast<int>(AttrInt(attrs, "montage/images", 11));
-    options.image_bytes = AttrInt(attrs, "montage/image_mb", 4) << 20;
+    HIWAY_ASSIGN_OR_RETURN(int64_t images,
+                           AttrInt(attrs, "montage/images", 11, 1, 10000));
+    options.num_images = static_cast<int>(images);
+    HIWAY_ASSIGN_OR_RETURN(int64_t image_mb,
+                           AttrInt(attrs, "montage/image_mb", 4, 1, 1 << 20));
+    options.image_bytes = image_mb << 20;
     GeneratedWorkload workload = MakeMontageWorkflow(options);
     StagedWorkflow staged;
     staged.language = "dax";
@@ -311,9 +387,13 @@ Recipe KmeansWorkflowRecipe() {
   r.dependencies = {"hiway::install"};
   r.converge = [](const ChefAttributes& attrs, Deployment* d) -> Status {
     KmeansWorkloadOptions options;
-    options.points_bytes = AttrInt(attrs, "kmeans/points_mb", 64) << 20;
-    options.converge_after =
-        static_cast<int>(AttrInt(attrs, "kmeans/converge_after", 5));
+    HIWAY_ASSIGN_OR_RETURN(int64_t points_mb,
+                           AttrInt(attrs, "kmeans/points_mb", 64, 1, 1 << 20));
+    options.points_bytes = points_mb << 20;
+    HIWAY_ASSIGN_OR_RETURN(
+        int64_t converge_after,
+        AttrInt(attrs, "kmeans/converge_after", 5, 1, 1000000));
+    options.converge_after = static_cast<int>(converge_after);
     GeneratedWorkload workload = MakeKmeansWorkflow(options);
     StagedWorkflow staged;
     staged.language = "cuneiform";

@@ -153,6 +153,10 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  /// Maximum expression nesting ('(', '[', calls, if) before the parser
+  /// refuses the input instead of overflowing the stack.
+  static constexpr int kMaxExprDepth = kCuneiformMaxExprDepth;
+
   Result<Program> Parse() {
     Program program;
     while (!AtEnd()) {
@@ -295,7 +299,7 @@ class Parser {
     }
     HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
     HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
-    HIWAY_ASSIGN_OR_RETURN(def.body, ParseExpr());
+    HIWAY_ASSIGN_OR_RETURN(def.body, ParseExpr(0));
     HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
     if (program->tasks.count(def.name) > 0 ||
         program->funs.count(def.name) > 0) {
@@ -310,7 +314,7 @@ class Parser {
     Advance();  // let
     HIWAY_ASSIGN_OR_RETURN(std::string name, ExpectIdent("binding name"));
     HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kEquals, "'='"));
-    HIWAY_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    HIWAY_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr(0));
     Match(TokenKind::kSemicolon);
     program->lets.emplace_back(std::move(name), std::move(value));
     return Status::OK();
@@ -319,7 +323,7 @@ class Parser {
   Status ParseTarget(Program* program) {
     Advance();  // target
     while (true) {
-      HIWAY_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr(0));
       program->targets.push_back(std::move(e));
       if (!Match(TokenKind::kComma)) break;
     }
@@ -327,21 +331,26 @@ class Parser {
     return Status::OK();
   }
 
-  Result<ExprPtr> ParseExpr() {
-    HIWAY_ASSIGN_OR_RETURN(ExprPtr first, ParsePrimary());
+  Result<ExprPtr> ParseExpr(int depth) {
+    if (depth > kMaxExprDepth) {
+      return Error(StrFormat(
+          "expression nesting depth %d exceeds the limit of %d (kMaxExprDepth)",
+          depth, kMaxExprDepth));
+    }
+    HIWAY_ASSIGN_OR_RETURN(ExprPtr first, ParsePrimary(depth));
     if (Peek().kind != TokenKind::kPlus) return first;
     auto concat = std::make_shared<Expr>();
     concat->kind = Expr::Kind::kConcat;
     concat->line = first->line;
     concat->items.push_back(std::move(first));
     while (Match(TokenKind::kPlus)) {
-      HIWAY_ASSIGN_OR_RETURN(ExprPtr part, ParsePrimary());
+      HIWAY_ASSIGN_OR_RETURN(ExprPtr part, ParsePrimary(depth));
       concat->items.push_back(std::move(part));
     }
     return concat;
   }
 
-  Result<ExprPtr> ParsePrimary() {
+  Result<ExprPtr> ParsePrimary(int depth) {
     const Token& tok = Peek();
     if (tok.kind == TokenKind::kString) {
       auto e = std::make_shared<Expr>();
@@ -357,7 +366,7 @@ class Parser {
       e->line = tok.line;
       if (Peek().kind != TokenKind::kRBracket) {
         while (true) {
-          HIWAY_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          HIWAY_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr(depth + 1));
           e->items.push_back(std::move(item));
           if (!Match(TokenKind::kComma)) break;
         }
@@ -367,7 +376,7 @@ class Parser {
     }
     if (tok.kind == TokenKind::kLParen) {
       Advance();
-      HIWAY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr(depth + 1));
       HIWAY_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
       return inner;
     }
@@ -376,13 +385,13 @@ class Parser {
       auto e = std::make_shared<Expr>();
       e->kind = Expr::Kind::kIf;
       e->line = tok.line;
-      HIWAY_ASSIGN_OR_RETURN(e->cond, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(e->cond, ParseExpr(depth + 1));
       HIWAY_ASSIGN_OR_RETURN(std::string kw1, ExpectIdent("'then'"));
       if (kw1 != "then") return Error("expected 'then'");
-      HIWAY_ASSIGN_OR_RETURN(e->then_branch, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(e->then_branch, ParseExpr(depth + 1));
       HIWAY_ASSIGN_OR_RETURN(std::string kw2, ExpectIdent("'else'"));
       if (kw2 != "else") return Error("expected 'else'");
-      HIWAY_ASSIGN_OR_RETURN(e->else_branch, ParseExpr());
+      HIWAY_ASSIGN_OR_RETURN(e->else_branch, ParseExpr(depth + 1));
       HIWAY_ASSIGN_OR_RETURN(std::string kw3, ExpectIdent("'end'"));
       if (kw3 != "end") return Error("expected 'end'");
       return e;
@@ -403,7 +412,7 @@ class Parser {
               arg_name = Advance().text;
               Advance();  // ':'
             }
-            HIWAY_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+            HIWAY_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr(depth + 1));
             e->args.emplace_back(std::move(arg_name), std::move(value));
             if (!Match(TokenKind::kComma)) break;
           }
@@ -427,6 +436,12 @@ class Parser {
 }  // namespace
 
 Result<Program> ParseCuneiform(std::string_view source) {
+  if (source.size() > kCuneiformMaxInputBytes) {
+    return Status::ParseError(StrFormat(
+        "cuneiform source of %zu bytes exceeds the %zu-byte limit "
+        "(kCuneiformMaxInputBytes)",
+        source.size(), kCuneiformMaxInputBytes));
+  }
   HIWAY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
   Parser parser(std::move(tokens));
   return parser.Parse();

@@ -41,6 +41,12 @@ struct Token {
   int line = 1;
 };
 
+/// Hard limits enforced by ParseCuneiform: maximum source size in bytes and
+/// maximum expression-nesting depth. Exceeding either yields a ParseError
+/// naming the limit.
+inline constexpr size_t kCuneiformMaxInputBytes = 16u << 20;
+inline constexpr int kCuneiformMaxExprDepth = 128;
+
 /// Tokenises a Cuneiform-lite program; '%' comments are stripped.
 Result<std::vector<Token>> Lex(std::string_view source);
 

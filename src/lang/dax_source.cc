@@ -5,6 +5,7 @@
 
 #include "src/common/strings.h"
 #include "src/common/xml.h"
+#include "src/lang/workflow_validate.h"
 
 namespace hiway {
 
@@ -58,7 +59,12 @@ Result<std::unique_ptr<DaxSource>> DaxSource::Parse(
       if (uses->HasAttr("size")) {
         auto parsed = ParseInt64(uses->Attr("size"));
         if (!parsed.ok()) {
-          return Status::ParseError("bad size attribute in job " + job_id);
+          return Status::ParseError("bad size attribute '" +
+                                    uses->Attr("size") + "' in job " + job_id);
+        }
+        if (*parsed < 0) {
+          return Status::ParseError("negative size attribute '" +
+                                    uses->Attr("size") + "' in job " + job_id);
         }
         size = *parsed;
       }
@@ -118,6 +124,8 @@ Result<std::unique_ptr<DaxSource>> DaxSource::Parse(
   if (source->tasks_.empty()) {
     return Status::ParseError("DAX workflow contains no jobs");
   }
+  HIWAY_RETURN_IF_ERROR(ValidateWorkflowTasks(source->tasks_)
+                            .WithContext("invalid DAX task graph"));
   return source;
 }
 

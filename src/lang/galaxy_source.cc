@@ -5,6 +5,7 @@
 
 #include "src/common/json.h"
 #include "src/common/strings.h"
+#include "src/lang/workflow_validate.h"
 
 namespace hiway {
 
@@ -64,6 +65,15 @@ Result<std::unique_ptr<GalaxySource>> GalaxySource::Parse(
       }
       raw.id = *parsed;
     }
+    // Bound ids so task.id = id + 1 cannot overflow and generated paths stay
+    // sane; fuzz-found via "id": 1e300 (saturates to INT64_MAX) and huge keys.
+    constexpr int64_t kMaxStepId = int64_t{1} << 31;
+    if (raw.id < 0 || raw.id > kMaxStepId) {
+      return Status::ParseError(
+          StrFormat("Galaxy step %s has out-of-range id %lld (allowed 0..%lld)",
+                    key.c_str(), static_cast<long long>(raw.id),
+                    static_cast<long long>(kMaxStepId)));
+    }
     raw.type = step.GetString("type", "tool");
     raw.tool_id = step.GetString("tool_id");
     raw.json = &step;
@@ -71,6 +81,14 @@ Result<std::unique_ptr<GalaxySource>> GalaxySource::Parse(
   }
   std::sort(raw_steps.begin(), raw_steps.end(),
             [](const RawStep& a, const RawStep& b) { return a.id < b.id; });
+  for (size_t i = 1; i < raw_steps.size(); ++i) {
+    if (raw_steps[i].id == raw_steps[i - 1].id) {
+      return Status::ParseError(StrFormat(
+          "duplicate Galaxy step id %lld (two steps would collide on the "
+          "same task id and output paths)",
+          static_cast<long long>(raw_steps[i].id)));
+    }
+  }
 
   for (const RawStep& raw : raw_steps) {
     if (raw.type == "data_input" || raw.type == "data_collection_input") {
@@ -183,6 +201,8 @@ Result<std::unique_ptr<GalaxySource>> GalaxySource::Parse(
   if (source->tasks_.empty()) {
     return Status::ParseError("Galaxy workflow contains no tool steps");
   }
+  HIWAY_RETURN_IF_ERROR(ValidateWorkflowTasks(source->tasks_)
+                            .WithContext("invalid Galaxy task graph"));
 
   // Targets: tool outputs nothing consumes.
   for (const TaskSpec& t : source->tasks_) {

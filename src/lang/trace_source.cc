@@ -4,8 +4,39 @@
 #include <set>
 
 #include "src/common/strings.h"
+#include "src/lang/workflow_validate.h"
 
 namespace hiway {
+
+namespace {
+
+/// Task-scoped events must carry a usable task id and, for stage events, a
+/// non-negative size and non-empty path; corrupt values would otherwise
+/// flow straight into TaskSpec/OutputSpec fields.
+Status CheckTaskEvent(const ProvenanceEvent& ev) {
+  if (ev.task_id <= 0) {
+    return Status::ParseError(StrFormat(
+        "trace event for run '%s' has non-positive task id %lld",
+        ev.run_id.c_str(), static_cast<long long>(ev.task_id)));
+  }
+  if (ev.type == ProvenanceEventType::kFileStageIn ||
+      ev.type == ProvenanceEventType::kFileStageOut) {
+    if (ev.file_path.empty()) {
+      return Status::ParseError(
+          StrFormat("trace stage event for task %lld has an empty file path",
+                    static_cast<long long>(ev.task_id)));
+    }
+    if (ev.size_bytes < 0) {
+      return Status::ParseError(StrFormat(
+          "trace stage event for task %lld file '%s' has negative size %lld",
+          static_cast<long long>(ev.task_id), ev.file_path.c_str(),
+          static_cast<long long>(ev.size_bytes)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<std::unique_ptr<TraceSource>> TraceSource::Parse(
     std::string_view trace_text, const std::string& run_id,
@@ -62,6 +93,7 @@ Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
         }
         break;
       case ProvenanceEventType::kTaskStart: {
+        HIWAY_RETURN_IF_ERROR(CheckTaskEvent(ev));
         Rebuilt& r = by_task[ev.task_id];
         r.has_start = true;
         r.spec.id = ev.task_id;
@@ -71,15 +103,18 @@ Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
         break;
       }
       case ProvenanceEventType::kTaskEnd:
+        HIWAY_RETURN_IF_ERROR(CheckTaskEvent(ev));
         if (ev.success) by_task[ev.task_id].succeeded = true;
         break;
       case ProvenanceEventType::kFileStageIn: {
+        HIWAY_RETURN_IF_ERROR(CheckTaskEvent(ev));
         Rebuilt& r = by_task[ev.task_id];
         r.inputs.insert(ev.file_path);
         r.staged_inputs[ev.file_path] = ev.size_bytes;
         break;
       }
       case ProvenanceEventType::kFileStageOut:
+        HIWAY_RETURN_IF_ERROR(CheckTaskEvent(ev));
         by_task[ev.task_id].outputs[ev.file_path] = ev.size_bytes;
         break;
       case ProvenanceEventType::kWorkflowEnd:
@@ -150,6 +185,8 @@ Result<std::unique_ptr<TraceSource>> TraceSource::FromEvents(
     if (consumed.find(path) == consumed.end()) targets.push_back(path);
   }
   source->targets_ = std::move(targets);
+  HIWAY_RETURN_IF_ERROR(ValidateWorkflowTasks(source->tasks_)
+                            .WithContext("invalid trace task graph"));
   return source;
 }
 

@@ -1,0 +1,104 @@
+#include "src/lang/workflow_validate.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace hiway {
+
+Status ValidateWorkflowTasks(const std::vector<TaskSpec>& tasks) {
+  std::set<TaskId> ids;
+  std::map<std::string, TaskId> producer_of;
+  for (const TaskSpec& task : tasks) {
+    if (task.id <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("task '%s' has non-positive id %lld",
+                    task.signature.c_str(), static_cast<long long>(task.id)));
+    }
+    if (!ids.insert(task.id).second) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate task id %lld", static_cast<long long>(task.id)));
+    }
+    if (task.signature.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "task %lld has an empty signature", static_cast<long long>(task.id)));
+    }
+    std::set<std::string> inputs(task.input_files.begin(),
+                                 task.input_files.end());
+    for (const std::string& in : task.input_files) {
+      if (in.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("task %lld lists an empty input path",
+                      static_cast<long long>(task.id)));
+      }
+    }
+    for (const OutputSpec& out : task.outputs) {
+      if (out.path.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("task %lld declares an output with an empty path",
+                      static_cast<long long>(task.id)));
+      }
+      if (out.size_bytes.has_value() && *out.size_bytes < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "task %lld output '%s' declares negative size %lld",
+            static_cast<long long>(task.id), out.path.c_str(),
+            static_cast<long long>(*out.size_bytes)));
+      }
+      if (inputs.count(out.path) > 0) {
+        return Status::InvalidArgument(StrFormat(
+            "task %lld uses '%s' as both input and output (self-dependency)",
+            static_cast<long long>(task.id), out.path.c_str()));
+      }
+      auto [it, inserted] = producer_of.emplace(out.path, task.id);
+      if (!inserted && it->second != task.id) {
+        return Status::InvalidArgument(StrFormat(
+            "output '%s' is produced by both task %lld and task %lld",
+            out.path.c_str(), static_cast<long long>(it->second),
+            static_cast<long long>(task.id)));
+      }
+    }
+  }
+  // Cycle check over the file-induced dependency graph (Kahn's algorithm):
+  // an edge producer(task) -> consumer(task) exists when the consumer reads
+  // a path the producer writes. A cycle would deadlock the driver.
+  std::map<TaskId, std::set<TaskId>> consumers;
+  std::map<TaskId, int> indegree;
+  for (const TaskSpec& task : tasks) indegree[task.id] = 0;
+  for (const TaskSpec& task : tasks) {
+    for (const std::string& in : task.input_files) {
+      auto it = producer_of.find(in);
+      if (it == producer_of.end() || it->second == task.id) continue;
+      if (consumers[it->second].insert(task.id).second) ++indegree[task.id];
+    }
+  }
+  std::vector<TaskId> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.push_back(id);
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    TaskId id = ready.back();
+    ready.pop_back();
+    ++visited;
+    auto it = consumers.find(id);
+    if (it == consumers.end()) continue;
+    for (TaskId next : it->second) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (visited != tasks.size()) {
+    for (const auto& [id, deg] : indegree) {
+      if (deg > 0) {
+        return Status::InvalidArgument(StrFormat(
+            "task dependency cycle through task %lld (workflow would "
+            "deadlock)",
+            static_cast<long long>(id)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hiway

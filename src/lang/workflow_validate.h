@@ -1,0 +1,31 @@
+// Structural validity checks for front-end task graphs.
+//
+// Every static front-end (DAX, Galaxy, trace, CWL) runs its parsed task
+// vector through ValidateWorkflowTasks before handing it to the driver, and
+// the fuzz harness uses the same predicate as its "parser returned a valid
+// Workflow" invariant: a source must either reject hostile input with a
+// Status error or emit a graph that satisfies these rules.
+
+#ifndef HIWAY_LANG_WORKFLOW_VALIDATE_H_
+#define HIWAY_LANG_WORKFLOW_VALIDATE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/workflow.h"
+
+namespace hiway {
+
+/// Checks that `tasks` form a well-formed static task graph:
+///  - task ids are positive and unique,
+///  - signatures and file paths are non-empty,
+///  - declared output sizes are non-negative,
+///  - no task lists the same path as both input and output (self-dependency),
+///  - no two tasks produce the same output path (ambiguous producer),
+///  - the file-induced dependency graph is acyclic.
+/// Returns OK or an InvalidArgument naming the offending task/path.
+Status ValidateWorkflowTasks(const std::vector<TaskSpec>& tasks);
+
+}  // namespace hiway
+
+#endif  // HIWAY_LANG_WORKFLOW_VALIDATE_H_

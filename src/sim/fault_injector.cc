@@ -1,6 +1,7 @@
 #include "src/sim/fault_injector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/common/strings.h"
@@ -37,6 +38,11 @@ Result<FaultSpec> ParseClause(std::string_view clause) {
           StrFormat("bad @time in fault clause '%.*s'",
                     static_cast<int>(clause.size()), clause.data()));
     }
+    if (!std::isfinite(*at)) {
+      return Status::InvalidArgument(
+          StrFormat("@time in fault clause '%.*s' must be finite",
+                    static_cast<int>(clause.size()), clause.data()));
+    }
     spec.at = *at;
   }
   auto type = FaultTypeFromString(type_token);
@@ -59,6 +65,24 @@ Result<FaultSpec> ParseClause(std::string_view clause) {
           StrFormat("bad value for fault param '%.*s'",
                     static_cast<int>(key.size()), key.data()));
     }
+    if (!std::isfinite(*number)) {
+      return Status::InvalidArgument(
+          StrFormat("fault param %.*s=%.*s must be finite",
+                    static_cast<int>(key.size()), key.data(),
+                    static_cast<int>(value.size()), value.data()));
+    }
+    // node= / sub= are ids: require integral values in range before casting
+    // (a bare static_cast from e.g. node=1e300 is undefined behaviour).
+    auto as_id = [&](double limit) -> Result<int64_t> {
+      if (*number < 0 || *number > limit ||
+          *number != std::floor(*number)) {
+        return Status::InvalidArgument(StrFormat(
+            "fault param %.*s=%.*s is not an integer id in [0, %.0f]",
+            static_cast<int>(key.size()), key.data(),
+            static_cast<int>(value.size()), value.data(), limit));
+      }
+      return static_cast<int64_t>(*number);
+    };
     if (key == "at") {
       spec.at = *number;
     } else if (key == "rate") {
@@ -68,9 +92,11 @@ Result<FaultSpec> ParseClause(std::string_view clause) {
     } else if (key == "until") {
       spec.until = *number;
     } else if (key == "node") {
-      spec.node = static_cast<NodeId>(*number);
+      HIWAY_ASSIGN_OR_RETURN(int64_t id, as_id(2147483647.0));
+      spec.node = static_cast<NodeId>(id);
     } else if (key == "sub") {
-      spec.submission = static_cast<int64_t>(*number);
+      HIWAY_ASSIGN_OR_RETURN(int64_t id, as_id(9e15));
+      spec.submission = id;
     } else if (key == "warn") {
       spec.warn = *number;
       has_warn = true;

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Smoke test of the `hiway` CLI: run a Cuneiform workflow, export its
 # provenance trace, and replay the trace — asserting both runs succeed and
-# produce the same task count.
+# produce the same task count — then run the example CWL workflow ($2)
+# through the --cwl front-end.
 set -e
 
 HIWAY_BIN="$1"
+CWL_FILE="$2"
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 
@@ -23,6 +25,14 @@ test -s "$WORKDIR/trace.jsonl"
 "$HIWAY_BIN" --workflow "$WORKDIR/trace.jsonl" --language trace \
     --policy fcfs -a cluster/workers=4 > "$WORKDIR/run2.out"
 grep -q "finished: 2 task(s)" "$WORKDIR/run2.out"
+
+# The CWL front-end: the example Montage document declares its own
+# inputs, so no --input flags are needed, and the 15-step graph runs to
+# completion (tests/cwl_test.cc proves the run byte-identical to DAX).
+"$HIWAY_BIN" --cwl "$CWL_FILE" --policy data-aware \
+    -a cluster/workers=4 > "$WORKDIR/run3.out"
+grep -q "finished: 15 task(s)" "$WORKDIR/run3.out"
+grep -q "(cwl)" "$WORKDIR/run3.out"
 
 # Unknown flags and missing files fail with helpful errors.
 if "$HIWAY_BIN" --bogus 2> "$WORKDIR/err1.out"; then exit 1; fi

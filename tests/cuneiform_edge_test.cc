@@ -7,6 +7,7 @@
 
 #include "src/common/strings.h"
 #include "src/lang/cuneiform.h"
+#include "src/lang/cuneiform_parser.h"
 
 namespace hiway {
 namespace {
@@ -251,6 +252,33 @@ TEST(CuneiformEdgeTest, WhitespaceAndCommentRobustness) {
   ASSERT_TRUE(source.ok()) << source.status().ToString();
   Driver driver(source->get());
   EXPECT_TRUE(driver.RunAll().ok());
+}
+
+// --- fuzz regressions (tests/fuzz/corpus/cuneiform/, docs/fuzzing.md) ----
+
+TEST(CuneiformFuzzRegressionTest, DeepParensErrorNotStackOverflow) {
+  // crash_deep_parens.cf: 200k nested '(' recursed once per character and
+  // crashed with SIGSEGV (stack exhaustion). The parser now refuses at
+  // kCuneiformMaxExprDepth with an error naming the limit.
+  std::string src = "let x = ";
+  src += std::string(static_cast<size_t>(cuneiform::kCuneiformMaxExprDepth) + 50, '(');
+  src += "'a'";
+  src += std::string(static_cast<size_t>(cuneiform::kCuneiformMaxExprDepth) + 50, ')');
+  src += ";\ntarget x;\n";
+  auto source = CuneiformSource::Parse(src);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find("kMaxExprDepth"),
+            std::string::npos)
+      << source.status().ToString();
+}
+
+TEST(CuneiformFuzzRegressionTest, InputSizeErrorNamesLimit) {
+  std::string src(cuneiform::kCuneiformMaxInputBytes + 1, '%');  // one huge comment
+  auto source = CuneiformSource::Parse(src);
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().ToString().find("kCuneiformMaxInputBytes"),
+            std::string::npos)
+      << source.status().ToString();
 }
 
 }  // namespace

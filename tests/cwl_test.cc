@@ -1,0 +1,227 @@
+// Gate for the CWL-subset front-end (src/lang/cwl_source.h): the CWL
+// rendition of the Montage workload (examples/montage_3.cwl.json) must
+// execute byte-identically to the native DAX driver — same task graph,
+// same staged inputs, and a DFS namespace that matches file-for-file and
+// byte-for-byte after the run. Plus negative-case tables asserting that
+// malformed CWL documents fail with errors naming the offending element.
+
+#include "src/lang/cwl_source.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/core/client.h"
+#include "src/lang/dax_source.h"
+#include "src/workloads/workloads.h"
+
+namespace hiway {
+namespace {
+
+std::string ReadExample(const std::string& name) {
+  std::ifstream in(std::string(HIWAY_EXAMPLES_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "cannot open example " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Snapshot of the DFS namespace: path -> size. The CWL run must
+/// reproduce the native run's outputs exactly.
+std::map<std::string, int64_t> DfsSnapshot(Dfs* dfs) {
+  std::map<std::string, int64_t> files;
+  for (const std::string& path : dfs->ListFiles()) {
+    auto info = dfs->Stat(path);
+    if (info.ok()) files[path] = info->size_bytes;
+  }
+  return files;
+}
+
+Result<std::unique_ptr<Deployment>> SmallDeployment() {
+  Karamel karamel;
+  karamel.SetAttribute("cluster/workers", "4");
+  karamel.SetAttribute("cluster/cores", "4");
+  karamel.AddRecipe(HadoopInstallRecipe());
+  karamel.AddRecipe(HiWayInstallRecipe());
+  return karamel.Converge();
+}
+
+/// Stages the source's declared inputs into a fresh deployment, runs it
+/// to completion, and returns the final DFS snapshot.
+std::map<std::string, int64_t> RunAndSnapshot(WorkflowSource* source,
+                                              const std::vector<
+                                                  std::pair<std::string,
+                                                            int64_t>>& inputs) {
+  auto d = SmallDeployment();
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+  for (const auto& [path, size] : inputs) {
+    EXPECT_TRUE((*d)->dfs->IngestFile(path, size).ok()) << path;
+  }
+  HiWayClient client(d->get());
+  auto report = client.RunSource(source, "data-aware");
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (report.ok()) {
+    EXPECT_GT(report->tasks_completed, 0);
+  }
+  return DfsSnapshot((*d)->dfs.get());
+}
+
+TEST(CwlSourceTest, ParsesMontageExample) {
+  auto source = CwlSource::Parse(ReadExample("montage_3.cwl.json"));
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // 3 projections + 3 diff-fits + concat + bgmodel + 3 backgrounds +
+  // imgtbl + add + shrink + jpeg = 15 steps.
+  EXPECT_EQ((*source)->task_count(), 15u);
+  EXPECT_EQ((*source)->required_inputs().size(), 3u);
+  EXPECT_EQ((*source)->Targets(),
+            std::vector<std::string>{"/dax/mosaic.jpg"});
+}
+
+TEST(CwlSourceTest, MontageExampleMatchesNativeDaxByteForByte) {
+  MontageWorkloadOptions options;
+  options.num_images = 3;
+  GeneratedWorkload native = MakeMontageWorkflow(options);
+
+  auto dax = DaxSource::Parse(native.document);
+  ASSERT_TRUE(dax.ok()) << dax.status().ToString();
+  auto cwl = CwlSource::Parse(ReadExample("montage_3.cwl.json"));
+  ASSERT_TRUE(cwl.ok()) << cwl.status().ToString();
+
+  // Same graph shape and same staged-input contract before running.
+  EXPECT_EQ((*cwl)->task_count(), (*dax)->task_count());
+  std::set<std::pair<std::string, int64_t>> native_inputs(
+      native.inputs.begin(), native.inputs.end());
+  std::set<std::pair<std::string, int64_t>> cwl_inputs(
+      (*cwl)->required_inputs().begin(), (*cwl)->required_inputs().end());
+  EXPECT_EQ(cwl_inputs, native_inputs);
+
+  // The gate: both drivers leave the DFS in the identical state.
+  std::map<std::string, int64_t> native_files =
+      RunAndSnapshot(dax->get(), native.inputs);
+  std::map<std::string, int64_t> cwl_files =
+      RunAndSnapshot(cwl->get(), (*cwl)->required_inputs());
+  EXPECT_EQ(cwl_files, native_files);
+  EXPECT_EQ(cwl_files.count("/dax/mosaic.jpg"), 1u);
+}
+
+TEST(CwlSourceTest, ResolvesStepOutputsAcrossSteps) {
+  auto source = CwlSource::Parse(R"({
+    "class": "Workflow",
+    "inputs": [{"id": "raw", "type": "File",
+                "default": {"class": "File", "location": "/cwl/raw.dat",
+                            "hiway:size_bytes": 1024}}],
+    "outputs": [{"id": "final", "type": "File",
+                 "outputSource": "second/result"}],
+    "steps": [
+      {"id": "first",
+       "run": {"class": "CommandLineTool", "baseCommand": "gen",
+               "inputs": [{"id": "src", "type": "File"}],
+               "outputs": [{"id": "mid", "type": "File",
+                            "hiway:location": "/cwl/mid.dat",
+                            "hiway:size_bytes": 2048}]},
+       "in": [{"id": "src", "source": "raw"}], "out": ["mid"]},
+      {"id": "second",
+       "run": {"class": "CommandLineTool", "baseCommand": "sum",
+               "inputs": [{"id": "mid", "type": "File"}],
+               "outputs": [{"id": "result", "type": "File",
+                            "hiway:location": "/cwl/out.dat",
+                            "hiway:size_bytes": 4096}]},
+       "in": [{"id": "mid", "source": "first/mid"}], "out": ["result"]}
+    ]})");
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  auto tasks = (*source)->Init();
+  ASSERT_TRUE(tasks.ok());
+  ASSERT_EQ(tasks->size(), 2u);
+  const TaskSpec& second = (*tasks)[1];
+  EXPECT_EQ(second.signature, "sum");
+  ASSERT_EQ(second.input_files.size(), 1u);
+  EXPECT_EQ(second.input_files[0], "/cwl/mid.dat");
+  EXPECT_EQ((*source)->Targets(),
+            std::vector<std::string>{"/cwl/out.dat"});
+}
+
+// Negative-case table: every malformed document must fail with an error
+// naming the offending element, never crash (the cwl fuzz target holds
+// the same invariant under mutation).
+struct CwlErrorCase {
+  const char* name;
+  const char* document;
+  const char* expect;  // substring of the error message
+};
+
+class CwlErrorTest : public ::testing::TestWithParam<CwlErrorCase> {};
+
+TEST_P(CwlErrorTest, RejectsWithOffendingElementNamed) {
+  const CwlErrorCase& c = GetParam();
+  auto source = CwlSource::Parse(c.document);
+  ASSERT_FALSE(source.ok()) << c.name;
+  EXPECT_NE(source.status().ToString().find(c.expect), std::string::npos)
+      << c.name << ": got " << source.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedDocuments, CwlErrorTest,
+    ::testing::Values(
+        CwlErrorCase{"not_json", "cwlVersion: v1.2", "JSON error at line 1"},
+        CwlErrorCase{"wrong_class",
+                     R"({"class": "CommandLineTool", "steps": []})",
+                     "class"},
+        CwlErrorCase{"step_without_run",
+                     R"({"class": "Workflow", "inputs": [], "outputs": [],
+                         "steps": [{"id": "s1", "in": [], "out": ["x"]}]})",
+                     "s1"},
+        CwlErrorCase{"unknown_source",
+                     R"({"class": "Workflow", "inputs": [], "outputs": [],
+                         "steps": [{"id": "s1",
+                           "run": {"class": "CommandLineTool",
+                                   "baseCommand": "t",
+                                   "outputs": [{"id": "o", "type": "File",
+                                     "hiway:location": "/cwl/o"}]},
+                           "in": [{"id": "a", "source": "nowhere"}],
+                           "out": ["o"]}]})",
+                     "nowhere"},
+        CwlErrorCase{"duplicate_step_id",
+                     R"({"class": "Workflow", "inputs": [], "outputs": [],
+                         "steps": [
+                           {"id": "s1",
+                            "run": {"class": "CommandLineTool",
+                                    "baseCommand": "t",
+                                    "outputs": [{"id": "o", "type": "File",
+                                      "hiway:location": "/cwl/o1"}]},
+                            "in": [], "out": ["o"]},
+                           {"id": "s1",
+                            "run": {"class": "CommandLineTool",
+                                    "baseCommand": "t",
+                                    "outputs": [{"id": "o", "type": "File",
+                                      "hiway:location": "/cwl/o2"}]},
+                            "in": [], "out": ["o"]}]})",
+                     "s1"},
+        CwlErrorCase{"unknown_output_source",
+                     R"({"class": "Workflow", "inputs": [],
+                         "outputs": [{"id": "f", "type": "File",
+                                      "outputSource": "ghost/o"}],
+                         "steps": [{"id": "s1",
+                           "run": {"class": "CommandLineTool",
+                                   "baseCommand": "t",
+                                   "outputs": [{"id": "o", "type": "File",
+                                     "hiway:location": "/cwl/o"}]},
+                           "in": [], "out": ["o"]}]})",
+                     "ghost/o"},
+        CwlErrorCase{"negative_size",
+                     R"({"class": "Workflow",
+                         "inputs": [{"id": "raw", "type": "File",
+                           "default": {"class": "File",
+                                       "location": "/cwl/raw",
+                                       "hiway:size_bytes": -5}}],
+                         "outputs": [], "steps": []})",
+                     "size_bytes"}),
+    [](const ::testing::TestParamInfo<CwlErrorCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hiway

@@ -101,6 +101,37 @@ TEST(FaultSpecGrammarTest, RejectsMisusedWarnAndBadRates) {
   EXPECT_TRUE(ParseFaultSpecs("spot-revoke:rate=0.1:every=60").ok());
 }
 
+TEST(FaultSpecGrammarTest, RejectsNonIntegerAndNonFiniteValues) {
+  // Fuzz regression (tests/fuzz/corpus/faultspec/crash_node_1e300.txt):
+  // node=1e300 went through an undefined float->int cast and armed the
+  // injector with a garbage node id instead of failing the parse.
+  auto huge_node = ParseFaultSpecs("kill-node@1:node=1e300");
+  ASSERT_FALSE(huge_node.ok());
+  EXPECT_NE(huge_node.status().ToString().find("node=1e300"),
+            std::string::npos)
+      << huge_node.status().ToString();
+  EXPECT_NE(huge_node.status().ToString().find("integer id"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseFaultSpecs("kill-node@1:node=2.5").ok());
+  EXPECT_FALSE(ParseFaultSpecs("kill-node@1:node=-3").ok());
+  EXPECT_FALSE(ParseFaultSpecs("kill-am-node@1:sub=1e30").ok());
+
+  // Non-finite times and rates must be refused, not scheduled.
+  auto inf_at = ParseFaultSpecs("kill-node@inf");
+  ASSERT_FALSE(inf_at.ok());
+  EXPECT_NE(inf_at.status().ToString().find("finite"), std::string::npos)
+      << inf_at.status().ToString();
+  EXPECT_FALSE(ParseFaultSpecs("kill-node:at=nan").ok());
+  EXPECT_FALSE(ParseFaultSpecs("hdfs-error:rate=nan").ok());
+  EXPECT_FALSE(ParseFaultSpecs("kill-node@1:until=inf").ok());
+
+  // In-range integral ids still parse.
+  auto ok = ParseFaultSpecs("kill-node@1:node=7");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)[0].node, 7);
+}
+
 TEST(FaultInjectorTest, OneShotFiresAtTheScheduledTime) {
   SimEngine engine;
   FaultInjector injector(&engine);

@@ -1,0 +1,414 @@
+// Deterministic seeded-corpus runner for the src/fuzz targets
+// (docs/fuzzing.md). Registered as `ctest -L fuzz`: replays every seed in
+// tests/fuzz/corpus/<target>/, then runs mutation rounds derived from
+// src/common/random.h so every execution is reproducible from (target,
+// seed file, round) — no wall-clock or PID entropy.
+//
+// Failure handling:
+//   - invariant violations (HIWAY_FUZZ_INVARIANT) are thrown, the input is
+//     saved to --crash-dir, and the runner exits 1;
+//   - hard crashes (SIGSEGV/SIGABRT) and hangs past --per-input-s save the
+//     in-flight input from a signal/watchdog context, then exit non-zero.
+// Saved inputs land as crash-<target>.bin / hang-<target>.bin so CI can
+// upload them as artifacts.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/strings.h"
+#include "src/fuzz/fuzz_targets.h"
+
+namespace hiway {
+namespace fuzz {
+namespace {
+
+// ---- crash/hang input capture (async-signal-safe) -------------------------
+
+struct InFlight {
+  std::atomic<const uint8_t*> data{nullptr};
+  std::atomic<size_t> size{0};
+  char save_path[4096] = {0};
+};
+InFlight g_in_flight;
+
+/// Writes the in-flight input with only async-signal-safe calls.
+void SaveInFlightInput() {
+  const uint8_t* data = g_in_flight.data.load();
+  size_t size = g_in_flight.size.load();
+  if (data == nullptr || g_in_flight.save_path[0] == '\0') return;
+  int fd = ::open(g_in_flight.save_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::write(fd, data + off, size - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+void CrashHandler(int sig) {
+  SaveInFlightInput();
+  constexpr char kMsg[] = "fuzz_runner: crash; input saved to ";
+  (void)!::write(2, kMsg, sizeof(kMsg) - 1);
+  (void)!::write(2, g_in_flight.save_path,
+                 ::strlen(g_in_flight.save_path));
+  (void)!::write(2, "\n", 1);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+/// Watchdog: a target that does not return within the per-input budget is
+/// a hang — save the input and abandon the process (the stuck thread
+/// cannot be recovered).
+class Watchdog {
+ public:
+  Watchdog(double per_input_s, std::string hang_path)
+      : per_input_s_(per_input_s), hang_path_(std::move(hang_path)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void Enter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(per_input_s_));
+    armed_ = true;
+  }
+  void Leave() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = false;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!done_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(100));
+      if (done_ || !armed_) continue;
+      if (std::chrono::steady_clock::now() < deadline_) continue;
+      // Redirect the capture path to the hang file, then save.
+      std::snprintf(g_in_flight.save_path, sizeof(g_in_flight.save_path),
+                    "%s", hang_path_.c_str());
+      SaveInFlightInput();
+      std::fprintf(stderr,
+                   "fuzz_runner: target exceeded %.1fs on one input; "
+                   "input saved to %s\n",
+                   per_input_s_, hang_path_.c_str());
+      std::_Exit(3);
+    }
+  }
+
+  const double per_input_s_;
+  const std::string hang_path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool armed_ = false;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+// ---- deterministic mutation -----------------------------------------------
+
+/// Grammar-flavoured fragments shared by all targets: structural
+/// punctuation plus tokens that historically trigger parser edge cases.
+const char* const kDictionary[] = {
+    "<",     ">",        "\"",     "{",     "}",      "[",      "]",
+    ":",     ",",        "=",      "@",     "/",      "\\",     "''",
+    "1e300", "1e999",    "-1",     "9223372036854775807",       "0.0",
+    "null",  "true",     "false",  "NaN",   "nan",    "inf",
+    "task",  "id",       "size",   "file",  "link",   "input",  "output",
+    "<!--",  "-->",      "]]>",    "<![CDATA[",       "&lt;",   "&#x41;",
+    "\\u0000",           "\n",     "\t",    " ",      "\r\n",
+};
+
+uint64_t HashSeed(std::string_view target, std::string_view file,
+                  uint64_t round) {
+  // FNV-1a over the identifying tuple; any stable mix works.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::string_view s) {
+    for (unsigned char c : s) h = (h ^ c) * 1099511628211ULL;
+  };
+  mix(target);
+  mix("\x1f");
+  mix(file);
+  for (int i = 0; i < 8; ++i) h = (h ^ ((round >> (8 * i)) & 0xff)) *
+                                  1099511628211ULL;
+  return h;
+}
+
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& seed,
+                            const std::vector<std::vector<uint8_t>>& corpus,
+                            Rng* rng, size_t max_bytes) {
+  std::vector<uint8_t> out = seed;
+  int ops = 1 + static_cast<int>(rng->UniformInt(8));
+  for (int op = 0; op < ops; ++op) {
+    switch (rng->UniformInt(8)) {
+      case 0:  // bit flip
+        if (!out.empty()) {
+          size_t pos = rng->UniformInt(out.size());
+          out[pos] ^= static_cast<uint8_t>(1u << rng->UniformInt(8));
+        }
+        break;
+      case 1:  // random byte
+        if (!out.empty()) {
+          out[rng->UniformInt(out.size())] =
+              static_cast<uint8_t>(rng->UniformInt(256));
+        }
+        break;
+      case 2: {  // delete span
+        if (out.size() > 1) {
+          size_t start = rng->UniformInt(out.size());
+          size_t len = 1 + rng->UniformInt(out.size() - start);
+          out.erase(out.begin() + start, out.begin() + start + len);
+        }
+        break;
+      }
+      case 3: {  // duplicate span
+        if (!out.empty()) {
+          size_t start = rng->UniformInt(out.size());
+          size_t len = 1 + rng->UniformInt(out.size() - start);
+          std::vector<uint8_t> span(out.begin() + start,
+                                    out.begin() + start + len);
+          out.insert(out.begin() + start, span.begin(), span.end());
+        }
+        break;
+      }
+      case 4: {  // insert random bytes
+        size_t pos = out.empty() ? 0 : rng->UniformInt(out.size() + 1);
+        size_t len = 1 + rng->UniformInt(8);
+        std::vector<uint8_t> bytes(len);
+        for (uint8_t& b : bytes) {
+          b = static_cast<uint8_t>(rng->UniformInt(256));
+        }
+        out.insert(out.begin() + pos, bytes.begin(), bytes.end());
+        break;
+      }
+      case 5: {  // splice with another corpus entry
+        const std::vector<uint8_t>& other =
+            corpus[rng->UniformInt(corpus.size())];
+        if (!other.empty()) {
+          size_t keep = out.empty() ? 0 : rng->UniformInt(out.size() + 1);
+          size_t from = rng->UniformInt(other.size());
+          out.resize(keep);
+          out.insert(out.end(), other.begin() + from, other.end());
+        }
+        break;
+      }
+      case 6: {  // insert dictionary token
+        const char* token =
+            kDictionary[rng->UniformInt(sizeof(kDictionary) /
+                                        sizeof(kDictionary[0]))];
+        size_t pos = out.empty() ? 0 : rng->UniformInt(out.size() + 1);
+        out.insert(out.begin() + pos,
+                   reinterpret_cast<const uint8_t*>(token),
+                   reinterpret_cast<const uint8_t*>(token) +
+                       std::strlen(token));
+        break;
+      }
+      case 7:  // truncate to a prefix
+        if (!out.empty()) out.resize(rng->UniformInt(out.size()));
+        break;
+    }
+  }
+  if (out.size() > max_bytes) out.resize(max_bytes);
+  return out;
+}
+
+// ---- driver ---------------------------------------------------------------
+
+struct RunnerOptions {
+  std::string target;
+  std::string corpus_dir;
+  std::string crash_dir = ".";
+  int rounds = 40;
+  double budget_s = 15.0;
+  double per_input_s = 5.0;
+  size_t max_input_bytes = 1u << 20;
+  bool list = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --target NAME --corpus DIR [--rounds N] [--budget-s S]\n"
+      "          [--per-input-s S] [--max-input-bytes N] [--crash-dir DIR]\n"
+      "       %s --list\n",
+      argv0, argv0);
+  return 2;
+}
+
+int RunTarget(const RunnerOptions& opts) {
+  const FuzzTarget* target = FindFuzzTarget(opts.target);
+  if (target == nullptr) {
+    std::fprintf(stderr, "fuzz_runner: unknown target '%s' (try --list)\n",
+                 opts.target.c_str());
+    return 2;
+  }
+
+  // Load the seed corpus in sorted order for determinism.
+  std::vector<std::string> names;
+  std::vector<std::vector<uint8_t>> corpus;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opts.corpus_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    names.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "fuzz_runner: cannot read corpus dir %s: %s\n",
+                 opts.corpus_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    std::ifstream in(name, std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    corpus.push_back(std::move(bytes));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr,
+                 "fuzz_runner: corpus dir %s has no seed inputs; every "
+                 "target must ship seeds (docs/fuzzing.md)\n",
+                 opts.corpus_dir.c_str());
+    return 2;
+  }
+
+  std::string crash_path =
+      opts.crash_dir + "/crash-" + opts.target + ".bin";
+  std::string hang_path = opts.crash_dir + "/hang-" + opts.target + ".bin";
+  std::snprintf(g_in_flight.save_path, sizeof(g_in_flight.save_path), "%s",
+                crash_path.c_str());
+  ::signal(SIGSEGV, CrashHandler);
+  ::signal(SIGABRT, CrashHandler);
+  ::signal(SIGBUS, CrashHandler);
+  SetInvariantThrowMode(true);
+
+  Watchdog watchdog(opts.per_input_s, hang_path);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(opts.budget_s));
+
+  size_t execs = 0;
+  auto run_one = [&](const std::vector<uint8_t>& input,
+                     const std::string& origin) -> int {
+    g_in_flight.data.store(input.data());
+    g_in_flight.size.store(input.size());
+    watchdog.Enter();
+    try {
+      target->fn(input.data(), input.size());
+    } catch (const InvariantViolation& violation) {
+      watchdog.Leave();
+      SaveInFlightInput();
+      std::fprintf(stderr,
+                   "fuzz_runner: %s\n  origin: %s\n  input saved to %s\n",
+                   violation.what(), origin.c_str(), crash_path.c_str());
+      return 1;
+    }
+    watchdog.Leave();
+    g_in_flight.data.store(nullptr);
+    ++execs;
+    return 0;
+  };
+
+  // Phase 1: every seed verbatim — regressions fail even with rounds=0.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (int rc = run_one(corpus[i], "seed " + names[i]); rc != 0) return rc;
+  }
+
+  // Phase 2: deterministic mutation rounds under the time budget.
+  int completed_rounds = 0;
+  for (int round = 0; round < opts.rounds; ++round) {
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      Rng rng(HashSeed(opts.target, names[i],
+                       static_cast<uint64_t>(round)));
+      std::vector<uint8_t> mutant =
+          Mutate(corpus[i], corpus, &rng, opts.max_input_bytes);
+      std::string origin =
+          StrFormat("mutant of %s, round %d", names[i].c_str(), round);
+      if (int rc = run_one(mutant, origin); rc != 0) return rc;
+    }
+    ++completed_rounds;
+  }
+
+  std::printf(
+      "fuzz_runner: target %-10s ok: %zu seeds, %d/%d mutation rounds, "
+      "%zu execs\n",
+      target->name, corpus.size(), completed_rounds, opts.rounds, execs);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  RunnerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fuzz_runner: %s expects a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--target") {
+      opts.target = value("--target");
+    } else if (arg == "--corpus") {
+      opts.corpus_dir = value("--corpus");
+    } else if (arg == "--crash-dir") {
+      opts.crash_dir = value("--crash-dir");
+    } else if (arg == "--rounds") {
+      opts.rounds = std::atoi(value("--rounds"));
+    } else if (arg == "--budget-s") {
+      opts.budget_s = std::atof(value("--budget-s"));
+    } else if (arg == "--per-input-s") {
+      opts.per_input_s = std::atof(value("--per-input-s"));
+    } else if (arg == "--max-input-bytes") {
+      opts.max_input_bytes =
+          static_cast<size_t>(std::atoll(value("--max-input-bytes")));
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.list) {
+    for (const FuzzTarget& t : AllFuzzTargets()) {
+      std::printf("%-10s %s\n", t.name, t.description);
+    }
+    return 0;
+  }
+  if (opts.target.empty() || opts.corpus_dir.empty()) return Usage(argv[0]);
+  return RunTarget(opts);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace hiway
+
+int main(int argc, char** argv) { return hiway::fuzz::Main(argc, argv); }

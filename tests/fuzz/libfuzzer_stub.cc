@@ -1,0 +1,31 @@
+// libFuzzer entry point for one registry target (-DHIWAY_LIBFUZZER=ON).
+// Each fuzz_<name>_libfuzzer binary compiles this file with
+// HIWAY_FUZZ_TARGET_NAME set, giving a coverage-guided ASan/UBSan harness
+// over the exact same code the corpus runner exercises (docs/fuzzing.md).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/fuzz/fuzz_targets.h"
+
+#ifndef HIWAY_FUZZ_TARGET_NAME
+#error "compile with -DHIWAY_FUZZ_TARGET_NAME=\"<target>\""
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const hiway::fuzz::FuzzTarget* target = [] {
+    const hiway::fuzz::FuzzTarget* t =
+        hiway::fuzz::FindFuzzTarget(HIWAY_FUZZ_TARGET_NAME);
+    if (t == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target: %s\n",
+                   HIWAY_FUZZ_TARGET_NAME);
+      std::abort();
+    }
+    return t;
+  }();
+  // Abort mode (the default): invariant violations crash so libFuzzer
+  // records and minimises the input.
+  target->fn(data, size);
+  return 0;
+}

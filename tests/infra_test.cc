@@ -210,5 +210,47 @@ TEST(ClientTest, UnknownWorkflowOrPolicyFails) {
       client.Run("kmeans", "quantum").status().IsInvalidArgument());
 }
 
+// --- fuzz regressions (tests/fuzz/corpus/karamel/, docs/fuzzing.md) ------
+
+Result<std::unique_ptr<Deployment>> ConvergeHadoopWith(
+    const std::string& key, const std::string& value) {
+  Karamel karamel;
+  karamel.SetAttribute(key, value);
+  karamel.AddRecipe(HadoopInstallRecipe());
+  return karamel.Converge();
+}
+
+TEST(KaramelAttrTest, BlockSizeShiftOverflowRejected) {
+  // crash_block_shift.txt: dfs/block_mb=8796093022208 made `block_mb << 20`
+  // overflow int64, leaving a non-positive DFS block size that tripped a
+  // HIWAY_CHECK abort inside Dfs. Attribute validation now bounds it.
+  auto d = ConvergeHadoopWith("dfs/block_mb", "8796093022208");
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().ToString().find("dfs/block_mb"), std::string::npos)
+      << d.status().ToString();
+  EXPECT_NE(d.status().ToString().find("allowed range"), std::string::npos);
+}
+
+TEST(KaramelAttrTest, MalformedAttributesNameKeyAndToken) {
+  auto workers = ConvergeHadoopWith("cluster/workers", "many");
+  ASSERT_FALSE(workers.ok());
+  EXPECT_NE(workers.status().ToString().find("cluster/workers"),
+            std::string::npos)
+      << workers.status().ToString();
+  EXPECT_NE(workers.status().ToString().find("many"), std::string::npos);
+
+  auto negative = ConvergeHadoopWith("cluster/workers", "-2");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().ToString().find("allowed range"),
+            std::string::npos)
+      << negative.status().ToString();
+
+  auto inf_bw = ConvergeHadoopWith("cluster/disk_mbps", "inf");
+  ASSERT_FALSE(inf_bw.ok());
+  EXPECT_NE(inf_bw.status().ToString().find("cluster/disk_mbps"),
+            std::string::npos)
+      << inf_bw.status().ToString();
+}
+
 }  // namespace
 }  // namespace hiway

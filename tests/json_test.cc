@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "src/common/random.h"
 #include "src/common/strings.h"
 
@@ -176,6 +179,47 @@ TEST_P(JsonRoundTripTest, DumpParseIsIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- fuzz regressions (tests/fuzz/corpus/json/, docs/fuzzing.md) ---------
+
+TEST(JsonFuzzRegressionTest, OverflowingNumberLiteralIsRejected) {
+  // crash_overflow_1e999.json: 1e999 parsed to +inf, which Dump() printed
+  // as a bare "inf" token — unparseable, so parse/serialize/parse broke.
+  auto parsed = Json::Parse("[1e999]");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("overflows double range"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(JsonFuzzRegressionTest, AsIntSaturatesInsteadOfUndefinedCast) {
+  // Galaxy step ids like 1e300 reached as_int()'s bare static_cast, which
+  // is undefined behaviour for out-of-range doubles.
+  EXPECT_EQ(Json::Parse("1e300")->as_int(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(Json::Parse("-1e300")->as_int(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(Json::Parse("42")->as_int(), 42);
+}
+
+TEST(JsonLimitsTest, DepthErrorNamesLimitAndOffset) {
+  std::string deep(Json::kMaxDepth + 10, '[');
+  auto parsed = Json::Parse(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("Json::kMaxDepth"),
+            std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonLimitsTest, InputSizeErrorNamesLimit) {
+  std::string big(Json::kMaxInputBytes + 1, ' ');
+  auto parsed = Json::Parse(big);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("Json::kMaxInputBytes"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
 
 }  // namespace
 }  // namespace hiway

@@ -300,5 +300,101 @@ TEST(TraceSourceTest, EmptyTraceRejected) {
   EXPECT_FALSE(TraceSource::FromEvents({}).ok());
 }
 
+// --- fuzz regressions and negative-case tables (docs/fuzzing.md) ---------
+// Every malformed input must fail with an error naming the offending
+// token, id, or file — the matching fuzz corpora keep the original
+// crashing inputs under tests/fuzz/corpus/<target>/.
+
+void ExpectParseErrorNaming(const Status& status, const std::string& token) {
+  EXPECT_NE(status.ToString().find(token), std::string::npos)
+      << "error does not name '" << token << "': " << status.ToString();
+}
+
+TEST(DaxSourceTest, SelfDependencyRejected) {
+  // crash_self_dependency.dax: a job using the same file as input and
+  // output produced a task depending on itself; schedulers saw a cycle.
+  auto source = DaxSource::Parse(R"(<adag name="loop">
+    <job id="j" name="t">
+      <uses file="x" link="input"/>
+      <uses file="x" link="output" size="1"/>
+    </job></adag>)");
+  ASSERT_FALSE(source.ok());
+  ExpectParseErrorNaming(source.status(), "invalid DAX task graph");
+  ExpectParseErrorNaming(source.status(), "self-dependency");
+}
+
+TEST(DaxSourceTest, MalformedSizesNameTheJobAndToken) {
+  auto bad = DaxSource::Parse(R"(<adag name="w"><job id="j1" name="t">
+    <uses file="o" link="output" size="12abc"/></job></adag>)");
+  ASSERT_FALSE(bad.ok());
+  ExpectParseErrorNaming(bad.status(), "12abc");
+  ExpectParseErrorNaming(bad.status(), "j1");
+
+  auto negative = DaxSource::Parse(R"(<adag name="w"><job id="j2" name="t">
+    <uses file="o" link="output" size="-4"/></job></adag>)");
+  ASSERT_FALSE(negative.ok());
+  ExpectParseErrorNaming(negative.status(), "negative size");
+  ExpectParseErrorNaming(negative.status(), "j2");
+}
+
+TEST(GalaxySourceTest, DuplicateStepIdsRejected) {
+  // crash_duplicate_id.ga: two steps with the same id collided on one
+  // task id, so the rebuilt graph had duplicate producers.
+  auto source = GalaxySource::Parse(
+      R"({"steps": {"a": {"id": 3, "tool_id": "t"},
+                    "b": {"id": 3, "tool_id": "u"}}})",
+      {});
+  ASSERT_FALSE(source.ok());
+  ExpectParseErrorNaming(source.status(), "duplicate Galaxy step id 3");
+}
+
+TEST(GalaxySourceTest, OutOfRangeStepIdsRejected) {
+  // "id": 1e300 saturates to INT64_MAX under the fixed as_int(); the
+  // parser bounds ids so task.id = id + 1 cannot overflow.
+  auto source = GalaxySource::Parse(
+      R"({"steps": {"0": {"id": 1e300, "tool_id": "t"}}})", {});
+  ASSERT_FALSE(source.ok());
+  ExpectParseErrorNaming(source.status(), "out-of-range id");
+}
+
+TEST(TraceSourceTest, NonPositiveTaskIdsRejected) {
+  // crash_negative_task_id.trace: task_id -5 flowed into TaskSpec.id and
+  // violated the scheduler's positive-id contract.
+  auto source = TraceSource::Parse(
+      "{\"type\": \"workflow-start\", \"run_id\": \"r1\", "
+      "\"workflow\": \"w\"}\n"
+      "{\"type\": \"task-start\", \"run_id\": \"r1\", \"task_id\": -5, "
+      "\"signature\": \"t\"}\n"
+      "{\"type\": \"task-end\", \"run_id\": \"r1\", \"task_id\": -5, "
+      "\"success\": true}\n");
+  ASSERT_FALSE(source.ok());
+  ExpectParseErrorNaming(source.status(), "non-positive task id -5");
+}
+
+TEST(TraceSourceTest, CorruptStageEventsRejected) {
+  const char* header =
+      "{\"type\": \"workflow-start\", \"run_id\": \"r1\", "
+      "\"workflow\": \"w\"}\n"
+      "{\"type\": \"task-start\", \"run_id\": \"r1\", \"task_id\": 1, "
+      "\"signature\": \"t\"}\n";
+  auto negative_size = TraceSource::Parse(
+      std::string(header) +
+      "{\"type\": \"file-stage-out\", \"run_id\": \"r1\", \"task_id\": 1, "
+      "\"file\": \"/out\", \"size_bytes\": -9}\n"
+      "{\"type\": \"task-end\", \"run_id\": \"r1\", \"task_id\": 1, "
+      "\"success\": true}\n");
+  ASSERT_FALSE(negative_size.ok());
+  ExpectParseErrorNaming(negative_size.status(), "negative size -9");
+
+  auto empty_path = TraceSource::Parse(
+      std::string(header) +
+      "{\"type\": \"file-stage-in\", \"run_id\": \"r1\", \"task_id\": 1, "
+      "\"size_bytes\": 5}\n"
+      "{\"type\": \"task-end\", \"run_id\": \"r1\", \"task_id\": 1, "
+      "\"success\": true}\n");
+  ASSERT_FALSE(empty_path.ok());
+  ExpectParseErrorNaming(empty_path.status(), "empty file path");
+}
+
 }  // namespace
 }  // namespace hiway
