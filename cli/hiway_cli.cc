@@ -37,6 +37,7 @@ void PrintUsage() {
   std::printf(
       "usage: hiway --workflow FILE [options]\n"
       "\n"
+      "workflow execution:\n"
       "  --workflow FILE          workflow document to execute (repeatable\n"
       "                           in --service mode)\n"
       "  --cwl FILE               shorthand for --workflow FILE with the\n"
@@ -47,33 +48,44 @@ void PrintUsage() {
       "                            .jsonl/.trace, .cwl/.cwl.json)\n"
       "  --policy POLICY          fcfs | data-aware | round-robin | heft |\n"
       "                           online-mct (default: data-aware)\n"
+      "  --vcores N               container vcores (default 1)\n"
+      "  --memory MB              container memory (default 1024)\n"
+      "  --tailor-containers      per-task container sizing (Sec. 5)\n"
+      "  --seed N                 simulation seed (default 42)\n"
+      "  --verbose                per-task completion log\n"
+      "  --help                   this message\n"
+      "\n"
+      "deployment & storage (docs/storage-model.md):\n"
       "  -a KEY=VALUE             Chef-style deployment attribute, e.g.\n"
       "                           -a cluster/workers=8 (repeatable)\n"
       "  --input PATH=SIZE        stage an input file into DFS; SIZE takes\n"
       "                           B/KB/MB/GB suffixes (repeatable)\n"
       "  --galaxy-input NAME=PATH resolve a Galaxy input placeholder\n"
-      "  --vcores N               container vcores (default 1)\n"
-      "  --memory MB              container memory (default 1024)\n"
-      "  --tailor-containers      per-task container sizing (Sec. 5)\n"
-      "  --seed N                 simulation seed (default 42)\n"
+      "  --dfs-capacity-mb N      cap raw (replica-weighted) DFS storage\n"
+      "                           at N MiB; writes beyond it fail\n"
+      "                           (default 0 = unlimited)\n"
+      "  --gc                     collect intermediate files once their\n"
+      "                           last consumer completed (targets and\n"
+      "                           cache-pinned outputs are kept)\n"
+      "\n"
+      "data caches (docs/data-cache.md):\n"
       "  --result-cache           enable the cluster-wide result cache:\n"
       "                           tasks whose signature and input contents\n"
       "                           match a sealed prior run are served\n"
-      "                           without a container (docs/data-cache.md)\n"
+      "                           without a container\n"
       "  --staging-cache-mb N     per-node staging cache budget in MiB\n"
       "                           (0 = unbounded; omit to disable)\n"
       "  --cache-verify           spot-check result-cache hits by\n"
       "                           re-reading their outputs from DFS and\n"
       "                           fail the hit loudly on a mismatch\n"
+      "\n"
+      "observability (docs/observability.md):\n"
       "  --trace-out FILE         write the provenance trace (JSON lines)\n"
       "  --chrome-trace-out FILE  write an execution trace in Chrome\n"
       "                           trace_event JSON (load in Perfetto) and\n"
       "                           print the critical-path breakdown\n"
-      "                           (docs/observability.md)\n"
       "  --metrics-out FILE       write a Prometheus-style text snapshot\n"
       "                           of per-span counters\n"
-      "  --verbose                per-task completion log\n"
-      "  --help                   this message\n"
       "\n"
       "multi-tenant service mode (many AMs in one deployment):\n"
       "  --service                run all --workflow flags concurrently\n"
@@ -105,6 +117,10 @@ void PrintUsage() {
       "  --max-preempt-per-round N\n"
       "                           kill at most N containers per allocation\n"
       "                           pass (default 2)\n"
+      "  --footprint-admission    only co-schedule workflows whose\n"
+      "                           combined estimated storage footprint\n"
+      "                           fits the DFS capacity; needs\n"
+      "                           --dfs-capacity-mb (docs/storage-model.md)\n"
       "  --faults SPEC            inject failures while the burst runs,\n"
       "                           e.g. kill-am-node@60,hdfs-error:rate=0.05\n"
       "                           (see docs/failure-model.md for the\n"
@@ -185,6 +201,7 @@ struct CliOptions {
   double heartbeat_batch = 0.0;
   std::vector<ServiceQueueOptions> queue_configs;
   std::string faults;
+  bool footprint_admission = false;
   // Elastic membership.
   double spot_fraction = -1.0;
   double revoke_warning_s = -1.0;
@@ -335,6 +352,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.attributes["hiway/cache_staging_mb"] = v;
     } else if (arg == "--cache-verify") {
       options.attributes["hiway/cache_verify"] = "on";
+    } else if (arg == "--dfs-capacity-mb") {
+      HIWAY_ASSIGN_OR_RETURN(std::string v,
+                             need_value(i, "--dfs-capacity-mb"));
+      HIWAY_RETURN_IF_ERROR(ParseInt64(v).status());
+      options.attributes["dfs/capacity_mb"] = v;
+    } else if (arg == "--gc") {
+      options.attributes["hiway/gc"] = "on";
+    } else if (arg == "--footprint-admission") {
+      options.footprint_admission = true;
     } else if (arg == "--seed") {
       HIWAY_ASSIGN_OR_RETURN(std::string v, need_value(i, "--seed"));
       HIWAY_ASSIGN_OR_RETURN(int64_t n, ParseInt64(v));
@@ -365,6 +391,11 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (!options.faults.empty() && !options.service) {
     return Status::InvalidArgument(
         "--faults requires --service (failover is a service-mode feature)");
+  }
+  if (options.footprint_admission && !options.service) {
+    return Status::InvalidArgument(
+        "--footprint-admission requires --service (admission gates the "
+        "service backlog)");
   }
   return options;
 }
@@ -474,6 +505,29 @@ void PrintCacheSummary(const Deployment* d) {
   }
 }
 
+/// Prints DFS capacity / GC accounting (no-op without a capacity limit
+/// or collector — see docs/storage-model.md).
+void PrintStorageSummary(const Deployment* d) {
+  if (d->gc == nullptr && d->dfs->options().capacity_bytes <= 0) return;
+  const DfsCounters& c = d->dfs->counters();
+  std::printf("storage: peak footprint %s raw",
+              HumanBytes(static_cast<double>(c.peak_footprint)).c_str());
+  if (d->dfs->options().capacity_bytes > 0) {
+    std::printf(" of %s capacity",
+                HumanBytes(static_cast<double>(
+                               d->dfs->options().capacity_bytes))
+                    .c_str());
+  }
+  std::printf(", %lld file(s) / %s deleted",
+              static_cast<long long>(c.files_deleted),
+              HumanBytes(static_cast<double>(c.bytes_deleted)).c_str());
+  if (c.capacity_rejections > 0) {
+    std::printf(", %lld capacity rejection(s)",
+                static_cast<long long>(c.capacity_rejections));
+  }
+  std::printf("\n");
+}
+
 /// Drains the execution tracer into the requested exporter files and
 /// prints the critical-path attribution (no-op when neither flag is set).
 Status WriteObsOutputs(Deployment* d, const CliOptions& cli) {
@@ -514,6 +568,7 @@ Result<int> RunService(const CliOptions& cli) {
   service_options.base_seed = cli.seed;
   service_options.default_policy = cli.policy;
   service_options.heartbeat_batch = cli.heartbeat_batch;
+  service_options.footprint_admission = cli.footprint_admission;
   // Queues referenced by --queue but never configured get the defaults.
   for (const CliWorkflow& wf : cli.workflows) {
     bool known = false;
@@ -526,6 +581,19 @@ Result<int> RunService(const CliOptions& cli) {
       service_options.queues.push_back(std::move(q));
     }
   }
+
+  // Build every source before creating the service: MakeSourceForFile
+  // stages document-declared inputs, and footprint admission budgets
+  // against the DFS bytes present at service creation — the baseline
+  // must include those inputs (docs/storage-model.md).
+  std::vector<std::unique_ptr<WorkflowSource>> sources;
+  sources.reserve(cli.workflows.size());
+  for (const CliWorkflow& wf : cli.workflows) {
+    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
+                           MakeSourceForFile(d.get(), cli, wf));
+    sources.push_back(std::move(source));
+  }
+
   HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowService> service,
                          WorkflowService::Create(d.get(), service_options));
 
@@ -551,9 +619,9 @@ Result<int> RunService(const CliOptions& cli) {
   hiway.container_memory_mb = cli.memory_mb;
   hiway.tailor_containers = cli.tailor;
   int rejected = 0;
-  for (const CliWorkflow& wf : cli.workflows) {
-    HIWAY_ASSIGN_OR_RETURN(std::unique_ptr<WorkflowSource> source,
-                           MakeSourceForFile(d.get(), cli, wf));
+  for (size_t w = 0; w < cli.workflows.size(); ++w) {
+    const CliWorkflow& wf = cli.workflows[w];
+    std::unique_ptr<WorkflowSource> source = std::move(sources[w]);
     SubmissionOptions sub;
     sub.queue = wf.queue;
     sub.hiway = hiway;
@@ -620,6 +688,13 @@ Result<int> RunService(const CliOptions& cli) {
   std::printf("time-averaged Jain fairness: %.3f\n",
               d->rm->TimeAveragedFairness());
   PrintCacheSummary(d.get());
+  PrintStorageSummary(d.get());
+  if (cli.footprint_admission && service->footprint_budget_bytes() > 0) {
+    std::printf("footprint admission: budget %s raw\n",
+                HumanBytes(static_cast<double>(
+                               service->footprint_budget_bytes()))
+                    .c_str());
+  }
   if (d->elastic != nullptr &&
       (d->elastic->options().policy.enabled ||
        d->elastic->stats().nodes_revoked > 0)) {
@@ -700,7 +775,16 @@ Result<int> Run(const CliOptions& cli) {
     std::printf("  %d task(s) served from the result cache\n",
                 report->tasks_cached);
   }
+  if (d->gc != nullptr) {
+    std::printf("  gc: %lld file(s) / %s collected, peak live %s logical\n",
+                static_cast<long long>(report->gc_files_collected),
+                HumanBytes(static_cast<double>(report->gc_bytes_collected))
+                    .c_str(),
+                HumanBytes(static_cast<double>(report->peak_footprint_bytes))
+                    .c_str());
+  }
   PrintCacheSummary(d.get());
+  PrintStorageSummary(d.get());
   for (const std::string& target : source->Targets()) {
     auto info = d->dfs->Stat(target);
     std::printf("  output: %s (%s)\n", target.c_str(),

@@ -1,18 +1,30 @@
 #!/bin/sh
 # Verify that every relative markdown link in the repo's docs resolves to
-# an existing file, and that backticked repo paths (src/..., docs/...,
-# bench/..., scripts/...) still exist. Run from anywhere; CI runs it in
-# the build-and-test job.
+# an existing file, that intra-page `#anchor` fragments (same-file or
+# `file.md#anchor`) resolve to a real heading in the target page, and
+# that backticked repo paths (src/..., docs/..., bench/..., scripts/...)
+# still exist. Run from anywhere; CI runs it in the build-and-test job.
 #
 #   scripts/check_docs_links.sh            # check and report
 #
-# Exits non-zero listing every dead link/path found.
+# Exits non-zero listing every dead link/path/anchor found.
 
 set -u
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$root" || exit 1
 
 fail=0
+
+# GitHub-style anchor slugs of every heading in $1: lowercase, strip
+# everything but alphanumerics/space/hyphen/underscore, spaces become
+# hyphens. `#` lines inside fenced code blocks can slip in as extra
+# slugs — that only ever makes the check more lenient, never flaky.
+slugs_of() {
+  grep '^#' "$1" 2>/dev/null \
+    | sed -e 's/^#\{1,\}[[:space:]]*//' \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
 
 # Markdown files under version control only (skips build trees).
 files=$(git ls-files '*.md')
@@ -26,14 +38,34 @@ for f in $files; do
   for link in $links; do
     case "$link" in
       http://*|https://*|mailto:*) continue ;;  # external: not checked
-      '#'*) continue ;;                         # same-file anchor
     esac
     target=${link%%#*}                          # strip fragment
-    [ -n "$target" ] || continue
-    if [ ! -e "$dir/$target" ]; then
+    if [ -n "$target" ] && [ ! -e "$dir/$target" ]; then
       echo "DEAD LINK  $f: ($link)"
       fail=1
+      continue
     fi
+    # Fragment (same-file `#a` or cross-file `page.md#a`): the anchor
+    # must match a heading slug in the target page.
+    case "$link" in
+      *'#'*)
+        frag=${link#*#}
+        [ -n "$frag" ] || continue
+        if [ -z "$target" ]; then
+          anchor_file=$f
+        else
+          anchor_file="$dir/$target"
+        fi
+        case "$anchor_file" in
+          *.md) ;;
+          *) continue ;;  # anchors into non-markdown targets: skip
+        esac
+        if ! slugs_of "$anchor_file" | grep -qx "$frag"; then
+          echo "DEAD ANCHOR $f: ($link) — no heading #$frag in $anchor_file"
+          fail=1
+        fi
+        ;;
+    esac
   done
 
   # --- backticked repo paths ------------------------------------------
@@ -68,7 +100,7 @@ done
 # a PR that deletes or un-links them should fail here, not silently
 # orphan them.
 for page in docs/architecture.md docs/observability.md docs/data-cache.md \
-            docs/scaling.md docs/fuzzing.md; do
+            docs/scaling.md docs/fuzzing.md docs/storage-model.md; do
   if [ ! -f "$page" ]; then
     echo "MISSING    required page $page does not exist"
     fail=1

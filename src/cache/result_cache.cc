@@ -223,6 +223,7 @@ Status ResultCache::OpenIndex(const std::string& path) {
     if (!entry.run_id.empty()) {
       tenant_of_run_.emplace(entry.run_id, entry.tenant);
     }
+    PinOutputsLocked(entry, +1);
     entries_[entry.key][entry.tenant] = std::move(entry);
     ++stats_.restored;
   }
@@ -302,6 +303,7 @@ Status ResultCache::Publish(const TaskSpec& spec, const TaskResult& result,
       }
       if (victim_key.empty()) break;
       auto vit = entries_.find(victim_key);
+      PinOutputsLocked(vit->second.at(victim_tenant), -1);
       if (index_) {
         index_
             ->Delete(StrFormat("%s%s/%s", kIndexPrefix, victim_key.c_str(),
@@ -317,7 +319,11 @@ Status ResultCache::Publish(const TaskSpec& spec, const TaskResult& result,
     }
   }
 
+  if (replacing) {
+    PinOutputsLocked(existing->second.at(entry.tenant), -1);
+  }
   PersistLocked(entry);
+  PinOutputsLocked(entry, +1);
   entries_[entry.key][entry.tenant] = std::move(entry);
   ++stats_.seals;
   if (tracer_) {
@@ -374,6 +380,7 @@ Result<CacheHit> ResultCache::Lookup(const TaskSpec& spec,
                              HexU64(Fnv1a64(t)).c_str()))
           .ok();
     }
+    PinOutputsLocked(tit->second, -1);
     it->second.erase(tit);
     if (it->second.empty()) entries_.erase(it);
     if (tracer_) tracer_->Instant(SpanCategory::kCache, "cache_evict");
@@ -424,6 +431,7 @@ Result<CacheHit> ResultCache::Lookup(const TaskSpec& spec,
                                HexU64(Fnv1a64(t)).c_str()))
             .ok();
       }
+      PinOutputsLocked(tit->second, -1);
       it->second.erase(tit);
       if (it->second.empty()) entries_.erase(it);
       if (tracer_) {
@@ -494,6 +502,7 @@ int64_t ResultCache::EvictUnreadable() {
             .ok();
       }
       if (tracer_) tracer_->Instant(SpanCategory::kCache, "cache_evict");
+      PinOutputsLocked(tit->second, -1);
       tit = it->second.erase(tit);
       ++evicted;
       ++stats_.churn_evictions;
@@ -515,6 +524,20 @@ size_t ResultCache::size() const {
 ResultCacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void ResultCache::PinOutputsLocked(const Entry& entry, int sign) {
+  for (const CachedOutput& out : entry.outputs) {
+    if (out.is_value) continue;
+    auto [it, inserted] = pinned_paths_.emplace(out.path, 0);
+    it->second += sign;
+    if (it->second <= 0) pinned_paths_.erase(it);
+  }
+}
+
+bool ResultCache::PinsPath(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_paths_.find(path) != pinned_paths_.end();
 }
 
 size_t ResultCache::TotalEntriesLocked() const {

@@ -71,6 +71,9 @@ Result<WorkflowReport> HiWayClient::RunSource(WorkflowSource* source,
   if (deployment_->staging_cache != nullptr) {
     am.SetStagingCache(deployment_->staging_cache.get());
   }
+  if (deployment_->gc != nullptr) {
+    am.SetGc(deployment_->gc.get());
+  }
   HIWAY_RETURN_IF_ERROR(am.Submit(source, scheduler.get()));
   return am.RunToCompletion();
 }

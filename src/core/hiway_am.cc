@@ -55,6 +55,9 @@ void HiWayAm::Crash() {
   // race past the crash are dropped (and counted) instead of polluting
   // the crash-prefix trace that the next attempt replays.
   if (shard_ != nullptr) shard_->Seal();
+  // Freeze the GC scope: its pins survive until a replacement attempt has
+  // re-registered every interest and the service dissolves this scope.
+  if (gc_ != nullptr && submitted_) gc_->MarkDormant(report_.run_id);
 }
 
 void HiWayAm::HeartbeatLoop() {
@@ -190,6 +193,12 @@ Status HiWayAm::Submit(WorkflowSource* source, WorkflowScheduler* scheduler) {
     FinishWorkflow(initial.status().WithContext("workflow parsing failed"));
     return initial.status();
   }
+  if (gc_ != nullptr) {
+    // Iterative sources may discover consumers of any path later, so
+    // their scope only collects when it ends.
+    gc_->BeginScope(report_.run_id, source_->IsStatic());
+    gc_->SetTargets(report_.run_id, source_->Targets());
+  }
 
   // Assign ids and container defaults before static scheduling sees them.
   std::vector<TaskSpec> tasks = std::move(initial).value();
@@ -258,6 +267,12 @@ Status HiWayAm::AdmitTasks(std::vector<TaskSpec> tasks) {
     TaskId id = entry.spec.id;
     auto [it, inserted] = tasks_.emplace(id, std::move(entry));
     TaskEntry* e = &it->second;
+    // Pin inputs before memoisation: a replayed completion releases its
+    // pins through the same OnConsumerDone path as a real one, so the
+    // refcounts never skip a consumer.
+    if (gc_ != nullptr) {
+      gc_->RegisterConsumer(report_.run_id, id, e->spec.input_files);
+    }
     if (TryMemoise(e)) continue;
     for (const std::string& path : e->spec.input_files) {
       if (!dfs_->Exists(path)) {
@@ -330,6 +345,9 @@ Status HiWayAm::DrainMemoised() {
     TaskResult result = std::move(memo_completions_.front());
     memo_completions_.pop_front();
     RegisterProducedFiles(result);
+    // Memoised and cache-served completions release their input pins like
+    // executed ones.
+    if (gc_ != nullptr) gc_->OnConsumerDone(report_.run_id, result.id);
     auto discovered = source_->OnTaskCompleted(result);
     if (!discovered.ok()) {
       draining_memo_ = false;
@@ -597,6 +615,9 @@ void HiWayAm::OnAttemptDone(TaskId id, int epoch, TaskAttemptOutcome outcome) {
                            cluster_->node(result.node).name);
   }
   RegisterProducedFiles(result);
+  // Release input pins only now, on *successful* completion: preempted or
+  // drained attempts re-queue with their pins intact.
+  if (gc_ != nullptr) gc_->OnConsumerDone(report_.run_id, id);
 
   auto discovered = source_->OnTaskCompleted(result);
   if (!discovered.ok()) {
@@ -671,6 +692,9 @@ void HiWayAm::RetryLater(TaskEntry* entry) {
 void HiWayAm::RegisterProducedFiles(const TaskResult& result) {
   for (const auto& [path, size] : result.produced_files) {
     file_producer_[path] = result.id;
+    // The cache (if any) sealed its entry before this point, so a pinned
+    // output is already visible to the collector here.
+    if (gc_ != nullptr) gc_->RegisterProduced(report_.run_id, path, size);
     auto waiters = waiting_on_file_.find(path);
     if (waiters == waiting_on_file_.end()) continue;
     std::set<TaskId> ids = std::move(waiters->second);
@@ -738,6 +762,15 @@ void HiWayAm::FinishWorkflow(Status status) {
   }
   report_.status = status;
   report_.finished_at = cluster_->engine()->Now();
+  if (gc_ != nullptr && submitted_ && source_ != nullptr) {
+    // Targets may only have resolved during execution (iterative
+    // control flow); refresh them so the final pass never collects one.
+    gc_->SetTargets(report_.run_id, source_->Targets());
+    GcScopeReport gc_report = gc_->EndScope(report_.run_id);
+    report_.peak_footprint_bytes = gc_report.peak_live_bytes;
+    report_.gc_files_collected = gc_report.files_collected;
+    report_.gc_bytes_collected = gc_report.bytes_collected;
+  }
   if (tracer_ != nullptr) {
     tracer_->End(SpanCategory::kWorkflow, "workflow", app_,
                  /*container=*/-1, /*task=*/-1, /*node=*/-1,

@@ -25,6 +25,7 @@
 #include "src/core/runtime_estimator.h"
 #include "src/core/scheduler.h"
 #include "src/core/task_executor.h"
+#include "src/gc/intermediate_gc.h"
 #include "src/hdfs/dfs.h"
 #include "src/lang/workflow.h"
 #include "src/tools/tool_registry.h"
@@ -98,6 +99,12 @@ struct WorkflowReport {
   int am_attempt = 1;
   /// Scheduling decisions taken by the AM (Fig. 6 master-load accounting).
   int64_t scheduler_invocations = 0;
+  /// Traced storage footprint (logical bytes; 0 without a GC attached):
+  /// high-water mark of staged inputs + live intermediates, plus what the
+  /// collector reclaimed (docs/storage-model.md).
+  int64_t peak_footprint_bytes = 0;
+  int64_t gc_files_collected = 0;
+  int64_t gc_bytes_collected = 0;
 
   double Makespan() const { return finished_at - started_at; }
 };
@@ -152,6 +159,13 @@ class HiWayAm : public AmCallbacks {
     result_cache_ = cache;
     cache_tenant_ = std::move(tenant);
   }
+
+  /// Attaches the intermediate-data GC (src/gc/): the AM then opens a
+  /// scope for its run, registers every task's inputs (before
+  /// memoisation, so replayed completions release pins in order) and
+  /// every produced file, and lets the collector delete intermediates
+  /// whose last consumer completed. Set before Submit(); not owned.
+  void SetGc(IntermediateGc* gc) { gc_ = gc; }
 
   /// Attaches the per-NodeManager staging cache: stage-in of an input
   /// already resident on the chosen node is served locally instead of
@@ -292,6 +306,9 @@ class HiWayAm : public AmCallbacks {
   /// namespace this workflow reads from / publishes into.
   ResultCache* result_cache_ = nullptr;
   std::string cache_tenant_;
+  /// Intermediate-data collector (nullptr = GC off). The AM registers
+  /// interests; the service owns scope teardown across AM failover.
+  IntermediateGc* gc_ = nullptr;
 };
 
 }  // namespace hiway

@@ -1,0 +1,128 @@
+#include "src/gc/footprint.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace hiway {
+
+FootprintEstimate EstimateFootprint(const std::vector<TaskSpec>& tasks,
+                                    const std::vector<std::string>& targets,
+                                    const Dfs* dfs) {
+  FootprintEstimate est;
+  std::set<std::string> target_set(targets.begin(), targets.end());
+
+  // Producer / consumer indices over file (non-value) paths.
+  std::map<std::string, size_t> producer_of;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (const OutputSpec& out : tasks[i].outputs) {
+      if (!out.is_value) producer_of[out.path] = i;
+    }
+  }
+  std::map<std::string, int> remaining_consumers;
+  std::vector<std::set<std::string>> inputs_of(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (const std::string& path : tasks[i].input_files) {
+      if (inputs_of[i].insert(path).second) ++remaining_consumers[path];
+    }
+  }
+
+  // Known sizes: external inputs from the DFS, produced paths as tasks
+  // "run" below.
+  std::map<std::string, int64_t> size_of;
+  int64_t live = 0;
+  for (const auto& [path, count] : remaining_consumers) {
+    (void)count;
+    if (producer_of.find(path) != producer_of.end()) continue;
+    int64_t size = 0;
+    if (dfs != nullptr) {
+      auto stat = dfs->Stat(path);
+      if (stat.ok()) size = stat->size_bytes;
+    }
+    size_of[path] = size;
+    est.input_bytes += size;
+    live += size;  // staged inputs are live for the whole run
+  }
+  est.peak_bytes = live;
+
+  // Kahn topological order over producer -> consumer edges.
+  std::vector<int> missing_deps(tasks.size(), 0);
+  std::vector<std::vector<size_t>> dependents(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (const std::string& path : inputs_of[i]) {
+      auto producer = producer_of.find(path);
+      if (producer != producer_of.end() && producer->second != i) {
+        ++missing_deps[i];
+        dependents[producer->second].push_back(i);
+      }
+    }
+  }
+  std::queue<size_t> ready;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (missing_deps[i] == 0) ready.push(i);
+  }
+  std::vector<size_t> order;
+  order.reserve(tasks.size());
+  while (!ready.empty()) {
+    size_t i = ready.front();
+    ready.pop();
+    order.push_back(i);
+    for (size_t dep : dependents[i]) {
+      if (--missing_deps[dep] == 0) ready.push(dep);
+    }
+  }
+  // Cycles / unresolvable deps (malformed graphs): append leftovers in
+  // declaration order so the walk still terminates.
+  if (order.size() < tasks.size()) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (missing_deps[i] > 0) order.push_back(i);
+    }
+  }
+
+  // Serial GC-enabled walk: produce outputs, then retire inputs whose
+  // last consumer just finished.
+  for (size_t i : order) {
+    const TaskSpec& task = tasks[i];
+    int64_t input_sum = 0;
+    for (const std::string& path : inputs_of[i]) {
+      auto size = size_of.find(path);
+      if (size != size_of.end()) input_sum += size->second;
+    }
+    for (const OutputSpec& out : task.outputs) {
+      if (out.is_value) continue;
+      int64_t size;
+      if (out.size_bytes.has_value()) {
+        size = *out.size_bytes;
+      } else {
+        size = input_sum;  // tool-model fallback: outputs scale with inputs
+        est.exact_sizes = false;
+      }
+      size_of[out.path] = size;
+      est.total_produced_bytes += size;
+      live += size;
+      est.peak_bytes = std::max(est.peak_bytes, live);
+      // Dead on arrival: no consumer, not a target.
+      if (remaining_consumers.find(out.path) == remaining_consumers.end() &&
+          target_set.count(out.path) == 0) {
+        live -= size;
+      }
+    }
+    for (const std::string& path : inputs_of[i]) {
+      auto count = remaining_consumers.find(path);
+      if (count == remaining_consumers.end()) continue;
+      if (--count->second > 0) continue;
+      remaining_consumers.erase(count);
+      // Only scope-produced, non-target files are collectible; staged
+      // external inputs stay for the whole run.
+      if (producer_of.find(path) != producer_of.end() &&
+          target_set.count(path) == 0) {
+        auto size = size_of.find(path);
+        if (size != size_of.end()) live -= size->second;
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace hiway

@@ -26,6 +26,39 @@ int Dfs::EffectiveReplication() const {
   return std::max(1, std::min(options_.replication, alive));
 }
 
+void Dfs::AccountReplica(NodeId node, int64_t size_bytes, int sign) {
+  stored_bytes_[node] += sign * size_bytes;
+  total_stored_bytes_ += sign * size_bytes;
+  if (total_stored_bytes_ > counters_.peak_footprint) {
+    counters_.peak_footprint = total_stored_bytes_;
+  }
+}
+
+void Dfs::AccountReplicas(const DfsFileInfo& info, int sign) {
+  if (info.external) return;  // S3 objects consume no cluster storage
+  for (const DfsBlock& block : info.blocks) {
+    for (NodeId replica : block.replicas) {
+      AccountReplica(replica, block.size_bytes, sign);
+    }
+  }
+}
+
+Status Dfs::CheckCapacity(const std::string& path, int64_t size_bytes,
+                          int replication) {
+  if (options_.capacity_bytes <= 0) return Status::OK();
+  int64_t projected = size_bytes * static_cast<int64_t>(replication);
+  if (total_stored_bytes_ + projected <= options_.capacity_bytes) {
+    return Status::OK();
+  }
+  ++counters_.capacity_rejections;
+  return Status::ResourceExhausted(StrFormat(
+      "DFS capacity exceeded writing %s: %lld raw bytes stored + %lld "
+      "requested > %lld capacity",
+      path.c_str(), static_cast<long long>(total_stored_bytes_),
+      static_cast<long long>(projected),
+      static_cast<long long>(options_.capacity_bytes)));
+}
+
 bool Dfs::Exists(const std::string& path) const {
   ++counters_.metadata_ops;
   return files_.find(path) != files_.end();
@@ -46,6 +79,15 @@ Status Dfs::Delete(const std::string& path) {
   if (it == files_.end()) {
     return Status::NotFound("no such file in DFS: " + path);
   }
+  if (!it->second.external) {
+    int64_t raw = 0;
+    for (const DfsBlock& block : it->second.blocks) {
+      raw += block.size_bytes * static_cast<int64_t>(block.replicas.size());
+    }
+    counters_.bytes_deleted += raw;
+  }
+  ++counters_.files_deleted;
+  AccountReplicas(it->second, -1);
   files_.erase(it);
   return Status::OK();
 }
@@ -85,12 +127,14 @@ Status Dfs::IngestFile(const std::string& path, int64_t size_bytes,
   if (files_.find(path) != files_.end()) {
     return Status::AlreadyExists("file already in DFS: " + path);
   }
+  int rep = EffectiveReplication();
+  Status cap = CheckCapacity(path, size_bytes, rep);
+  if (!cap.ok()) return cap;
   DfsFileInfo info;
   info.path = path;
   info.size_bytes = size_bytes;
   info.content_id = NextContentId(path, size_bytes);
   int64_t remaining = size_bytes;
-  int rep = EffectiveReplication();
   do {
     DfsBlock block;
     block.size_bytes = std::min(remaining, options_.block_size_bytes);
@@ -98,6 +142,7 @@ Status Dfs::IngestFile(const std::string& path, int64_t size_bytes,
     info.blocks.push_back(std::move(block));
     remaining -= info.blocks.back().size_bytes;
   } while (remaining > 0);
+  AccountReplicas(info, +1);
   files_.emplace(path, std::move(info));
   return Status::OK();
 }
@@ -264,6 +309,13 @@ void Dfs::WriteFromNode(const std::string& path, int64_t size_bytes,
         0.0, [done = std::move(done), st] { done(st); });
     return;
   }
+  int rep = EffectiveReplication();
+  Status cap = CheckCapacity(path, size_bytes, rep);
+  if (!cap.ok()) {
+    cluster_->engine()->ScheduleAfter(
+        0.0, [done = std::move(done), cap] { done(cap); });
+    return;
+  }
   counters_.bytes_written += size_bytes;
   // Build metadata up front (placement is decided at write start, like an
   // HDFS client asking the NameNode for a pipeline).
@@ -271,7 +323,6 @@ void Dfs::WriteFromNode(const std::string& path, int64_t size_bytes,
   info.path = path;
   info.size_bytes = size_bytes;
   info.content_id = NextContentId(path, size_bytes);
-  int rep = EffectiveReplication();
   int64_t remaining = size_bytes;
   struct WriteState {
     int pending = 0;
@@ -316,6 +367,7 @@ void Dfs::WriteFromNode(const std::string& path, int64_t size_bytes,
     flows.push_back(std::move(spec));
     info.blocks.push_back(std::move(block));
   } while (remaining > 0);
+  AccountReplicas(info, +1);
   files_.emplace(path, std::move(info));
   state->pending = static_cast<int>(flows.size());
   for (FlowSpec& spec : flows) {
@@ -325,6 +377,11 @@ void Dfs::WriteFromNode(const std::string& path, int64_t size_bytes,
 
 void Dfs::KillNode(NodeId node) {
   dead_nodes_.insert(node);
+  auto stored = stored_bytes_.find(node);
+  if (stored != stored_bytes_.end()) {
+    total_stored_bytes_ -= stored->second;
+    stored->second = 0;
+  }
   for (auto& [path, info] : files_) {
     for (DfsBlock& block : info.blocks) {
       block.replicas.erase(
@@ -350,6 +407,7 @@ void Dfs::DecommissionNode(NodeId node) {
       if (pool.empty()) break;  // nowhere to rescue to
       NodeId dst = pool[static_cast<size_t>(rng_.UniformInt(pool.size()))];
       block.replicas.push_back(dst);
+      AccountReplica(dst, block.size_bytes, +1);
       ++counters_.blocks_re_replicated;
       ++counters_.metadata_ops;
     }
@@ -398,6 +456,7 @@ void Dfs::ReReplicate() {
         if (pool.empty()) break;
         NodeId dst = pool[static_cast<size_t>(rng_.UniformInt(pool.size()))];
         block.replicas.push_back(dst);
+        AccountReplica(dst, block.size_bytes, +1);
         ++counters_.blocks_re_replicated;
         ++counters_.metadata_ops;
       }
@@ -406,16 +465,8 @@ void Dfs::ReReplicate() {
 }
 
 int64_t Dfs::StoredBytes(NodeId node) const {
-  int64_t total = 0;
-  for (const auto& [path, info] : files_) {
-    for (const DfsBlock& block : info.blocks) {
-      if (std::find(block.replicas.begin(), block.replicas.end(), node) !=
-          block.replicas.end()) {
-        total += block.size_bytes;
-      }
-    }
-  }
-  return total;
+  auto it = stored_bytes_.find(node);
+  return it == stored_bytes_.end() ? 0 : it->second;
 }
 
 }  // namespace hiway

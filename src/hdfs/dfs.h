@@ -35,6 +35,12 @@ struct DfsOptions {
   /// Nodes below this id run no DataNode (dedicated master VMs store no
   /// HDFS blocks).
   NodeId first_datanode = 0;
+  /// Cluster-wide storage capacity in raw (replica-weighted) bytes;
+  /// 0 = unlimited. A write or ingest that would push the total stored
+  /// bytes past this limit fails with ResourceExhausted — the condition
+  /// intermediate-data GC (src/gc/, docs/storage-model.md) exists to
+  /// relieve.
+  int64_t capacity_bytes = 0;
 };
 
 /// One replicated block of a file.
@@ -73,6 +79,15 @@ struct DfsCounters {
   int64_t bytes_read_remote = 0;
   int64_t bytes_written = 0;
   int64_t blocks_re_replicated = 0;
+  /// Raw (replica-weighted) bytes freed by Delete() over the lifetime.
+  int64_t bytes_deleted = 0;
+  /// Files removed by Delete().
+  int64_t files_deleted = 0;
+  /// High-water mark of total stored raw bytes (the cluster's realised
+  /// storage footprint; docs/storage-model.md).
+  int64_t peak_footprint = 0;
+  /// Writes/ingests refused because they would exceed capacity_bytes.
+  int64_t capacity_rejections = 0;
 };
 
 class Dfs {
@@ -165,10 +180,24 @@ class Dfs {
   const DfsOptions& options() const { return options_; }
   Cluster* cluster() const { return cluster_; }
 
-  /// Total bytes of replicas currently stored on `node`.
+  /// Total bytes of replicas currently stored on `node`. O(1): the DFS
+  /// keeps incremental per-node byte accounting (docs/storage-model.md).
   int64_t StoredBytes(NodeId node) const;
 
+  /// Total raw (replica-weighted) bytes stored across all nodes. O(1).
+  int64_t TotalStoredBytes() const { return total_stored_bytes_; }
+
  private:
+  /// Adds (`sign` = +1) or removes (-1) every replica of `info` from the
+  /// per-node and cluster byte accounting, updating the peak watermark.
+  void AccountReplicas(const DfsFileInfo& info, int sign);
+  /// Single-replica accounting delta (replica churn: kills, rescues,
+  /// re-replication).
+  void AccountReplica(NodeId node, int64_t size_bytes, int sign);
+  /// ResourceExhausted when storing `size_bytes` at `replication` would
+  /// exceed capacity_bytes; OK otherwise (and always OK when unlimited).
+  Status CheckCapacity(const std::string& path, int64_t size_bytes,
+                       int replication);
   /// Picks `count` distinct replica nodes, honouring the favored first
   /// node when alive.
   std::vector<NodeId> PlaceReplicas(std::optional<NodeId> favored, int count);
@@ -189,6 +218,11 @@ class Dfs {
   std::map<std::string, uint64_t> generation_;
   std::set<NodeId> dead_nodes_;
   std::function<bool(const std::string&, NodeId)> read_fault_hook_;
+  /// Incremental byte accounting: raw bytes of replicas per node and the
+  /// cluster total (StoredBytes/TotalStoredBytes are O(1) lookups, not
+  /// namespace scans).
+  std::map<NodeId, int64_t> stored_bytes_;
+  int64_t total_stored_bytes_ = 0;
 };
 
 }  // namespace hiway

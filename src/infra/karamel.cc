@@ -148,6 +148,10 @@ Recipe HadoopInstallRecipe() {
                            AttrInt(attrs, "dfs/block_mb", 128, 1, 1 << 20));
     dfs_opts.block_size_bytes = block_mb << 20;
     HIWAY_ASSIGN_OR_RETURN(
+        int64_t capacity_mb,
+        AttrInt(attrs, "dfs/capacity_mb", 0, 0, int64_t{1} << 40));
+    dfs_opts.capacity_bytes = capacity_mb << 20;
+    HIWAY_ASSIGN_OR_RETURN(
         int64_t first_dn,
         AttrInt(attrs, "dfs/first_datanode", 0, 0, 2147483647));
     dfs_opts.first_datanode = static_cast<NodeId>(first_dn);
@@ -234,6 +238,14 @@ Recipe HiWayInstallRecipe() {
       sopts.node_budget_bytes = staging_mb > 0 ? staging_mb << 20 : 0;
       d->staging_cache = std::make_unique<StagingCache>(sopts);
       d->staging_cache->SetTracer(&d->tracer);
+    }
+    if (Attr(attrs, "hiway/gc", "off") == "on") {
+      d->gc = std::make_unique<IntermediateGc>(d->dfs.get());
+      if (d->result_cache != nullptr) {
+        // Sealed cache entries pin their outputs: the collector defers
+        // them so a later submission can still replay the hit.
+        d->gc->SetResultCache(d->result_cache.get());
+      }
     }
     return Status::OK();
   };

@@ -19,6 +19,7 @@
 #include "src/cache/staging_cache.h"
 #include "src/common/result.h"
 #include "src/core/provenance.h"
+#include "src/gc/intermediate_gc.h"
 #include "src/core/runtime_estimator.h"
 #include "src/elastic/elastic_cluster.h"
 #include "src/hdfs/dfs.h"
@@ -75,6 +76,10 @@ class Deployment {
   /// result cache resolves hits through provenance views.
   std::unique_ptr<ResultCache> result_cache;
   std::unique_ptr<StagingCache> staging_cache;
+  /// Intermediate-data garbage collector (docs/storage-model.md); null
+  /// unless hiway/gc = "on". Declared after the caches: its cache-pin
+  /// checks reference `result_cache`, so it must be destroyed first.
+  std::unique_ptr<IntermediateGc> gc;
   /// Elastic membership control plane (docs/elastic-cluster.md); built
   /// by ElasticInstallRecipe. Declared after the cluster/RM/DFS/caches
   /// it points into (destroyed first).
@@ -117,7 +122,9 @@ class Karamel {
 ///   cluster/workers (4), cluster/cores (2), cluster/memory_mb (7680),
 ///   cluster/disk_mbps (150), cluster/nic_mbps (125),
 ///   cluster/switch_mbps (1250), cluster/ebs_mbps (0), cluster/s3_mbps (0),
-///   dfs/replication (3), dfs/block_mb (128), yarn/allocation_delay_s (0.5),
+///   dfs/replication (3), dfs/block_mb (128), dfs/capacity_mb (0 =
+///   unlimited; N > 0 caps raw replica-weighted DFS bytes at N MiB —
+///   see docs/storage-model.md), yarn/allocation_delay_s (0.5),
 ///   yarn/scheduler ("fifo"), yarn/allocation_mode ("incremental";
 ///   "full-scan" selects the pre-refactor pass — see docs/scaling.md),
 ///   obs/tracing ("off"; "on" enables the deployment tracer — see
@@ -135,7 +142,9 @@ Recipe HadoopInstallRecipe();
 ///   hiway/cache_verify_rate (0.25), hiway/cache_dir ("" = volatile;
 ///   a path persists the cache index in a provdb log there),
 ///   hiway/cache_staging_mb (-1 = no staging cache; 0 = unbounded
-///   per-node budget; N > 0 = N MiB per node)
+///   per-node budget; N > 0 = N MiB per node),
+///   hiway/gc ("off"; "on" builds the intermediate-data garbage
+///   collector — see docs/storage-model.md)
 Recipe HiWayInstallRecipe();
 
 /// Builds the elastic membership control plane (docs/elastic-cluster.md)

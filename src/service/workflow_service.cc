@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/gc/footprint.h"
 #include "src/sim/fault_injector.h"
 #include "src/yarn/rm_scheduler.h"
 
@@ -66,6 +67,15 @@ Result<std::unique_ptr<WorkflowService>> WorkflowService::Create(
   if (deployment->elastic != nullptr) {
     deployment->elastic->SetActiveCheck([svc] { return !svc->Idle(); });
     deployment->elastic->Start();
+  }
+  // Footprint admission budgets against the capacity left after whatever
+  // is already stored (staged inputs, prior runs' outputs) — stage inputs
+  // before creating the service so the baseline includes them.
+  if (service->options_.footprint_admission && deployment->dfs != nullptr &&
+      deployment->dfs->options().capacity_bytes > 0) {
+    service->footprint_budget_bytes_ =
+        deployment->dfs->options().capacity_bytes -
+        deployment->dfs->TotalStoredBytes();
   }
   return service;
 }
@@ -132,6 +142,9 @@ Result<SubmissionId> WorkflowService::Submit(
   sub.source = std::move(source);
   sub.options = std::move(options);
   subs_[id] = std::move(sub);
+  if (options_.footprint_admission && footprint_budget_bytes_ > 0) {
+    EstimateSubmissionFootprint(id);
+  }
   backlog.push_back(id);
   ++live_submissions_;
   MarkPumpable(records_[id].queue);
@@ -164,6 +177,40 @@ Result<SubmissionId> WorkflowService::SubmitStaged(
   return Submit(staged_name, std::move(source), std::move(options));
 }
 
+void WorkflowService::EstimateSubmissionFootprint(SubmissionId id) {
+  Submission& sub = subs_[id];
+  SubmissionRecord& rec = records_[id];
+  if (sub.options.footprint_bytes == 0) return;  // explicit bypass
+  int64_t logical = 0;  // additional logical bytes beyond staged inputs
+  if (sub.options.footprint_bytes > 0) {
+    logical = sub.options.footprint_bytes;
+  } else {
+    // Auto-estimate: build a throwaway source (the submission's own must
+    // reach its AM unconsumed) and walk its static task graph. Iterative
+    // sources and factory failures leave the gate bypassed — their peak
+    // is unknowable up front.
+    if (!sub.options.source_factory) return;
+    auto probe = sub.options.source_factory();
+    if (!probe.ok() || !(*probe)->IsStatic()) return;
+    auto tasks = (*probe)->Init();
+    if (!tasks.ok()) return;
+    FootprintEstimate est = EstimateFootprint(*tasks, (*probe)->Targets(),
+                                              deployment_->dfs.get());
+    rec.footprint_estimate_bytes = est.peak_bytes;
+    // Staged inputs already sit inside the baseline the budget was carved
+    // from at Create(); only bytes beyond them are a new demand.
+    logical = std::max<int64_t>(0, est.peak_bytes - est.input_bytes);
+  }
+  sub.admission_bytes =
+      logical * static_cast<int64_t>(deployment_->dfs->options().replication);
+}
+
+void WorkflowService::CommitFootprint(SubmissionId id, int sign) {
+  auto it = subs_.find(id);
+  if (it == subs_.end() || it->second.admission_bytes <= 0) return;
+  committed_footprint_bytes_ += sign * it->second.admission_bytes;
+}
+
 void WorkflowService::AttachCaches(Submission* sub) {
   if (deployment_->result_cache != nullptr) {
     // Tenant defaults to the RM queue so queue isolation extends to
@@ -175,6 +222,9 @@ void WorkflowService::AttachCaches(Submission* sub) {
   }
   if (deployment_->staging_cache != nullptr) {
     sub->am->SetStagingCache(deployment_->staging_cache.get());
+  }
+  if (deployment_->gc != nullptr) {
+    sub->am->SetGc(deployment_->gc.get());
   }
 }
 
@@ -224,6 +274,29 @@ void WorkflowService::PumpQueue(const std::string& queue) {
 bool WorkflowService::TryStart(SubmissionId id) {
   SubmissionRecord& rec = records_[id];
   Submission& sub = subs_[id];
+  if (options_.footprint_admission && footprint_budget_bytes_ > 0 &&
+      sub.admission_bytes > 0) {
+    if (sub.admission_bytes > footprint_budget_bytes_) {
+      // Can never fit, even alone on an empty cluster: terminal.
+      rec.state = SubmissionState::kFailed;
+      rec.finished_at = deployment_->engine.Now();
+      rec.report.status = Status::ResourceExhausted(StrFormat(
+          "'%s' needs %lld footprint bytes but the DFS budget is %lld",
+          rec.name.c_str(), static_cast<long long>(sub.admission_bytes),
+          static_cast<long long>(footprint_budget_bytes_)));
+      rec.report.workflow_name = rec.name;
+      ++counters_[rec.queue].failed;
+      --live_submissions_;
+      return true;
+    }
+    if (committed_footprint_bytes_ + sub.admission_bytes >
+        footprint_budget_bytes_) {
+      // Will fit once a running workflow releases its share: wait. A
+      // positive committed ledger implies at least one running AM, so the
+      // caller's no-AM terminal check cannot misfire on this path.
+      return false;
+    }
+  }
   auto scheduler = MakeScheduler(rec.policy, deployment_->dfs.get(),
                                  &deployment_->estimator,
                                  deployment_->staging_cache.get());
@@ -251,11 +324,16 @@ bool WorkflowService::TryStart(SubmissionId id) {
   rec.state = SubmissionState::kRunning;
   rec.started_at = deployment_->engine.Now();
   ++running_[rec.queue];
+  CommitFootprint(id, +1);
   Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());
   if (st.ok()) {
     rec.am_attempts = 1;
     if (!rec.Terminal()) {
       app_of_[sub.am->app()] = id;
+      if (sub.admission_bytes > 0) {
+        deployment_->rm->RegisterAppFootprint(sub.am->app(),
+                                              sub.admission_bytes);
+      }
       ScheduleHeartbeatBatch();
     }
     return true;
@@ -266,6 +344,7 @@ bool WorkflowService::TryStart(SubmissionId id) {
     return true;
   }
   --running_[rec.queue];
+  CommitFootprint(id, -1);
   if (st.IsResourceExhausted()) {
     // AM container placement failed; the AM never registered and owns no
     // engine events, so it is safe to discard synchronously. Re-queue.
@@ -303,6 +382,7 @@ void WorkflowService::OnFinished(SubmissionId id,
     rec.deadline_missed = true;
   }
   --running_[rec.queue];
+  CommitFootprint(id, -1);
   --live_submissions_;
   MarkPumpable(rec.queue);
   reap_list_.push_back(id);
@@ -436,6 +516,15 @@ void WorkflowService::TryRecover(SubmissionId id) {
   double failed_at = sub.failed_at;
   Status st = sub.am->Submit(sub.source.get(), sub.scheduler.get());
   if (st.ok()) {
+    if (deployment_->gc != nullptr) {
+      // The replacement attempt's scope has re-registered pins on every
+      // file it still needs (consumer registration precedes memoisation),
+      // so the dead attempts' dormant scopes can dissolve: files only
+      // they referenced are collected, shared ones keep the new pin.
+      for (const std::string& rid : sub.run_ids) {
+        if (deployment_->gc->HasScope(rid)) deployment_->gc->EndScope(rid);
+      }
+    }
     ++rec.am_attempts;
     sub.placement_retries = 0;
     rec.recovery_latency_s.push_back(deployment_->engine.Now() - failed_at);
@@ -444,6 +533,10 @@ void WorkflowService::TryRecover(SubmissionId id) {
     if (!rec.Terminal()) {
       rec.state = SubmissionState::kRunning;
       app_of_[sub.am->app()] = id;
+      if (sub.admission_bytes > 0) {
+        deployment_->rm->RegisterAppFootprint(sub.am->app(),
+                                              sub.admission_bytes);
+      }
       ScheduleHeartbeatBatch();
     }
     return;
@@ -490,6 +583,15 @@ void WorkflowService::FailRecovering(SubmissionId id, Status status) {
   rec.report.workflow_name = rec.name;
   rec.report.am_attempt = rec.am_attempts;
   --running_[rec.queue];
+  CommitFootprint(id, -1);
+  if (deployment_->gc != nullptr) {
+    // Dead attempts' dormant GC scopes hold pins on files the memoising
+    // replacement would have needed; with the submission terminal, no
+    // further attempt will, so dissolve them.
+    for (const std::string& rid : subs_[id].run_ids) {
+      if (deployment_->gc->HasScope(rid)) deployment_->gc->EndScope(rid);
+    }
+  }
   --live_submissions_;
   MarkPumpable(rec.queue);
   reap_list_.push_back(id);

@@ -80,6 +80,14 @@ struct WorkflowServiceOptions {
   /// (0) by default: batching shifts heartbeat timestamps, so seed-scale
   /// runs stay byte-identical only without it.
   double heartbeat_batch = 0.0;
+  /// Footprint-aware admission (docs/storage-model.md): before starting a
+  /// submission's AM, check that its projected raw storage footprint fits
+  /// into the DFS capacity left over after the baseline captured at
+  /// service creation and the footprints of already-running workflows. A
+  /// submission that can never fit fails ResourceExhausted; one that will
+  /// fit once a running workflow finishes waits in its backlog. No-op
+  /// when the DFS has no capacity limit.
+  bool footprint_admission = false;
 };
 
 enum class SubmissionState {
@@ -112,6 +120,11 @@ struct SubmissionOptions {
   /// carry state). SubmitStaged() installs one automatically; without a
   /// factory an AM failure is terminal for the submission.
   std::function<Result<std::unique_ptr<WorkflowSource>>()> source_factory;
+  /// Projected *additional* logical bytes the workflow materialises
+  /// beyond its already-staged inputs, for footprint admission. -1 (the
+  /// default) auto-estimates via src/gc/footprint.h when a source factory
+  /// yields a static source; 0 bypasses the gate for this submission.
+  int64_t footprint_bytes = -1;
 };
 
 struct SubmissionRecord {
@@ -137,6 +150,10 @@ struct SubmissionRecord {
   /// waste accounting: completed_at_last_failure - tasks_memoised of the
   /// final report = work redone).
   int completed_at_last_failure = 0;
+  /// Estimated peak logical footprint (staged inputs + live
+  /// intermediates) from src/gc/footprint.h; 0 when not estimated.
+  /// Compare with report.peak_footprint_bytes (the traced actual).
+  int64_t footprint_estimate_bytes = 0;
   /// Valid once the state is kSucceeded or kFailed.
   WorkflowReport report;
 
@@ -215,6 +232,15 @@ class WorkflowService {
   int running_ams(const std::string& queue) const;
   int backlog(const std::string& queue) const;
 
+  /// Raw bytes currently committed to running workflows by footprint
+  /// admission, and the budget they are admitted against (DFS capacity
+  /// minus the baseline stored at service creation). Both 0 when
+  /// footprint admission is off or the DFS is uncapped.
+  int64_t committed_footprint_bytes() const {
+    return committed_footprint_bytes_;
+  }
+  int64_t footprint_budget_bytes() const { return footprint_budget_bytes_; }
+
   const SubmissionRecord* record(SubmissionId id) const;
   /// All records, ascending submission id.
   std::vector<SubmissionRecord> Records() const;
@@ -237,6 +263,9 @@ class WorkflowService {
     double failed_at = -1.0;
     /// Consecutive AM-container placement failures during recovery.
     int placement_retries = 0;
+    /// Raw (replica-weighted) bytes charged to the footprint ledger while
+    /// this submission runs; mirrors the running_ counter exactly.
+    int64_t admission_bytes = 0;
   };
 
   /// A crashed attempt's objects. Kept until service destruction: the
@@ -281,6 +310,14 @@ class WorkflowService {
   /// when heartbeat_batch is off or a sweep is already scheduled).
   void ScheduleHeartbeatBatch();
   uint64_t SeedFor(SubmissionId id) const;
+  /// Fills the submission's footprint estimate and admission charge
+  /// (called once at Submit when footprint admission is active).
+  void EstimateSubmissionFootprint(SubmissionId id);
+  /// Charges / releases a started submission's footprint against the
+  /// ledger, mirroring the running_ counter. (The RM-side per-application
+  /// mirror is registered separately, once the AM's application id is
+  /// known, and the RM drops it itself on app unregister/failure.)
+  void CommitFootprint(SubmissionId id, int sign);
 
   Deployment* deployment_;
   WorkflowServiceOptions options_;
@@ -309,6 +346,11 @@ class WorkflowService {
   int live_submissions_ = 0;
   /// Fraction of the worker fleet that is spot capacity; < 0 = unset.
   double spot_fraction_ = -1.0;
+  /// Footprint-admission ledger (docs/storage-model.md): budget = DFS
+  /// capacity minus the baseline stored at service creation; committed =
+  /// sum of running submissions' admission_bytes.
+  int64_t footprint_budget_bytes_ = 0;
+  int64_t committed_footprint_bytes_ = 0;
 };
 
 }  // namespace hiway
